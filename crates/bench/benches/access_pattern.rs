@@ -1,0 +1,47 @@
+//! §IV-D bench: random vs sequential campaigns.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use pfault_bench::bench_scale;
+use pfault_platform::campaign::{Campaign, CampaignConfig};
+use pfault_platform::platform::TrialConfig;
+use pfault_sim::storage::GIB;
+use pfault_workload::{AccessPattern, WorkloadSpec};
+
+fn campaign(pattern: AccessPattern) -> CampaignConfig {
+    let scale = bench_scale();
+    let mut trial = TrialConfig::paper_default();
+    trial.workload = WorkloadSpec::builder()
+        .wss_bytes(16 * GIB)
+        .write_fraction(1.0)
+        .pattern(pattern)
+        .build();
+    CampaignConfig {
+        trial,
+        trials: scale.faults_per_point,
+        requests_per_trial: scale.requests_per_trial,
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sec4d_access_pattern");
+    group.sample_size(10);
+    for (label, pattern) in [
+        ("random", AccessPattern::UniformRandom),
+        ("sequential", AccessPattern::Sequential),
+    ] {
+        group.bench_function(label, |b| {
+            let config = campaign(pattern);
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(Campaign::new(config, seed).run())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

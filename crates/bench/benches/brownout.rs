@@ -1,0 +1,27 @@
+//! Brownout-extension bench: sag trials at the severity extremes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use pfault_platform::experiments::{brownout, ExperimentScale};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ext_brownout");
+    group.sample_size(10);
+    let scale = ExperimentScale {
+        faults_per_point: 16, // → 4 trials per floor inside run()
+        requests_per_trial: 10,
+        threads: 1,
+    };
+    group.bench_function("depth_sweep", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(brownout::run(scale, seed))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

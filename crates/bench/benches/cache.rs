@@ -1,0 +1,52 @@
+//! Cache-ablation bench: cache on / off / supercap campaigns.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use pfault_bench::bench_scale;
+use pfault_platform::campaign::{Campaign, CampaignConfig};
+use pfault_platform::platform::TrialConfig;
+use pfault_sim::storage::GIB;
+use pfault_ssd::CacheConfig;
+use pfault_workload::WorkloadSpec;
+
+fn campaign(cache_enabled: bool, supercap: bool) -> CampaignConfig {
+    let scale = bench_scale();
+    let mut trial = TrialConfig::paper_default();
+    if !cache_enabled {
+        trial.ssd.cache = CacheConfig::disabled();
+    }
+    trial.ssd.supercap = supercap;
+    trial.workload = WorkloadSpec::builder()
+        .wss_bytes(16 * GIB)
+        .write_fraction(1.0)
+        .build();
+    CampaignConfig {
+        trial,
+        trials: scale.faults_per_point,
+        requests_per_trial: scale.requests_per_trial,
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_cache");
+    group.sample_size(10);
+    for (label, enabled, supercap) in [
+        ("enabled", true, false),
+        ("disabled", false, false),
+        ("supercap", true, true),
+    ] {
+        group.bench_function(label, |b| {
+            let config = campaign(enabled, supercap);
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(Campaign::new(config, seed).run())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

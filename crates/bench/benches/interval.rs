@@ -1,0 +1,28 @@
+//! §IV-A bench: a single marker-interval trial (write → idle → fault →
+//! recover → verify).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use pfault_platform::experiments::{interval, ExperimentScale};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sec4a_interval");
+    group.sample_size(10);
+    let scale = ExperimentScale {
+        faults_per_point: 32, // → 8 trials per delay point inside run()
+        requests_per_trial: 10,
+        threads: 1,
+    };
+    group.bench_function("sweep_cache_on", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(interval::run(scale, seed, true))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Fig 8 bench: open-loop campaigns below and above the IOPS knee.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use pfault_bench::bench_scale;
+use pfault_platform::campaign::{Campaign, CampaignConfig};
+use pfault_platform::platform::TrialConfig;
+use pfault_sim::storage::{GIB, KIB};
+use pfault_workload::{ArrivalModel, SizeSpec, WorkloadSpec};
+
+fn campaign(iops: f64) -> CampaignConfig {
+    let scale = bench_scale();
+    let mut trial = TrialConfig::paper_default();
+    trial.workload = WorkloadSpec::builder()
+        .wss_bytes(16 * GIB)
+        .write_fraction(1.0)
+        .size(SizeSpec::FixedBytes(4 * KIB))
+        .arrival(ArrivalModel::OpenLoop { iops })
+        .build();
+    CampaignConfig {
+        trial,
+        trials: scale.faults_per_point,
+        requests_per_trial: 100,
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_iops");
+    group.sample_size(10);
+    for iops in [1_200.0f64, 30_000.0] {
+        group.bench_function(format!("requested_{iops}"), |b| {
+            let config = campaign(iops);
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(Campaign::new(config, seed).run())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Fig 4 bench: PSU discharge model — curve sampling and threshold
+//! inversion.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use pfault_power::psu::PsuModel;
+use pfault_power::Millivolts;
+use pfault_sim::SimDuration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_psu");
+    group.bench_function("discharge_trace_loaded", |b| {
+        let psu = PsuModel::atx_loaded();
+        b.iter(|| black_box(psu.discharge_trace(SimDuration::from_millis(10))));
+    });
+    group.bench_function("discharge_trace_unloaded", |b| {
+        let psu = PsuModel::atx_unloaded();
+        b.iter(|| black_box(psu.discharge_trace(SimDuration::from_millis(10))));
+    });
+    group.bench_function("threshold_inversion", |b| {
+        let psu = PsuModel::atx_loaded();
+        b.iter(|| {
+            for mv in [4500u32, 4490, 2500, 500] {
+                black_box(psu.time_to_voltage(Millivolts::new(mv)));
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

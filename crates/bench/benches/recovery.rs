@@ -1,0 +1,48 @@
+//! Recovery-ablation bench: journal-replay vs full-scan campaigns.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use pfault_bench::bench_scale;
+use pfault_ftl::RecoveryPolicy;
+use pfault_platform::campaign::{Campaign, CampaignConfig};
+use pfault_platform::platform::TrialConfig;
+use pfault_sim::storage::GIB;
+use pfault_workload::WorkloadSpec;
+
+fn campaign(policy: RecoveryPolicy) -> CampaignConfig {
+    let scale = bench_scale();
+    let mut trial = TrialConfig::paper_default();
+    trial.ssd.ftl.recovery_policy = policy;
+    trial.workload = WorkloadSpec::builder()
+        .wss_bytes(16 * GIB)
+        .write_fraction(1.0)
+        .build();
+    CampaignConfig {
+        trial,
+        trials: scale.faults_per_point,
+        requests_per_trial: scale.requests_per_trial,
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ext_recovery");
+    group.sample_size(10);
+    for (label, policy) in [
+        ("journal_replay", RecoveryPolicy::JournalReplay),
+        ("full_scan", RecoveryPolicy::FullScan),
+    ] {
+        group.bench_function(label, |b| {
+            let config = campaign(policy);
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(Campaign::new(config, seed).run())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

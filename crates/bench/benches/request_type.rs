@@ -1,0 +1,43 @@
+//! Fig 5 bench: one campaign point per read-percentage extreme.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use pfault_bench::bench_scale;
+use pfault_platform::campaign::{Campaign, CampaignConfig};
+use pfault_platform::platform::TrialConfig;
+use pfault_sim::storage::GIB;
+use pfault_workload::WorkloadSpec;
+
+fn campaign(write_fraction: f64) -> CampaignConfig {
+    let scale = bench_scale();
+    let mut trial = TrialConfig::paper_default();
+    trial.workload = WorkloadSpec::builder()
+        .wss_bytes(16 * GIB)
+        .write_fraction(write_fraction)
+        .build();
+    CampaignConfig {
+        trial,
+        trials: scale.faults_per_point,
+        requests_per_trial: scale.requests_per_trial,
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_request_type");
+    group.sample_size(10);
+    for (label, wf) in [("write100", 1.0), ("write50", 0.5), ("read100", 0.0)] {
+        group.bench_function(label, |b| {
+            let config = campaign(wf);
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(Campaign::new(config, seed).run())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Fig 9 bench: dependent-sequence campaigns (RAR vs WAW extremes).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use pfault_bench::bench_scale;
+use pfault_platform::campaign::{Campaign, CampaignConfig};
+use pfault_platform::platform::TrialConfig;
+use pfault_sim::storage::GIB;
+use pfault_workload::{SequenceMode, WorkloadSpec};
+
+fn campaign(mode: SequenceMode) -> CampaignConfig {
+    let scale = bench_scale();
+    let mut trial = TrialConfig::paper_default();
+    trial.workload = WorkloadSpec::builder()
+        .wss_bytes(16 * GIB)
+        .sequence(mode)
+        .build();
+    CampaignConfig {
+        trial,
+        trials: scale.faults_per_point,
+        requests_per_trial: scale.requests_per_trial,
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_sequence");
+    group.sample_size(10);
+    for (label, mode) in [("rar", SequenceMode::Rar), ("waw", SequenceMode::Waw)] {
+        group.bench_function(label, |b| {
+            let config = campaign(mode);
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(Campaign::new(config, seed).run())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

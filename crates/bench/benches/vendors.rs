@@ -1,0 +1,45 @@
+//! Table I bench: one campaign per vendor preset.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use pfault_bench::bench_scale;
+use pfault_platform::campaign::{Campaign, CampaignConfig};
+use pfault_platform::platform::TrialConfig;
+use pfault_sim::storage::GIB;
+use pfault_ssd::VendorPreset;
+use pfault_workload::WorkloadSpec;
+
+fn campaign(preset: VendorPreset) -> CampaignConfig {
+    let scale = bench_scale();
+    let mut trial = TrialConfig::paper_default();
+    trial.ssd = preset.config();
+    trial.workload = WorkloadSpec::builder()
+        .wss_bytes(16 * GIB)
+        .write_fraction(1.0)
+        .build();
+    CampaignConfig {
+        trial,
+        trials: scale.faults_per_point,
+        requests_per_trial: scale.requests_per_trial,
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_vendors");
+    group.sample_size(10);
+    for preset in VendorPreset::all() {
+        group.bench_function(format!("{preset:?}"), |b| {
+            let config = campaign(preset);
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(Campaign::new(config, seed).run())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Wear-extension bench: campaigns on fresh vs end-of-life drives.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use pfault_bench::bench_scale;
+use pfault_platform::campaign::{Campaign, CampaignConfig};
+use pfault_platform::platform::TrialConfig;
+use pfault_sim::storage::GIB;
+use pfault_workload::WorkloadSpec;
+
+fn campaign(baseline_wear: u32) -> CampaignConfig {
+    let scale = bench_scale();
+    let mut trial = TrialConfig::paper_default();
+    trial.ssd.baseline_wear = baseline_wear;
+    trial.workload = WorkloadSpec::builder()
+        .wss_bytes(16 * GIB)
+        .write_fraction(1.0)
+        .build();
+    CampaignConfig {
+        trial,
+        trials: scale.faults_per_point,
+        requests_per_trial: scale.requests_per_trial,
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ext_wear");
+    group.sample_size(10);
+    for cycles in [0u32, 2_800] {
+        group.bench_function(format!("{cycles}_cycles"), |b| {
+            let config = campaign(cycles);
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(Campaign::new(config, seed).run())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Fig 6 bench: campaigns at the smallest and largest working-set sizes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use pfault_bench::bench_scale;
+use pfault_platform::campaign::{Campaign, CampaignConfig};
+use pfault_platform::platform::TrialConfig;
+use pfault_sim::storage::GIB;
+use pfault_workload::WorkloadSpec;
+
+fn campaign(wss_gib: u64) -> CampaignConfig {
+    let scale = bench_scale();
+    let mut trial = TrialConfig::paper_default();
+    trial.workload = WorkloadSpec::builder()
+        .wss_bytes(wss_gib * GIB)
+        .write_fraction(1.0)
+        .build();
+    CampaignConfig {
+        trial,
+        trials: scale.faults_per_point,
+        requests_per_trial: scale.requests_per_trial,
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_wss");
+    group.sample_size(10);
+    for wss in [1u64, 90] {
+        group.bench_function(format!("wss_{wss}gib"), |b| {
+            let config = campaign(wss);
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(Campaign::new(config, seed).run())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,337 @@
+//! `repro` — regenerates every table and figure of the paper.
+//!
+//! Usage:
+//!
+//! ```text
+//! repro [--scale quick|paper] [--seed N] [--exp NAME] [--json FILE]
+//! ```
+//!
+//! Experiments: `fig4` `interval` `interval-nocache` `fig5` `fig6`
+//! `pattern` `fig7` `fig8` `fig9` `table1` `ablation-injector`
+//! `ablation-cache` `brownout`, or `all` (default). `--json FILE` also
+//! writes every produced report as machine-readable JSON.
+
+use std::env;
+use std::process::ExitCode;
+
+use pfault_bench::{ScaleArg, DEFAULT_SEED};
+use pfault_platform::experiments::wss;
+use pfault_platform::experiments::{
+    access_pattern, brownout, cache_ablation, flush, injector_ablation, interval, iops, psu,
+    recovery, repeated, request_size, request_type, sequence, vendors, wear,
+};
+
+fn main() -> ExitCode {
+    let mut scale = ScaleArg::Quick;
+    let mut seed = DEFAULT_SEED;
+    let mut exp = String::from("all");
+    let mut json_path: Option<String> = None;
+    let mut args = env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let v = args.next().unwrap_or_default();
+                match ScaleArg::parse(&v) {
+                    Some(s) => scale = s,
+                    None => {
+                        eprintln!("unknown scale '{v}' (quick|paper)");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--seed" => {
+                let v = args.next().unwrap_or_default();
+                match v.parse() {
+                    Ok(s) => seed = s,
+                    Err(_) => {
+                        eprintln!("bad seed '{v}'");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--exp" => exp = args.next().unwrap_or_default(),
+            "--json" => json_path = args.next(),
+            "--help" | "-h" => {
+                println!(
+                    "repro [--scale quick|paper] [--seed N] [--exp NAME] [--json FILE]\n\
+                     experiments: fig4 interval interval-nocache fig5 fig6 pattern \
+                     fig7 fig8 fig9 table1 ablation-injector ablation-cache \
+                     brownout wear flush recovery repeated all"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument '{other}'");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let s = scale.scale();
+    let all = exp == "all";
+    let mut matched = false;
+    let mut json = serde_json::Map::new();
+    let record = |json: &mut serde_json::Map<String, serde_json::Value>,
+                  key: &str,
+                  value: serde_json::Value| {
+        json.insert(key.to_string(), value);
+    };
+
+    if all || exp == "fig4" {
+        matched = true;
+        let report = psu::run();
+        record(
+            &mut json,
+            "fig4",
+            serde_json::to_value(&report).expect("serializable"),
+        );
+        println!("== Fig 4: PSU discharge ==");
+        println!("{}", report.table().render());
+        println!("Fig 4a series (no load):");
+        println!("{}", psu::PsuReport::curve_table(&report.unloaded).render());
+        println!("Fig 4b series (one SSD):");
+        println!("{}", psu::PsuReport::curve_table(&report.loaded).render());
+    }
+    if all || exp == "interval" {
+        matched = true;
+        let report = interval::run(s, seed, true);
+        record(
+            &mut json,
+            "interval",
+            serde_json::to_value(&report).expect("serializable"),
+        );
+        println!("== §IV-A: interval after completion (cache enabled) ==");
+        println!("{}", report.table().render());
+        if let Some(max) = report.max_delay_with_failure_ms() {
+            println!("max delay with observed failure: {max} ms (paper: ~700 ms)\n");
+        }
+    }
+    if all || exp == "interval-nocache" {
+        matched = true;
+        let report = interval::run(s, seed ^ 1, false);
+        record(
+            &mut json,
+            "interval_nocache",
+            serde_json::to_value(&report).expect("serializable"),
+        );
+        println!("== §IV-A: interval after completion (cache DISABLED) ==");
+        println!("{}", report.table().render());
+        if let Some(max) = report.max_delay_with_failure_ms() {
+            println!(
+                "max delay with observed failure: {max} ms (failures persist without cache)\n"
+            );
+        }
+    }
+    if all || exp == "fig5" {
+        matched = true;
+        println!("== Fig 5: request type (read %) ==");
+        let report = request_type::run(s, seed);
+        record(
+            &mut json,
+            "fig5",
+            serde_json::to_value(&report).expect("serializable"),
+        );
+        println!("{}", report.table().render());
+        println!("{}", report.chart().render(50));
+    }
+    if all || exp == "fig6" {
+        matched = true;
+        println!("== Fig 6: working-set size ==");
+        let points: Option<&[u64]> = if scale == ScaleArg::Paper {
+            None
+        } else {
+            Some(&[1, 20, 50, 90])
+        };
+        let report = wss::run(s, seed, points);
+        record(
+            &mut json,
+            "fig6",
+            serde_json::to_value(&report).expect("serializable"),
+        );
+        println!("{}", report.table().render());
+        println!(
+            "max/min per-fault spread: {:.2} (paper: flat)\n",
+            report.spread_ratio()
+        );
+    }
+    if all || exp == "pattern" {
+        matched = true;
+        println!("== §IV-D: access pattern ==");
+        let report = access_pattern::run(s, seed);
+        record(
+            &mut json,
+            "pattern",
+            serde_json::to_value(&report).expect("serializable"),
+        );
+        println!("{}", report.table().render());
+        println!(
+            "sequential excess: {:+.1}% (paper: ~+14%)\n",
+            report.sequential_excess_pct()
+        );
+    }
+    if all || exp == "fig7" {
+        matched = true;
+        println!("== Fig 7: request size ==");
+        let report = request_size::run(s, seed);
+        record(
+            &mut json,
+            "fig7",
+            serde_json::to_value(&report).expect("serializable"),
+        );
+        println!("{}", report.table().render());
+        println!("{}", report.chart().render(50));
+    }
+    if all || exp == "fig8" {
+        matched = true;
+        println!("== Fig 8: requested IOPS ==");
+        let report = iops::run(s, seed);
+        record(
+            &mut json,
+            "fig8",
+            serde_json::to_value(&report).expect("serializable"),
+        );
+        println!("{}", report.table().render());
+        println!(
+            "saturation: {:.0} responded IOPS (paper: ~6900)\n",
+            report.saturation_iops()
+        );
+    }
+    if all || exp == "fig9" {
+        matched = true;
+        println!("== Fig 9: access sequences ==");
+        let report = sequence::run(s, seed);
+        record(
+            &mut json,
+            "fig9",
+            serde_json::to_value(&report).expect("serializable"),
+        );
+        println!("{}", report.table().render());
+        println!("{}", report.chart().render(50));
+    }
+    if all || exp == "table1" {
+        matched = true;
+        println!("== Table I: vendor drives ==");
+        let report = vendors::run(s, seed);
+        record(
+            &mut json,
+            "table1",
+            serde_json::to_value(&report).expect("serializable"),
+        );
+        println!("{}", report.table().render());
+    }
+    if all || exp == "ablation-injector" {
+        matched = true;
+        println!("== Ablation: discharge ramp vs transistor cut ==");
+        let report = injector_ablation::run(s, seed);
+        record(
+            &mut json,
+            "ablation_injector",
+            serde_json::to_value(&report).expect("serializable"),
+        );
+        println!("{}", report.table().render());
+    }
+    if all || exp == "ablation-cache" {
+        matched = true;
+        println!("== Ablation: cache on/off/supercap ==");
+        let report = cache_ablation::run(s, seed);
+        record(
+            &mut json,
+            "ablation_cache",
+            serde_json::to_value(&report).expect("serializable"),
+        );
+        println!("{}", report.table().render());
+    }
+
+    if all || exp == "brownout" {
+        matched = true;
+        println!("== Extension: transient sag (brownout) depth sweep ==");
+        let report = brownout::run(s, seed);
+        record(
+            &mut json,
+            "brownout",
+            serde_json::to_value(&report).expect("serializable"),
+        );
+        println!("{}", report.table().render());
+    }
+
+    if all || exp == "wear" {
+        matched = true;
+        println!("== Extension: device age (P/E cycles) vs fault damage ==");
+        let report = wear::run(s, seed);
+        record(
+            &mut json,
+            "wear",
+            serde_json::to_value(&report).expect("serializable"),
+        );
+        println!("{}", report.table().render());
+    }
+
+    if all || exp == "flush" {
+        matched = true;
+        println!("== Extension: FLUSH barrier frequency ==");
+        let report = flush::run(s, seed);
+        record(
+            &mut json,
+            "flush",
+            serde_json::to_value(&report).expect("serializable"),
+        );
+        println!("{}", report.table().render());
+    }
+
+    if all || exp == "recovery" {
+        matched = true;
+        println!("== Extension: recovery policy (journal replay vs full scan) ==");
+        let report = recovery::run(s, seed);
+        record(
+            &mut json,
+            "recovery",
+            serde_json::to_value(&report).expect("serializable"),
+        );
+        println!("{}", report.table().render());
+        println!(
+            "full-scan recovery reduces loss by {:.0}%\n",
+            report.scan_reduction_pct()
+        );
+    }
+
+    if all || exp == "repeated" {
+        matched = true;
+        println!("== Extension: consecutive outages on one device ==");
+        let report = repeated::run(s, seed);
+        record(
+            &mut json,
+            "repeated",
+            serde_json::to_value(&report).expect("serializable"),
+        );
+        println!("{}", report.table().render());
+        println!(
+            "mean fresh loss per cycle {:.1}; requests that had survived an \
+             earlier outage and were newly lost later: {}\n",
+            report.mean_fresh_lost(),
+            report.total_old_newly_lost()
+        );
+    }
+
+    if !matched {
+        eprintln!("unknown experiment '{exp}'");
+        return ExitCode::FAILURE;
+    }
+    if let Some(path) = json_path {
+        let doc = serde_json::json!({
+            "paper": "Investigating Power Outage Effects on Reliability of SSDs (DATE 2018)",
+            "seed": seed,
+            "scale": format!("{scale:?}"),
+            "reports": serde_json::Value::Object(json),
+        });
+        match std::fs::write(
+            &path,
+            serde_json::to_string_pretty(&doc).expect("serializable"),
+        ) {
+            Ok(()) => println!("wrote JSON reports to {path}"),
+            Err(e) => {
+                eprintln!("failed to write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

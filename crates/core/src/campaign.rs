@@ -1,0 +1,295 @@
+//! Fault-injection campaigns: many trials, aggregated.
+//!
+//! The paper's experiments each inject hundreds of faults ("more than 300
+//! power faults … during 24,000 requests"). A [`Campaign`] runs one trial
+//! per fault with an independent derived seed and aggregates the
+//! [`FailureCounts`] into a [`CampaignReport`]. Trials are independent, so
+//! [`Campaign::run_parallel`] distributes them over threads with results
+//! identical to the serial runner.
+
+use crossbeam::channel;
+use serde::{Deserialize, Serialize};
+
+use pfault_sim::stats::{Histogram, OnlineStats};
+use pfault_sim::DetRng;
+
+use crate::analyzer::FailureCounts;
+use crate::platform::{TestPlatform, TrialConfig, TrialOutcome};
+
+/// Campaign configuration: a trial template plus the fault count.
+#[derive(Debug, Clone, Copy)]
+pub struct CampaignConfig {
+    /// Template for every trial.
+    pub trial: TrialConfig,
+    /// Number of fault injections (= trials).
+    pub trials: usize,
+    /// Requests submitted per trial (overrides `trial.requests`).
+    pub requests_per_trial: usize,
+}
+
+impl CampaignConfig {
+    /// The paper's §IV default: ~80 requests per fault on SSD A.
+    pub fn paper_default() -> Self {
+        let trial = TrialConfig::paper_default();
+        CampaignConfig {
+            requests_per_trial: trial.requests,
+            trial,
+            trials: 300,
+        }
+    }
+}
+
+/// Aggregated results of a campaign.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CampaignReport {
+    /// Faults injected.
+    pub faults: u64,
+    /// Requests issued across all trials.
+    pub requests_issued: u64,
+    /// Requests completed across all trials.
+    pub requests_completed: u64,
+    /// Failure tallies across all trials.
+    pub counts: FailureCounts,
+    /// Distribution of per-trial responded IOPS.
+    pub responded_iops: OnlineStats,
+    /// Distribution of ACK→fault intervals over failed requests (ms) —
+    /// the §IV-A quantity.
+    pub failed_ack_interval_ms: OnlineStats,
+    /// Largest observed ACK→fault interval among failed requests (ms).
+    pub max_failed_ack_interval_ms: f64,
+    /// Distribution of those intervals in 50 ms buckets up to 1 s (the
+    /// §IV-A histogram).
+    pub failed_ack_interval_hist: Histogram,
+    /// Programs interrupted mid-operation across all trials.
+    pub interrupted_programs: u64,
+    /// Paired-page collateral corruptions across all trials.
+    pub paired_corruptions: u64,
+}
+
+impl CampaignReport {
+    fn empty() -> Self {
+        CampaignReport {
+            faults: 0,
+            requests_issued: 0,
+            requests_completed: 0,
+            counts: FailureCounts::default(),
+            responded_iops: OnlineStats::new(),
+            failed_ack_interval_ms: OnlineStats::new(),
+            max_failed_ack_interval_ms: 0.0,
+            failed_ack_interval_hist: Histogram::new(50.0, 20),
+            interrupted_programs: 0,
+            paired_corruptions: 0,
+        }
+    }
+
+    fn absorb(&mut self, outcome: &TrialOutcome) {
+        self.faults += 1;
+        self.requests_issued += outcome.requests_issued;
+        self.requests_completed += outcome.requests_completed;
+        self.counts.merge(&outcome.counts);
+        self.responded_iops.push(outcome.responded_iops);
+        for &interval in &outcome.failed_ack_intervals_ms {
+            self.failed_ack_interval_ms.push(interval);
+            self.failed_ack_interval_hist.record(interval);
+            if interval > self.max_failed_ack_interval_ms {
+                self.max_failed_ack_interval_ms = interval;
+            }
+        }
+        self.interrupted_programs += outcome.interrupted_programs;
+        self.paired_corruptions += outcome.paired_corruptions;
+    }
+
+    fn merge(&mut self, other: &CampaignReport) {
+        self.faults += other.faults;
+        self.requests_issued += other.requests_issued;
+        self.requests_completed += other.requests_completed;
+        self.counts.merge(&other.counts);
+        self.responded_iops.merge(&other.responded_iops);
+        self.failed_ack_interval_ms
+            .merge(&other.failed_ack_interval_ms);
+        self.max_failed_ack_interval_ms = self
+            .max_failed_ack_interval_ms
+            .max(other.max_failed_ack_interval_ms);
+        for i in 0..other.failed_ack_interval_hist.len() {
+            for _ in 0..other.failed_ack_interval_hist.bucket_count(i) {
+                self.failed_ack_interval_hist
+                    .record(other.failed_ack_interval_hist.bucket_lo(i));
+            }
+        }
+        for _ in 0..other.failed_ack_interval_hist.overflow() {
+            self.failed_ack_interval_hist.record(1.0e9);
+        }
+        self.interrupted_programs += other.interrupted_programs;
+        self.paired_corruptions += other.paired_corruptions;
+    }
+
+    /// Data failures (excluding FWA) per injected fault — the paper's
+    /// right-hand axis in Figs 5–7 and 9.
+    pub fn data_failures_per_fault(&self) -> f64 {
+        if self.faults == 0 {
+            return 0.0;
+        }
+        self.counts.data_failures as f64 / self.faults as f64
+    }
+
+    /// Total data-loss events (data failures + FWA) per fault.
+    pub fn data_loss_per_fault(&self) -> f64 {
+        if self.faults == 0 {
+            return 0.0;
+        }
+        self.counts.total_data_loss() as f64 / self.faults as f64
+    }
+
+    /// IO errors per fault.
+    pub fn io_errors_per_fault(&self) -> f64 {
+        if self.faults == 0 {
+            return 0.0;
+        }
+        self.counts.io_errors as f64 / self.faults as f64
+    }
+}
+
+/// A campaign runner.
+#[derive(Debug)]
+pub struct Campaign {
+    config: CampaignConfig,
+    seed: u64,
+}
+
+impl Campaign {
+    /// Creates a campaign; `seed` determines every trial.
+    pub fn new(config: CampaignConfig, seed: u64) -> Self {
+        Campaign { config, seed }
+    }
+
+    fn trial_config(&self) -> TrialConfig {
+        let mut t = self.config.trial;
+        t.requests = self.config.requests_per_trial;
+        t
+    }
+
+    fn trial_seed(&self, index: usize) -> u64 {
+        DetRng::new(self.seed).fork_index(index as u64).next_u64()
+    }
+
+    /// Runs all trials serially.
+    pub fn run(&self) -> CampaignReport {
+        let platform = TestPlatform::new(self.trial_config());
+        let mut report = CampaignReport::empty();
+        for i in 0..self.config.trials {
+            let outcome = platform.run_trial(self.trial_seed(i));
+            report.absorb(&outcome);
+        }
+        report
+    }
+
+    /// Runs all trials across `threads` worker threads. The result is
+    /// bit-identical to [`Campaign::run`] for all order-insensitive
+    /// aggregates (counts, means, extremes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn run_parallel(&self, threads: usize) -> CampaignReport {
+        assert!(threads > 0, "need at least one thread");
+        let trial_config = self.trial_config();
+        let trials = self.config.trials;
+        let (tx, rx) = channel::unbounded::<CampaignReport>();
+        std::thread::scope(|scope| {
+            for worker in 0..threads {
+                let tx = tx.clone();
+                let campaign = Campaign {
+                    config: self.config,
+                    seed: self.seed,
+                };
+                scope.spawn(move || {
+                    let platform = TestPlatform::new(trial_config);
+                    let mut partial = CampaignReport::empty();
+                    let mut i = worker;
+                    while i < trials {
+                        let outcome = platform.run_trial(campaign.trial_seed(i));
+                        partial.absorb(&outcome);
+                        i += threads;
+                    }
+                    tx.send(partial).expect("receiver lives in this scope");
+                });
+            }
+        });
+        drop(tx);
+        let mut report = CampaignReport::empty();
+        for partial in rx.iter() {
+            report.merge(&partial);
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfault_sim::storage::GIB;
+    use pfault_workload::WorkloadSpec;
+
+    fn tiny_config() -> CampaignConfig {
+        let mut config = CampaignConfig::paper_default();
+        config.trial.ssd.geometry = pfault_flash::FlashGeometry::new(1 << 14, 256);
+        config.trial.ssd.ftl = pfault_ftl::FtlConfig::for_geometry(config.trial.ssd.geometry);
+        config.trial.workload = WorkloadSpec::builder().wss_bytes(4 * GIB).build();
+        config.trials = 6;
+        config.requests_per_trial = 25;
+        config
+    }
+
+    #[test]
+    fn campaign_aggregates_all_trials() {
+        let report = Campaign::new(tiny_config(), 5).run();
+        assert_eq!(report.faults, 6);
+        // The generator flows continuously, so at least the trigger
+        // fraction of the nominal 25 requests was issued per trial.
+        assert!(report.requests_issued >= 6 * 7);
+        assert_eq!(report.responded_iops.count(), 6);
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let campaign = Campaign::new(tiny_config(), 11);
+        let serial = campaign.run();
+        let parallel = campaign.run_parallel(3);
+        assert_eq!(serial.faults, parallel.faults);
+        assert_eq!(serial.counts, parallel.counts);
+        assert_eq!(serial.requests_issued, parallel.requests_issued);
+        assert!((serial.responded_iops.mean() - parallel.responded_iops.mean()).abs() < 1e-9);
+        assert_eq!(
+            serial.max_failed_ack_interval_ms,
+            parallel.max_failed_ack_interval_ms
+        );
+    }
+
+    #[test]
+    fn same_seed_reproduces() {
+        let a = Campaign::new(tiny_config(), 7).run();
+        let b = Campaign::new(tiny_config(), 7).run();
+        assert_eq!(a.counts, b.counts);
+    }
+
+    #[test]
+    fn interval_histogram_tracks_failed_requests() {
+        let report = Campaign::new(tiny_config(), 9).run();
+        assert_eq!(
+            report.failed_ack_interval_hist.total(),
+            report.failed_ack_interval_ms.count()
+        );
+        let parallel = Campaign::new(tiny_config(), 9).run_parallel(3);
+        assert_eq!(
+            parallel.failed_ack_interval_hist.total(),
+            report.failed_ack_interval_hist.total()
+        );
+    }
+
+    #[test]
+    fn rates_divide_by_faults() {
+        let report = Campaign::new(tiny_config(), 13).run();
+        let expected = report.counts.data_failures as f64 / report.faults as f64;
+        assert!((report.data_failures_per_fault() - expected).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,182 @@
+//! ASCII chart rendering for experiment output.
+//!
+//! The paper presents its results as grouped bar charts with a per-fault
+//! ratio line; [`BarChart`] renders the same structure in plain text so
+//! `repro` output reads like the figures:
+//!
+//! ```text
+//! read %  |
+//!      0  |############################ 791
+//!     20  |######################- 640
+//! ```
+
+/// One labelled group of bars.
+#[derive(Debug, Clone)]
+pub struct BarGroup {
+    /// X-axis label of this group.
+    pub label: String,
+    /// One value per series, in series order.
+    pub values: Vec<f64>,
+}
+
+/// A horizontal grouped bar chart.
+///
+/// # Example
+///
+/// ```
+/// use pfault_platform::chart::BarChart;
+///
+/// let mut chart = BarChart::new("Fig X", ["data failures", "FWA"]);
+/// chart.push("4 KiB", [10.0, 40.0]);
+/// chart.push("1 MiB", [5.0, 8.0]);
+/// let text = chart.render(30);
+/// assert!(text.contains("4 KiB"));
+/// assert!(text.contains('#'));
+/// ```
+#[derive(Debug, Clone)]
+pub struct BarChart {
+    title: String,
+    series: Vec<String>,
+    groups: Vec<BarGroup>,
+}
+
+/// Fill glyph per series (cycled when there are more series than glyphs).
+const GLYPHS: [char; 4] = ['#', '=', '*', '+'];
+
+impl BarChart {
+    /// Creates a chart with the given title and series names.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(title: &str, series: I) -> Self {
+        BarChart {
+            title: title.to_string(),
+            series: series.into_iter().map(Into::into).collect(),
+            groups: Vec::new(),
+        }
+    }
+
+    /// Appends one group of bars.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value count differs from the series count.
+    pub fn push<S: Into<String>, I: IntoIterator<Item = f64>>(&mut self, label: S, values: I) {
+        let values: Vec<f64> = values.into_iter().collect();
+        assert_eq!(
+            values.len(),
+            self.series.len(),
+            "one value per series required"
+        );
+        self.groups.push(BarGroup {
+            label: label.into(),
+            values,
+        });
+    }
+
+    /// Number of groups.
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Whether the chart has no groups.
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// Renders the chart with bars scaled to `width` characters at the
+    /// maximum value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    pub fn render(&self, width: usize) -> String {
+        assert!(width > 0, "chart width must be positive");
+        let max = self
+            .groups
+            .iter()
+            .flat_map(|g| g.values.iter().copied())
+            .fold(0.0f64, f64::max)
+            .max(f64::MIN_POSITIVE);
+        let label_width = self
+            .groups
+            .iter()
+            .map(|g| g.label.len())
+            .max()
+            .unwrap_or(0)
+            .max(4);
+        let mut out = String::new();
+        out.push_str(&self.title);
+        out.push('\n');
+        // Legend.
+        for (i, name) in self.series.iter().enumerate() {
+            out.push_str(&format!(
+                "  {} {}\n",
+                GLYPHS[i % GLYPHS.len()],
+                name
+            ));
+        }
+        for group in &self.groups {
+            for (i, &value) in group.values.iter().enumerate() {
+                let bar = ((value / max) * width as f64).round() as usize;
+                let label = if i == 0 { group.label.as_str() } else { "" };
+                out.push_str(&format!(
+                    "{label:>label_width$} |{}{} {:.4}\n",
+                    String::from(GLYPHS[i % GLYPHS.len()]).repeat(bar),
+                    " ".repeat(width - bar.min(width)),
+                    value,
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chart() -> BarChart {
+        let mut c = BarChart::new("demo", ["a", "b"]);
+        c.push("x", [10.0, 20.0]);
+        c.push("y", [0.0, 5.0]);
+        c
+    }
+
+    #[test]
+    fn renders_scaled_bars() {
+        let text = chart().render(20);
+        // Max value (20.0) gets the full width.
+        assert!(text.contains(&"=".repeat(20)), "{text}");
+        // Half the max gets half the width.
+        assert!(text.contains(&"#".repeat(10)), "{text}");
+        assert!(text.contains("demo"));
+        assert!(text.lines().count() >= 7); // title + legend(2) + 4 bars
+    }
+
+    #[test]
+    fn zero_values_render_empty_bars() {
+        let text = chart().render(10);
+        assert!(text.contains("0.0000"));
+    }
+
+    #[test]
+    fn handles_all_zero_charts() {
+        let mut c = BarChart::new("flat", ["only"]);
+        c.push("p", [0.0]);
+        let text = c.render(10);
+        assert!(text.contains("flat"));
+        assert!(!c.is_empty());
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "one value per series required")]
+    fn rejects_ragged_groups() {
+        let mut c = BarChart::new("bad", ["a", "b"]);
+        c.push("x", [1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "chart width must be positive")]
+    fn rejects_zero_width() {
+        chart().render(0);
+    }
+}

@@ -1,0 +1,131 @@
+//! Extension — FLUSH barrier frequency vs data loss.
+//!
+//! The paper's designer-facing conclusion (§V) is that power-fault loss
+//! comes from volatile device state. The host-side mitigation is the
+//! FLUSH barrier (fsync): data acknowledged before a completed FLUSH is
+//! durable. This extension sweeps how often the workload issues a FLUSH
+//! and measures the residual loss — the exposure shrinks to the writes
+//! issued since the last completed barrier, at a throughput cost.
+
+use serde::{Deserialize, Serialize};
+
+use pfault_sim::storage::GIB;
+use pfault_workload::WorkloadSpec;
+
+use crate::campaign::Campaign;
+use crate::experiments::{base_trial, campaign_at, ExperimentScale};
+use crate::report::{fnum, Table};
+
+/// One flush-frequency point.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct FlushRow {
+    /// Writes between FLUSH barriers (`None` = never flush).
+    pub flush_every: Option<u64>,
+    /// Faults injected.
+    pub faults: u64,
+    /// Total data loss (data failures + FWA).
+    pub data_loss: u64,
+    /// Data loss per fault.
+    pub data_loss_per_fault: f64,
+    /// Mean responded IOPS (the cost side of the trade-off).
+    pub responded_iops: f64,
+}
+
+/// Full flush-frequency report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FlushReport {
+    /// One row per frequency, from never to every write.
+    pub rows: Vec<FlushRow>,
+}
+
+impl FlushReport {
+    /// Row for a given frequency.
+    pub fn at(&self, flush_every: Option<u64>) -> Option<&FlushRow> {
+        self.rows.iter().find(|r| r.flush_every == flush_every)
+    }
+
+    /// Renders the table.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new([
+            "flush every",
+            "faults",
+            "data loss",
+            "loss/fault",
+            "responded IOPS",
+        ]);
+        for r in &self.rows {
+            t.push_row([
+                r.flush_every.map_or("never".to_string(), |n| n.to_string()),
+                r.faults.to_string(),
+                r.data_loss.to_string(),
+                fnum(r.data_loss_per_fault, 2),
+                fnum(r.responded_iops, 0),
+            ]);
+        }
+        t
+    }
+}
+
+impl core::fmt::Display for FlushReport {
+    /// Renders the report as its aligned table.
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(&self.table().render())
+    }
+}
+
+/// Runs the flush-frequency sweep.
+pub fn run(scale: ExperimentScale, seed: u64) -> FlushReport {
+    let rows = [None, Some(16u64), Some(4), Some(1)]
+        .iter()
+        .map(|&flush_every| {
+            let mut trial = base_trial();
+            trial.flush_every = flush_every;
+            trial.workload = WorkloadSpec::builder()
+                .wss_bytes(64 * GIB)
+                .write_fraction(1.0)
+                .build();
+            let salt = flush_every.unwrap_or(0) + 1;
+            let report = Campaign::new(campaign_at(trial, scale), seed ^ (salt << 9))
+                .run_parallel(scale.threads);
+            FlushRow {
+                flush_every,
+                faults: report.faults,
+                data_loss: report.counts.total_data_loss(),
+                data_loss_per_fault: report.data_loss_per_fault(),
+                responded_iops: report.responded_iops.mean(),
+            }
+        })
+        .collect();
+    FlushReport { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_handles_never_and_numeric() {
+        let r = FlushReport {
+            rows: vec![
+                FlushRow {
+                    flush_every: None,
+                    faults: 5,
+                    data_loss: 20,
+                    data_loss_per_fault: 4.0,
+                    responded_iops: 800.0,
+                },
+                FlushRow {
+                    flush_every: Some(1),
+                    faults: 5,
+                    data_loss: 4,
+                    data_loss_per_fault: 0.8,
+                    responded_iops: 300.0,
+                },
+            ],
+        };
+        assert_eq!(r.at(None).unwrap().data_loss, 20);
+        assert_eq!(r.at(Some(1)).unwrap().data_loss, 4);
+        assert!(r.at(Some(7)).is_none());
+        assert!(r.to_string().contains("never"));
+    }
+}

@@ -1,0 +1,138 @@
+//! Ablation — PSU discharge ramp vs high-speed transistor cut.
+//!
+//! The paper's methodological claim (§III-A2) is that prior rigs \[12, 18\]
+//! cut power in microseconds, which is not what data-centre outages look
+//! like: a real PSU ramps down over hundreds of milliseconds, during which
+//! the oblivious firmware keeps flushing. This ablation runs the same
+//! campaign under both rigs. Expected shape: the instant cut interrupts
+//! more in-flight programs (it grants zero grace) and strands more dirty
+//! data, while the discharge ramp still loses plenty — the ramp is *not*
+//! protective, just different.
+
+use serde::{Deserialize, Serialize};
+
+use pfault_power::FaultInjector;
+use pfault_sim::storage::GIB;
+use pfault_workload::WorkloadSpec;
+
+use crate::campaign::Campaign;
+use crate::experiments::{base_trial, campaign_at, ExperimentScale};
+use crate::report::{fnum, Table};
+
+/// One rig's results.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct InjectorRow {
+    /// `true` for the ATX discharge rig, `false` for the transistor cut.
+    pub discharge_ramp: bool,
+    /// Faults injected.
+    pub faults: u64,
+    /// Total data loss (data failures + FWA).
+    pub data_loss: u64,
+    /// Programs interrupted mid-operation.
+    pub interrupted_programs: u64,
+    /// Paired-page collateral corruptions.
+    pub paired_corruptions: u64,
+    /// Data loss per fault.
+    pub data_loss_per_fault: f64,
+}
+
+/// Full ablation report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct InjectorAblationReport {
+    /// The paper's rig.
+    pub atx: InjectorRow,
+    /// The prior-work rig.
+    pub transistor: InjectorRow,
+}
+
+impl InjectorAblationReport {
+    /// Renders the table.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new([
+            "injector",
+            "faults",
+            "data loss",
+            "interrupted programs",
+            "paired corruptions",
+            "loss/fault",
+        ]);
+        for r in [&self.atx, &self.transistor] {
+            t.push_row([
+                if r.discharge_ramp {
+                    "ATX discharge"
+                } else {
+                    "transistor cut"
+                }
+                .to_string(),
+                r.faults.to_string(),
+                r.data_loss.to_string(),
+                r.interrupted_programs.to_string(),
+                r.paired_corruptions.to_string(),
+                fnum(r.data_loss_per_fault, 2),
+            ]);
+        }
+        t
+    }
+}
+
+fn run_rig(
+    injector: FaultInjector,
+    discharge_ramp: bool,
+    scale: ExperimentScale,
+    seed: u64,
+) -> InjectorRow {
+    let mut trial = base_trial();
+    trial.injector = injector;
+    trial.workload = WorkloadSpec::builder()
+        .wss_bytes(64 * GIB)
+        .write_fraction(1.0)
+        .build();
+    let report = Campaign::new(campaign_at(trial, scale), seed).run_parallel(scale.threads);
+    InjectorRow {
+        discharge_ramp,
+        faults: report.faults,
+        data_loss: report.counts.total_data_loss(),
+        interrupted_programs: report.interrupted_programs,
+        paired_corruptions: report.paired_corruptions,
+        data_loss_per_fault: report.data_loss_per_fault(),
+    }
+}
+
+impl core::fmt::Display for InjectorAblationReport {
+    /// Renders the report as its aligned table.
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(&self.table().render())
+    }
+}
+
+/// Runs both rigs.
+pub fn run(scale: ExperimentScale, seed: u64) -> InjectorAblationReport {
+    InjectorAblationReport {
+        atx: run_rig(FaultInjector::arduino_atx_loaded(), true, scale, seed),
+        transistor: run_rig(FaultInjector::transistor(), false, scale, seed ^ 0x7A7),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_lists_both_rigs() {
+        let row = |ramp: bool| InjectorRow {
+            discharge_ramp: ramp,
+            faults: 5,
+            data_loss: 10,
+            interrupted_programs: 40,
+            paired_corruptions: 20,
+            data_loss_per_fault: 2.0,
+        };
+        let r = InjectorAblationReport {
+            atx: row(true),
+            transistor: row(false),
+        };
+        let text = r.to_string();
+        assert!(text.contains("ATX discharge"));
+        assert!(text.contains("transistor cut"));
+    }
+}

@@ -1,0 +1,122 @@
+//! Fig 4 — PSU output voltage during the discharge phase.
+//!
+//! Pure power-model experiment (no device): samples both calibrated
+//! discharge curves and reports the paper's landmark instants — the 4.5 V
+//! host-loss crossing (≈40 ms loaded) and the full-discharge times
+//! (≈900 ms loaded, ≈1400 ms unloaded).
+
+use serde::{Deserialize, Serialize};
+
+use pfault_power::psu::{PsuModel, DISCHARGED_MV, HOST_LOSS_MV};
+use pfault_sim::SimDuration;
+
+use crate::report::{fnum, Table};
+
+/// One sampled point of a discharge curve.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct CurvePoint {
+    /// Time since the cut, ms.
+    pub t_ms: f64,
+    /// Rail voltage, volts.
+    pub volts: f64,
+}
+
+/// One curve (loaded or unloaded).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DischargeCurve {
+    /// `true` when one SSD loads the supply (Fig 4b).
+    pub loaded: bool,
+    /// Sampled points.
+    pub points: Vec<CurvePoint>,
+    /// 4.5 V crossing, ms.
+    pub host_loss_ms: f64,
+    /// Full-discharge (< 0.5 V) time, ms.
+    pub discharged_ms: f64,
+}
+
+/// Full Fig 4 report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PsuReport {
+    /// Fig 4a — no load.
+    pub unloaded: DischargeCurve,
+    /// Fig 4b — one SSD.
+    pub loaded: DischargeCurve,
+}
+
+impl PsuReport {
+    /// Renders the landmark table.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(["condition", "4.5V crossing (ms)", "discharged (ms)"]);
+        for c in [&self.unloaded, &self.loaded] {
+            t.push_row([
+                if c.loaded {
+                    "one SSD (Fig 4b)"
+                } else {
+                    "no load (Fig 4a)"
+                }
+                .to_string(),
+                fnum(c.host_loss_ms, 1),
+                fnum(c.discharged_ms, 1),
+            ]);
+        }
+        t
+    }
+
+    /// Renders one curve as a two-column series table.
+    pub fn curve_table(curve: &DischargeCurve) -> Table {
+        let mut t = Table::new(["t (ms)", "V"]);
+        for p in &curve.points {
+            t.push_row([fnum(p.t_ms, 0), fnum(p.volts, 2)]);
+        }
+        t
+    }
+}
+
+fn sample(model: PsuModel, loaded: bool) -> DischargeCurve {
+    let points = model
+        .discharge_trace(SimDuration::from_millis(100))
+        .into_iter()
+        .map(|(t, v)| CurvePoint {
+            t_ms: t.as_millis_f64(),
+            volts: v.as_volts(),
+        })
+        .collect();
+    DischargeCurve {
+        loaded,
+        points,
+        host_loss_ms: model.time_to_voltage(HOST_LOSS_MV).as_millis_f64(),
+        discharged_ms: model.time_to_voltage(DISCHARGED_MV).as_millis_f64(),
+    }
+}
+
+/// Produces both Fig 4 curves.
+pub fn run() -> PsuReport {
+    PsuReport {
+        unloaded: sample(PsuModel::atx_unloaded(), false),
+        loaded: sample(PsuModel::atx_loaded(), true),
+    }
+}
+
+impl core::fmt::Display for PsuReport {
+    /// Renders the report as its aligned table.
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(&self.table().render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn curves_and_tables() {
+        let r = run();
+        assert!(r.loaded.loaded);
+        assert!(!r.unloaded.loaded);
+        assert!(r.loaded.points.len() >= 9);
+        assert!(r.unloaded.discharged_ms > r.loaded.discharged_ms);
+        assert!(r.to_string().contains("Fig 4"));
+        let series = PsuReport::curve_table(&r.loaded);
+        assert_eq!(series.len(), r.loaded.points.len());
+    }
+}

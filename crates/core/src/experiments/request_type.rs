@@ -1,0 +1,160 @@
+//! Fig 5 — impact of request type (read/write mix).
+//!
+//! The paper sweeps the read percentage over {0, 20, 50, 80, 100} with
+//! random 4 KiB–1 MiB requests and ≥300 faults per point. Expected shape:
+//! data failures and FWA fall as the read share rises, reaching **zero**
+//! at 100 % read; IO errors persist at every mix (the device still
+//! vanishes mid-request). At full-write the paper sees about two data
+//! failures per fault.
+
+use serde::{Deserialize, Serialize};
+
+use pfault_sim::storage::GIB;
+use pfault_workload::WorkloadSpec;
+
+use crate::campaign::Campaign;
+use crate::experiments::{base_trial, campaign_at, ExperimentScale};
+use crate::report::{fnum, Table};
+
+/// One swept point of Fig 5.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct RequestTypeRow {
+    /// Read percentage (paper x-axis).
+    pub read_pct: u32,
+    /// Faults injected.
+    pub faults: u64,
+    /// Data failures (excluding FWA).
+    pub data_failures: u64,
+    /// False write-acknowledges.
+    pub fwa: u64,
+    /// IO errors.
+    pub io_errors: u64,
+    /// Data failures per fault (right-hand axis).
+    pub data_failure_per_fault: f64,
+}
+
+/// Full Fig 5 report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RequestTypeReport {
+    /// One row per read percentage.
+    pub rows: Vec<RequestTypeRow>,
+}
+
+impl RequestTypeReport {
+    /// Renders the paper-style table.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new([
+            "read %",
+            "faults",
+            "data failures",
+            "FWA",
+            "IO errors",
+            "data failure/fault",
+        ]);
+        for r in &self.rows {
+            t.push_row([
+                r.read_pct.to_string(),
+                r.faults.to_string(),
+                r.data_failures.to_string(),
+                r.fwa.to_string(),
+                r.io_errors.to_string(),
+                fnum(r.data_failure_per_fault, 2),
+            ]);
+        }
+        t
+    }
+
+    /// Row at a given read percentage.
+    pub fn at(&self, read_pct: u32) -> Option<&RequestTypeRow> {
+        self.rows.iter().find(|r| r.read_pct == read_pct)
+    }
+}
+
+
+impl RequestTypeReport {
+    /// Renders the Fig 5-style grouped bar chart.
+    pub fn chart(&self) -> crate::chart::BarChart {
+        let mut c = crate::chart::BarChart::new(
+            "Fig 5 — failures vs read percentage",
+            ["data failures", "FWA", "IO errors"],
+        );
+        for r in &self.rows {
+            c.push(
+                format!("{}%", r.read_pct),
+                [r.data_failures as f64, r.fwa as f64, r.io_errors as f64],
+            );
+        }
+        c
+    }
+}
+
+impl core::fmt::Display for RequestTypeReport {
+    /// Renders the report as its aligned table.
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(&self.table().render())
+    }
+}
+
+/// Runs the Fig 5 sweep.
+pub fn run(scale: ExperimentScale, seed: u64) -> RequestTypeReport {
+    let rows = [0u32, 20, 50, 80, 100]
+        .iter()
+        .map(|&read_pct| {
+            let mut trial = base_trial();
+            trial.workload = WorkloadSpec::builder()
+                .wss_bytes(64 * GIB)
+                .write_fraction(1.0 - f64::from(read_pct) / 100.0)
+                .build();
+            let report = Campaign::new(campaign_at(trial, scale), seed ^ u64::from(read_pct))
+                .run_parallel(scale.threads);
+            RequestTypeRow {
+                read_pct,
+                faults: report.faults,
+                data_failures: report.counts.data_failures,
+                fwa: report.counts.fwa,
+                io_errors: report.counts.io_errors,
+                data_failure_per_fault: report.data_failures_per_fault(),
+            }
+        })
+        .collect();
+    RequestTypeReport { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> RequestTypeReport {
+        RequestTypeReport {
+            rows: vec![
+                RequestTypeRow {
+                    read_pct: 0,
+                    faults: 10,
+                    data_failures: 20,
+                    fwa: 5,
+                    io_errors: 10,
+                    data_failure_per_fault: 2.0,
+                },
+                RequestTypeRow {
+                    read_pct: 100,
+                    faults: 10,
+                    data_failures: 0,
+                    fwa: 0,
+                    io_errors: 10,
+                    data_failure_per_fault: 0.0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn lookup_and_render() {
+        let r = report();
+        assert_eq!(r.at(0).unwrap().data_failures, 20);
+        assert_eq!(r.at(100).unwrap().data_failures, 0);
+        assert!(r.at(50).is_none());
+        let text = r.to_string();
+        assert!(text.contains("read %"));
+        assert!(text.lines().count() >= 4);
+    }
+}

@@ -1,0 +1,136 @@
+//! Fig 6 — impact of workload working-set size.
+//!
+//! The paper sweeps WSS from 1 GB to 90 GB (random writes, 4 KiB–1 MiB)
+//! and finds **no significant effect** on failures per fault: what matters
+//! is the volatile state resident at fault time, not how wide the
+//! addresses range. Expected shape: a flat line.
+
+use serde::{Deserialize, Serialize};
+
+use pfault_sim::storage::GIB;
+use pfault_workload::WorkloadSpec;
+
+use crate::campaign::Campaign;
+use crate::experiments::{base_trial, campaign_at, ExperimentScale};
+use crate::report::{fnum, Table};
+
+/// One swept WSS point.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct WssRow {
+    /// Working-set size in GiB (paper x-axis).
+    pub wss_gib: u64,
+    /// Faults injected.
+    pub faults: u64,
+    /// Data failures (excluding FWA).
+    pub data_failures: u64,
+    /// Data failures per fault.
+    pub data_failure_per_fault: f64,
+}
+
+/// Full Fig 6 report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WssReport {
+    /// One row per WSS point.
+    pub rows: Vec<WssRow>,
+}
+
+impl WssReport {
+    /// Renders the paper-style table.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(["WSS (GiB)", "faults", "data failures", "data failure/fault"]);
+        for r in &self.rows {
+            t.push_row([
+                r.wss_gib.to_string(),
+                r.faults.to_string(),
+                r.data_failures.to_string(),
+                fnum(r.data_failure_per_fault, 2),
+            ]);
+        }
+        t
+    }
+
+    /// Ratio of the largest to the smallest per-fault rate across the
+    /// sweep — the paper's claim is that this stays near 1.
+    pub fn spread_ratio(&self) -> f64 {
+        let rates: Vec<f64> = self.rows.iter().map(|r| r.data_failure_per_fault).collect();
+        let max = rates.iter().cloned().fold(f64::MIN, f64::max);
+        let min = rates.iter().cloned().fold(f64::MAX, f64::min);
+        if min <= 0.0 {
+            return f64::INFINITY;
+        }
+        max / min
+    }
+}
+
+impl core::fmt::Display for WssReport {
+    /// Renders the report as its aligned table.
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(&self.table().render())
+    }
+}
+
+/// Runs the Fig 6 sweep. `points` selects which of the paper's WSS values
+/// {1, 10, 20, 30, 40, 50, 60, 70, 80, 90} GiB to run (pass `None` for
+/// all).
+pub fn run(scale: ExperimentScale, seed: u64, points: Option<&[u64]>) -> WssReport {
+    let all = [1u64, 10, 20, 30, 40, 50, 60, 70, 80, 90];
+    let chosen: Vec<u64> = match points {
+        Some(p) => p.to_vec(),
+        None => all.to_vec(),
+    };
+    let rows = chosen
+        .iter()
+        .map(|&wss_gib| {
+            let mut trial = base_trial();
+            trial.workload = WorkloadSpec::builder()
+                .wss_bytes(wss_gib * GIB)
+                .write_fraction(1.0)
+                .build();
+            let report = Campaign::new(campaign_at(trial, scale), seed ^ (wss_gib << 8))
+                .run_parallel(scale.threads);
+            WssRow {
+                wss_gib,
+                faults: report.faults,
+                data_failures: report.counts.data_failures,
+                data_failure_per_fault: report.data_failures_per_fault(),
+            }
+        })
+        .collect();
+    WssReport { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spread_ratio_flat_and_degenerate() {
+        let flat = WssReport {
+            rows: vec![
+                WssRow {
+                    wss_gib: 1,
+                    faults: 10,
+                    data_failures: 20,
+                    data_failure_per_fault: 2.0,
+                },
+                WssRow {
+                    wss_gib: 90,
+                    faults: 10,
+                    data_failures: 22,
+                    data_failure_per_fault: 2.2,
+                },
+            ],
+        };
+        assert!((flat.spread_ratio() - 1.1).abs() < 1e-12);
+        let zero = WssReport {
+            rows: vec![WssRow {
+                wss_gib: 1,
+                faults: 10,
+                data_failures: 0,
+                data_failure_per_fault: 0.0,
+            }],
+        };
+        assert!(zero.spread_ratio().is_infinite());
+        assert!(flat.to_string().contains("WSS (GiB)"));
+    }
+}

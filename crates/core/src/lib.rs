@@ -1,0 +1,62 @@
+//! `pfault-platform` — the paper's fault-injection and failure-detection
+//! platform.
+//!
+//! This crate is the reproduction's primary contribution (paper §III): it
+//! wires the simulated hardware (SSD device, PSU/Arduino fault injector)
+//! to the software parts — **Scheduler**, **IO Generator**, **Analyzer** —
+//! and runs fault-injection *campaigns* that classify every request into
+//! the paper's three failure types:
+//!
+//! * **data failure** — the request completed (ACK received) but reads
+//!   back as neither the written data nor the pre-issue data (garbage,
+//!   unreadable, or partially applied);
+//! * **FWA** (False Write-Acknowledge) — the request completed but the
+//!   target range still holds exactly its pre-issue content: the write was
+//!   acknowledged and never happened;
+//! * **IO error** — the request never completed (issued while or after the
+//!   device vanished in the discharge).
+//!
+//! The classification follows §III-B's `completed` / `notApplied` flag
+//! logic, fed by the block-layer tracer (`pfault-trace`) and per-sector
+//! checksum comparison against the platform's expected-state oracle.
+//!
+//! # Layers
+//!
+//! * [`oracle`] — expected device contents (last-ACKed write per sector);
+//! * [`record`] — per-request bookkeeping (Fig 2 header fields);
+//! * [`platform`] — [`platform::TestPlatform`]: runs a single trial
+//!   (workload → scheduled fault → discharge → recovery → verification);
+//! * [`analyzer`] — post-recovery classification;
+//! * [`campaign`] — many trials, serial or multi-threaded, aggregated into
+//!   a [`campaign::CampaignReport`];
+//! * [`experiments`] — one pre-configured experiment per paper
+//!   table/figure, producing printable report tables.
+//!
+//! # Example
+//!
+//! ```
+//! use pfault_platform::campaign::{Campaign, CampaignConfig};
+//!
+//! let mut config = CampaignConfig::paper_default();
+//! config.trials = 3;            // 3 fault injections
+//! config.requests_per_trial = 20;
+//! let report = Campaign::new(config, 42).run();
+//! assert_eq!(report.faults, 3);
+//! assert!(report.requests_issued > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analyzer;
+pub mod campaign;
+pub mod chart;
+pub mod experiments;
+pub mod oracle;
+pub mod platform;
+pub mod record;
+pub mod report;
+
+pub use analyzer::{FailureKind, RequestVerdict};
+pub use campaign::{Campaign, CampaignConfig, CampaignReport};
+pub use platform::{TestPlatform, TrialConfig, TrialOutcome};

@@ -1,0 +1,99 @@
+//! Expected-state oracle.
+//!
+//! The platform tracks, per logical sector, the content of the last
+//! **acknowledged** write and which request wrote it. After recovery the
+//! Analyzer compares what the device actually returns against this
+//! expectation — the in-simulation equivalent of the paper's checksum
+//! bookkeeping (initial / data / final checksums of Fig 2).
+
+use std::collections::HashMap;
+
+use pfault_flash::array::PageData;
+use pfault_sim::Lba;
+
+/// Last acknowledged content of one sector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SectorVersion {
+    /// The content the host believes is stored.
+    pub data: PageData,
+    /// The request that wrote it.
+    pub writer: u64,
+}
+
+/// Expected contents of the device, from the host's point of view.
+#[derive(Debug, Clone, Default)]
+pub struct Oracle {
+    acked: HashMap<Lba, SectorVersion>,
+}
+
+impl Oracle {
+    /// Creates an empty oracle (freshly erased device).
+    pub fn new() -> Self {
+        Oracle::default()
+    }
+
+    /// Expected content of `lba`, if any acknowledged write covered it.
+    pub fn expected(&self, lba: Lba) -> Option<SectorVersion> {
+        self.acked.get(&lba).copied()
+    }
+
+    /// Records that request `writer`'s write of `data` to `lba` was
+    /// acknowledged.
+    pub fn acknowledge_write(&mut self, lba: Lba, data: PageData, writer: u64) {
+        self.acked.insert(lba, SectorVersion { data, writer });
+    }
+
+    /// Number of sectors with acknowledged content.
+    pub fn len(&self) -> usize {
+        self.acked.len()
+    }
+
+    /// Whether nothing has been acknowledged yet.
+    pub fn is_empty(&self) -> bool {
+        self.acked.is_empty()
+    }
+
+    /// Iterates `(lba, version)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (Lba, SectorVersion)> + '_ {
+        self.acked.iter().map(|(&l, &v)| (l, v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data(tag: u64) -> PageData {
+        PageData::from_tag(tag)
+    }
+
+    #[test]
+    fn acknowledge_and_lookup() {
+        let mut o = Oracle::new();
+        assert!(o.is_empty());
+        o.acknowledge_write(Lba::new(5), data(1), 100);
+        let v = o.expected(Lba::new(5)).unwrap();
+        assert_eq!(v.data, data(1));
+        assert_eq!(v.writer, 100);
+        assert_eq!(o.expected(Lba::new(6)), None);
+    }
+
+    #[test]
+    fn later_ack_supersedes_earlier() {
+        let mut o = Oracle::new();
+        o.acknowledge_write(Lba::new(5), data(1), 100);
+        o.acknowledge_write(Lba::new(5), data(2), 200);
+        let v = o.expected(Lba::new(5)).unwrap();
+        assert_eq!(v.writer, 200);
+        assert_eq!(o.len(), 1);
+    }
+
+    #[test]
+    fn iter_covers_all_sectors() {
+        let mut o = Oracle::new();
+        for i in 0..10 {
+            o.acknowledge_write(Lba::new(i), data(i), i);
+        }
+        assert_eq!(o.iter().count(), 10);
+    }
+}

@@ -1,0 +1,558 @@
+//! The test platform: one fault-injection trial end to end.
+//!
+//! A trial mirrors the paper's methodology (§III): the IO Generator
+//! submits data packets to the device while the Scheduler picks a random
+//! instant and commands the fault injector; the supply discharges; the
+//! device dies mid-work; power returns; the Analyzer classifies every
+//! tracked request.
+
+use serde::{Deserialize, Serialize};
+
+use pfault_flash::array::PageData;
+use pfault_power::{FaultInjector, FaultTimeline};
+use pfault_sim::{DetRng, Lba, SectorCount, SimDuration, SimTime};
+use pfault_ssd::device::{HostCommand, Ssd};
+use pfault_ssd::{Completion, SsdConfig};
+use pfault_trace::{analyze, BlockTracer};
+use pfault_workload::{ArrivalModel, WorkloadGenerator, WorkloadSpec};
+
+use crate::analyzer::{classify_all, FailureCounts, RequestVerdict};
+use crate::oracle::Oracle;
+use crate::record::RequestRecord;
+
+/// Configuration of a single trial.
+#[derive(Debug, Clone, Copy)]
+pub struct TrialConfig {
+    /// Device under test.
+    pub ssd: SsdConfig,
+    /// Workload to run.
+    pub workload: WorkloadSpec,
+    /// Fault-injection rig.
+    pub injector: FaultInjector,
+    /// Nominal requests per fault: the Scheduler triggers the fault after
+    /// a random fraction of this many requests has completed (the
+    /// generator itself flows continuously until the device vanishes).
+    pub requests: usize,
+    /// The Scheduler arms the fault once this fraction of requests has
+    /// completed (a uniform draw between the two bounds).
+    pub fault_after_fraction: (f64, f64),
+    /// Additional random delay (µs, uniform) between arming and the Off
+    /// command — so faults land at arbitrary phases of the IO pipeline.
+    pub fault_jitter_us: u64,
+    /// Issue a FLUSH barrier after every N write requests (fsync-style),
+    /// blocking the closed loop until it completes. `None` = never.
+    pub flush_every: Option<u64>,
+}
+
+impl TrialConfig {
+    /// The paper's §IV defaults on the SSD A preset: random 4 KiB–1 MiB
+    /// writes, ATX discharge rig, 80 requests per fault.
+    pub fn paper_default() -> Self {
+        TrialConfig {
+            ssd: pfault_ssd::VendorPreset::SsdA.config(),
+            workload: WorkloadSpec::builder().build(),
+            injector: FaultInjector::arduino_atx_loaded(),
+            requests: 80,
+            fault_after_fraction: (0.3, 0.9),
+            fault_jitter_us: 20_000,
+            flush_every: None,
+        }
+    }
+}
+
+/// Everything measured in one trial.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrialOutcome {
+    /// Failure tallies.
+    pub counts: FailureCounts,
+    /// Per-request verdicts.
+    pub verdicts: Vec<RequestVerdict>,
+    /// Requests issued before the device vanished.
+    pub requests_issued: u64,
+    /// Requests the host saw complete.
+    pub requests_completed: u64,
+    /// Completed requests per second up to the fault command.
+    pub responded_iops: f64,
+    /// When the Off command was issued.
+    pub fault_commanded_ms: f64,
+    /// For every failed-but-ACKed request: the interval between its ACK
+    /// and the fault command, in milliseconds (§IV-A's quantity).
+    pub failed_ack_intervals_ms: Vec<f64>,
+    /// Flash-level damage counters for the trial.
+    pub interrupted_programs: u64,
+    /// Paired-page collateral corruptions.
+    pub paired_corruptions: u64,
+    /// Dirty cache sectors lost at the fault.
+    pub dirty_sectors_lost: u64,
+    /// Volatile mapping sectors lost at the fault.
+    pub map_sectors_lost: u64,
+}
+
+/// Runs fault-injection trials. See the crate docs for the architecture.
+#[derive(Debug)]
+pub struct TestPlatform {
+    config: TrialConfig,
+}
+
+impl TestPlatform {
+    /// Creates a platform for the given trial configuration.
+    pub fn new(config: TrialConfig) -> Self {
+        TestPlatform { config }
+    }
+
+    /// The trial configuration.
+    pub fn config(&self) -> &TrialConfig {
+        &self.config
+    }
+
+    /// Runs one complete trial with the given seed.
+    pub fn run_trial(&self, seed: u64) -> TrialOutcome {
+        let root = DetRng::new(seed);
+        let mut sched_rng = root.fork("scheduler");
+        let mut ssd = Ssd::new(self.config.ssd, root.fork("ssd"));
+        let mut generator = WorkloadGenerator::new(self.config.workload, root.fork("workload"));
+        let mut tracer = BlockTracer::new(SectorCount::new(self.config.ssd.max_segment_sectors));
+        let mut oracle = Oracle::new();
+        let mut records: Vec<RequestRecord> = Vec::with_capacity(self.config.requests);
+
+        let total = self.config.requests;
+        let (lo, hi) = self.config.fault_after_fraction;
+        let trigger_at = ((total as f64) * (lo + (hi - lo) * sched_rng.unit_f64())) as u64;
+        let jitter = SimDuration::from_micros(sched_rng.below(self.config.fault_jitter_us.max(1)));
+
+        let queue_depth = match self.config.workload.arrival {
+            ArrivalModel::ClosedLoop { queue_depth } => queue_depth as usize,
+            ArrivalModel::OpenLoop { .. } | ArrivalModel::OpenLoopPoisson { .. } => usize::MAX,
+        };
+
+        let mut issued = 0usize;
+        let mut outstanding = 0usize;
+        let mut completed = 0u64;
+        let mut fault: Option<FaultTimeline> = None;
+        let mut next_arrival: Option<SimTime> = None;
+
+        // Pre-generate nothing: packets are drawn lazily so sequence modes
+        // stay aligned with submission order.
+        let mut pending_packet: Option<pfault_workload::DataPacket> = None;
+
+        // FLUSH barriers use ids far above any data request and are not
+        // entered into the records (the paper tracks data packets only).
+        const FLUSH_ID_BASE: u64 = 1 << 40;
+        let mut writes_since_flush = 0u64;
+        let mut flush_counter = 0u64;
+
+        loop {
+            // Drain completions into records/oracle/tracer first, so the
+            // closed loop can refill before the idle check below.
+            for c in ssd.drain_completions() {
+                outstanding = outstanding.saturating_sub(1);
+                if c.request_id >= FLUSH_ID_BASE {
+                    continue; // FLUSH barrier: nothing to verify
+                }
+                Self::apply_completion(&mut tracer, &mut records, &mut oracle, &c);
+                if records[c.request_id as usize].completed()
+                    && records[c.request_id as usize].acked_at == Some(c.time)
+                {
+                    completed += 1;
+                }
+            }
+
+            // Arm the fault once enough requests completed.
+            if fault.is_none() && completed >= trigger_at {
+                let commanded = ssd.now() + jitter;
+                fault = Some(self.config.injector.timeline(commanded));
+            }
+            // The host is oblivious to the armed fault: it keeps
+            // submitting until the device actually vanishes at host_lost.
+            let device_reachable = fault.is_none_or(|f| ssd.now() < f.host_lost);
+
+            // Submit work. The generator flows continuously until the
+            // device vanishes — `requests` only positions the fault
+            // trigger (the paper's "N requests per fault" is an average).
+            if device_reachable {
+                match self.config.workload.arrival {
+                    ArrivalModel::ClosedLoop { .. } => {
+                        while outstanding < queue_depth {
+                            let packet = generator.next_packet();
+                            let subs = Self::submit_packet(
+                                &mut ssd,
+                                &mut tracer,
+                                &oracle,
+                                &mut records,
+                                packet,
+                            );
+                            issued += 1;
+                            outstanding += subs;
+                            if packet.is_write {
+                                writes_since_flush += 1;
+                                if self
+                                    .config
+                                    .flush_every
+                                    .is_some_and(|n| writes_since_flush >= n)
+                                {
+                                    writes_since_flush = 0;
+                                    flush_counter += 1;
+                                    ssd.submit_flush(FLUSH_ID_BASE + flush_counter, 0);
+                                    outstanding += 1;
+                                }
+                            }
+                        }
+                    }
+                    ArrivalModel::OpenLoop { .. } | ArrivalModel::OpenLoopPoisson { .. } => loop {
+                        let packet = *pending_packet.get_or_insert_with(|| generator.next_packet());
+                        if packet.arrival > ssd.now() {
+                            next_arrival = Some(packet.arrival);
+                            break;
+                        }
+                        pending_packet = None;
+                        let subs = Self::submit_packet(
+                            &mut ssd,
+                            &mut tracer,
+                            &oracle,
+                            &mut records,
+                            packet,
+                        );
+                        issued += 1;
+                        outstanding += subs;
+                    },
+                }
+            }
+
+            // The loop ends when the device vanishes from the host.
+            if let Some(timeline) = fault {
+                if ssd.now() >= timeline.host_lost {
+                    break;
+                }
+            }
+
+            // Advance to the next interesting instant.
+            let mut target: Option<SimTime> = ssd.next_event();
+            if let Some(t) = next_arrival {
+                target = Some(target.map_or(t, |x| x.min(t)));
+            }
+            if let Some(timeline) = fault {
+                target = Some(target.map_or(timeline.host_lost, |x| x.min(timeline.host_lost)));
+            }
+            match target {
+                Some(t) => {
+                    let t = t.max(ssd.now() + SimDuration::from_micros(1));
+                    ssd.advance_to(t);
+                }
+                None => {
+                    // Nothing left to do. If all requests are done and no
+                    // fault was armed yet (tiny trials), arm it now.
+                    if let Some(timeline) = fault {
+                        ssd.advance_to(timeline.host_lost);
+                    } else {
+                        let commanded = ssd.now() + jitter;
+                        fault = Some(self.config.injector.timeline(commanded));
+                    }
+                }
+            }
+        }
+
+        let timeline = fault.expect("loop exits only with an armed fault");
+        let fault_commanded = timeline.commanded;
+
+        // The outage.
+        ssd.power_fail(&timeline);
+        for c in ssd.drain_completions() {
+            if c.request_id >= FLUSH_ID_BASE {
+                continue;
+            }
+            Self::apply_completion(&mut tracer, &mut records, &mut oracle, &c);
+        }
+
+        // Power restore and firmware recovery, one second after full
+        // discharge (the paper power-cycles between injections).
+        let recovery_time = timeline.discharged + SimDuration::from_secs(1);
+        ssd.power_on_recover(recovery_time);
+
+        // btt-style cross-check: the block-layer view of completion must
+        // agree with the platform's records.
+        let btt = analyze(tracer.events(), SimDuration::from_secs(30), recovery_time);
+        debug_assert!(records.iter().all(|r| {
+            btt.io(r.packet.id)
+                .is_some_and(|io| io.completed == r.completed())
+        }));
+
+        // Verification + classification.
+        let (verdicts, counts) = classify_all(&records, &oracle, &mut ssd);
+
+        let failed_ack_intervals_ms = records
+            .iter()
+            .zip(&verdicts)
+            .filter(|(r, v)| {
+                r.acked_at.is_some()
+                    && matches!(
+                        v.kind,
+                        crate::analyzer::FailureKind::DataFailure
+                            | crate::analyzer::FailureKind::FalseWriteAck
+                    )
+            })
+            .map(|(r, _)| {
+                fault_commanded
+                    .saturating_since(r.acked_at.expect("filtered on acked"))
+                    .as_millis_f64()
+            })
+            .collect();
+
+        let elapsed_s = fault_commanded.as_micros().max(1) as f64 / 1_000_000.0;
+        let completed_before_fault = records
+            .iter()
+            .filter(|r| r.acked_at.is_some_and(|t| t <= fault_commanded))
+            .count();
+        let flash = ssd.flash_stats();
+        TrialOutcome {
+            counts,
+            verdicts,
+            requests_issued: issued as u64,
+            requests_completed: completed,
+            responded_iops: completed_before_fault as f64 / elapsed_s,
+            fault_commanded_ms: fault_commanded.as_millis_f64(),
+            failed_ack_intervals_ms,
+            interrupted_programs: flash.interrupted_programs,
+            paired_corruptions: flash.paired_corruptions,
+            dirty_sectors_lost: ssd.stats().last_fault_dirty_lost,
+            map_sectors_lost: ssd.stats().last_fault_map_lost,
+        }
+    }
+
+    /// Returns the number of sub-requests submitted.
+    fn submit_packet(
+        ssd: &mut Ssd,
+        tracer: &mut BlockTracer,
+        oracle: &Oracle,
+        records: &mut Vec<RequestRecord>,
+        packet: pfault_workload::DataPacket,
+    ) -> usize {
+        debug_assert_eq!(packet.id as usize, records.len(), "ids must be dense");
+        let pre: Vec<Option<PageData>> = packet
+            .lbas()
+            .map(|l| oracle.expected(l).map(|v| v.data))
+            .collect();
+        let subs = tracer.queue_request(
+            packet.id,
+            packet.lba,
+            packet.sectors,
+            packet.is_write,
+            ssd.now(),
+        );
+        records.push(RequestRecord::new(
+            packet,
+            pre,
+            subs.len() as u32,
+            ssd.now(),
+        ));
+        let mut offset = 0u64;
+        let count = subs.len();
+        for sub in subs {
+            tracer.dispatch(packet.id, sub.sub_id, ssd.now());
+            let cmd = if packet.is_write {
+                HostCommand::write(
+                    packet.id,
+                    sub.sub_id,
+                    sub.lba,
+                    sub.sectors,
+                    packet.payload_tag,
+                )
+                .with_payload_offset(offset)
+            } else {
+                HostCommand::read(packet.id, sub.sub_id, sub.lba, sub.sectors)
+            };
+            offset += sub.sectors.get();
+            ssd.submit(cmd);
+        }
+        count
+    }
+
+    fn apply_completion(
+        tracer: &mut BlockTracer,
+        records: &mut [RequestRecord],
+        oracle: &mut Oracle,
+        c: &Completion,
+    ) {
+        let record = &mut records[c.request_id as usize];
+        if c.acked() {
+            tracer.complete(c.request_id, c.sub_id, c.time);
+            record.note_sub_ack(c.time);
+            if record.completed() && record.packet.is_write && record.acked_at == Some(c.time) {
+                // The whole request is ACKed: the host now *expects* this
+                // content on the device.
+                let packet = record.packet;
+                for (i, lba) in packet.lbas().enumerate() {
+                    oracle.acknowledge_write(
+                        lba,
+                        PageData::from_tag(packet.sector_tag(i as u64)),
+                        packet.id,
+                    );
+                }
+            }
+        } else {
+            tracer.error(c.request_id, c.sub_id, c.time);
+            record.note_sub_error();
+        }
+    }
+
+    /// Convenience wrapper: a trial that never injects a fault (sanity
+    /// baseline — everything must verify intact). Runs `requests` requests
+    /// to completion, quiesces, and classifies.
+    pub fn run_fault_free(&self, seed: u64) -> TrialOutcome {
+        let root = DetRng::new(seed);
+        let mut ssd = Ssd::new(self.config.ssd, root.fork("ssd"));
+        let mut generator = WorkloadGenerator::new(self.config.workload, root.fork("workload"));
+        let mut tracer = BlockTracer::new(SectorCount::new(self.config.ssd.max_segment_sectors));
+        let mut oracle = Oracle::new();
+        let mut records: Vec<RequestRecord> = Vec::new();
+        let queue_depth = match self.config.workload.arrival {
+            ArrivalModel::ClosedLoop { queue_depth } => queue_depth as usize,
+            ArrivalModel::OpenLoop { .. } | ArrivalModel::OpenLoopPoisson { .. } => 64,
+        };
+        let mut issued = 0usize;
+        let mut outstanding = 0usize;
+        while issued < self.config.requests || outstanding > 0 {
+            while outstanding < queue_depth && issued < self.config.requests {
+                let packet = generator.next_packet();
+                let subs =
+                    Self::submit_packet(&mut ssd, &mut tracer, &oracle, &mut records, packet);
+                issued += 1;
+                outstanding += subs;
+            }
+            for c in ssd.drain_completions() {
+                outstanding = outstanding.saturating_sub(1);
+                Self::apply_completion(&mut tracer, &mut records, &mut oracle, &c);
+            }
+            if let Some(t) = ssd.next_event() {
+                ssd.advance_to(t.max(ssd.now() + SimDuration::from_micros(1)));
+            } else if outstanding > 0 {
+                ssd.advance_to(ssd.now() + SimDuration::from_millis(1));
+            }
+        }
+        ssd.quiesce();
+        let (verdicts, counts) = classify_all(&records, &oracle, &mut ssd);
+        TrialOutcome {
+            counts,
+            verdicts,
+            requests_issued: issued as u64,
+            requests_completed: records.iter().filter(|r| r.completed()).count() as u64,
+            responded_iops: 0.0,
+            fault_commanded_ms: 0.0,
+            failed_ack_intervals_ms: Vec::new(),
+            interrupted_programs: 0,
+            paired_corruptions: 0,
+            dirty_sectors_lost: 0,
+            map_sectors_lost: 0,
+        }
+    }
+}
+
+/// Helper for experiments that need a marker LBA far from the workload.
+#[doc(hidden)]
+pub fn marker_lba() -> Lba {
+    Lba::new(u64::MAX / 8192)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyzer::FailureKind;
+
+    fn small_config() -> TrialConfig {
+        let mut c = TrialConfig::paper_default();
+        // Shrink geometry for test speed (blocks materialise lazily, but
+        // the allocator bookkeeping is cheaper too).
+        c.ssd.geometry = pfault_flash::FlashGeometry::new(1 << 14, 256);
+        c.ssd.ftl = pfault_ftl::FtlConfig::for_geometry(c.ssd.geometry);
+        c.workload = WorkloadSpec::builder()
+            .wss_bytes(4 * pfault_sim::storage::GIB)
+            .build();
+        c.requests = 40;
+        c
+    }
+
+    #[test]
+    fn fault_free_trial_is_clean() {
+        let platform = TestPlatform::new(small_config());
+        let outcome = platform.run_fault_free(7);
+        assert_eq!(outcome.requests_issued, 40);
+        assert_eq!(outcome.requests_completed, 40);
+        assert_eq!(outcome.counts.data_failures, 0, "{:?}", outcome.counts);
+        assert_eq!(outcome.counts.fwa, 0);
+        assert_eq!(outcome.counts.io_errors, 0);
+        assert_eq!(outcome.counts.intact, 40);
+    }
+
+    #[test]
+    fn trial_is_deterministic() {
+        let platform = TestPlatform::new(small_config());
+        let a = platform.run_trial(123);
+        let b = platform.run_trial(123);
+        assert_eq!(a.counts, b.counts);
+        assert_eq!(a.requests_issued, b.requests_issued);
+        assert_eq!(a.fault_commanded_ms, b.fault_commanded_ms);
+    }
+
+    #[test]
+    fn different_seeds_vary_fault_instants() {
+        let platform = TestPlatform::new(small_config());
+        let a = platform.run_trial(1);
+        let b = platform.run_trial(2);
+        assert_ne!(a.fault_commanded_ms, b.fault_commanded_ms);
+    }
+
+    #[test]
+    fn faults_produce_failures_on_write_workloads() {
+        let platform = TestPlatform::new(small_config());
+        let mut loss = 0;
+        for seed in 0..10 {
+            let o = platform.run_trial(seed);
+            loss += o.counts.total_data_loss();
+        }
+        assert!(loss > 0, "10 faults on a write workload must lose data");
+    }
+
+    #[test]
+    fn read_only_workload_has_no_data_loss_but_io_errors() {
+        let mut config = small_config();
+        config.workload = WorkloadSpec::builder()
+            .wss_bytes(4 * pfault_sim::storage::GIB)
+            .write_fraction(0.0)
+            .build();
+        let platform = TestPlatform::new(config);
+        let mut io_errors = 0;
+        for seed in 0..10 {
+            let o = platform.run_trial(seed);
+            assert_eq!(o.counts.total_data_loss(), 0, "reads cannot lose data");
+            io_errors += o.counts.io_errors;
+        }
+        assert!(io_errors > 0, "faults mid-read must produce IO errors");
+    }
+
+    #[test]
+    fn verdict_kinds_are_consistent_with_counts() {
+        let platform = TestPlatform::new(small_config());
+        let o = platform.run_trial(99);
+        let df = o
+            .verdicts
+            .iter()
+            .filter(|v| v.kind == FailureKind::DataFailure)
+            .count() as u64;
+        assert_eq!(df, o.counts.data_failures);
+    }
+
+    #[test]
+    fn supercap_eliminates_data_loss() {
+        let mut config = small_config();
+        config.ssd.supercap = true;
+        let platform = TestPlatform::new(config);
+        for seed in 0..5 {
+            let o = platform.run_trial(seed);
+            assert_eq!(
+                o.counts.total_data_loss(),
+                0,
+                "supercap drive lost data at seed {seed}: {:?}",
+                o.counts
+            );
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Per-request bookkeeping — the platform's copy of the Fig 2 header.
+
+use pfault_flash::array::PageData;
+use pfault_sim::SimTime;
+use pfault_workload::DataPacket;
+
+/// A request's life-cycle record on the platform side.
+#[derive(Debug, Clone)]
+pub struct RequestRecord {
+    /// The generated packet (size, address, payload identity).
+    pub packet: DataPacket,
+    /// Content of each target sector *before* this request was issued
+    /// (`None` = never written) — the Fig 2 "initial checksum".
+    pub pre_issue: Vec<Option<PageData>>,
+    /// When the request was queued at the block layer.
+    pub queued_at: SimTime,
+    /// When the host received the ACK for the whole request, if it did.
+    pub acked_at: Option<SimTime>,
+    /// Sub-requests acknowledged so far.
+    pub subs_acked: u32,
+    /// Sub-requests that errored.
+    pub subs_errored: u32,
+    /// Total sub-requests.
+    pub sub_count: u32,
+}
+
+impl RequestRecord {
+    /// Creates a record at queue time.
+    pub fn new(
+        packet: DataPacket,
+        pre_issue: Vec<Option<PageData>>,
+        sub_count: u32,
+        queued_at: SimTime,
+    ) -> Self {
+        RequestRecord {
+            packet,
+            pre_issue,
+            queued_at,
+            acked_at: None,
+            subs_acked: 0,
+            subs_errored: 0,
+            sub_count,
+        }
+    }
+
+    /// Registers one sub-request ACK; sets `acked_at` when the last one
+    /// lands (the paper's "ACK received in the application layer").
+    pub fn note_sub_ack(&mut self, at: SimTime) {
+        self.subs_acked += 1;
+        if self.subs_acked >= self.sub_count && self.acked_at.is_none() {
+            self.acked_at = Some(at);
+        }
+    }
+
+    /// Registers one sub-request device error.
+    pub fn note_sub_error(&mut self) {
+        self.subs_errored += 1;
+    }
+
+    /// Whether the host saw the whole request complete.
+    pub fn completed(&self) -> bool {
+        self.acked_at.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfault_sim::{Lba, SectorCount};
+
+    fn packet() -> DataPacket {
+        DataPacket {
+            id: 1,
+            lba: Lba::new(0),
+            sectors: SectorCount::new(4),
+            is_write: true,
+            arrival: SimTime::ZERO,
+            payload_tag: 9,
+        }
+    }
+
+    #[test]
+    fn ack_completes_after_all_subs() {
+        let mut r = RequestRecord::new(packet(), vec![None; 4], 2, SimTime::ZERO);
+        assert!(!r.completed());
+        r.note_sub_ack(SimTime::from_millis(1));
+        assert!(!r.completed());
+        r.note_sub_ack(SimTime::from_millis(3));
+        assert!(r.completed());
+        assert_eq!(r.acked_at, Some(SimTime::from_millis(3)));
+    }
+
+    #[test]
+    fn errors_do_not_complete() {
+        let mut r = RequestRecord::new(packet(), vec![None; 4], 2, SimTime::ZERO);
+        r.note_sub_ack(SimTime::from_millis(1));
+        r.note_sub_error();
+        assert!(!r.completed());
+        assert_eq!(r.subs_errored, 1);
+    }
+}

@@ -1,0 +1,718 @@
+//! The flash array: device-scale chip operations, including power-loss
+//! interruption.
+//!
+//! [`FlashArray`] owns sparse block state (blocks materialise on first
+//! touch), enforces NAND constraints via [`crate::block::Block`], passes
+//! reads through the ECC model, and — centrally for this project — exposes
+//! [`FlashArray::interrupt_program`] and [`FlashArray::interrupt_erase`],
+//! which model what a supply-voltage collapse does to an operation in
+//! flight.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use pfault_sim::{DetRng, Lba};
+
+use crate::block::{Block, BlockState, PageState};
+use crate::cell::CellKind;
+use crate::ecc::{self, EccOutcome, EccScheme};
+use crate::error::FlashError;
+use crate::geometry::{FlashGeometry, Ppa};
+use crate::oob::Oob;
+use crate::pairing;
+use crate::reliability::ReliabilityModel;
+use crate::timing::FlashTiming;
+
+pub use crate::block::PageData;
+
+/// Result of reading one page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadOutcome {
+    /// Page decoded cleanly.
+    Ok {
+        /// Content descriptor as stored.
+        data: PageData,
+        /// Spare-area metadata.
+        oob: Oob,
+        /// Raw bit errors the ECC repaired.
+        repaired: u32,
+    },
+    /// Raw errors exceeded ECC strength; no data returned.
+    Uncorrectable,
+    /// The page is erased.
+    Erased,
+}
+
+/// What a power-loss interruption did to the array.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct InterruptReport {
+    /// The page whose program was cut short, if it was left corrupted.
+    pub target_corrupted: Option<Ppa>,
+    /// Earlier wordline siblings whose data was disturbed beyond repair.
+    pub paired_corrupted: Vec<Ppa>,
+}
+
+/// Cumulative operation counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FlashStats {
+    /// Completed page programs.
+    pub programs: u64,
+    /// Completed page reads.
+    pub reads: u64,
+    /// Completed block erases.
+    pub erases: u64,
+    /// Programs cut short by power loss.
+    pub interrupted_programs: u64,
+    /// Erases cut short by power loss.
+    pub interrupted_erases: u64,
+    /// Paired pages corrupted as collateral damage.
+    pub paired_corruptions: u64,
+}
+
+/// A simulated NAND flash array.
+///
+/// See the crate-level docs for an end-to-end example.
+#[derive(Debug, Clone)]
+pub struct FlashArray {
+    geometry: FlashGeometry,
+    kind: CellKind,
+    ecc: EccScheme,
+    timing: FlashTiming,
+    wear_budget: u32,
+    baseline_wear: u32,
+    reliability: ReliabilityModel,
+    blocks: HashMap<u64, Block>,
+    powered: bool,
+    stats: FlashStats,
+}
+
+/// Raw bit errors left in a page whose program was interrupted at
+/// `progress`, per 4 KiB page. Earlier interruption → more errors; even a
+/// very late interruption leaves a few (aborted final verify).
+fn interrupted_ber(kind: CellKind, progress: f64, rng: &mut DetRng) -> u32 {
+    let progress = progress.clamp(0.0, 1.0);
+    // Scale: a 4 KiB page has 32768 bits; a fully aborted MLC program
+    // scatters errors over a large fraction of cells.
+    let severity = (1.0 - progress).powi(2);
+    let base = match kind {
+        CellKind::Slc => 600.0,
+        CellKind::Mlc => 2_000.0,
+        CellKind::Tlc => 5_000.0,
+    };
+    let mean = 20.0 + base * severity;
+    // Geometric-ish spread around the mean.
+    let jitter = 0.5 + rng.unit_f64();
+    (mean * jitter) as u32
+}
+
+impl FlashArray {
+    /// Creates a powered-on array with default ECC and timing for `kind`.
+    pub fn new(geometry: FlashGeometry, kind: CellKind) -> Self {
+        let ecc = match kind {
+            CellKind::Slc => EccScheme::Bch { t: 8 },
+            CellKind::Mlc => EccScheme::bch_mlc(),
+            CellKind::Tlc => EccScheme::ldpc_tlc(),
+        };
+        FlashArray::with_ecc(geometry, kind, ecc)
+    }
+
+    /// Creates an array with an explicit ECC scheme.
+    pub fn with_ecc(geometry: FlashGeometry, kind: CellKind, ecc: EccScheme) -> Self {
+        FlashArray {
+            geometry,
+            kind,
+            ecc,
+            timing: FlashTiming::for_kind(kind),
+            wear_budget: Block::DEFAULT_WEAR_BUDGET,
+            baseline_wear: 0,
+            reliability: ReliabilityModel::for_kind(kind),
+            blocks: HashMap::new(),
+            powered: true,
+            stats: FlashStats::default(),
+        }
+    }
+
+    /// The array geometry.
+    pub fn geometry(&self) -> FlashGeometry {
+        self.geometry
+    }
+
+    /// Cell technology.
+    pub fn kind(&self) -> CellKind {
+        self.kind
+    }
+
+    /// ECC scheme in use.
+    pub fn ecc(&self) -> EccScheme {
+        self.ecc
+    }
+
+    /// Operation timings.
+    pub fn timing(&self) -> FlashTiming {
+        self.timing
+    }
+
+    /// Operation counters.
+    pub fn stats(&self) -> FlashStats {
+        self.stats
+    }
+
+    /// The endurance/disturb reliability model in effect.
+    pub fn reliability(&self) -> ReliabilityModel {
+        self.reliability
+    }
+
+    /// Overrides the reliability model (aging studies / ablations).
+    pub fn set_reliability(&mut self, model: ReliabilityModel) {
+        self.reliability = model;
+    }
+
+    /// Sets the wear every not-yet-touched block materialises with, as if
+    /// the whole device had already served that many program/erase cycles
+    /// (end-of-life campaigns). Already-materialised blocks keep their
+    /// counts.
+    pub fn set_baseline_wear(&mut self, erase_count: u32) {
+        self.baseline_wear = erase_count;
+    }
+
+    /// Pre-ages a block to `erase_count` cycles, as if it had served that
+    /// many program/erase rounds before the experiment (end-of-life
+    /// studies).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block is outside the geometry.
+    pub fn pre_age_block(&mut self, block: u64, erase_count: u32) {
+        assert!(block < self.geometry.blocks(), "block outside geometry");
+        let budget = self.wear_budget;
+        let entry = self.block_entry(block);
+        for _ in entry.erase_count()..erase_count.min(budget) {
+            let _ = entry.erase(block, budget);
+        }
+    }
+
+    /// Whether the chip currently has power.
+    pub fn is_powered(&self) -> bool {
+        self.powered
+    }
+
+    /// Removes power. Subsequent operations fail with
+    /// [`FlashError::PoweredOff`] until [`FlashArray::power_on`].
+    pub fn power_off(&mut self) {
+        self.powered = false;
+    }
+
+    /// Restores power.
+    pub fn power_on(&mut self) {
+        self.powered = true;
+    }
+
+    fn block_entry(&mut self, block: u64) -> &mut Block {
+        let ppb = self.geometry.pages_per_block();
+        let wear = self.baseline_wear;
+        self.blocks
+            .entry(block)
+            .or_insert_with(|| Block::with_wear(ppb, wear))
+    }
+
+    /// Next page the given block expects to program (0 for untouched
+    /// blocks).
+    pub fn next_page_of(&self, block: u64) -> u64 {
+        self.blocks.get(&block).map_or(0, Block::next_page)
+    }
+
+    /// Whether `block` is fully programmed.
+    pub fn block_full(&self, block: u64) -> bool {
+        self.blocks.get(&block).is_some_and(Block::is_full)
+    }
+
+    /// Lifecycle state of `block`.
+    pub fn block_state(&self, block: u64) -> BlockState {
+        self.blocks
+            .get(&block)
+            .map_or(BlockState::Open, Block::state)
+    }
+
+    /// Erase count of `block`.
+    pub fn erase_count(&self, block: u64) -> u32 {
+        self.blocks.get(&block).map_or(0, Block::erase_count)
+    }
+
+    /// Programs a page to completion.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FlashError`] for power, addressing, ordering, and wear
+    /// violations.
+    pub fn program(&mut self, ppa: Ppa, data: PageData, oob: Oob) -> Result<(), FlashError> {
+        if !self.powered {
+            return Err(FlashError::PoweredOff);
+        }
+        if !self.geometry.contains(ppa) {
+            return Err(FlashError::BadAddress {
+                block: ppa.block,
+                page: ppa.page,
+            });
+        }
+        self.block_entry(ppa.block)
+            .program(ppa.block, ppa.page, data, oob)?;
+        self.stats.programs += 1;
+        Ok(())
+    }
+
+    /// Duration a program of `ppa` takes (depends on lower/upper page).
+    pub fn program_duration(&self, ppa: Ppa) -> pfault_sim::SimDuration {
+        self.timing.program_duration(self.kind, ppa.page)
+    }
+
+    /// Reads a page through the ECC stage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlashError::PoweredOff`] or [`FlashError::BadAddress`];
+    /// data-level problems are reported in the [`ReadOutcome`], not as
+    /// errors.
+    pub fn read(&mut self, ppa: Ppa, rng: &mut DetRng) -> ReadOutcome {
+        assert!(self.powered, "read attempted while powered off");
+        assert!(
+            self.geometry.contains(ppa),
+            "read of {ppa} outside geometry"
+        );
+        self.stats.reads += 1;
+        let Some(block) = self.blocks.get_mut(&ppa.block) else {
+            return ReadOutcome::Erased;
+        };
+        block.note_read();
+        if block.state() == BlockState::NeedsErase {
+            return ReadOutcome::Uncorrectable;
+        }
+        let wear = block.erase_count();
+        let disturb = block.reads_since_erase();
+        match *block.page(ppa.page) {
+            PageState::Erased => ReadOutcome::Erased,
+            PageState::Programmed { data, oob, raw_ber } => {
+                let extra = self.reliability.sample_extra_ber(wear, disturb, rng);
+                let raw_ber = raw_ber.saturating_add(extra);
+                match ecc::decode(self.ecc, raw_ber, rng) {
+                    EccOutcome::Corrected { repaired } => {
+                        if data.is_intact() {
+                            ReadOutcome::Ok {
+                                data,
+                                oob,
+                                repaired,
+                            }
+                        } else {
+                            // Garbled payload: checksum mismatch will be
+                            // caught by the Analyzer; the read itself
+                            // "succeeds" from the chip's point of view.
+                            ReadOutcome::Ok {
+                                data,
+                                oob,
+                                repaired,
+                            }
+                        }
+                    }
+                    EccOutcome::Uncorrectable => ReadOutcome::Uncorrectable,
+                }
+            }
+        }
+    }
+
+    /// Erases a block to completion.
+    ///
+    /// # Errors
+    ///
+    /// Propagates power, addressing and wear errors.
+    pub fn erase(&mut self, block: u64) -> Result<(), FlashError> {
+        if !self.powered {
+            return Err(FlashError::PoweredOff);
+        }
+        if block >= self.geometry.blocks() {
+            return Err(FlashError::BadAddress { block, page: 0 });
+        }
+        let budget = self.wear_budget;
+        self.block_entry(block).erase(block, budget)?;
+        self.stats.erases += 1;
+        Ok(())
+    }
+
+    /// Models a power-loss interruption of an in-flight program of `ppa` at
+    /// fractional `progress`.
+    ///
+    /// The target page is left programmed with garbled content and a raw
+    /// bit-error count drawn from the interruption model. With probability
+    /// scaling in the page's wordline position, earlier sibling pages
+    /// (already acknowledged data!) absorb threshold-voltage disturbance;
+    /// if the disturbance exceeds the ECC strength the sibling is counted
+    /// as corrupted in the report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ppa` is outside the geometry.
+    pub fn interrupt_program(
+        &mut self,
+        ppa: Ppa,
+        progress: f64,
+        rng: &mut DetRng,
+    ) -> InterruptReport {
+        assert!(self.geometry.contains(ppa), "{ppa} outside geometry");
+        self.stats.interrupted_programs += 1;
+        let kind = self.kind;
+        let ecc_limit = match self.ecc {
+            EccScheme::None => 0,
+            EccScheme::Bch { t } => t,
+            EccScheme::Ldpc { t } => 2 * t,
+        };
+        let mut report = InterruptReport::default();
+        let ber = interrupted_ber(kind, progress, rng);
+        let noise = rng.next_u64();
+        let block = self.block_entry(ppa.block);
+
+        // The target page: record it as programmed-but-garbled so the block
+        // ordering stays consistent, with the interruption BER.
+        if block.next_page() == ppa.page {
+            // Force the program through the normal path, then garble.
+            let placeholder = PageData::from_tag(noise);
+            let _ = block.program(ppa.block, ppa.page, placeholder, Oob::user(Lba::new(0), 0));
+        }
+        if let PageState::Programmed { data, raw_ber, .. } = block.page_mut(ppa.page) {
+            *data = data.garbled(noise);
+            *raw_ber = raw_ber.saturating_add(ber);
+            if *raw_ber > 0 {
+                report.target_corrupted = Some(ppa);
+            }
+        }
+
+        // Collateral damage to earlier pages on the same wordline.
+        if pairing::endangers_earlier(kind, ppa.page) {
+            for sib in pairing::earlier_siblings(kind, ppa.page) {
+                // Disturbance severity falls with program progress: an
+                // interrupt early in the upper-page program leaves the
+                // shared cells mid-transition.
+                let p_disturb = 0.85 * (1.0 - progress * 0.6);
+                if !rng.chance(p_disturb) {
+                    continue;
+                }
+                let disturb_ber = interrupted_ber(kind, 0.3 + progress * 0.5, rng);
+                let sib_noise = rng.next_u64();
+                if let PageState::Programmed { data, raw_ber, .. } = block.page_mut(sib) {
+                    *raw_ber = raw_ber.saturating_add(disturb_ber);
+                    if *raw_ber > ecc_limit {
+                        // Beyond ECC: content effectively destroyed.
+                        *data = data.garbled(sib_noise);
+                        report.paired_corrupted.push(Ppa::new(ppa.block, sib));
+                    }
+                }
+            }
+        }
+        self.stats.paired_corruptions += report.paired_corrupted.len() as u64;
+        report
+    }
+
+    /// Models a power-loss interruption of an in-flight erase of `block`.
+    /// The block is left in [`BlockState::NeedsErase`]: all contents are
+    /// indeterminate and reads fail until it is erased again.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is outside the geometry.
+    pub fn interrupt_erase(&mut self, block: u64) {
+        assert!(
+            block < self.geometry.blocks(),
+            "block {block} outside geometry"
+        );
+        self.stats.interrupted_erases += 1;
+        self.block_entry(block).mark_needs_erase();
+    }
+
+    /// Iterates all programmed pages in the array (used by FTL recovery).
+    pub fn scan(&self) -> impl Iterator<Item = (Ppa, PageData, Oob, u32)> + '_ {
+        self.blocks.iter().flat_map(|(&b, block)| {
+            block
+                .programmed_pages()
+                .map(move |(p, data, oob, ber)| (Ppa::new(b, p), data, oob, ber))
+        })
+    }
+
+    /// Number of blocks that have been touched (materialised).
+    pub fn touched_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mlc_array() -> FlashArray {
+        FlashArray::new(FlashGeometry::small_test(), CellKind::Mlc)
+    }
+
+    #[test]
+    fn program_read_round_trip() {
+        let mut a = mlc_array();
+        let mut rng = DetRng::new(1);
+        let ppa = Ppa::new(0, 0);
+        let d = PageData::from_tag(7);
+        a.program(ppa, d, Oob::user(Lba::new(3), 1)).unwrap();
+        match a.read(ppa, &mut rng) {
+            ReadOutcome::Ok { data, oob, .. } => {
+                assert_eq!(data, d);
+                assert_eq!(oob.lba(), Some(Lba::new(3)));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+        assert_eq!(a.stats().programs, 1);
+        assert_eq!(a.stats().reads, 1);
+    }
+
+    #[test]
+    fn read_of_untouched_page_is_erased() {
+        let mut a = mlc_array();
+        let mut rng = DetRng::new(2);
+        assert_eq!(a.read(Ppa::new(5, 3), &mut rng), ReadOutcome::Erased);
+    }
+
+    #[test]
+    fn powered_off_rejects_operations() {
+        let mut a = mlc_array();
+        a.power_off();
+        assert!(!a.is_powered());
+        assert_eq!(
+            a.program(
+                Ppa::new(0, 0),
+                PageData::from_tag(1),
+                Oob::user(Lba::new(0), 0)
+            ),
+            Err(FlashError::PoweredOff)
+        );
+        assert_eq!(a.erase(0), Err(FlashError::PoweredOff));
+        a.power_on();
+        assert!(a
+            .program(
+                Ppa::new(0, 0),
+                PageData::from_tag(1),
+                Oob::user(Lba::new(0), 0)
+            )
+            .is_ok());
+    }
+
+    #[test]
+    fn interrupted_program_corrupts_target() {
+        let mut a = mlc_array();
+        let mut rng = DetRng::new(3);
+        let ppa = Ppa::new(0, 0);
+        let report = a.interrupt_program(ppa, 0.2, &mut rng);
+        assert_eq!(report.target_corrupted, Some(ppa));
+        // With MLC BCH-40 and an early interruption, the page must be
+        // uncorrectable.
+        assert_eq!(a.read(ppa, &mut rng), ReadOutcome::Uncorrectable);
+    }
+
+    #[test]
+    fn interrupted_upper_program_can_corrupt_lower_sibling() {
+        // Program lower page 0, then interrupt the upper page 1 program
+        // many times across seeds; the lower page must get corrupted in a
+        // substantial fraction of runs.
+        let mut hit = 0;
+        for seed in 0..40 {
+            let mut a = mlc_array();
+            let mut rng = DetRng::new(seed);
+            a.program(
+                Ppa::new(0, 0),
+                PageData::from_tag(1),
+                Oob::user(Lba::new(0), 1),
+            )
+            .unwrap();
+            let report = a.interrupt_program(Ppa::new(0, 1), 0.1, &mut rng);
+            if !report.paired_corrupted.is_empty() {
+                assert_eq!(report.paired_corrupted, vec![Ppa::new(0, 0)]);
+                assert_eq!(a.read(Ppa::new(0, 0), &mut rng), ReadOutcome::Uncorrectable);
+                hit += 1;
+            }
+        }
+        assert!(hit > 10, "paired corruption too rare: {hit}/40");
+    }
+
+    #[test]
+    fn lower_page_interrupt_harms_nobody_else() {
+        let mut a = mlc_array();
+        let mut rng = DetRng::new(5);
+        let report = a.interrupt_program(Ppa::new(0, 0), 0.5, &mut rng);
+        assert!(report.paired_corrupted.is_empty());
+    }
+
+    #[test]
+    fn interrupted_erase_requires_reerase() {
+        let mut a = mlc_array();
+        let mut rng = DetRng::new(6);
+        a.program(
+            Ppa::new(1, 0),
+            PageData::from_tag(2),
+            Oob::user(Lba::new(9), 1),
+        )
+        .unwrap();
+        a.interrupt_erase(1);
+        assert_eq!(a.block_state(1), BlockState::NeedsErase);
+        assert_eq!(a.read(Ppa::new(1, 0), &mut rng), ReadOutcome::Uncorrectable);
+        assert!(matches!(
+            a.program(
+                Ppa::new(1, 0),
+                PageData::from_tag(3),
+                Oob::user(Lba::new(9), 2)
+            ),
+            Err(FlashError::ProgramToDirtyPage { .. })
+        ));
+        a.erase(1).unwrap();
+        assert_eq!(a.read(Ppa::new(1, 0), &mut rng), ReadOutcome::Erased);
+    }
+
+    #[test]
+    fn scan_lists_programmed_pages() {
+        let mut a = mlc_array();
+        a.program(
+            Ppa::new(0, 0),
+            PageData::from_tag(1),
+            Oob::user(Lba::new(10), 1),
+        )
+        .unwrap();
+        a.program(
+            Ppa::new(0, 1),
+            PageData::from_tag(2),
+            Oob::user(Lba::new(11), 2),
+        )
+        .unwrap();
+        a.program(Ppa::new(2, 0), PageData::from_tag(3), Oob::journal(1, 3))
+            .unwrap();
+        let mut scanned: Vec<_> = a.scan().map(|(ppa, ..)| ppa).collect();
+        scanned.sort();
+        assert_eq!(
+            scanned,
+            vec![Ppa::new(0, 0), Ppa::new(0, 1), Ppa::new(2, 0)]
+        );
+        assert_eq!(a.touched_blocks(), 2);
+    }
+
+    #[test]
+    fn ber_model_decreases_with_progress() {
+        let mut rng = DetRng::new(7);
+        let early: u32 = (0..50)
+            .map(|_| interrupted_ber(CellKind::Mlc, 0.05, &mut rng))
+            .sum();
+        let late: u32 = (0..50)
+            .map(|_| interrupted_ber(CellKind::Mlc, 0.95, &mut rng))
+            .sum();
+        assert!(early > late * 5, "early {early} vs late {late}");
+    }
+
+    #[test]
+    fn tlc_interruption_is_harsher_than_slc() {
+        let mut rng = DetRng::new(8);
+        let slc: u32 = (0..50)
+            .map(|_| interrupted_ber(CellKind::Slc, 0.2, &mut rng))
+            .sum();
+        let tlc: u32 = (0..50)
+            .map(|_| interrupted_ber(CellKind::Tlc, 0.2, &mut rng))
+            .sum();
+        assert!(tlc > slc * 2);
+    }
+
+    #[test]
+    fn worn_blocks_flicker_across_the_ecc_boundary() {
+        // Pre-age a block to its budget: wear-induced raw errors sit near
+        // the BCH correction strength, so reads intermittently fail —
+        // exactly how marginal end-of-life pages behave.
+        let mut a = mlc_array();
+        let mut rng = DetRng::new(11);
+        a.pre_age_block(0, 2_999);
+        a.program(
+            Ppa::new(0, 0),
+            PageData::from_tag(1),
+            Oob::user(Lba::new(0), 1),
+        )
+        .unwrap();
+        let uncorrectable = (0..200)
+            .filter(|_| a.read(Ppa::new(0, 0), &mut rng) == ReadOutcome::Uncorrectable)
+            .count();
+        assert!(
+            uncorrectable > 10,
+            "EOL pages must fail sometimes: {uncorrectable}"
+        );
+        assert!(uncorrectable < 190, "EOL pages must also succeed sometimes");
+    }
+
+    #[test]
+    fn fresh_blocks_read_cleanly_despite_reliability_model() {
+        let mut a = mlc_array();
+        let mut rng = DetRng::new(12);
+        a.program(
+            Ppa::new(0, 0),
+            PageData::from_tag(1),
+            Oob::user(Lba::new(0), 1),
+        )
+        .unwrap();
+        for _ in 0..100 {
+            assert!(matches!(
+                a.read(Ppa::new(0, 0), &mut rng),
+                ReadOutcome::Ok { .. }
+            ));
+        }
+    }
+
+    #[test]
+    fn read_disturb_counter_tracks_and_resets() {
+        let mut a = mlc_array();
+        let mut rng = DetRng::new(13);
+        a.program(
+            Ppa::new(0, 0),
+            PageData::from_tag(1),
+            Oob::user(Lba::new(0), 1),
+        )
+        .unwrap();
+        for _ in 0..50 {
+            let _ = a.read(Ppa::new(0, 0), &mut rng);
+        }
+        // Heavily disturbed + moderately worn: errors creep past a weak
+        // ECC. Use the reliability model directly for the threshold
+        // check, then confirm erase resets the counter via a clean read.
+        let mean = a.reliability().mean_extra_ber(0, 50);
+        assert!(mean < 1.0, "50 reads are harmless: {mean}");
+        let mean_heavy = a.reliability().mean_extra_ber(0, 10_000_000);
+        assert!(
+            mean_heavy > 100.0,
+            "ten million reads are not: {mean_heavy}"
+        );
+        a.erase(0).unwrap();
+        a.program(
+            Ppa::new(0, 0),
+            PageData::from_tag(2),
+            Oob::user(Lba::new(0), 2),
+        )
+        .unwrap();
+        assert!(matches!(
+            a.read(Ppa::new(0, 0), &mut rng),
+            ReadOutcome::Ok { .. }
+        ));
+    }
+
+    #[test]
+    fn pre_age_respects_wear_budget() {
+        let mut a = mlc_array();
+        a.pre_age_block(1, 100);
+        assert_eq!(a.erase_count(1), 100);
+        // A pre-aged block still programs (ordering reset by erase).
+        a.program(
+            Ppa::new(1, 0),
+            PageData::from_tag(5),
+            Oob::user(Lba::new(0), 1),
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn program_duration_depends_on_page_parity() {
+        let a = mlc_array();
+        assert!(a.program_duration(Ppa::new(0, 1)) > a.program_duration(Ppa::new(0, 0)));
+    }
+}

@@ -1,0 +1,327 @@
+//! Block and page state tracking.
+//!
+//! A block owns an array of page states and enforces the NAND programming
+//! constraints the FTL must respect: pages program in ascending order, only
+//! onto erased pages, and erases are whole-block. Each block also tracks its
+//! program/erase cycle count against a wear budget.
+
+use serde::{Deserialize, Serialize};
+
+use pfault_sim::checksum::mix64;
+
+use crate::error::FlashError;
+use crate::oob::Oob;
+
+/// Compact descriptor of a page's data content.
+///
+/// At device scale the simulator does not store 4 KiB buffers; a page's
+/// content is identified by a `tag` (what was written) and a `checksum`
+/// over it. Corruption replaces the checksum with a garble derived from the
+/// original, so checksum comparison — the paper's detection mechanism —
+/// behaves exactly as with real buffers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PageData {
+    /// Identity of the written content.
+    pub tag: u64,
+    /// Checksum of the content.
+    pub checksum: u64,
+}
+
+impl PageData {
+    /// Creates page data from a content tag, deriving the checksum.
+    pub fn from_tag(tag: u64) -> Self {
+        PageData {
+            tag,
+            checksum: mix64(tag, 0xDA7A_C0DE),
+        }
+    }
+
+    /// Returns a garbled copy, as left behind by an interrupted program.
+    /// The garble is derived deterministically from a noise word so that
+    /// campaigns replay exactly.
+    pub fn garbled(self, noise: u64) -> PageData {
+        PageData {
+            tag: self.tag,
+            checksum: mix64(self.checksum, noise | 1),
+        }
+    }
+
+    /// Whether this data still matches its original checksum.
+    pub fn is_intact(&self) -> bool {
+        self.checksum == mix64(self.tag, 0xDA7A_C0DE)
+    }
+}
+
+/// State of one flash page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PageState {
+    /// Erased, ready to program.
+    Erased,
+    /// Programmed. `raw_ber` is the page's raw bit-error count, which the
+    /// ECC stage compares against its correction strength at read time.
+    Programmed {
+        /// Content descriptor.
+        data: PageData,
+        /// Spare-area metadata.
+        oob: Oob,
+        /// Raw bit errors accumulated (interruption, disturbance).
+        raw_ber: u32,
+    },
+}
+
+/// Lifecycle state of a block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BlockState {
+    /// Erased or partially programmed; accepts programs at `next_page`.
+    Open,
+    /// An erase was interrupted by power loss: contents indeterminate, must
+    /// be erased again before any program.
+    NeedsErase,
+}
+
+/// One flash block.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Block {
+    pages: Vec<PageState>,
+    next_page: u64,
+    erase_count: u32,
+    reads_since_erase: u64,
+    state: BlockState,
+}
+
+impl Block {
+    /// Default program/erase cycle budget (MLC-order).
+    pub const DEFAULT_WEAR_BUDGET: u32 = 3_000;
+
+    /// Creates an erased block of `pages_per_block` pages.
+    pub fn new(pages_per_block: u64) -> Self {
+        Block::with_wear(pages_per_block, 0)
+    }
+
+    /// Creates an erased block that has already absorbed `erase_count`
+    /// program/erase cycles (end-of-life studies).
+    pub fn with_wear(pages_per_block: u64, erase_count: u32) -> Self {
+        Block {
+            pages: vec![PageState::Erased; pages_per_block as usize],
+            next_page: 0,
+            erase_count,
+            reads_since_erase: 0,
+            state: BlockState::Open,
+        }
+    }
+
+    /// State of page `page`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page` is out of range.
+    pub fn page(&self, page: u64) -> &PageState {
+        &self.pages[page as usize]
+    }
+
+    /// Mutable state of page `page` (used by the array's corruption
+    /// injection).
+    pub(crate) fn page_mut(&mut self, page: u64) -> &mut PageState {
+        &mut self.pages[page as usize]
+    }
+
+    /// Next page this block expects to program.
+    pub fn next_page(&self) -> u64 {
+        self.next_page
+    }
+
+    /// How many erases this block has absorbed.
+    pub fn erase_count(&self) -> u32 {
+        self.erase_count
+    }
+
+    /// Reads of this block since its last erase (read-disturb stress).
+    pub fn reads_since_erase(&self) -> u64 {
+        self.reads_since_erase
+    }
+
+    /// Registers one read against the block's disturb counter.
+    pub(crate) fn note_read(&mut self) {
+        self.reads_since_erase += 1;
+    }
+
+    /// Lifecycle state.
+    pub fn state(&self) -> BlockState {
+        self.state
+    }
+
+    /// Whether every page is programmed.
+    pub fn is_full(&self) -> bool {
+        self.next_page as usize >= self.pages.len()
+    }
+
+    /// Programs the next-in-order page.
+    ///
+    /// # Errors
+    ///
+    /// * [`FlashError::ProgramOutOfOrder`] if `page` is not the block's
+    ///   next expected page;
+    /// * [`FlashError::ProgramToDirtyPage`] if the block needs an erase
+    ///   (interrupted erase) or the target is already programmed.
+    pub fn program(
+        &mut self,
+        block_index: u64,
+        page: u64,
+        data: PageData,
+        oob: Oob,
+    ) -> Result<(), FlashError> {
+        if self.state == BlockState::NeedsErase {
+            return Err(FlashError::ProgramToDirtyPage {
+                block: block_index,
+                page,
+            });
+        }
+        if page != self.next_page {
+            return Err(FlashError::ProgramOutOfOrder {
+                block: block_index,
+                attempted: page,
+                expected: self.next_page,
+            });
+        }
+        if !matches!(self.pages[page as usize], PageState::Erased) {
+            return Err(FlashError::ProgramToDirtyPage {
+                block: block_index,
+                page,
+            });
+        }
+        self.pages[page as usize] = PageState::Programmed {
+            data,
+            oob,
+            raw_ber: 0,
+        };
+        self.next_page += 1;
+        Ok(())
+    }
+
+    /// Erases the whole block.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlashError::BlockWornOut`] once the wear budget is spent.
+    pub fn erase(&mut self, block_index: u64, wear_budget: u32) -> Result<(), FlashError> {
+        if self.erase_count >= wear_budget {
+            return Err(FlashError::BlockWornOut { block: block_index });
+        }
+        for p in &mut self.pages {
+            *p = PageState::Erased;
+        }
+        self.next_page = 0;
+        self.erase_count += 1;
+        self.reads_since_erase = 0;
+        self.state = BlockState::Open;
+        Ok(())
+    }
+
+    /// Marks the block as requiring an erase (interrupted erase).
+    pub(crate) fn mark_needs_erase(&mut self) {
+        self.state = BlockState::NeedsErase;
+    }
+
+    /// Iterates over programmed pages as `(page_index, data, oob, raw_ber)`.
+    pub fn programmed_pages(&self) -> impl Iterator<Item = (u64, PageData, Oob, u32)> + '_ {
+        self.pages.iter().enumerate().filter_map(|(i, p)| match p {
+            PageState::Programmed { data, oob, raw_ber } => Some((i as u64, *data, *oob, *raw_ber)),
+            PageState::Erased => None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfault_sim::Lba;
+
+    fn data(tag: u64) -> PageData {
+        PageData::from_tag(tag)
+    }
+
+    #[test]
+    fn page_data_integrity_round_trip() {
+        let d = data(99);
+        assert!(d.is_intact());
+        let g = d.garbled(12345);
+        assert!(!g.is_intact());
+        assert_eq!(g.tag, d.tag); // identity preserved, content broken
+        assert_ne!(g.checksum, d.checksum);
+    }
+
+    #[test]
+    fn in_order_programming_succeeds() {
+        let mut b = Block::new(4);
+        for p in 0..4 {
+            b.program(0, p, data(p), Oob::user(Lba::new(p), p)).unwrap();
+        }
+        assert!(b.is_full());
+        assert_eq!(b.programmed_pages().count(), 4);
+    }
+
+    #[test]
+    fn out_of_order_program_rejected() {
+        let mut b = Block::new(4);
+        let err = b
+            .program(7, 2, data(1), Oob::user(Lba::new(0), 0))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            FlashError::ProgramOutOfOrder {
+                block: 7,
+                attempted: 2,
+                expected: 0
+            }
+        );
+    }
+
+    #[test]
+    fn erase_resets_and_counts() {
+        let mut b = Block::new(2);
+        b.program(0, 0, data(1), Oob::user(Lba::new(0), 0)).unwrap();
+        b.erase(0, 10).unwrap();
+        assert_eq!(b.erase_count(), 1);
+        assert_eq!(b.next_page(), 0);
+        assert!(matches!(b.page(0), PageState::Erased));
+        // Can program page 0 again after erase.
+        b.program(0, 0, data(2), Oob::user(Lba::new(0), 1)).unwrap();
+    }
+
+    #[test]
+    fn wear_budget_enforced() {
+        let mut b = Block::new(1);
+        b.erase(3, 2).unwrap();
+        b.erase(3, 2).unwrap();
+        assert_eq!(
+            b.erase(3, 2).unwrap_err(),
+            FlashError::BlockWornOut { block: 3 }
+        );
+    }
+
+    #[test]
+    fn needs_erase_blocks_programs_until_erased() {
+        let mut b = Block::new(2);
+        b.mark_needs_erase();
+        assert_eq!(b.state(), BlockState::NeedsErase);
+        assert!(matches!(
+            b.program(0, 0, data(1), Oob::user(Lba::new(0), 0)),
+            Err(FlashError::ProgramToDirtyPage { .. })
+        ));
+        b.erase(0, 10).unwrap();
+        assert_eq!(b.state(), BlockState::Open);
+        b.program(0, 0, data(1), Oob::user(Lba::new(0), 0)).unwrap();
+    }
+
+    #[test]
+    fn programmed_pages_reports_oob() {
+        let mut b = Block::new(3);
+        b.program(0, 0, data(5), Oob::user(Lba::new(50), 1))
+            .unwrap();
+        b.program(0, 1, data(6), Oob::journal(2, 2)).unwrap();
+        let pages: Vec<_> = b.programmed_pages().collect();
+        assert_eq!(pages.len(), 2);
+        assert_eq!(pages[0].2.lba(), Some(Lba::new(50)));
+        assert_eq!(pages[1].2.lba(), None);
+    }
+}

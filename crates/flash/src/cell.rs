@@ -1,0 +1,347 @@
+//! Bit-level flash cell model with ISPP programming.
+//!
+//! This module models a *small* page of real cells so that the corruption
+//! behaviour used at device scale can be validated against first principles.
+//! Programming a NAND page is not atomic: the controller runs an
+//! **incremental-step pulse programming (ISPP)** loop — pulse, read, verify,
+//! repeat — until every cell reaches its target threshold-voltage window
+//! (paper §I). Interrupting the loop leaves cells scattered between levels,
+//! which reads back as bit errors.
+//!
+//! [`CellKind`] gives the bits-per-cell and the number of distinguishable
+//! threshold-voltage levels for SLC/MLC/TLC parts (Table I: SSDs A and C
+//! are MLC, SSD B is TLC).
+
+use serde::{Deserialize, Serialize};
+
+use pfault_sim::DetRng;
+
+/// NAND cell technology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CellKind {
+    /// Single-level cell: 1 bit, 2 levels.
+    Slc,
+    /// Multi-level cell: 2 bits, 4 levels.
+    Mlc,
+    /// Triple-level cell: 3 bits, 8 levels.
+    Tlc,
+}
+
+impl CellKind {
+    /// Bits stored per cell.
+    pub const fn bits_per_cell(self) -> u32 {
+        match self {
+            CellKind::Slc => 1,
+            CellKind::Mlc => 2,
+            CellKind::Tlc => 3,
+        }
+    }
+
+    /// Distinguishable threshold-voltage levels.
+    pub const fn levels(self) -> u32 {
+        1 << self.bits_per_cell()
+    }
+
+    /// Number of ISPP iterations a full page program needs. More levels
+    /// need finer placement, hence more verify iterations — and a longer
+    /// window of vulnerability to power loss.
+    pub const fn ispp_iterations(self) -> u32 {
+        match self {
+            CellKind::Slc => 2,
+            CellKind::Mlc => 6,
+            CellKind::Tlc => 12,
+        }
+    }
+}
+
+/// One simulated flash cell: a threshold-voltage level in
+/// `0..CellKind::levels()`. Level 0 is the erased state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Cell {
+    level: u8,
+}
+
+/// A small page of real cells, for bit-level validation.
+///
+/// # Example
+///
+/// ```
+/// use pfault_flash::cell::{CellKind, CellPage};
+/// use pfault_sim::DetRng;
+///
+/// let mut page = CellPage::erased(CellKind::Mlc, 64);
+/// let data: Vec<u8> = (0..16).collect(); // 16 bytes = 128 bits / 2 bits-per-cell
+/// let mut rng = DetRng::new(3);
+/// page.program_complete(&data);
+/// assert_eq!(page.read(), data);
+/// // An interrupted program leaves bit errors behind:
+/// let mut page2 = CellPage::erased(CellKind::Mlc, 64);
+/// page2.program_interrupted(&data, 0.4, &mut rng);
+/// assert_ne!(page2.read(), data);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellPage {
+    kind: CellKind,
+    cells: Vec<Cell>,
+}
+
+impl CellPage {
+    /// Creates an erased page of `cells` cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cells` is zero.
+    pub fn erased(kind: CellKind, cells: usize) -> Self {
+        assert!(cells > 0, "page must have at least one cell");
+        CellPage {
+            kind,
+            cells: vec![Cell { level: 0 }; cells],
+        }
+    }
+
+    /// The cell technology of this page.
+    pub fn kind(&self) -> CellKind {
+        self.kind
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the page has zero cells (never true for constructed pages).
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Data capacity in bytes.
+    pub fn capacity_bytes(&self) -> usize {
+        self.cells.len() * self.kind.bits_per_cell() as usize / 8
+    }
+
+    /// Converts data bytes to per-cell target levels using Gray coding
+    /// (adjacent levels differ in one bit, as in real NAND).
+    fn targets(&self, data: &[u8]) -> Vec<u8> {
+        let bpc = self.kind.bits_per_cell();
+        let mut levels = Vec::with_capacity(self.cells.len());
+        let mut bit_cursor = 0usize;
+        for _ in 0..self.cells.len() {
+            let mut sym = 0u8;
+            for b in 0..bpc {
+                let byte = bit_cursor / 8;
+                let bit = bit_cursor % 8;
+                let v = if byte < data.len() {
+                    (data[byte] >> bit) & 1
+                } else {
+                    0
+                };
+                sym |= v << b;
+                bit_cursor += 1;
+            }
+            // Binary-reflected Gray code.
+            levels.push(sym ^ (sym >> 1));
+        }
+        levels
+    }
+
+    /// Inverse of the Gray-coded target mapping: decodes current levels to
+    /// bytes.
+    pub fn read(&self) -> Vec<u8> {
+        let bpc = self.kind.bits_per_cell();
+        let nbytes = self.capacity_bytes();
+        let mut out = vec![0u8; nbytes];
+        let mut bit_cursor = 0usize;
+        for cell in &self.cells {
+            // Gray decode.
+            let mut sym = cell.level;
+            let mut shift = sym >> 1;
+            while shift != 0 {
+                sym ^= shift;
+                shift >>= 1;
+            }
+            for b in 0..bpc {
+                let byte = bit_cursor / 8;
+                let bit = bit_cursor % 8;
+                if byte < out.len() {
+                    out[byte] |= ((sym >> b) & 1) << bit;
+                }
+                bit_cursor += 1;
+            }
+        }
+        out
+    }
+
+    /// Programs the page to completion (all ISPP iterations run).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is longer than the page capacity.
+    pub fn program_complete(&mut self, data: &[u8]) {
+        assert!(
+            data.len() <= self.capacity_bytes(),
+            "data exceeds page capacity"
+        );
+        let targets = self.targets(data);
+        for (cell, &t) in self.cells.iter_mut().zip(&targets) {
+            cell.level = t;
+        }
+    }
+
+    /// Programs the page but interrupts the ISPP loop at `progress`
+    /// (fraction of iterations completed, in `[0, 1]`).
+    ///
+    /// Each ISPP iteration raises cells one step toward their target (cells
+    /// can only move *up*; lowering requires a block erase). Cells whose
+    /// target needs more steps than ran are left short; the interrupt pulse
+    /// itself leaves a random ±1 level disturbance on a fraction of cells.
+    ///
+    /// Returns the number of cells that ended at the wrong level.
+    pub fn program_interrupted(&mut self, data: &[u8], progress: f64, rng: &mut DetRng) -> usize {
+        assert!(
+            data.len() <= self.capacity_bytes(),
+            "data exceeds page capacity"
+        );
+        let progress = progress.clamp(0.0, 1.0);
+        let targets = self.targets(data);
+        let total_iters = self.kind.ispp_iterations();
+        let ran = (total_iters as f64 * progress).floor() as u32;
+        let max_level = (self.kind.levels() - 1) as u8;
+        // Steps per iteration so the deepest level is reachable in
+        // `total_iters` iterations.
+        let per_iter = f64::from(self.kind.levels() - 1) / f64::from(total_iters);
+        let mut wrong = 0;
+        for (cell, &t) in self.cells.iter_mut().zip(&targets) {
+            let reached = ((f64::from(ran) * per_iter).floor() as u8).min(t);
+            let mut level = cell.level.max(reached.min(t));
+            // Aborted pulse: supply droop disturbs some cells by one level.
+            if rng.chance(0.15) {
+                if rng.chance(0.5) && level < max_level {
+                    level += 1;
+                } else {
+                    level = level.saturating_sub(1);
+                }
+            }
+            cell.level = level;
+            if level != t {
+                wrong += 1;
+            }
+        }
+        wrong
+    }
+
+    /// Erases the page (all cells to level 0). Real NAND erases whole
+    /// blocks; block-granularity is enforced one layer up, in
+    /// [`crate::block`].
+    pub fn erase(&mut self) {
+        for c in &mut self.cells {
+            c.level = 0;
+        }
+    }
+
+    /// Counts bit errors versus `expected` data.
+    pub fn bit_errors(&self, expected: &[u8]) -> usize {
+        let got = self.read();
+        got.iter()
+            .zip(expected.iter())
+            .map(|(a, b)| (a ^ b).count_ones() as usize)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_properties() {
+        assert_eq!(CellKind::Slc.bits_per_cell(), 1);
+        assert_eq!(CellKind::Mlc.levels(), 4);
+        assert_eq!(CellKind::Tlc.levels(), 8);
+        assert!(CellKind::Tlc.ispp_iterations() > CellKind::Mlc.ispp_iterations());
+    }
+
+    #[test]
+    fn complete_program_round_trips() {
+        for kind in [CellKind::Slc, CellKind::Mlc, CellKind::Tlc] {
+            let mut page = CellPage::erased(kind, 96);
+            let data: Vec<u8> = (0..page.capacity_bytes() as u8).collect();
+            page.program_complete(&data);
+            assert_eq!(page.read(), data, "round trip failed for {kind:?}");
+            assert_eq!(page.bit_errors(&data), 0);
+        }
+    }
+
+    #[test]
+    fn erase_resets_to_zero() {
+        let mut page = CellPage::erased(CellKind::Mlc, 32);
+        page.program_complete(&[0xFF; 8]);
+        page.erase();
+        assert!(page.read().iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn interrupted_program_leaves_bit_errors() {
+        let mut rng = DetRng::new(8);
+        let mut page = CellPage::erased(CellKind::Mlc, 256);
+        let data = vec![0xA7u8; page.capacity_bytes()];
+        let wrong = page.program_interrupted(&data, 0.3, &mut rng);
+        assert!(wrong > 0, "30% progress must leave wrong cells");
+        assert!(page.bit_errors(&data) > 0);
+    }
+
+    #[test]
+    fn earlier_interruption_is_worse() {
+        let mut errors = Vec::new();
+        for &progress in &[0.1, 0.5, 1.0] {
+            let mut rng = DetRng::new(9);
+            let mut page = CellPage::erased(CellKind::Tlc, 512);
+            let data = vec![0xFFu8; page.capacity_bytes()];
+            page.program_interrupted(&data, progress, &mut rng);
+            errors.push(page.bit_errors(&data));
+        }
+        assert!(
+            errors[0] > errors[1],
+            "10% progress ({}) should beat 50% ({})",
+            errors[0],
+            errors[1]
+        );
+        assert!(errors[1] > errors[2]);
+    }
+
+    #[test]
+    fn full_progress_interruption_still_disturbs_some_cells() {
+        // Even at progress = 1.0 the aborted final pulse can disturb cells:
+        // this models the paper's observation that faults *during* the
+        // final verify still corrupt data occasionally.
+        let mut rng = DetRng::new(10);
+        let mut page = CellPage::erased(CellKind::Mlc, 2048);
+        let data = vec![0x55u8; page.capacity_bytes()];
+        let wrong = page.program_interrupted(&data, 1.0, &mut rng);
+        assert!(wrong > 0);
+    }
+
+    #[test]
+    fn capacity_matches_kind() {
+        assert_eq!(CellPage::erased(CellKind::Slc, 64).capacity_bytes(), 8);
+        assert_eq!(CellPage::erased(CellKind::Mlc, 64).capacity_bytes(), 16);
+        assert_eq!(CellPage::erased(CellKind::Tlc, 64).capacity_bytes(), 24);
+    }
+
+    #[test]
+    #[should_panic(expected = "data exceeds page capacity")]
+    fn program_rejects_oversized_data() {
+        CellPage::erased(CellKind::Slc, 8).program_complete(&[0u8; 100]);
+    }
+
+    #[test]
+    fn gray_coding_adjacent_levels_differ_by_one_bit() {
+        // Internal consistency: consecutive symbols map to levels whose
+        // Gray codes differ in exactly one bit.
+        for sym in 0u8..7 {
+            let g1 = sym ^ (sym >> 1);
+            let next = sym + 1;
+            let g2 = next ^ (next >> 1);
+            assert_eq!((g1 ^ g2).count_ones(), 1);
+        }
+    }
+}

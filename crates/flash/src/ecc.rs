@@ -1,0 +1,192 @@
+//! Error-correcting code model.
+//!
+//! Real SSD controllers pass every page read through an ECC decoder; raw
+//! bit errors below the correction strength are invisible to the host, and
+//! uncorrectable pages surface as read failures. The paper's Table I lists
+//! ECC for all three vendors, with SSD B using LDPC — stronger than the
+//! BCH codes typical of 2013-era MLC drives.
+//!
+//! The model is statistical: pages carry a raw bit-error *count* (per
+//! 4 KiB page) and the decoder compares it against the scheme's correction
+//! capability, with a soft-decision bonus for LDPC.
+
+use serde::{Deserialize, Serialize};
+
+use pfault_sim::DetRng;
+
+/// ECC scheme and strength.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EccScheme {
+    /// No correction (pass-through). Not used by any Table I drive, but
+    /// available for ablations.
+    None,
+    /// BCH-like hard-decision code correcting up to `t` bits per page.
+    Bch {
+        /// Correction capability, bits per 4 KiB page.
+        t: u32,
+    },
+    /// LDPC-like soft-decision code: corrects up to `t` bits outright and
+    /// recovers pages up to `2 * t` with decreasing probability (soft
+    /// retries).
+    Ldpc {
+        /// Hard correction capability, bits per 4 KiB page.
+        t: u32,
+    },
+}
+
+impl EccScheme {
+    /// A typical 2013-era MLC BCH configuration (40 bits / page).
+    pub const fn bch_mlc() -> Self {
+        EccScheme::Bch { t: 40 }
+    }
+
+    /// A typical 2015-era TLC LDPC configuration (72 bits / page hard).
+    pub const fn ldpc_tlc() -> Self {
+        EccScheme::Ldpc { t: 72 }
+    }
+}
+
+/// Result of decoding one page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EccOutcome {
+    /// Page decoded cleanly; all raw errors corrected.
+    Corrected {
+        /// How many raw bit errors were repaired.
+        repaired: u32,
+    },
+    /// Raw errors exceeded the correction capability.
+    Uncorrectable,
+}
+
+/// Decodes a page with `raw_bit_errors` raw errors under `scheme`.
+///
+/// LDPC soft retries are stochastic (they depend on noise realisation), so
+/// the decoder takes an RNG. BCH and `None` are deterministic.
+///
+/// # Example
+///
+/// ```
+/// use pfault_flash::ecc::{decode, EccOutcome, EccScheme};
+/// use pfault_sim::DetRng;
+///
+/// let mut rng = DetRng::new(1);
+/// assert_eq!(
+///     decode(EccScheme::Bch { t: 40 }, 10, &mut rng),
+///     EccOutcome::Corrected { repaired: 10 }
+/// );
+/// assert_eq!(
+///     decode(EccScheme::Bch { t: 40 }, 41, &mut rng),
+///     EccOutcome::Uncorrectable
+/// );
+/// ```
+pub fn decode(scheme: EccScheme, raw_bit_errors: u32, rng: &mut DetRng) -> EccOutcome {
+    match scheme {
+        EccScheme::None => {
+            if raw_bit_errors == 0 {
+                EccOutcome::Corrected { repaired: 0 }
+            } else {
+                EccOutcome::Uncorrectable
+            }
+        }
+        EccScheme::Bch { t } => {
+            if raw_bit_errors <= t {
+                EccOutcome::Corrected {
+                    repaired: raw_bit_errors,
+                }
+            } else {
+                EccOutcome::Uncorrectable
+            }
+        }
+        EccScheme::Ldpc { t } => {
+            if raw_bit_errors <= t {
+                EccOutcome::Corrected {
+                    repaired: raw_bit_errors,
+                }
+            } else if raw_bit_errors <= 2 * t {
+                // Soft-decision retry: success probability falls linearly
+                // from 1 at `t` to 0 at `2t`.
+                let span = f64::from(t);
+                let over = f64::from(raw_bit_errors - t);
+                if rng.chance(1.0 - over / span) {
+                    EccOutcome::Corrected {
+                        repaired: raw_bit_errors,
+                    }
+                } else {
+                    EccOutcome::Uncorrectable
+                }
+            } else {
+                EccOutcome::Uncorrectable
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_passes_only_clean_pages() {
+        let mut rng = DetRng::new(1);
+        assert_eq!(
+            decode(EccScheme::None, 0, &mut rng),
+            EccOutcome::Corrected { repaired: 0 }
+        );
+        assert_eq!(
+            decode(EccScheme::None, 1, &mut rng),
+            EccOutcome::Uncorrectable
+        );
+    }
+
+    #[test]
+    fn bch_threshold_is_exact() {
+        let mut rng = DetRng::new(2);
+        let s = EccScheme::Bch { t: 5 };
+        assert_eq!(
+            decode(s, 5, &mut rng),
+            EccOutcome::Corrected { repaired: 5 }
+        );
+        assert_eq!(decode(s, 6, &mut rng), EccOutcome::Uncorrectable);
+    }
+
+    #[test]
+    fn ldpc_corrects_hard_region_deterministically() {
+        let mut rng = DetRng::new(3);
+        let s = EccScheme::Ldpc { t: 10 };
+        for e in 0..=10 {
+            assert_eq!(
+                decode(s, e, &mut rng),
+                EccOutcome::Corrected { repaired: e }
+            );
+        }
+        assert_eq!(decode(s, 21, &mut rng), EccOutcome::Uncorrectable);
+    }
+
+    #[test]
+    fn ldpc_soft_region_is_probabilistic_and_monotonic() {
+        let s = EccScheme::Ldpc { t: 10 };
+        let success_rate = |errors: u32| {
+            let mut rng = DetRng::new(4);
+            (0..2_000)
+                .filter(|_| matches!(decode(s, errors, &mut rng), EccOutcome::Corrected { .. }))
+                .count() as f64
+                / 2_000.0
+        };
+        let r11 = success_rate(11);
+        let r19 = success_rate(19);
+        assert!(r11 > 0.8, "just past t should mostly succeed: {r11}");
+        assert!(r19 < 0.2, "near 2t should mostly fail: {r19}");
+        assert!(r11 > r19);
+    }
+
+    #[test]
+    fn presets_have_sensible_strengths() {
+        let EccScheme::Bch { t: bch_t } = EccScheme::bch_mlc() else {
+            panic!("bch_mlc must be BCH");
+        };
+        let EccScheme::Ldpc { t: ldpc_t } = EccScheme::ldpc_tlc() else {
+            panic!("ldpc_tlc must be LDPC");
+        };
+        assert!(ldpc_t > bch_t, "LDPC preset should be stronger");
+    }
+}

@@ -1,0 +1,101 @@
+//! Flash operation errors.
+
+use core::fmt;
+
+/// Errors returned by flash array operations.
+///
+/// These model the *command-level* failures a NAND controller sees; data
+/// corruption (the paper's subject) is not an `Err` — it is a successful
+/// read returning wrong or uncorrectable data, reported through
+/// [`crate::array::ReadOutcome`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlashError {
+    /// The address does not exist in the array geometry.
+    BadAddress {
+        /// Offending block index.
+        block: u64,
+        /// Offending page index.
+        page: u64,
+    },
+    /// Attempt to program a page that is not in the erased state.
+    ProgramToDirtyPage {
+        /// Offending block index.
+        block: u64,
+        /// Offending page index.
+        page: u64,
+    },
+    /// Pages within a block must be programmed in ascending order.
+    ProgramOutOfOrder {
+        /// Offending block index.
+        block: u64,
+        /// Page that was attempted.
+        attempted: u64,
+        /// Next page the block expects.
+        expected: u64,
+    },
+    /// The block wore out (exceeded its program/erase cycle budget).
+    BlockWornOut {
+        /// Offending block index.
+        block: u64,
+    },
+    /// Operation attempted while the chip is powered down.
+    PoweredOff,
+}
+
+impl fmt::Display for FlashError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlashError::BadAddress { block, page } => {
+                write!(f, "address block {block} page {page} is outside the array")
+            }
+            FlashError::ProgramToDirtyPage { block, page } => {
+                write!(f, "page {page} of block {block} is not erased")
+            }
+            FlashError::ProgramOutOfOrder {
+                block,
+                attempted,
+                expected,
+            } => write!(
+                f,
+                "block {block} expects page {expected} next, got {attempted}"
+            ),
+            FlashError::BlockWornOut { block } => {
+                write!(f, "block {block} exceeded its erase budget")
+            }
+            FlashError::PoweredOff => write!(f, "flash chip is powered off"),
+        }
+    }
+}
+
+impl std::error::Error for FlashError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_lowercase_concise() {
+        let msgs = [
+            FlashError::BadAddress { block: 1, page: 2 }.to_string(),
+            FlashError::ProgramToDirtyPage { block: 1, page: 2 }.to_string(),
+            FlashError::ProgramOutOfOrder {
+                block: 0,
+                attempted: 5,
+                expected: 2,
+            }
+            .to_string(),
+            FlashError::BlockWornOut { block: 3 }.to_string(),
+            FlashError::PoweredOff.to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.is_empty());
+            assert!(!m.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err<E: std::error::Error + Send + Sync>(_: E) {}
+        takes_err(FlashError::PoweredOff);
+    }
+}

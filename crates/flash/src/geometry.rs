@@ -1,0 +1,172 @@
+//! Flash array geometry and physical addressing.
+//!
+//! The array is organised as `blocks × pages_per_block` (channel/die/plane
+//! parallelism is folded into the flat block index; the device model
+//! schedules parallelism above this layer). A [`Ppa`] names one physical
+//! page.
+
+use core::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::FlashError;
+
+/// Geometry of a flash array.
+///
+/// # Example
+///
+/// ```
+/// use pfault_flash::geometry::FlashGeometry;
+///
+/// let g = FlashGeometry::new(1024, 256);
+/// assert_eq!(g.total_pages(), 1024 * 256);
+/// assert_eq!(g.capacity_bytes(), g.total_pages() * 4096);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FlashGeometry {
+    blocks: u64,
+    pages_per_block: u64,
+}
+
+impl FlashGeometry {
+    /// Bytes in one flash page (equal to the platform's logical sector).
+    pub const PAGE_BYTES: u64 = 4096;
+
+    /// Creates a geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(blocks: u64, pages_per_block: u64) -> Self {
+        assert!(blocks > 0, "need at least one block");
+        assert!(pages_per_block > 0, "need at least one page per block");
+        FlashGeometry {
+            blocks,
+            pages_per_block,
+        }
+    }
+
+    /// A tiny geometry for unit tests (8 blocks × 16 pages).
+    pub fn small_test() -> Self {
+        FlashGeometry::new(8, 16)
+    }
+
+    /// Number of blocks.
+    pub const fn blocks(&self) -> u64 {
+        self.blocks
+    }
+
+    /// Pages in each block.
+    pub const fn pages_per_block(&self) -> u64 {
+        self.pages_per_block
+    }
+
+    /// Total pages in the array.
+    pub const fn total_pages(&self) -> u64 {
+        self.blocks * self.pages_per_block
+    }
+
+    /// Usable capacity in bytes.
+    pub const fn capacity_bytes(&self) -> u64 {
+        self.total_pages() * Self::PAGE_BYTES
+    }
+
+    /// Builds a [`Ppa`] from block and page indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn ppa(&self, block: u64, page: u64) -> Ppa {
+        assert!(block < self.blocks, "block {block} out of range");
+        assert!(
+            page < self.pages_per_block,
+            "page {page} out of range for block {block}"
+        );
+        Ppa { block, page }
+    }
+
+    /// Checked variant of [`FlashGeometry::ppa`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlashError::BadAddress`] if either index is out of range.
+    pub fn try_ppa(&self, block: u64, page: u64) -> Result<Ppa, FlashError> {
+        if block >= self.blocks || page >= self.pages_per_block {
+            return Err(FlashError::BadAddress { block, page });
+        }
+        Ok(Ppa { block, page })
+    }
+
+    /// Whether `ppa` addresses a page inside this geometry.
+    pub fn contains(&self, ppa: Ppa) -> bool {
+        ppa.block < self.blocks && ppa.page < self.pages_per_block
+    }
+}
+
+/// A physical page address: `(block, page-within-block)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Ppa {
+    /// Block index within the array.
+    pub block: u64,
+    /// Page index within the block.
+    pub page: u64,
+}
+
+impl Ppa {
+    /// Creates a PPA without geometry validation (use
+    /// [`FlashGeometry::ppa`] when a geometry is at hand).
+    pub const fn new(block: u64, page: u64) -> Self {
+        Ppa { block, page }
+    }
+}
+
+impl fmt::Display for Ppa {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ppa:{}/{}", self.block, self.page)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_capacity() {
+        let g = FlashGeometry::new(4, 8);
+        assert_eq!(g.blocks(), 4);
+        assert_eq!(g.pages_per_block(), 8);
+        assert_eq!(g.total_pages(), 32);
+        assert_eq!(g.capacity_bytes(), 32 * 4096);
+    }
+
+    #[test]
+    fn ppa_construction_and_bounds() {
+        let g = FlashGeometry::new(4, 8);
+        let p = g.ppa(3, 7);
+        assert_eq!(p, Ppa::new(3, 7));
+        assert!(g.contains(p));
+        assert!(!g.contains(Ppa::new(4, 0)));
+        assert!(!g.contains(Ppa::new(0, 8)));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn ppa_panics_out_of_range() {
+        FlashGeometry::new(2, 2).ppa(2, 0);
+    }
+
+    #[test]
+    fn try_ppa_returns_error() {
+        let g = FlashGeometry::new(2, 2);
+        assert!(g.try_ppa(1, 1).is_ok());
+        assert!(matches!(
+            g.try_ppa(9, 0),
+            Err(FlashError::BadAddress { block: 9, page: 0 })
+        ));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Ppa::new(2, 5).to_string(), "ppa:2/5");
+    }
+}

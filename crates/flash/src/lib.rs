@@ -1,0 +1,68 @@
+//! NAND flash chip model.
+//!
+//! This crate models the flash substrate the paper's SSDs are built from, at
+//! two levels of fidelity:
+//!
+//! * **Device scale** ([`array::FlashArray`]) — pages carry a compact
+//!   `(tag, checksum)` content descriptor plus out-of-band (OOB) metadata,
+//!   so multi-gigabyte working sets simulate in memory. Program and erase
+//!   operations have realistic latencies ([`timing::FlashTiming`]) and can
+//!   be **interrupted by power loss** mid-operation, leaving raw bit errors
+//!   behind ([`array::FlashArray::interrupt_program`]).
+//! * **Bit level** ([`cell`]) — real bit vectors with an ISPP
+//!   (incremental-step pulse programming) loop, used by small-scale tests to
+//!   validate that the corruption model matches how interrupted
+//!   program-read-verify iterations damage real cells (paper §I).
+//!
+//! Key physical behaviours reproduced:
+//!
+//! * program-before-erase and in-order page programming constraints;
+//! * MLC/TLC **paired pages** ([`pairing`]): interrupting the upper page of
+//!   a wordline can corrupt the *previously programmed* lower page — the
+//!   mechanism behind the paper's "power fault corrupts previously written
+//!   data" observation (§IV-A, §IV-G);
+//! * long erase operations vulnerable to interruption;
+//! * an ECC stage ([`ecc`]) with BCH-like and LDPC-like correction strength
+//!   (Table I lists LDPC for SSD B).
+//!
+//! # Example
+//!
+//! ```
+//! use pfault_flash::{array::FlashArray, geometry::FlashGeometry, CellKind};
+//! use pfault_flash::array::{PageData, ReadOutcome};
+//! use pfault_flash::oob::Oob;
+//! use pfault_sim::{DetRng, Lba};
+//!
+//! # fn main() -> Result<(), pfault_flash::FlashError> {
+//! let geom = FlashGeometry::small_test();
+//! let mut array = FlashArray::new(geom, CellKind::Mlc);
+//! let ppa = geom.ppa(0, 0); // block 0, page 0
+//! let data = PageData::from_tag(42);
+//! array.program(ppa, data, Oob::user(Lba::new(7), 1))?;
+//! let mut rng = DetRng::new(1);
+//! match array.read(ppa, &mut rng) {
+//!     ReadOutcome::Ok { data: d, .. } => assert_eq!(d, data),
+//!     other => panic!("unexpected read outcome: {other:?}"),
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod array;
+pub mod block;
+pub mod cell;
+pub mod ecc;
+pub mod error;
+pub mod geometry;
+pub mod oob;
+pub mod pairing;
+pub mod reliability;
+pub mod timing;
+
+pub use array::FlashArray;
+pub use cell::CellKind;
+pub use error::FlashError;
+pub use geometry::{FlashGeometry, Ppa};

@@ -1,0 +1,96 @@
+//! Out-of-band (spare area) metadata.
+//!
+//! Each flash page carries a spare area alongside its data. The FTL uses it
+//! to tag pages with their logical owner and a write sequence number, which
+//! is what makes power-loss recovery possible: after an outage, scanning
+//! OOB metadata rebuilds the logical-to-physical map up to the last durable
+//! write (see `pfault-ftl::recovery`).
+
+use serde::{Deserialize, Serialize};
+
+use pfault_sim::Lba;
+
+/// What a flash page holds, from the FTL's point of view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OobKind {
+    /// User data for one logical sector.
+    User {
+        /// The logical sector stored in this page.
+        lba: Lba,
+    },
+    /// A batch of mapping-journal entries.
+    MapJournal {
+        /// Journal batch identifier (monotonic).
+        batch: u64,
+    },
+    /// A full mapping-table checkpoint fragment.
+    Checkpoint {
+        /// Checkpoint identifier (monotonic).
+        checkpoint: u64,
+    },
+}
+
+/// OOB record: page kind plus a global write sequence number.
+///
+/// The sequence number totally orders all programs, so recovery can pick the
+/// newest version of each LBA.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Oob {
+    /// What the page holds.
+    pub kind: OobKind,
+    /// Global write sequence number at program time.
+    pub seq: u64,
+}
+
+impl Oob {
+    /// OOB for a user-data page.
+    pub const fn user(lba: Lba, seq: u64) -> Self {
+        Oob {
+            kind: OobKind::User { lba },
+            seq,
+        }
+    }
+
+    /// OOB for a mapping-journal page.
+    pub const fn journal(batch: u64, seq: u64) -> Self {
+        Oob {
+            kind: OobKind::MapJournal { batch },
+            seq,
+        }
+    }
+
+    /// OOB for a checkpoint page.
+    pub const fn checkpoint(checkpoint: u64, seq: u64) -> Self {
+        Oob {
+            kind: OobKind::Checkpoint { checkpoint },
+            seq,
+        }
+    }
+
+    /// The LBA, if this is a user-data page.
+    pub fn lba(&self) -> Option<Lba> {
+        match self.kind {
+            OobKind::User { lba } => Some(lba),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_tag_kinds() {
+        let u = Oob::user(Lba::new(5), 10);
+        assert_eq!(u.lba(), Some(Lba::new(5)));
+        assert_eq!(u.seq, 10);
+
+        let j = Oob::journal(3, 11);
+        assert_eq!(j.lba(), None);
+        assert!(matches!(j.kind, OobKind::MapJournal { batch: 3 }));
+
+        let c = Oob::checkpoint(1, 12);
+        assert!(matches!(c.kind, OobKind::Checkpoint { checkpoint: 1 }));
+    }
+}

@@ -1,0 +1,107 @@
+//! Paired-page (shared-wordline) layout for MLC/TLC blocks.
+//!
+//! In MLC and TLC NAND, several logical pages share one physical wordline:
+//! the 2 (MLC) or 3 (TLC) bits of each cell on the wordline belong to
+//! different pages. Programming a *later* page of a wordline re-places the
+//! threshold voltage of cells whose *earlier* page was already programmed —
+//! so interrupting that program corrupts previously written, previously
+//! acknowledged data. This is the physical mechanism behind the paper's
+//! observation that "single power outage ... may corrupt the cells that are
+//! previously written to the SSD" (§I, §IV-A) and the elevated WAW failure
+//! counts (§IV-G).
+//!
+//! The model here uses the simple interleaved layout: page `p` lives on
+//! wordline `p / bits_per_cell`, and is the `(p % bits_per_cell)`-th page of
+//! that wordline (page 0 = LSB/"lower" page).
+
+use crate::cell::CellKind;
+
+/// Position of a page on its wordline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WordlineSlot {
+    /// Wordline index within the block.
+    pub wordline: u64,
+    /// Which bit of the cells this page occupies (0 = lower page).
+    pub level_index: u32,
+}
+
+/// Returns the wordline slot of page `page` in a block of `kind` cells.
+pub fn slot_of(kind: CellKind, page: u64) -> WordlineSlot {
+    let bpc = u64::from(kind.bits_per_cell());
+    WordlineSlot {
+        wordline: page / bpc,
+        level_index: (page % bpc) as u32,
+    }
+}
+
+/// Returns the earlier pages sharing `page`'s wordline (its "paired pages"),
+/// lowest first. These are the pages whose already-written data is at risk
+/// when a program of `page` is interrupted.
+///
+/// # Example
+///
+/// ```
+/// use pfault_flash::{pairing, CellKind};
+///
+/// // MLC: pages 4 and 5 share wordline 2; interrupting page 5 endangers 4.
+/// assert_eq!(pairing::earlier_siblings(CellKind::Mlc, 5), vec![4]);
+/// assert_eq!(pairing::earlier_siblings(CellKind::Mlc, 4), Vec::<u64>::new());
+/// // TLC: page 8 is the last page of wordline 2 (pages 6, 7, 8).
+/// assert_eq!(pairing::earlier_siblings(CellKind::Tlc, 8), vec![6, 7]);
+/// ```
+pub fn earlier_siblings(kind: CellKind, page: u64) -> Vec<u64> {
+    let slot = slot_of(kind, page);
+    let bpc = u64::from(kind.bits_per_cell());
+    let first = slot.wordline * bpc;
+    (first..page).collect()
+}
+
+/// Whether programming `page` can endanger earlier data (i.e. the page is
+/// not the first page of its wordline). Always `false` for SLC.
+pub fn endangers_earlier(kind: CellKind, page: u64) -> bool {
+    slot_of(kind, page).level_index > 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slc_has_no_pairing() {
+        for p in 0..16 {
+            assert!(!endangers_earlier(CellKind::Slc, p));
+            assert!(earlier_siblings(CellKind::Slc, p).is_empty());
+        }
+    }
+
+    #[test]
+    fn mlc_pairs_two_pages_per_wordline() {
+        assert_eq!(slot_of(CellKind::Mlc, 0).wordline, 0);
+        assert_eq!(slot_of(CellKind::Mlc, 1).wordline, 0);
+        assert_eq!(slot_of(CellKind::Mlc, 2).wordline, 1);
+        assert!(endangers_earlier(CellKind::Mlc, 1));
+        assert!(!endangers_earlier(CellKind::Mlc, 2));
+        assert_eq!(earlier_siblings(CellKind::Mlc, 7), vec![6]);
+    }
+
+    #[test]
+    fn tlc_groups_three_pages() {
+        assert_eq!(slot_of(CellKind::Tlc, 5).wordline, 1);
+        assert_eq!(slot_of(CellKind::Tlc, 5).level_index, 2);
+        assert_eq!(earlier_siblings(CellKind::Tlc, 5), vec![3, 4]);
+        assert!(!endangers_earlier(CellKind::Tlc, 3));
+        assert!(endangers_earlier(CellKind::Tlc, 4));
+    }
+
+    #[test]
+    fn siblings_are_strictly_earlier() {
+        for kind in [CellKind::Mlc, CellKind::Tlc] {
+            for p in 0..32 {
+                for s in earlier_siblings(kind, p) {
+                    assert!(s < p);
+                    assert_eq!(slot_of(kind, s).wordline, slot_of(kind, p).wordline);
+                }
+            }
+        }
+    }
+}

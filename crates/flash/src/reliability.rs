@@ -1,0 +1,150 @@
+//! Endurance and disturbance reliability model.
+//!
+//! The paper's related work (§II) catalogues the *intrinsic* NAND failure
+//! sources — write endurance (Boboila & Desnoyers \[7\]), read disturbance
+//! and program interference (Cai et al. \[8\]), field failure growth with
+//! wear (Meza et al. \[19\], Schroeder et al. \[22\]). This module adds those
+//! to the array model so power-fault damage composes with a realistically
+//! aging device:
+//!
+//! * **wear** — raw bit errors grow with a block's program/erase cycles
+//!   (super-linearly near end of life);
+//! * **read disturb** — every read of a block slightly stresses its other
+//!   pages; the accumulated count adds raw errors and resets on erase;
+//! * **retention** is out of scope (campaign trials span seconds, not
+//!   months) — documented here so the omission is explicit.
+//!
+//! The model yields an *additional* raw-bit-error count per page read,
+//! which the array adds before ECC decoding.
+
+use serde::{Deserialize, Serialize};
+
+use pfault_sim::DetRng;
+
+use crate::cell::CellKind;
+
+/// Reliability model parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReliabilityModel {
+    /// Mean raw bit errors per 4 KiB page added per 1000 P/E cycles at
+    /// the technology's rated endurance slope.
+    pub ber_per_kilocycle: f64,
+    /// Exponent of the wear curve: errors grow as `(cycles/1000)^exp`.
+    pub wear_exponent: f64,
+    /// Mean raw bit errors added per 100 000 reads of the block since its
+    /// last erase.
+    pub ber_per_100k_reads: f64,
+}
+
+impl ReliabilityModel {
+    /// Typical parameters for a cell technology (TLC wears fastest).
+    pub fn for_kind(kind: CellKind) -> Self {
+        match kind {
+            CellKind::Slc => ReliabilityModel {
+                ber_per_kilocycle: 0.5,
+                wear_exponent: 1.1,
+                ber_per_100k_reads: 0.5,
+            },
+            // MLC with BCH t=40: ~30 mean errors near the 3k-cycle budget,
+            // so end-of-life pages flicker across the ECC boundary.
+            CellKind::Mlc => ReliabilityModel {
+                ber_per_kilocycle: 7.0,
+                wear_exponent: 1.4,
+                ber_per_100k_reads: 2.0,
+            },
+            // TLC with LDPC t=72 (soft limit 144): near EOL the mean sits
+            // in the soft-retry region.
+            CellKind::Tlc => ReliabilityModel {
+                ber_per_kilocycle: 20.0,
+                wear_exponent: 1.5,
+                ber_per_100k_reads: 6.0,
+            },
+        }
+    }
+
+    /// Mean additional raw bit errors for a page in a block with
+    /// `erase_count` P/E cycles and `reads_since_erase` reads.
+    pub fn mean_extra_ber(&self, erase_count: u32, reads_since_erase: u64) -> f64 {
+        let kilocycles = f64::from(erase_count) / 1000.0;
+        let wear = self.ber_per_kilocycle * kilocycles.powf(self.wear_exponent);
+        let disturb = self.ber_per_100k_reads * reads_since_erase as f64 / 100_000.0;
+        wear + disturb
+    }
+
+    /// Samples the additional raw bit errors for one read (Poisson-ish
+    /// around the mean, clamped to a geometric-style spread).
+    pub fn sample_extra_ber(
+        &self,
+        erase_count: u32,
+        reads_since_erase: u64,
+        rng: &mut DetRng,
+    ) -> u32 {
+        let mean = self.mean_extra_ber(erase_count, reads_since_erase);
+        if mean <= 0.0 {
+            return 0;
+        }
+        // Multiplicative jitter in [0.5, 1.5): deterministic, cheap, and
+        // wide enough to make marginal pages flicker across the ECC
+        // boundary the way real ones do.
+        let jitter = 0.5 + rng.unit_f64();
+        (mean * jitter).round() as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_block_adds_nothing() {
+        let m = ReliabilityModel::for_kind(CellKind::Mlc);
+        let mut rng = DetRng::new(1);
+        assert_eq!(m.sample_extra_ber(0, 0, &mut rng), 0);
+    }
+
+    #[test]
+    fn wear_grows_superlinearly() {
+        let m = ReliabilityModel::for_kind(CellKind::Mlc);
+        let at_1k = m.mean_extra_ber(1_000, 0);
+        let at_2k = m.mean_extra_ber(2_000, 0);
+        let at_3k = m.mean_extra_ber(3_000, 0);
+        assert!(at_2k > at_1k * 2.0, "wear curve must be super-linear");
+        assert!(at_3k - at_2k > at_2k - at_1k);
+    }
+
+    #[test]
+    fn read_disturb_accumulates_and_is_linear() {
+        let m = ReliabilityModel::for_kind(CellKind::Mlc);
+        let base = m.mean_extra_ber(0, 0);
+        let some = m.mean_extra_ber(0, 100_000);
+        let more = m.mean_extra_ber(0, 200_000);
+        assert_eq!(base, 0.0);
+        assert!((more - some * 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tlc_wears_faster_than_mlc_than_slc() {
+        let cycles = 2_000;
+        let slc = ReliabilityModel::for_kind(CellKind::Slc).mean_extra_ber(cycles, 0);
+        let mlc = ReliabilityModel::for_kind(CellKind::Mlc).mean_extra_ber(cycles, 0);
+        let tlc = ReliabilityModel::for_kind(CellKind::Tlc).mean_extra_ber(cycles, 0);
+        assert!(tlc > mlc);
+        assert!(mlc > slc);
+    }
+
+    #[test]
+    fn sampling_is_centered_on_the_mean() {
+        let m = ReliabilityModel::for_kind(CellKind::Tlc);
+        let mut rng = DetRng::new(5);
+        let mean = m.mean_extra_ber(2_500, 50_000);
+        let n = 2_000;
+        let total: u64 = (0..n)
+            .map(|_| u64::from(m.sample_extra_ber(2_500, 50_000, &mut rng)))
+            .sum();
+        let empirical = total as f64 / n as f64;
+        assert!(
+            (empirical - mean).abs() / mean < 0.05,
+            "empirical {empirical} vs mean {mean}"
+        );
+    }
+}

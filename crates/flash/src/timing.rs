@@ -1,0 +1,103 @@
+//! NAND operation latencies.
+//!
+//! Latencies matter to the failure model: the paper attributes flash's
+//! power-fault vulnerability to the *length* of program and erase
+//! operations (§I) — a 1.3 ms MLC page program or 3 ms erase is a wide
+//! window for a fault to land in. Upper pages take longer than lower pages
+//! (more ISPP steps), which also widens the paired-page exposure.
+
+use serde::{Deserialize, Serialize};
+
+use pfault_sim::SimDuration;
+
+use crate::cell::CellKind;
+use crate::pairing;
+
+/// Operation latencies for one flash part.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlashTiming {
+    /// Page read (array to register + transfer).
+    pub read: SimDuration,
+    /// Program of a wordline's first ("lower") page.
+    pub program_lower: SimDuration,
+    /// Program of subsequent ("upper") pages of a wordline.
+    pub program_upper: SimDuration,
+    /// Block erase.
+    pub erase: SimDuration,
+}
+
+impl FlashTiming {
+    /// Typical timings for a cell technology (datasheet-order values).
+    pub fn for_kind(kind: CellKind) -> Self {
+        match kind {
+            CellKind::Slc => FlashTiming {
+                read: SimDuration::from_micros(30),
+                program_lower: SimDuration::from_micros(300),
+                program_upper: SimDuration::from_micros(300),
+                erase: SimDuration::from_micros(2_000),
+            },
+            CellKind::Mlc => FlashTiming {
+                read: SimDuration::from_micros(60),
+                program_lower: SimDuration::from_micros(500),
+                program_upper: SimDuration::from_micros(1_600),
+                erase: SimDuration::from_micros(3_000),
+            },
+            CellKind::Tlc => FlashTiming {
+                read: SimDuration::from_micros(90),
+                program_lower: SimDuration::from_micros(700),
+                program_upper: SimDuration::from_micros(2_300),
+                erase: SimDuration::from_micros(5_000),
+            },
+        }
+    }
+
+    /// Program latency for page `page` of a block of `kind` cells
+    /// (lower pages are faster than upper pages).
+    pub fn program_duration(&self, kind: CellKind, page: u64) -> SimDuration {
+        if pairing::slot_of(kind, page).level_index == 0 {
+            self.program_lower
+        } else {
+            self.program_upper
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn upper_pages_are_slower_for_mlc_tlc() {
+        for kind in [CellKind::Mlc, CellKind::Tlc] {
+            let t = FlashTiming::for_kind(kind);
+            assert!(t.program_upper > t.program_lower, "{kind:?}");
+            assert_eq!(t.program_duration(kind, 0), t.program_lower);
+            assert_eq!(t.program_duration(kind, 1), t.program_upper);
+        }
+    }
+
+    #[test]
+    fn slc_is_uniform_and_fastest() {
+        let slc = FlashTiming::for_kind(CellKind::Slc);
+        let mlc = FlashTiming::for_kind(CellKind::Mlc);
+        assert_eq!(slc.program_lower, slc.program_upper);
+        assert!(slc.program_lower < mlc.program_lower);
+        assert!(slc.erase < mlc.erase);
+    }
+
+    #[test]
+    fn erase_is_the_longest_operation() {
+        for kind in [CellKind::Slc, CellKind::Mlc, CellKind::Tlc] {
+            let t = FlashTiming::for_kind(kind);
+            assert!(t.erase > t.program_upper);
+            assert!(t.program_lower > t.read);
+        }
+    }
+
+    #[test]
+    fn tlc_wordline_third_page_counts_as_upper() {
+        let t = FlashTiming::for_kind(CellKind::Tlc);
+        assert_eq!(t.program_duration(CellKind::Tlc, 2), t.program_upper);
+        assert_eq!(t.program_duration(CellKind::Tlc, 3), t.program_lower);
+    }
+}

@@ -1,0 +1,123 @@
+//! FTL configuration.
+
+use serde::{Deserialize, Serialize};
+
+use pfault_flash::geometry::FlashGeometry;
+use pfault_sim::SimDuration;
+
+/// How the firmware rebuilds the mapping table after power loss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RecoveryPolicy {
+    /// Replay the durable checkpoint + journal only (fast boot; anything
+    /// not committed reverts). This is what the consumer drives the paper
+    /// studies appear to do.
+    JournalReplay,
+    /// Additionally scan every touched block's OOB metadata and adopt the
+    /// newest readable version of each sector — slower to boot, but
+    /// recovers cleanly-programmed data whose mapping never committed.
+    FullScan,
+}
+
+/// Tunables of the translation layer.
+///
+/// The defaults are sized for the paper's consumer-class SATA drives.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FtlConfig {
+    /// Array geometry the FTL manages.
+    pub geometry: FlashGeometry,
+    /// How often the volatile journal buffer is committed to a flash
+    /// journal page, at the latest (the paper-visible "post-ACK
+    /// vulnerability" is bounded by this plus the cache flush delay).
+    pub commit_interval: SimDuration,
+    /// Commit as soon as this many committable entries are pending, even
+    /// before the interval elapses.
+    pub commit_threshold: usize,
+    /// Use extent-compressed mapping entries for logically+physically
+    /// consecutive runs (§IV-D). When `false`, every sector is a point
+    /// entry.
+    pub extent_mapping: bool,
+    /// Maximum pages a single extent may cover before it is force-closed
+    /// and becomes committable.
+    pub max_extent_len: u64,
+    /// Start garbage collection when fewer fresh-or-recycled blocks than
+    /// this remain available.
+    pub gc_low_water_blocks: u64,
+    /// Persist a full mapping-table checkpoint after this many durable
+    /// journal batches (bounds recovery replay). `0` disables
+    /// checkpointing.
+    pub checkpoint_every_batches: u64,
+    /// Post-outage mapping reconstruction strategy.
+    pub recovery_policy: RecoveryPolicy,
+}
+
+impl FtlConfig {
+    /// A sensible default configuration for `geometry`.
+    pub fn for_geometry(geometry: FlashGeometry) -> Self {
+        // commit_threshold = 1: the firmware commits closed entries as
+        // soon as the control slot frees up, so the under-load mapping
+        // window is just the journal-program backlog (~ms) and scales with
+        // the write rate. commit_interval bounds the *idle* tail instead:
+        // an open extent is only force-closed by the periodic interval
+        // commit, which is where the paper's "failures up to ~700 ms after
+        // completion" (§IV-A) come from.
+        FtlConfig {
+            geometry,
+            commit_interval: SimDuration::from_millis(700),
+            commit_threshold: 1,
+            extent_mapping: true,
+            max_extent_len: 320,
+            gc_low_water_blocks: 4,
+            checkpoint_every_batches: 512,
+            recovery_policy: RecoveryPolicy::JournalReplay,
+        }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if thresholds are degenerate (zero).
+    pub fn validate(&self) {
+        assert!(
+            self.commit_threshold > 0,
+            "commit threshold must be positive"
+        );
+        assert!(
+            self.max_extent_len > 0,
+            "max extent length must be positive"
+        );
+        assert!(
+            self.gc_low_water_blocks < self.geometry.blocks(),
+            "gc low-water mark exceeds geometry"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        let c = FtlConfig::for_geometry(FlashGeometry::new(128, 64));
+        c.validate();
+        assert!(c.extent_mapping);
+        assert_eq!(c.commit_interval, SimDuration::from_millis(700));
+    }
+
+    #[test]
+    #[should_panic(expected = "commit threshold must be positive")]
+    fn zero_threshold_rejected() {
+        let mut c = FtlConfig::for_geometry(FlashGeometry::new(128, 64));
+        c.commit_threshold = 0;
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "gc low-water mark exceeds geometry")]
+    fn gc_watermark_bounded_by_geometry() {
+        let mut c = FtlConfig::for_geometry(FlashGeometry::new(8, 64));
+        c.gc_low_water_blocks = 8;
+        c.validate();
+    }
+}

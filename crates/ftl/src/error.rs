@@ -1,0 +1,72 @@
+//! FTL errors.
+
+use core::fmt;
+
+use pfault_flash::FlashError;
+
+/// Errors returned by FTL operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FtlError {
+    /// No free flash block is available for allocation (GC cannot keep up
+    /// or the device is genuinely full).
+    OutOfBlocks,
+    /// The logical address lies beyond the exported capacity.
+    LbaOutOfRange {
+        /// Offending sector index.
+        lba: u64,
+        /// Exported capacity in sectors.
+        capacity: u64,
+    },
+    /// An underlying flash operation failed.
+    Flash(FlashError),
+}
+
+impl fmt::Display for FtlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FtlError::OutOfBlocks => write!(f, "no free flash blocks available"),
+            FtlError::LbaOutOfRange { lba, capacity } => {
+                write!(
+                    f,
+                    "lba {lba} beyond exported capacity of {capacity} sectors"
+                )
+            }
+            FtlError::Flash(e) => write!(f, "flash operation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FtlError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FtlError::Flash(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FlashError> for FtlError {
+    fn from(e: FlashError) -> Self {
+        FtlError::Flash(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = FtlError::Flash(FlashError::PoweredOff);
+        assert!(e.to_string().contains("flash operation failed"));
+        assert!(e.source().is_some());
+        assert!(FtlError::OutOfBlocks.source().is_none());
+    }
+
+    #[test]
+    fn from_flash_error() {
+        let e: FtlError = FlashError::PoweredOff.into();
+        assert_eq!(e, FtlError::Flash(FlashError::PoweredOff));
+    }
+}

@@ -1,0 +1,475 @@
+//! Mapping journal: volatile buffer, batches, and the durable log.
+//!
+//! Every mapping update enters the volatile [`JournalBuffer`]. Point
+//! entries (and *closed* extents) are committable; the currently-growing
+//! extent of a sequential run is **not** — it stays volatile until the run
+//! breaks or hits the configured length cap. A commit drains committable
+//! entries into a [`JournalBatch`], which the device writes to a flash
+//! journal page; only then does the batch enter the [`DurableLog`] that
+//! power-loss recovery replays.
+//!
+//! The set of LBAs covered by entries still in the buffer at the instant of
+//! a power fault is exactly the set that reverts to stale mappings — the
+//! "data loss after request completion" population of §IV-A.
+
+use serde::{Deserialize, Serialize};
+
+use pfault_flash::geometry::Ppa;
+use pfault_sim::Lba;
+
+/// One mapping-journal record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JournalEntry {
+    /// A single-sector mapping.
+    Point {
+        /// Logical sector.
+        lba: Lba,
+        /// Its new physical page.
+        ppa: Ppa,
+    },
+    /// A run of `len` consecutive sectors mapped to `len` consecutive
+    /// pages starting at `ppa_start` (the §IV-D "first address only"
+    /// compression).
+    Extent {
+        /// First logical sector of the run.
+        lba_start: Lba,
+        /// First physical page of the run.
+        ppa_start: Ppa,
+        /// Run length in sectors.
+        len: u64,
+    },
+    /// A TRIM: the sector's mapping was discarded.
+    Trim {
+        /// Trimmed logical sector.
+        lba: Lba,
+    },
+}
+
+impl JournalEntry {
+    /// Number of sectors this entry maps.
+    pub fn coverage(&self) -> u64 {
+        match self {
+            JournalEntry::Point { .. } | JournalEntry::Trim { .. } => 1,
+            JournalEntry::Extent { len, .. } => *len,
+        }
+    }
+
+    /// Iterates the `(lba, ppa)` pairs this entry encodes. Extents follow
+    /// physical allocation order, wrapping into the next block after
+    /// `pages_per_block` pages (run-compressed mapping spans blocks that
+    /// were allocated consecutively).
+    pub fn pairs(&self, pages_per_block: u64) -> Vec<(Lba, Ppa)> {
+        match *self {
+            JournalEntry::Point { lba, ppa } => vec![(lba, ppa)],
+            JournalEntry::Trim { .. } => Vec::new(),
+            JournalEntry::Extent {
+                lba_start,
+                ppa_start,
+                len,
+            } => (0..len)
+                .map(|i| {
+                    let flat = ppa_start.block * pages_per_block + ppa_start.page + i;
+                    (
+                        Lba::new(lba_start.index() + i),
+                        Ppa::new(flat / pages_per_block, flat % pages_per_block),
+                    )
+                })
+                .collect(),
+        }
+    }
+}
+
+/// A committed (or about-to-commit) group of journal entries.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JournalBatch {
+    /// Monotonic batch identifier.
+    pub id: u64,
+    /// Entries in commit order.
+    pub entries: Vec<JournalEntry>,
+}
+
+impl JournalBatch {
+    /// Total sectors mapped by this batch.
+    pub fn coverage(&self) -> u64 {
+        self.entries.iter().map(JournalEntry::coverage).sum()
+    }
+
+    /// Returns the batch truncated to its first `sectors` sectors of
+    /// coverage — what survives of a torn journal write. The boundary
+    /// extent is split mid-run; a zero budget yields an empty batch.
+    pub fn torn_prefix(&self, sectors: u64) -> JournalBatch {
+        let mut budget = sectors;
+        let mut entries = Vec::new();
+        for e in &self.entries {
+            if budget == 0 {
+                break;
+            }
+            let cov = e.coverage();
+            if cov <= budget {
+                entries.push(*e);
+                budget -= cov;
+            } else {
+                if let JournalEntry::Extent {
+                    lba_start,
+                    ppa_start,
+                    ..
+                } = *e
+                {
+                    entries.push(if budget == 1 {
+                        JournalEntry::Point {
+                            lba: lba_start,
+                            ppa: ppa_start,
+                        }
+                    } else {
+                        JournalEntry::Extent {
+                            lba_start,
+                            ppa_start,
+                            len: budget,
+                        }
+                    });
+                }
+                break;
+            }
+        }
+        JournalBatch {
+            id: self.id,
+            entries,
+        }
+    }
+}
+
+/// The volatile journal buffer inside controller RAM.
+#[derive(Debug, Clone, Default)]
+pub struct JournalBuffer {
+    pending: Vec<JournalEntry>,
+    open: Option<OpenExtent>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct OpenExtent {
+    lba_start: Lba,
+    ppa_start: Ppa,
+    len: u64,
+}
+
+impl OpenExtent {
+    fn entry(self) -> JournalEntry {
+        if self.len == 1 {
+            JournalEntry::Point {
+                lba: self.lba_start,
+                ppa: self.ppa_start,
+            }
+        } else {
+            JournalEntry::Extent {
+                lba_start: self.lba_start,
+                ppa_start: self.ppa_start,
+                len: self.len,
+            }
+        }
+    }
+
+    fn extends(&self, lba: Lba, ppa: Ppa, pages_per_block: u64) -> bool {
+        let next_flat = self.ppa_start.block * pages_per_block + self.ppa_start.page + self.len;
+        lba.index() == self.lba_start.index() + self.len
+            && ppa.block * pages_per_block + ppa.page == next_flat
+    }
+}
+
+impl JournalBuffer {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        JournalBuffer::default()
+    }
+
+    /// Records a mapping update.
+    ///
+    /// With `extent_mapping`, consecutive updates merge into a growing open
+    /// extent, force-closed at `max_extent_len`. Without it, every update
+    /// is an immediately-committable point entry.
+    pub fn record(
+        &mut self,
+        lba: Lba,
+        ppa: Ppa,
+        extent_mapping: bool,
+        max_extent_len: u64,
+        pages_per_block: u64,
+    ) {
+        if !extent_mapping {
+            self.pending.push(JournalEntry::Point { lba, ppa });
+            return;
+        }
+        match self.open {
+            Some(ref mut open) if open.extends(lba, ppa, pages_per_block) => {
+                open.len += 1;
+                if open.len >= max_extent_len {
+                    let closed = open.entry();
+                    self.pending.push(closed);
+                    self.open = None;
+                }
+            }
+            Some(open) => {
+                self.pending.push(open.entry());
+                self.open = Some(OpenExtent {
+                    lba_start: lba,
+                    ppa_start: ppa,
+                    len: 1,
+                });
+            }
+            None => {
+                self.open = Some(OpenExtent {
+                    lba_start: lba,
+                    ppa_start: ppa,
+                    len: 1,
+                });
+            }
+        }
+    }
+
+    /// Records a TRIM of `lba`: closes any open extent (the run is
+    /// broken) and queues a committable trim entry.
+    pub fn record_trim(&mut self, lba: Lba) {
+        self.close_open();
+        self.pending.push(JournalEntry::Trim { lba });
+    }
+
+    /// Number of committable (closed) entries.
+    pub fn committable_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Total sectors covered by *all* volatile state (closed + open) —
+    /// the population lost to a power fault right now.
+    pub fn volatile_coverage(&self) -> u64 {
+        self.pending.iter().map(JournalEntry::coverage).sum::<u64>()
+            + self.open.map_or(0, |o| o.len)
+    }
+
+    /// Sectors covered by the open (uncommittable) extent only.
+    pub fn open_coverage(&self) -> u64 {
+        self.open.map_or(0, |o| o.len)
+    }
+
+    /// Drains the committable entries (the open extent stays behind).
+    pub fn drain_committable(&mut self) -> Vec<JournalEntry> {
+        std::mem::take(&mut self.pending)
+    }
+
+    /// Force-closes the open extent, making it committable (used on clean
+    /// flush / brownout race).
+    pub fn close_open(&mut self) {
+        if let Some(open) = self.open.take() {
+            self.pending.push(open.entry());
+        }
+    }
+
+    /// Discards everything (power loss).
+    pub fn clear(&mut self) {
+        self.pending.clear();
+        self.open = None;
+    }
+
+    /// Whether there is nothing volatile at all.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty() && self.open.is_none()
+    }
+}
+
+/// The durable journal: batches whose journal page program completed.
+///
+/// This models the *contents* of the flash journal pages; durability of
+/// each batch is decided by the device layer (the batch is appended only
+/// after its journal page program completes). Each batch remembers which
+/// flash page backs it, so recovery can verify the page is still readable.
+#[derive(Debug, Clone, Default)]
+pub struct DurableLog {
+    batches: Vec<(Ppa, JournalBatch)>,
+}
+
+impl DurableLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        DurableLog::default()
+    }
+
+    /// Appends a batch backed by journal page `page`.
+    pub fn append(&mut self, page: Ppa, batch: JournalBatch) {
+        debug_assert!(
+            self.batches.last().is_none_or(|(_, b)| b.id < batch.id),
+            "batch ids must be monotonic"
+        );
+        self.batches.push((page, batch));
+    }
+
+    /// Iterates batches in commit order with their backing pages.
+    pub fn iter(&self) -> impl Iterator<Item = (Ppa, &JournalBatch)> + '_ {
+        self.batches.iter().map(|(p, b)| (*p, b))
+    }
+
+    /// Number of durable batches.
+    pub fn len(&self) -> usize {
+        self.batches.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.batches.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lba(i: u64) -> Lba {
+        Lba::new(i)
+    }
+
+    #[test]
+    fn point_mode_entries_commit_immediately() {
+        let mut b = JournalBuffer::new();
+        b.record(lba(1), Ppa::new(0, 0), false, 64, 256);
+        b.record(lba(2), Ppa::new(0, 1), false, 64, 256);
+        assert_eq!(b.committable_len(), 2);
+        assert_eq!(b.open_coverage(), 0);
+    }
+
+    #[test]
+    fn sequential_run_stays_open() {
+        let mut b = JournalBuffer::new();
+        for i in 0..10 {
+            b.record(lba(100 + i), Ppa::new(3, i), true, 64, 256);
+        }
+        // Whole run is one open extent: nothing committable.
+        assert_eq!(b.committable_len(), 0);
+        assert_eq!(b.open_coverage(), 10);
+        assert_eq!(b.volatile_coverage(), 10);
+    }
+
+    #[test]
+    fn run_break_closes_extent() {
+        let mut b = JournalBuffer::new();
+        b.record(lba(1), Ppa::new(0, 0), true, 64, 256);
+        b.record(lba(2), Ppa::new(0, 1), true, 64, 256);
+        b.record(lba(50), Ppa::new(0, 2), true, 64, 256); // break
+        assert_eq!(b.committable_len(), 1);
+        let drained = b.drain_committable();
+        assert_eq!(
+            drained,
+            vec![JournalEntry::Extent {
+                lba_start: lba(1),
+                ppa_start: Ppa::new(0, 0),
+                len: 2
+            }]
+        );
+        assert_eq!(b.open_coverage(), 1); // lba 50 still open
+    }
+
+    #[test]
+    fn physical_discontinuity_breaks_run() {
+        let mut b = JournalBuffer::new();
+        b.record(lba(1), Ppa::new(0, 0), true, 64, 256);
+        // Logically consecutive but physically in another block.
+        b.record(lba(2), Ppa::new(1, 0), true, 64, 256);
+        assert_eq!(b.committable_len(), 1);
+    }
+
+    #[test]
+    fn max_extent_len_forces_close() {
+        let mut b = JournalBuffer::new();
+        for i in 0..8 {
+            b.record(lba(i), Ppa::new(0, i), true, 4, 256);
+        }
+        // Two closed extents of 4, nothing open.
+        assert_eq!(b.committable_len(), 2);
+        assert_eq!(b.open_coverage(), 0);
+    }
+
+    #[test]
+    fn single_update_closes_as_point() {
+        let mut b = JournalBuffer::new();
+        b.record(lba(9), Ppa::new(2, 5), true, 64, 256);
+        b.close_open();
+        assert_eq!(
+            b.drain_committable(),
+            vec![JournalEntry::Point {
+                lba: lba(9),
+                ppa: Ppa::new(2, 5)
+            }]
+        );
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn clear_models_power_loss() {
+        let mut b = JournalBuffer::new();
+        b.record(lba(1), Ppa::new(0, 0), true, 64, 256);
+        b.record(lba(5), Ppa::new(0, 1), true, 64, 256);
+        assert!(!b.is_empty());
+        b.clear();
+        assert!(b.is_empty());
+        assert_eq!(b.volatile_coverage(), 0);
+    }
+
+    #[test]
+    fn entry_pairs_expand_extents() {
+        let e = JournalEntry::Extent {
+            lba_start: lba(10),
+            ppa_start: Ppa::new(2, 4),
+            len: 3,
+        };
+        assert_eq!(e.coverage(), 3);
+        assert_eq!(
+            e.pairs(256),
+            vec![
+                (lba(10), Ppa::new(2, 4)),
+                (lba(11), Ppa::new(2, 5)),
+                (lba(12), Ppa::new(2, 6)),
+            ]
+        );
+    }
+
+    #[test]
+    fn durable_log_appends_in_order() {
+        let mut log = DurableLog::new();
+        log.append(
+            Ppa::new(9, 0),
+            JournalBatch {
+                id: 1,
+                entries: vec![],
+            },
+        );
+        log.append(
+            Ppa::new(9, 1),
+            JournalBatch {
+                id: 2,
+                entries: vec![JournalEntry::Point {
+                    lba: lba(1),
+                    ppa: Ppa::new(0, 0),
+                }],
+            },
+        );
+        assert_eq!(log.len(), 2);
+        let ids: Vec<u64> = log.iter().map(|(_, b)| b.id).collect();
+        assert_eq!(ids, vec![1, 2]);
+        assert_eq!(log.iter().nth(1).unwrap().1.coverage(), 1);
+    }
+
+    #[test]
+    fn batch_coverage_sums_entries() {
+        let batch = JournalBatch {
+            id: 7,
+            entries: vec![
+                JournalEntry::Point {
+                    lba: lba(1),
+                    ppa: Ppa::new(0, 0),
+                },
+                JournalEntry::Extent {
+                    lba_start: lba(10),
+                    ppa_start: Ppa::new(1, 0),
+                    len: 5,
+                },
+            ],
+        };
+        assert_eq!(batch.coverage(), 6);
+    }
+}

@@ -1,0 +1,166 @@
+//! The volatile logical-to-physical mapping table.
+//!
+//! This is the RAM-resident structure the paper's §IV-D worries about: it
+//! exists only while the controller has power. [`MappingTable`] also tracks
+//! per-block valid-page counts so garbage collection can pick victims.
+
+use std::collections::HashMap;
+
+use pfault_flash::geometry::Ppa;
+use pfault_sim::Lba;
+
+/// Volatile L2P map plus per-block valid-page accounting.
+///
+/// # Example
+///
+/// ```
+/// use pfault_ftl::mapping::MappingTable;
+/// use pfault_flash::geometry::Ppa;
+/// use pfault_sim::Lba;
+///
+/// let mut map = MappingTable::new();
+/// map.update(Lba::new(1), Ppa::new(0, 0));
+/// map.update(Lba::new(1), Ppa::new(0, 1)); // overwrite invalidates 0/0
+/// assert_eq!(map.lookup(Lba::new(1)), Some(Ppa::new(0, 1)));
+/// assert_eq!(map.valid_pages_in(0), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MappingTable {
+    l2p: HashMap<Lba, Ppa>,
+    valid_per_block: HashMap<u64, u64>,
+}
+
+impl MappingTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        MappingTable::default()
+    }
+
+    /// Current physical location of `lba`, if mapped.
+    pub fn lookup(&self, lba: Lba) -> Option<Ppa> {
+        self.l2p.get(&lba).copied()
+    }
+
+    /// Installs `lba → ppa`, returning the previous location (now invalid)
+    /// if there was one.
+    pub fn update(&mut self, lba: Lba, ppa: Ppa) -> Option<Ppa> {
+        let old = self.l2p.insert(lba, ppa);
+        *self.valid_per_block.entry(ppa.block).or_insert(0) += 1;
+        if let Some(old_ppa) = old {
+            self.decrement(old_ppa.block);
+        }
+        old
+    }
+
+    fn decrement(&mut self, block: u64) {
+        if let Some(count) = self.valid_per_block.get_mut(&block) {
+            *count = count.saturating_sub(1);
+            if *count == 0 {
+                self.valid_per_block.remove(&block);
+            }
+        }
+    }
+
+    /// Removes the mapping for `lba` (TRIM-like), if present.
+    pub fn remove(&mut self, lba: Lba) -> Option<Ppa> {
+        let old = self.l2p.remove(&lba);
+        if let Some(ppa) = old {
+            self.decrement(ppa.block);
+        }
+        old
+    }
+
+    /// Number of valid (currently mapped) pages residing in `block`.
+    pub fn valid_pages_in(&self, block: u64) -> u64 {
+        self.valid_per_block.get(&block).copied().unwrap_or(0)
+    }
+
+    /// Total mapped sectors.
+    pub fn len(&self) -> usize {
+        self.l2p.len()
+    }
+
+    /// Whether no sector is mapped.
+    pub fn is_empty(&self) -> bool {
+        self.l2p.is_empty()
+    }
+
+    /// Iterates `(lba, ppa)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (Lba, Ppa)> + '_ {
+        self.l2p.iter().map(|(&l, &p)| (l, p))
+    }
+
+    /// All LBAs currently mapped into `block` (GC relocation set).
+    pub fn lbas_in_block(&self, block: u64) -> Vec<Lba> {
+        let mut v: Vec<Lba> = self
+            .l2p
+            .iter()
+            .filter(|(_, p)| p.block == block)
+            .map(|(&l, _)| l)
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Blocks that hold at least one valid page, with their counts.
+    pub fn blocks_with_valid_pages(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.valid_per_block.iter().map(|(&b, &c)| (b, c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn update_and_lookup() {
+        let mut m = MappingTable::new();
+        assert_eq!(m.lookup(Lba::new(1)), None);
+        assert_eq!(m.update(Lba::new(1), Ppa::new(2, 3)), None);
+        assert_eq!(m.lookup(Lba::new(1)), Some(Ppa::new(2, 3)));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn overwrite_returns_and_invalidates_old() {
+        let mut m = MappingTable::new();
+        m.update(Lba::new(1), Ppa::new(0, 0));
+        let old = m.update(Lba::new(1), Ppa::new(1, 0));
+        assert_eq!(old, Some(Ppa::new(0, 0)));
+        assert_eq!(m.valid_pages_in(0), 0);
+        assert_eq!(m.valid_pages_in(1), 1);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn remove_clears_accounting() {
+        let mut m = MappingTable::new();
+        m.update(Lba::new(9), Ppa::new(4, 0));
+        assert_eq!(m.remove(Lba::new(9)), Some(Ppa::new(4, 0)));
+        assert_eq!(m.valid_pages_in(4), 0);
+        assert!(m.is_empty());
+        assert_eq!(m.remove(Lba::new(9)), None);
+    }
+
+    #[test]
+    fn lbas_in_block_is_sorted_and_filtered() {
+        let mut m = MappingTable::new();
+        m.update(Lba::new(5), Ppa::new(7, 0));
+        m.update(Lba::new(2), Ppa::new(7, 1));
+        m.update(Lba::new(3), Ppa::new(8, 0));
+        assert_eq!(m.lbas_in_block(7), vec![Lba::new(2), Lba::new(5)]);
+        assert_eq!(m.lbas_in_block(9), Vec::<Lba>::new());
+    }
+
+    #[test]
+    fn valid_counts_track_multiple_blocks() {
+        let mut m = MappingTable::new();
+        for i in 0..10 {
+            m.update(Lba::new(i), Ppa::new(i % 2, i));
+        }
+        assert_eq!(m.valid_pages_in(0), 5);
+        assert_eq!(m.valid_pages_in(1), 5);
+        let total: u64 = m.blocks_with_valid_pages().map(|(_, c)| c).sum();
+        assert_eq!(total, 10);
+    }
+}

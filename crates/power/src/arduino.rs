@@ -1,0 +1,122 @@
+//! Arduino UNO command path.
+//!
+//! The paper's software part sends On/Off commands over a serial link to an
+//! ATmega328 microcontroller, whose pin 13 drives the ATX `PS_ON` pin
+//! (§III-A2). The path contributes a small, deterministic latency: serial
+//! transfer of the one-byte command plus the firmware loop reacting to it.
+//! The platform accounts for this delay when scheduling fault instants.
+
+use pfault_sim::{SimDuration, SimTime};
+
+use crate::atx::PsOn;
+
+/// Commands the scheduler can send to the board.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PowerCommand {
+    /// Keep/restore SSD power.
+    On,
+    /// Cut SSD power.
+    Off,
+}
+
+/// The Arduino UNO command path model.
+///
+/// # Example
+///
+/// ```
+/// use pfault_power::arduino::{ArduinoUno, PowerCommand};
+/// use pfault_sim::SimTime;
+///
+/// let mut board = ArduinoUno::new();
+/// let sent = SimTime::from_millis(10);
+/// let effective = board.send(PowerCommand::Off, sent);
+/// assert!(effective > sent); // serial + firmware latency
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArduinoUno {
+    serial_latency: SimDuration,
+    loop_latency: SimDuration,
+    pin13_high: bool,
+}
+
+impl ArduinoUno {
+    /// Creates a board with typical latencies: 115200-baud serial
+    /// (~100 µs/byte) and a ~1 ms firmware loop.
+    pub fn new() -> Self {
+        ArduinoUno {
+            serial_latency: SimDuration::from_micros(100),
+            loop_latency: SimDuration::from_millis(1),
+            pin13_high: false,
+        }
+    }
+
+    /// Creates a board with explicit latencies.
+    pub fn with_latencies(serial: SimDuration, firmware_loop: SimDuration) -> Self {
+        ArduinoUno {
+            serial_latency: serial,
+            loop_latency: firmware_loop,
+            pin13_high: false,
+        }
+    }
+
+    /// Total command latency (serial + firmware loop).
+    pub fn command_latency(&self) -> SimDuration {
+        self.serial_latency + self.loop_latency
+    }
+
+    /// Sends a command at `sent`; returns the instant pin 13 actually
+    /// switches and updates the pin state.
+    pub fn send(&mut self, command: PowerCommand, sent: SimTime) -> SimTime {
+        self.pin13_high = matches!(command, PowerCommand::Off);
+        sent + self.command_latency()
+    }
+
+    /// Current pin 13 level as a `PS_ON` logic level: pin 13 high drives
+    /// ATX pin 16 high, which (active low) cuts the supply.
+    pub fn ps_on_level(&self) -> PsOn {
+        if self.pin13_high {
+            PsOn::High
+        } else {
+            PsOn::Low
+        }
+    }
+}
+
+impl Default for ArduinoUno {
+    fn default() -> Self {
+        ArduinoUno::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_command_raises_pin_after_latency() {
+        let mut board = ArduinoUno::new();
+        assert_eq!(board.ps_on_level(), PsOn::Low);
+        let sent = SimTime::from_millis(5);
+        let effective = board.send(PowerCommand::Off, sent);
+        assert_eq!(effective - sent, board.command_latency());
+        assert_eq!(board.ps_on_level(), PsOn::High);
+    }
+
+    #[test]
+    fn on_command_lowers_pin() {
+        let mut board = ArduinoUno::new();
+        board.send(PowerCommand::Off, SimTime::ZERO);
+        board.send(PowerCommand::On, SimTime::from_millis(1));
+        assert_eq!(board.ps_on_level(), PsOn::Low);
+    }
+
+    #[test]
+    fn custom_latencies_are_respected() {
+        let mut board = ArduinoUno::with_latencies(
+            SimDuration::from_micros(200),
+            SimDuration::from_micros(800),
+        );
+        let effective = board.send(PowerCommand::Off, SimTime::ZERO);
+        assert_eq!(effective, SimTime::from_micros(1_000));
+    }
+}

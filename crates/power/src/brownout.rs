@@ -1,0 +1,187 @@
+//! Transient voltage sags ("brownouts") — an extension beyond the paper.
+//!
+//! The paper injects only complete outages (the rail discharges to zero
+//! and the drive is power-cycled). Data-centre power incidents also
+//! include *sags*: the rail dips for tens of milliseconds and recovers.
+//! Whether a sag is harmless, drops the host link, or resets the
+//! controller depends on how deep it goes relative to the same thresholds
+//! that structure the full-outage timeline ([`crate::psu`]).
+//!
+//! A [`BrownoutEvent`] is a symmetric V-shaped dip: linear sag from
+//! nominal to `floor` over `sag`, then linear recovery over `recovery`.
+
+use serde::{Deserialize, Serialize};
+
+use pfault_sim::{SimDuration, SimTime};
+
+use crate::psu::{CORE_DEATH_MV, FLASH_UNRELIABLE_MV, HOST_LOSS_MV};
+use crate::volts::Millivolts;
+
+/// How badly a sag of a given depth hurts an attached SSD.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BrownoutSeverity {
+    /// Floor stays above the host-loss threshold: invisible to the stack.
+    Harmless,
+    /// The SATA link drops (in-flight commands error) but the controller
+    /// rides it out: no internal state is lost.
+    LinkDrop,
+    /// The controller's brownout detector resets the chip: volatile state
+    /// is lost exactly as in a full outage, but power returns by itself.
+    ControllerReset,
+    /// Deep enough to kill the flash core outright (equivalent to a full
+    /// outage for any in-flight operation).
+    CoreLoss,
+}
+
+/// A transient V-shaped voltage sag.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BrownoutEvent {
+    /// When the rail starts sagging.
+    pub start: SimTime,
+    /// Deepest rail voltage reached.
+    pub floor: Millivolts,
+    /// Time from nominal down to the floor.
+    pub sag: SimDuration,
+    /// Time from the floor back to nominal.
+    pub recovery: SimDuration,
+}
+
+impl BrownoutEvent {
+    /// A typical shallow sag (4.6 V floor, 20 ms down, 20 ms up).
+    pub fn shallow(start: SimTime) -> Self {
+        BrownoutEvent {
+            start,
+            floor: Millivolts::new(4600),
+            sag: SimDuration::from_millis(20),
+            recovery: SimDuration::from_millis(20),
+        }
+    }
+
+    /// A deep sag that resets the controller (3.5 V floor).
+    pub fn deep(start: SimTime) -> Self {
+        BrownoutEvent {
+            start,
+            floor: Millivolts::new(3500),
+            sag: SimDuration::from_millis(30),
+            recovery: SimDuration::from_millis(30),
+        }
+    }
+
+    /// When the rail is back at nominal.
+    pub fn end(&self) -> SimTime {
+        self.start + self.sag + self.recovery
+    }
+
+    /// Severity classification by floor depth.
+    pub fn severity(&self) -> BrownoutSeverity {
+        if self.floor > HOST_LOSS_MV {
+            BrownoutSeverity::Harmless
+        } else if self.floor > FLASH_UNRELIABLE_MV {
+            BrownoutSeverity::LinkDrop
+        } else if self.floor > CORE_DEATH_MV {
+            BrownoutSeverity::ControllerReset
+        } else {
+            BrownoutSeverity::CoreLoss
+        }
+    }
+
+    /// Rail voltage at `now` (nominal outside the event window).
+    pub fn voltage_at(&self, now: SimTime, nominal: Millivolts) -> Millivolts {
+        if now <= self.start || now >= self.end() {
+            return nominal;
+        }
+        let bottom_at = self.start + self.sag;
+        let span_mv = f64::from(nominal.get()) - f64::from(self.floor.get());
+        if now <= bottom_at {
+            let frac = now.saturating_since(self.start).as_micros() as f64
+                / self.sag.as_micros().max(1) as f64;
+            Millivolts::new((f64::from(nominal.get()) - span_mv * frac).round() as u32)
+        } else {
+            let frac = now.saturating_since(bottom_at).as_micros() as f64
+                / self.recovery.as_micros().max(1) as f64;
+            Millivolts::new((f64::from(self.floor.get()) + span_mv * frac).round() as u32)
+        }
+    }
+
+    /// The window during which the rail sits below `threshold`, if the
+    /// sag reaches it: `(crossing down, crossing up)`.
+    pub fn window_below(
+        &self,
+        threshold: Millivolts,
+        nominal: Millivolts,
+    ) -> Option<(SimTime, SimTime)> {
+        if self.floor >= threshold {
+            return None;
+        }
+        let span_mv = f64::from(nominal.get()) - f64::from(self.floor.get());
+        let frac = (f64::from(nominal.get()) - f64::from(threshold.get())) / span_mv;
+        let down = self.start + self.sag.mul_f64(frac);
+        let up = self.start + self.sag + self.recovery.mul_f64(1.0 - frac);
+        Some((down, up))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_classifies_by_floor() {
+        let t = SimTime::ZERO;
+        assert_eq!(
+            BrownoutEvent::shallow(t).severity(),
+            BrownoutSeverity::Harmless
+        );
+        let mut e = BrownoutEvent::shallow(t);
+        e.floor = Millivolts::new(4495);
+        assert_eq!(e.severity(), BrownoutSeverity::LinkDrop);
+        assert_eq!(
+            BrownoutEvent::deep(t).severity(),
+            BrownoutSeverity::ControllerReset
+        );
+        e.floor = Millivolts::new(1000);
+        assert_eq!(e.severity(), BrownoutSeverity::CoreLoss);
+    }
+
+    #[test]
+    fn voltage_traces_a_v_shape() {
+        let e = BrownoutEvent::deep(SimTime::from_millis(100));
+        let nominal = Millivolts::new(5000);
+        assert_eq!(e.voltage_at(SimTime::from_millis(50), nominal), nominal);
+        assert_eq!(e.voltage_at(SimTime::from_millis(130), nominal), e.floor);
+        let mid_down = e.voltage_at(SimTime::from_millis(115), nominal);
+        assert!(mid_down < nominal && mid_down > e.floor);
+        let mid_up = e.voltage_at(SimTime::from_millis(145), nominal);
+        assert!(mid_up < nominal && mid_up > e.floor);
+        assert_eq!(e.voltage_at(e.end(), nominal), nominal);
+    }
+
+    #[test]
+    fn window_below_brackets_the_floor() {
+        let e = BrownoutEvent::deep(SimTime::from_millis(100));
+        let nominal = Millivolts::new(5000);
+        let (down, up) = e.window_below(HOST_LOSS_MV, nominal).expect("deep sag");
+        assert!(down > e.start);
+        assert!(up < e.end());
+        assert!(down < up);
+        // At both crossings the modelled voltage is near the threshold.
+        for t in [down, up] {
+            let v = e.voltage_at(t, nominal);
+            let err = i64::from(v.get()) - i64::from(HOST_LOSS_MV.get());
+            assert!(err.abs() <= 20, "crossing error {err} mV");
+        }
+        // Thresholds the sag does reach…
+        assert!(e.window_below(Millivolts::new(4000), nominal).is_some());
+        // …and thresholds at or below the floor are never crossed.
+        assert!(e.window_below(Millivolts::new(3500), nominal).is_none());
+        assert!(e.window_below(Millivolts::new(3000), nominal).is_none());
+    }
+
+    #[test]
+    fn shallow_sag_never_crosses_host_loss() {
+        let e = BrownoutEvent::shallow(SimTime::ZERO);
+        assert!(e
+            .window_below(HOST_LOSS_MV, Millivolts::new(5000))
+            .is_none());
+    }
+}

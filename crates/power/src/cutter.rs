@@ -1,0 +1,144 @@
+//! High-speed transistor cutter — the prior-work baseline.
+//!
+//! Zheng et al. \[12\] and Tseng et al. \[18\] cut SSD power with power
+//! transistors, dropping the rail in microseconds. The paper argues this is
+//! unrealistic: real outages go through the PSU discharge ramp, giving the
+//! firmware a brownout window. This module models the transistor rig so the
+//! ablation benches can contrast the two injectors.
+
+use pfault_sim::{SimDuration, SimTime};
+
+use crate::volts::Millivolts;
+
+/// A transistor-based power cutter with a microsecond-order fall time.
+///
+/// # Example
+///
+/// ```
+/// use pfault_power::cutter::TransistorCutter;
+/// use pfault_power::Millivolts;
+/// use pfault_sim::{SimDuration, SimTime};
+///
+/// let mut cutter = TransistorCutter::new();
+/// cutter.cut(SimTime::from_millis(1));
+/// // 100 µs later the rail is already dead.
+/// let v = cutter.rail_voltage(SimTime::from_millis(1) + SimDuration::from_micros(100));
+/// assert_eq!(v, Millivolts::ZERO);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransistorCutter {
+    fall_time: SimDuration,
+    cut_at: Option<SimTime>,
+}
+
+impl TransistorCutter {
+    /// A cutter with the ~50 µs fall time reported for the prior rigs.
+    pub fn new() -> Self {
+        TransistorCutter {
+            fall_time: SimDuration::from_micros(50),
+            cut_at: None,
+        }
+    }
+
+    /// A cutter with an explicit fall time.
+    pub fn with_fall_time(fall_time: SimDuration) -> Self {
+        TransistorCutter {
+            fall_time,
+            cut_at: None,
+        }
+    }
+
+    /// Rail fall time.
+    pub fn fall_time(&self) -> SimDuration {
+        self.fall_time
+    }
+
+    /// Cuts power at `now`.
+    pub fn cut(&mut self, now: SimTime) {
+        if self.cut_at.is_none() {
+            self.cut_at = Some(now);
+        }
+    }
+
+    /// Restores power.
+    pub fn restore(&mut self) {
+        self.cut_at = None;
+    }
+
+    /// Whether the rail is currently cut.
+    pub fn is_cut(&self) -> bool {
+        self.cut_at.is_some()
+    }
+
+    /// Rail voltage at `now`: linear ramp from 5 V to 0 over the fall
+    /// time.
+    pub fn rail_voltage(&self, now: SimTime) -> Millivolts {
+        let Some(t0) = self.cut_at else {
+            return Millivolts::new(5000);
+        };
+        let elapsed = now.saturating_since(t0);
+        if elapsed >= self.fall_time {
+            return Millivolts::ZERO;
+        }
+        let frac = elapsed.as_micros() as f64 / self.fall_time.as_micros() as f64;
+        Millivolts::new((5000.0 * (1.0 - frac)).round() as u32)
+    }
+
+    /// Duration from cut to `threshold` (linear ramp inversion).
+    pub fn time_to_voltage(&self, threshold: Millivolts) -> SimDuration {
+        if threshold >= Millivolts::new(5000) {
+            return SimDuration::ZERO;
+        }
+        let frac = 1.0 - f64::from(threshold.get()) / 5000.0;
+        SimDuration::from_micros((self.fall_time.as_micros() as f64 * frac).round() as u64)
+    }
+}
+
+impl Default for TransistorCutter {
+    fn default() -> Self {
+        TransistorCutter::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fall_is_microseconds_not_milliseconds() {
+        let mut c = TransistorCutter::new();
+        c.cut(SimTime::ZERO);
+        assert_eq!(c.rail_voltage(SimTime::from_micros(50)), Millivolts::ZERO);
+    }
+
+    #[test]
+    fn ramp_is_linear() {
+        let mut c = TransistorCutter::with_fall_time(SimDuration::from_micros(100));
+        c.cut(SimTime::ZERO);
+        assert_eq!(
+            c.rail_voltage(SimTime::from_micros(50)),
+            Millivolts::new(2500)
+        );
+    }
+
+    #[test]
+    fn threshold_times_are_tiny_compared_to_psu() {
+        let c = TransistorCutter::new();
+        let host = c.time_to_voltage(Millivolts::new(4500));
+        let core = c.time_to_voltage(Millivolts::new(2500));
+        assert!(host.as_micros() <= 10);
+        assert!(core.as_micros() <= 30);
+        // The whole brownout window is tens of µs — no time for firmware.
+        assert!((core - host).as_micros() < 50);
+    }
+
+    #[test]
+    fn restore_brings_rail_back() {
+        let mut c = TransistorCutter::new();
+        c.cut(SimTime::ZERO);
+        assert!(c.is_cut());
+        c.restore();
+        assert!(!c.is_cut());
+        assert_eq!(c.rail_voltage(SimTime::from_secs(1)), Millivolts::new(5000));
+    }
+}

@@ -1,0 +1,55 @@
+//! Power subsystem models.
+//!
+//! The paper's central methodological claim is that a realistic power fault
+//! is not an instantaneous cut: when a PSU loses AC input (or its ATX
+//! `PS_ON` pin is deasserted), its bulk capacitors discharge through the
+//! load over hundreds of milliseconds (Fig 4). The SSD disappears from the
+//! host early in that ramp (≈4.5 V, ≈40 ms) but its controller and flash
+//! core keep running further down the curve — a *brownout race* in which
+//! the firmware can still flush caches and commit mapping state.
+//!
+//! This crate provides:
+//!
+//! * [`psu`] — the calibrated ATX discharge model ([`psu::PsuModel`]),
+//!   reproducing Fig 4a (unloaded, ≈1400 ms) and Fig 4b (one SSD load:
+//!   4.5 V at ≈40 ms, ≈0 V at ≈900 ms);
+//! * [`atx`] — the ATX supply with its `PS_ON` (pin 16, active-low)
+//!   control semantics;
+//! * [`arduino`] — the Arduino UNO command path the paper uses to switch
+//!   pin 16 from software (§III-A2);
+//! * [`cutter`] — the high-speed transistor cutter of the prior studies
+//!   \[12, 18\], which drops the rail in microseconds (the ablation
+//!   baseline);
+//! * [`injector`] — [`injector::FaultInjector`], which composes a control
+//!   path and a supply into the fault timeline the platform schedules
+//!   around.
+//!
+//! # Example
+//!
+//! ```
+//! use pfault_power::injector::FaultInjector;
+//! use pfault_sim::SimTime;
+//!
+//! let injector = FaultInjector::arduino_atx_loaded();
+//! let timeline = injector.timeline(SimTime::ZERO);
+//! // The host sees the SSD vanish tens of milliseconds after the command…
+//! assert!(timeline.host_lost > timeline.commanded);
+//! // …and the flash core keeps power for a while longer.
+//! assert!(timeline.core_dead > timeline.host_lost);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arduino;
+pub mod atx;
+pub mod brownout;
+pub mod cutter;
+pub mod injector;
+pub mod psu;
+pub mod volts;
+
+pub use brownout::{BrownoutEvent, BrownoutSeverity};
+pub use injector::{FaultInjector, FaultTimeline};
+pub use psu::PsuModel;
+pub use volts::Millivolts;

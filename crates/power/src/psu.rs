@@ -1,0 +1,246 @@
+//! ATX PSU capacitor discharge model (paper Fig 4).
+//!
+//! After the supply is commanded off, the 5 V rail decays exponentially
+//! through the load: `V(t) = 5 V · exp(−t/τ)`. The time constants are
+//! calibrated against the paper's oscilloscope traces:
+//!
+//! * **loaded** (one SSD attached, Fig 4b): 4.5 V at ≈40 ms and
+//!   effectively zero (< 0.5 V) at ≈900 ms → τ ≈ 380 ms;
+//! * **unloaded** (Fig 4a): fully discharged within ≈1400 ms → τ ≈ 608 ms.
+//!
+//! The model is analytic, so threshold-crossing instants are computed in
+//! closed form rather than by stepping — the event-driven platform
+//! schedules directly on them.
+
+use serde::{Deserialize, Serialize};
+
+use pfault_sim::SimDuration;
+
+use crate::volts::Millivolts;
+
+/// Voltage below which the paper treats the rail as "purely discharged".
+pub const DISCHARGED_MV: Millivolts = Millivolts::new(500);
+
+/// Voltage at which the host loses the SATA link to the SSD (§III-A2:
+/// "the SSD becomes unavailable … when the voltage drops to 4.5 V").
+pub const HOST_LOSS_MV: Millivolts = Millivolts::new(4500);
+
+/// Voltage at which the controller's brownout detector fires and holds the
+/// chip in reset: an operation in flight when the rail crosses this level
+/// is interrupted. SATA power is specified at 5 V ± 5 %; consumer
+/// controllers reset about a millisecond after the rail leaves the band,
+/// so firmware without power-loss protection gets almost no grace beyond
+/// the host-link loss.
+pub const FLASH_UNRELIABLE_MV: Millivolts = Millivolts::new(4490);
+
+/// Voltage below which the SSD controller and flash core stop operating.
+/// Between [`HOST_LOSS_MV`] and this, the firmware races the discharge.
+pub const CORE_DEATH_MV: Millivolts = Millivolts::new(2500);
+
+/// Exponential-discharge PSU model.
+///
+/// # Example
+///
+/// ```
+/// use pfault_power::psu::PsuModel;
+/// use pfault_power::Millivolts;
+/// use pfault_sim::SimDuration;
+///
+/// let psu = PsuModel::atx_loaded();
+/// // Fig 4b: the rail crosses 4.5 V about 40 ms after the cut…
+/// let t = psu.time_to_voltage(Millivolts::new(4500));
+/// assert!((35.0..45.0).contains(&t.as_millis_f64()));
+/// // …and is effectively discharged around 900 ms.
+/// let d = psu.discharge_duration();
+/// assert!((850.0..950.0).contains(&d.as_millis_f64()));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PsuModel {
+    nominal: Millivolts,
+    /// Discharge time constant τ, in microseconds.
+    tau_us: f64,
+}
+
+impl PsuModel {
+    /// The paper's ATX supply driving one SSD (Fig 4b).
+    pub fn atx_loaded() -> Self {
+        // τ chosen so V crosses 4.5 V at 40 ms: τ = 40 ms / ln(5/4.5).
+        PsuModel {
+            nominal: Millivolts::new(5000),
+            tau_us: 40_000.0 / (5.0f64 / 4.5).ln(),
+        }
+    }
+
+    /// The paper's ATX supply with no load (Fig 4a): full discharge takes
+    /// ≈1400 ms.
+    pub fn atx_unloaded() -> Self {
+        // τ = 1400 ms / ln(5 V / 0.5 V).
+        PsuModel {
+            nominal: Millivolts::new(5000),
+            tau_us: 1_400_000.0 / 10.0f64.ln(),
+        }
+    }
+
+    /// A custom model from nominal voltage and time constant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tau` is zero.
+    pub fn with_tau(nominal: Millivolts, tau: SimDuration) -> Self {
+        assert!(!tau.is_zero(), "time constant must be positive");
+        PsuModel {
+            nominal,
+            tau_us: tau.as_micros() as f64,
+        }
+    }
+
+    /// Nominal rail voltage.
+    pub fn nominal(&self) -> Millivolts {
+        self.nominal
+    }
+
+    /// The discharge time constant τ.
+    pub fn tau(&self) -> SimDuration {
+        SimDuration::from_micros(self.tau_us.round() as u64)
+    }
+
+    /// Rail voltage `elapsed` after the cut.
+    pub fn voltage_after(&self, elapsed: SimDuration) -> Millivolts {
+        let v = f64::from(self.nominal.get()) * (-(elapsed.as_micros() as f64) / self.tau_us).exp();
+        Millivolts::new(v.round() as u32)
+    }
+
+    /// Time after the cut at which the rail falls to `threshold`.
+    /// Returns [`SimDuration::ZERO`] if the threshold is at or above
+    /// nominal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is zero (an exponential never reaches it).
+    pub fn time_to_voltage(&self, threshold: Millivolts) -> SimDuration {
+        assert!(threshold.get() > 0, "exponential decay never reaches 0mV");
+        if threshold >= self.nominal {
+            return SimDuration::ZERO;
+        }
+        let ratio = f64::from(self.nominal.get()) / f64::from(threshold.get());
+        SimDuration::from_micros((self.tau_us * ratio.ln()).round() as u64)
+    }
+
+    /// Time to the "purely discharged" level ([`DISCHARGED_MV`]).
+    pub fn discharge_duration(&self) -> SimDuration {
+        self.time_to_voltage(DISCHARGED_MV)
+    }
+
+    /// Samples the discharge curve every `step` until discharged — the
+    /// series plotted in Fig 4.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step` is zero.
+    pub fn discharge_trace(&self, step: SimDuration) -> Vec<(SimDuration, Millivolts)> {
+        assert!(!step.is_zero(), "trace step must be positive");
+        let end = self.discharge_duration();
+        let mut out = Vec::new();
+        let mut t = SimDuration::ZERO;
+        loop {
+            out.push((t, self.voltage_after(t)));
+            if t >= end {
+                break;
+            }
+            t += step;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loaded_curve_matches_fig4b() {
+        let psu = PsuModel::atx_loaded();
+        assert_eq!(psu.voltage_after(SimDuration::ZERO), Millivolts::new(5000));
+        let at_host_loss = psu.time_to_voltage(HOST_LOSS_MV);
+        assert!(
+            (38.0..42.0).contains(&at_host_loss.as_millis_f64()),
+            "host loss at {at_host_loss}"
+        );
+        let discharged = psu.discharge_duration();
+        assert!(
+            (850.0..950.0).contains(&discharged.as_millis_f64()),
+            "discharged at {discharged}"
+        );
+    }
+
+    #[test]
+    fn unloaded_curve_matches_fig4a() {
+        let psu = PsuModel::atx_unloaded();
+        let discharged = psu.discharge_duration();
+        assert!(
+            (1_380.0..1_420.0).contains(&discharged.as_millis_f64()),
+            "discharged at {discharged}"
+        );
+        // Unloaded discharge is slower than loaded everywhere.
+        let loaded = PsuModel::atx_loaded();
+        for ms in [10u64, 100, 500] {
+            let d = SimDuration::from_millis(ms);
+            assert!(psu.voltage_after(d) > loaded.voltage_after(d));
+        }
+    }
+
+    #[test]
+    fn voltage_is_monotone_decreasing() {
+        let psu = PsuModel::atx_loaded();
+        let mut prev = psu.voltage_after(SimDuration::ZERO);
+        for ms in (10..1_000).step_by(10) {
+            let v = psu.voltage_after(SimDuration::from_millis(ms));
+            assert!(v <= prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn crossing_time_inverts_voltage() {
+        let psu = PsuModel::atx_loaded();
+        for mv in [4500u32, 3000, 2500, 1000] {
+            let t = psu.time_to_voltage(Millivolts::new(mv));
+            let v = psu.voltage_after(t);
+            let err = i64::from(v.get()) - i64::from(mv);
+            assert!(err.abs() <= 5, "inversion error {err}mV at {mv}mV");
+        }
+    }
+
+    #[test]
+    fn threshold_above_nominal_is_immediate() {
+        let psu = PsuModel::atx_loaded();
+        assert_eq!(
+            psu.time_to_voltage(Millivolts::new(6000)),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn core_outlives_host_link() {
+        let psu = PsuModel::atx_loaded();
+        let host = psu.time_to_voltage(HOST_LOSS_MV);
+        let core = psu.time_to_voltage(CORE_DEATH_MV);
+        // The brownout race window is large — hundreds of ms.
+        assert!((core - host).as_millis_f64() > 150.0);
+    }
+
+    #[test]
+    fn trace_covers_full_discharge() {
+        let psu = PsuModel::atx_loaded();
+        let trace = psu.discharge_trace(SimDuration::from_millis(100));
+        assert!(trace.len() >= 9);
+        assert_eq!(trace[0].1, Millivolts::new(5000));
+        assert!(trace.last().unwrap().1 <= DISCHARGED_MV);
+    }
+
+    #[test]
+    #[should_panic(expected = "never reaches 0mV")]
+    fn zero_threshold_rejected() {
+        PsuModel::atx_loaded().time_to_voltage(Millivolts::ZERO);
+    }
+}

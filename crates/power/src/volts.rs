@@ -1,0 +1,64 @@
+//! Voltage newtype.
+
+use core::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A voltage in millivolts.
+///
+/// # Example
+///
+/// ```
+/// use pfault_power::Millivolts;
+///
+/// let v = Millivolts::new(4500);
+/// assert_eq!(v.as_volts(), 4.5);
+/// assert!(v < Millivolts::new(5000));
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Millivolts(u32);
+
+impl Millivolts {
+    /// Zero volts.
+    pub const ZERO: Millivolts = Millivolts(0);
+
+    /// Creates a voltage from millivolts.
+    pub const fn new(mv: u32) -> Self {
+        Millivolts(mv)
+    }
+
+    /// The raw millivolt count.
+    pub const fn get(self) -> u32 {
+        self.0
+    }
+
+    /// The voltage in volts.
+    pub fn as_volts(self) -> f64 {
+        f64::from(self.0) / 1000.0
+    }
+}
+
+impl fmt::Display for Millivolts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2}V", self.as_volts())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversion_and_ordering() {
+        assert_eq!(Millivolts::new(5000).as_volts(), 5.0);
+        assert!(Millivolts::new(2500) < Millivolts::new(4500));
+        assert_eq!(Millivolts::ZERO.get(), 0);
+    }
+
+    #[test]
+    fn display_in_volts() {
+        assert_eq!(Millivolts::new(4500).to_string(), "4.50V");
+    }
+}

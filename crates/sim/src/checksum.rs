@@ -1,0 +1,119 @@
+//! Checksums used for data-failure detection.
+//!
+//! The paper's Analyzer (§III-B) detects data loss by comparing three
+//! checksums carried in each data packet's header (Fig 2): the checksum of
+//! the request payload, the checksum of the target address *before* issuing
+//! the request, and the checksum read back *after* completion. This module
+//! provides the two digests the platform uses:
+//!
+//! * [`crc32`] — CRC-32 (IEEE 802.3 polynomial, reflected), used for page
+//!   payloads inside the flash model;
+//! * [`fnv64`] — FNV-1a 64-bit, used for cheap tagging of simulated sector
+//!   contents at device scale.
+
+/// CRC-32 (IEEE) lookup table, generated at compile time.
+const fn make_crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+const CRC_TABLE: [u32; 256] = make_crc_table();
+
+/// Computes the CRC-32 (IEEE 802.3) of `data`.
+///
+/// # Example
+///
+/// ```
+/// // Standard check value for "123456789".
+/// assert_eq!(pfault_sim::checksum::crc32(b"123456789"), 0xCBF4_3926);
+/// ```
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = CRC_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// Computes the FNV-1a 64-bit hash of `data`.
+///
+/// # Example
+///
+/// ```
+/// // FNV-1a of the empty string is the offset basis.
+/// assert_eq!(pfault_sim::checksum::fnv64(b""), 0xcbf2_9ce4_8422_2325);
+/// ```
+pub fn fnv64(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in data {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Mixes two 64-bit values into one (for combining tags with generation
+/// counters into a single content checksum).
+pub fn mix64(a: u64, b: u64) -> u64 {
+    let mut z = a ^ b.rotate_left(32) ^ 0x9E37_79B9_7F4A_7C15;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn crc32_detects_single_bit_flip() {
+        let mut buf = vec![0xA5u8; 512];
+        let base = crc32(&buf);
+        buf[100] ^= 0x01;
+        assert_ne!(crc32(&buf), base);
+    }
+
+    #[test]
+    fn fnv64_known_vectors() {
+        assert_eq!(fnv64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv64(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn fnv64_differs_on_permutation() {
+        assert_ne!(fnv64(b"ab"), fnv64(b"ba"));
+    }
+
+    #[test]
+    fn mix64_is_input_sensitive() {
+        assert_ne!(mix64(1, 2), mix64(2, 1));
+        assert_ne!(mix64(0, 0), mix64(0, 1));
+        // Deterministic.
+        assert_eq!(mix64(99, 7), mix64(99, 7));
+    }
+}

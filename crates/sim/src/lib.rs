@@ -1,0 +1,44 @@
+//! Deterministic discrete-event simulation kernel for the `pfault` platform.
+//!
+//! This crate is the substrate every other `pfault` crate builds on. It
+//! provides:
+//!
+//! * [`time`] — a microsecond-resolution simulation clock ([`SimTime`],
+//!   [`SimDuration`]) with saturating arithmetic;
+//! * [`event`] — a deterministic, stable-ordered [`event::EventQueue`];
+//! * [`rng`] — a seedable, forkable xoshiro256\*\* generator ([`rng::DetRng`])
+//!   so that entire fault-injection campaigns replay bit-exactly from a
+//!   single `u64` seed;
+//! * [`checksum`] — the CRC-32 and FNV-1a checksums the platform uses for
+//!   data-failure detection (the paper's detection mechanism, §III-B);
+//! * [`stats`] — online statistics and histograms for experiment reports;
+//! * [`storage`] — storage-domain base types ([`Lba`], sector sizing) shared
+//!   by the workload generator, tracer, FTL and device model.
+//!
+//! # Example
+//!
+//! ```
+//! use pfault_sim::{SimTime, SimDuration, event::EventQueue};
+//!
+//! let mut queue = EventQueue::new();
+//! queue.push(SimTime::ZERO + SimDuration::from_millis(5), "flush");
+//! queue.push(SimTime::ZERO + SimDuration::from_millis(1), "program");
+//! let (t, what) = queue.pop().expect("queue is non-empty");
+//! assert_eq!(what, "program");
+//! assert_eq!(t.as_micros(), 1_000);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checksum;
+pub mod event;
+pub mod rng;
+pub mod stats;
+pub mod storage;
+pub mod time;
+
+pub use event::EventQueue;
+pub use rng::DetRng;
+pub use storage::{Lba, SectorCount, SECTOR_BYTES};
+pub use time::{SimDuration, SimTime};

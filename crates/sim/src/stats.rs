@@ -1,0 +1,350 @@
+//! Online statistics and histograms for experiment reports.
+//!
+//! Campaign reports need means, extremes, and distributions over thousands
+//! of fault injections without retaining every sample. [`OnlineStats`] is a
+//! Welford accumulator; [`Histogram`] is a fixed-width bucket histogram with
+//! an overflow bucket; [`percentile`] computes exact percentiles from a
+//! retained sample vector where that is affordable.
+
+use serde::{Deserialize, Serialize};
+
+/// Welford online mean/variance accumulator.
+///
+/// # Example
+///
+/// ```
+/// use pfault_sim::stats::OnlineStats;
+///
+/// let mut s = OnlineStats::new();
+/// for v in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     s.push(v);
+/// }
+/// assert_eq!(s.count(), 8);
+/// assert!((s.mean() - 5.0).abs() < 1e-12);
+/// assert!((s.population_variance() - 4.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct OnlineStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds a sample.
+    pub fn push(&mut self, value: f64) {
+        self.count += 1;
+        let delta = value - self.mean;
+        self.mean += delta / self.count as f64;
+        let delta2 = value - self.mean;
+        self.m2 += delta * delta2;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 if fewer than one sample).
+    pub fn population_variance(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Sample standard deviation (0 if fewer than two samples).
+    pub fn stddev(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            (self.m2 / (self.count - 1) as f64).sqrt()
+        }
+    }
+
+    /// Smallest sample seen, or `None` if empty.
+    pub fn min(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.min)
+        }
+    }
+
+    /// Largest sample seen, or `None` if empty.
+    pub fn max(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.max)
+        }
+    }
+
+    /// Merges another accumulator into this one (parallel campaign trials).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        let new_mean = self.mean + delta * other.count as f64 / total as f64;
+        self.m2 +=
+            other.m2 + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.mean = new_mean;
+        self.count = total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Fixed-width bucket histogram with an overflow bucket.
+///
+/// # Example
+///
+/// ```
+/// use pfault_sim::stats::Histogram;
+///
+/// // 10 buckets of width 100 covering [0, 1000), plus overflow.
+/// let mut h = Histogram::new(100.0, 10);
+/// h.record(50.0);
+/// h.record(950.0);
+/// h.record(5000.0); // overflow
+/// assert_eq!(h.bucket_count(0), 1);
+/// assert_eq!(h.bucket_count(9), 1);
+/// assert_eq!(h.overflow(), 1);
+/// assert_eq!(h.total(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    bucket_width: f64,
+    buckets: Vec<u64>,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram of `buckets` buckets of `bucket_width` each,
+    /// covering `[0, bucket_width * buckets)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_width` is not positive or `buckets` is zero.
+    pub fn new(bucket_width: f64, buckets: usize) -> Self {
+        assert!(bucket_width > 0.0, "bucket width must be positive");
+        assert!(buckets > 0, "must have at least one bucket");
+        Histogram {
+            bucket_width,
+            buckets: vec![0; buckets],
+            overflow: 0,
+        }
+    }
+
+    /// Records a sample; negative values clamp into the first bucket.
+    pub fn record(&mut self, value: f64) {
+        let idx = (value.max(0.0) / self.bucket_width) as usize;
+        if idx < self.buckets.len() {
+            self.buckets[idx] += 1;
+        } else {
+            self.overflow += 1;
+        }
+    }
+
+    /// Count in bucket `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn bucket_count(&self, i: usize) -> u64 {
+        self.buckets[i]
+    }
+
+    /// Count of samples beyond the last bucket.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total samples recorded.
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum::<u64>() + self.overflow
+    }
+
+    /// Lower edge of bucket `i`.
+    pub fn bucket_lo(&self, i: usize) -> f64 {
+        i as f64 * self.bucket_width
+    }
+
+    /// Number of (non-overflow) buckets.
+    pub fn len(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Whether no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total() == 0
+    }
+
+    /// Index of the last bucket with a non-zero count, or `None` if all
+    /// in-range buckets are empty. Used by the §IV-A interval experiment to
+    /// locate the latest post-ACK delay at which corruption still occurs.
+    pub fn last_nonzero_bucket(&self) -> Option<usize> {
+        self.buckets.iter().rposition(|&c| c > 0)
+    }
+}
+
+/// Exact percentile of a sample set, by sorting a copy.
+///
+/// `p` is in `[0, 100]`. Returns `None` for an empty input. Uses the
+/// nearest-rank method.
+///
+/// # Example
+///
+/// ```
+/// let data = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+/// assert_eq!(pfault_sim::stats::percentile(&data, 50.0), Some(3.0));
+/// assert_eq!(pfault_sim::stats::percentile(&data, 100.0), Some(5.0));
+/// ```
+pub fn percentile(samples: &[f64], p: f64) -> Option<f64> {
+    if samples.is_empty() {
+        return None;
+    }
+    let mut sorted: Vec<f64> = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples must not be NaN"));
+    let p = p.clamp(0.0, 100.0);
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    let idx = rank.max(1) - 1;
+    Some(sorted[idx.min(sorted.len() - 1)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_stats_empty() {
+        let s = OnlineStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+        assert_eq!(s.stddev(), 0.0);
+    }
+
+    #[test]
+    fn online_stats_basic() {
+        let mut s = OnlineStats::new();
+        for v in [1.0, 2.0, 3.0] {
+            s.push(v);
+        }
+        assert_eq!(s.count(), 3);
+        assert!((s.mean() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), Some(1.0));
+        assert_eq!(s.max(), Some(3.0));
+        assert!((s.stddev() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_matches_sequential() {
+        let mut all = OnlineStats::new();
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        for i in 0..100 {
+            let v = (i as f64).sin() * 10.0;
+            all.push(v);
+            if i % 2 == 0 {
+                a.push(v);
+            } else {
+                b.push(v);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() < 1e-9);
+        assert!((a.population_variance() - all.population_variance()).abs() < 1e-9);
+        assert_eq!(a.min(), all.min());
+        assert_eq!(a.max(), all.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = OnlineStats::new();
+        a.push(5.0);
+        let before = a;
+        a.merge(&OnlineStats::new());
+        assert_eq!(a, before);
+
+        let mut empty = OnlineStats::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let mut h = Histogram::new(10.0, 5); // [0,50) + overflow
+        h.record(0.0);
+        h.record(9.999);
+        h.record(10.0);
+        h.record(49.0);
+        h.record(50.0);
+        h.record(-3.0); // clamps to first bucket
+        assert_eq!(h.bucket_count(0), 3);
+        assert_eq!(h.bucket_count(1), 1);
+        assert_eq!(h.bucket_count(4), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.total(), 6);
+        assert_eq!(h.last_nonzero_bucket(), Some(4));
+    }
+
+    #[test]
+    fn histogram_empty() {
+        let h = Histogram::new(1.0, 3);
+        assert!(h.is_empty());
+        assert_eq!(h.last_nonzero_bucket(), None);
+        assert_eq!(h.bucket_lo(2), 2.0);
+        assert_eq!(h.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket width must be positive")]
+    fn histogram_rejects_bad_width() {
+        let _ = Histogram::new(0.0, 3);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let d = vec![15.0, 20.0, 35.0, 40.0, 50.0];
+        assert_eq!(percentile(&d, 5.0), Some(15.0));
+        assert_eq!(percentile(&d, 30.0), Some(20.0));
+        assert_eq!(percentile(&d, 40.0), Some(20.0));
+        assert_eq!(percentile(&d, 50.0), Some(35.0));
+        assert_eq!(percentile(&d, 100.0), Some(50.0));
+        assert_eq!(percentile(&[], 50.0), None);
+    }
+}

@@ -1,0 +1,196 @@
+//! Storage-domain base types shared across the platform.
+//!
+//! The workload generator, block-layer tracer, FTL and device model all
+//! speak in terms of 4 KiB logical sectors addressed by [`Lba`]. Keeping
+//! these types here (rather than in one of the higher crates) avoids
+//! circular dependencies between those crates.
+
+use core::fmt;
+use core::ops::{Add, AddAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// Logical sector size, in bytes. The platform issues IO in 4 KiB units —
+/// the paper's request sizes (4 KiB – 1 MiB) are multiples of this.
+pub const SECTOR_BYTES: u64 = 4096;
+
+/// Bytes per KiB / MiB / GiB, for workload configuration.
+pub const KIB: u64 = 1024;
+/// Bytes per MiB.
+pub const MIB: u64 = 1024 * KIB;
+/// Bytes per GiB.
+pub const GIB: u64 = 1024 * MIB;
+
+/// A logical block address, in units of 4 KiB sectors.
+///
+/// # Example
+///
+/// ```
+/// use pfault_sim::{Lba, SectorCount};
+///
+/// let start = Lba::new(100);
+/// let end = start + SectorCount::new(4);
+/// assert_eq!(end, Lba::new(104));
+/// assert_eq!(start.byte_offset(), 409_600);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Lba(u64);
+
+impl Lba {
+    /// Creates an LBA from a sector index.
+    pub const fn new(sector: u64) -> Self {
+        Lba(sector)
+    }
+
+    /// The sector index.
+    pub const fn index(self) -> u64 {
+        self.0
+    }
+
+    /// Byte offset of the start of this sector.
+    pub const fn byte_offset(self) -> u64 {
+        self.0 * SECTOR_BYTES
+    }
+
+    /// The next sector.
+    pub const fn next(self) -> Lba {
+        Lba(self.0 + 1)
+    }
+
+    /// Iterator over `count` consecutive LBAs starting here.
+    pub fn span(self, count: SectorCount) -> impl Iterator<Item = Lba> {
+        (self.0..self.0 + count.get()).map(Lba)
+    }
+}
+
+impl Add<SectorCount> for Lba {
+    type Output = Lba;
+    fn add(self, rhs: SectorCount) -> Lba {
+        Lba(self.0 + rhs.get())
+    }
+}
+
+impl AddAssign<SectorCount> for Lba {
+    fn add_assign(&mut self, rhs: SectorCount) {
+        self.0 += rhs.get();
+    }
+}
+
+impl fmt::Display for Lba {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lba:{}", self.0)
+    }
+}
+
+/// A count of 4 KiB sectors (the length of a request).
+///
+/// # Example
+///
+/// ```
+/// use pfault_sim::SectorCount;
+///
+/// let len = SectorCount::from_bytes(1024 * 1024); // 1 MiB request
+/// assert_eq!(len.get(), 256);
+/// assert_eq!(len.bytes(), 1024 * 1024);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SectorCount(u64);
+
+impl SectorCount {
+    /// One sector.
+    pub const ONE: SectorCount = SectorCount(1);
+
+    /// Creates a sector count.
+    pub const fn new(sectors: u64) -> Self {
+        SectorCount(sectors)
+    }
+
+    /// Converts a byte length to sectors, rounding up.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is zero.
+    pub fn from_bytes(bytes: u64) -> Self {
+        assert!(bytes > 0, "request length must be positive");
+        SectorCount(bytes.div_ceil(SECTOR_BYTES))
+    }
+
+    /// The raw sector count.
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Length in bytes.
+    pub const fn bytes(self) -> u64 {
+        self.0 * SECTOR_BYTES
+    }
+}
+
+impl Add for SectorCount {
+    type Output = SectorCount;
+    fn add(self, rhs: SectorCount) -> SectorCount {
+        SectorCount(self.0 + rhs.0)
+    }
+}
+
+impl fmt::Display for SectorCount {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} sectors", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lba_arithmetic() {
+        let l = Lba::new(10);
+        assert_eq!(l.next(), Lba::new(11));
+        assert_eq!(l + SectorCount::new(5), Lba::new(15));
+        assert_eq!(l.byte_offset(), 40_960);
+        let mut m = l;
+        m += SectorCount::new(2);
+        assert_eq!(m, Lba::new(12));
+    }
+
+    #[test]
+    fn lba_span_iterates_consecutive() {
+        let v: Vec<u64> = Lba::new(7)
+            .span(SectorCount::new(3))
+            .map(Lba::index)
+            .collect();
+        assert_eq!(v, vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn sector_count_from_bytes_rounds_up() {
+        assert_eq!(SectorCount::from_bytes(1).get(), 1);
+        assert_eq!(SectorCount::from_bytes(4096).get(), 1);
+        assert_eq!(SectorCount::from_bytes(4097).get(), 2);
+        assert_eq!(SectorCount::from_bytes(MIB).get(), 256);
+    }
+
+    #[test]
+    #[should_panic(expected = "request length must be positive")]
+    fn sector_count_rejects_zero() {
+        let _ = SectorCount::from_bytes(0);
+    }
+
+    #[test]
+    fn display_impls() {
+        assert_eq!(Lba::new(3).to_string(), "lba:3");
+        assert_eq!(SectorCount::new(2).to_string(), "2 sectors");
+    }
+
+    #[test]
+    fn unit_constants_consistent() {
+        assert_eq!(GIB / MIB, 1024);
+        assert_eq!(MIB / KIB, 1024);
+        assert_eq!(SECTOR_BYTES, 4 * KIB);
+    }
+}

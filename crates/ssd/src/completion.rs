@@ -1,0 +1,55 @@
+//! Host-visible command completions.
+
+use serde::{Deserialize, Serialize};
+
+use pfault_sim::SimTime;
+
+/// How a sub-request ended, from the host's point of view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CompletionKind {
+    /// The device acknowledged the command.
+    Acked,
+    /// The device vanished (power fault) before acknowledging.
+    DeviceError,
+}
+
+/// One completion event for a sub-request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Completion {
+    /// Parent request identifier.
+    pub request_id: u64,
+    /// Sub-request index.
+    pub sub_id: u32,
+    /// When the host observed the completion.
+    pub time: SimTime,
+    /// Outcome.
+    pub kind: CompletionKind,
+}
+
+impl Completion {
+    /// Whether the command was acknowledged.
+    pub fn acked(&self) -> bool {
+        matches!(self.kind, CompletionKind::Acked)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acked_predicate() {
+        let ok = Completion {
+            request_id: 1,
+            sub_id: 0,
+            time: SimTime::ZERO,
+            kind: CompletionKind::Acked,
+        };
+        let err = Completion {
+            kind: CompletionKind::DeviceError,
+            ..ok
+        };
+        assert!(ok.acked());
+        assert!(!err.acked());
+    }
+}

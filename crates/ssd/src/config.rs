@@ -1,0 +1,195 @@
+//! SSD device configuration.
+
+use serde::{Deserialize, Serialize};
+
+use pfault_flash::ecc::EccScheme;
+use pfault_flash::geometry::FlashGeometry;
+use pfault_flash::CellKind;
+use pfault_ftl::FtlConfig;
+use pfault_sim::SimDuration;
+
+/// Nominal 5 V rail the device is powered from.
+pub const NOMINAL_RAIL: pfault_power::Millivolts = pfault_power::Millivolts::new(5000);
+
+/// DRAM write-back cache configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Whether the write-back cache is enabled (§IV-A tests both).
+    pub enabled: bool,
+    /// Cache capacity in 4 KiB sectors.
+    pub capacity_sectors: u64,
+    /// How long a dirty entry may age before the flusher picks it up
+    /// (absent cache pressure).
+    pub flush_delay: SimDuration,
+    /// Flush immediately once dirty occupancy exceeds this fraction.
+    pub pressure_watermark: f64,
+}
+
+impl CacheConfig {
+    /// A consumer-class default: an 8 MiB dirty budget and a 2 ms lazy
+    /// flush timer. The timer, not cache pressure, governs flushing in
+    /// steady state, so the dirty population scales with the write rate —
+    /// which is what makes the Fig 5 failure counts track the write
+    /// fraction.
+    pub fn consumer_default() -> Self {
+        CacheConfig {
+            enabled: true,
+            capacity_sectors: 2048,
+            flush_delay: SimDuration::from_millis(2),
+            pressure_watermark: 0.9,
+        }
+    }
+
+    /// The same cache, disabled (writes go straight to NAND).
+    pub fn disabled() -> Self {
+        CacheConfig {
+            enabled: false,
+            ..CacheConfig::consumer_default()
+        }
+    }
+}
+
+/// Full device configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SsdConfig {
+    /// Physical array geometry.
+    pub geometry: FlashGeometry,
+    /// Cell technology (Table I: MLC or TLC).
+    pub cell_kind: CellKind,
+    /// ECC scheme (Table I: BCH-class, or LDPC for SSD B).
+    pub ecc: EccScheme,
+    /// Write-back cache.
+    pub cache: CacheConfig,
+    /// Supercapacitor-backed power-loss protection: on undervoltage the
+    /// firmware panic-flushes cache and journal from stored energy.
+    pub supercap: bool,
+    /// Translation-layer tunables.
+    pub ftl: FtlConfig,
+    /// Controller per-command overhead; its reciprocal is the small-IO
+    /// IOPS ceiling (≈145 µs → ≈6 900 IOPS, §IV-F).
+    pub command_overhead: SimDuration,
+    /// DMA transfer cost per 4 KiB sector through the front end.
+    pub per_sector_transfer: SimDuration,
+    /// Channel-level program parallelism: aggregate program throughput is
+    /// `channels / page_program_time`.
+    pub channels: u32,
+    /// Concurrent program operations in flight (die-level lanes). Each
+    /// lane's effective latency is `page_program_time * lanes / channels`;
+    /// everything in flight when the rail collapses is interrupted.
+    pub program_lanes: u32,
+    /// Flash read latency (array + transfer) for cache misses.
+    pub read_latency: SimDuration,
+    /// Block-layer segment limit: larger host requests split into
+    /// sub-requests of at most this many sectors.
+    pub max_segment_sectors: u64,
+    /// Program/erase cycles the device has already served (end-of-life
+    /// studies): every block starts with this wear.
+    pub baseline_wear: u32,
+}
+
+impl SsdConfig {
+    /// A baseline consumer SATA drive over `geometry`.
+    pub fn consumer(geometry: FlashGeometry, cell_kind: CellKind, ecc: EccScheme) -> Self {
+        SsdConfig {
+            geometry,
+            cell_kind,
+            ecc,
+            cache: CacheConfig::consumer_default(),
+            supercap: false,
+            ftl: FtlConfig::for_geometry(geometry),
+            command_overhead: SimDuration::from_micros(137),
+            per_sector_transfer: SimDuration::from_micros(8),
+            channels: 128,
+            program_lanes: 8,
+            read_latency: SimDuration::from_micros(90),
+            max_segment_sectors: 128,
+            baseline_wear: 0,
+        }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate values.
+    pub fn validate(&self) {
+        assert!(self.channels > 0, "need at least one channel");
+        assert!(
+            self.program_lanes > 0 && self.program_lanes <= self.channels,
+            "lanes must be in 1..=channels"
+        );
+        assert!(
+            self.max_segment_sectors > 0,
+            "segment limit must be positive"
+        );
+        assert!(
+            self.cache.capacity_sectors > 0,
+            "cache capacity must be positive"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.cache.pressure_watermark),
+            "pressure watermark must be a fraction"
+        );
+        self.ftl.validate();
+    }
+
+    /// Small-IO IOPS ceiling implied by the front-end overheads
+    /// (one 4 KiB command per `command_overhead + per_sector_transfer`).
+    pub fn iops_ceiling(&self) -> f64 {
+        1_000_000.0
+            / (self.command_overhead.as_micros() + self.per_sector_transfer.as_micros()) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> SsdConfig {
+        SsdConfig::consumer(
+            FlashGeometry::new(1 << 14, 256),
+            CellKind::Mlc,
+            EccScheme::bch_mlc(),
+        )
+    }
+
+    #[test]
+    fn consumer_config_is_valid() {
+        base().validate();
+    }
+
+    #[test]
+    fn iops_ceiling_is_near_paper_saturation() {
+        let iops = base().iops_ceiling();
+        assert!(
+            (6_500.0..7_200.0).contains(&iops),
+            "ceiling {iops} should be near the paper's ~6 900"
+        );
+    }
+
+    #[test]
+    fn cache_disabled_preserves_other_fields() {
+        let c = CacheConfig::disabled();
+        assert!(!c.enabled);
+        assert_eq!(
+            c.capacity_sectors,
+            CacheConfig::consumer_default().capacity_sectors
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one channel")]
+    fn zero_channels_rejected() {
+        let mut c = base();
+        c.channels = 0;
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "pressure watermark must be a fraction")]
+    fn bad_watermark_rejected() {
+        let mut c = base();
+        c.cache.pressure_watermark = 2.0;
+        c.validate();
+    }
+}

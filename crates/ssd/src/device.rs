@@ -1,0 +1,1811 @@
+//! The SSD device: front end, cache, program pipeline, power-fail state
+//! machine.
+//!
+//! The device is event-driven: the platform calls
+//! [`Ssd::submit`] / [`Ssd::advance_to`] / [`Ssd::drain_completions`] to run
+//! IO, and [`Ssd::power_fail`] / [`Ssd::power_on_recover`] around each
+//! injected fault. See the crate-level docs for the architecture.
+
+use std::collections::{HashMap, VecDeque};
+
+use serde::{Deserialize, Serialize};
+
+use pfault_flash::array::{FlashArray, PageData, ReadOutcome};
+use pfault_flash::oob::Oob;
+use pfault_ftl::{CheckpointOp, CheckpointStore, CommitOp, DurableLog, Ftl, GcPlan, WriteSlot};
+use pfault_power::FaultTimeline;
+use pfault_sim::checksum::mix64;
+use pfault_sim::{DetRng, Lba, SectorCount, SimDuration, SimTime};
+
+use crate::cache::WriteCache;
+use crate::completion::{Completion, CompletionKind};
+use crate::config::SsdConfig;
+
+/// A command submitted by the host (one block-layer sub-request).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HostCommand {
+    /// Parent request identifier.
+    pub request_id: u64,
+    /// Sub-request index within the parent.
+    pub sub_id: u32,
+    /// Starting sector.
+    pub lba: Lba,
+    /// Length.
+    pub sectors: SectorCount,
+    /// Write or read.
+    pub is_write: bool,
+    /// Payload identity for writes (ignored for reads).
+    pub payload_tag: u64,
+    /// Sector offset of this sub-request within the parent request's
+    /// payload (so split requests keep coherent per-sector tags).
+    pub payload_offset: u64,
+}
+
+impl HostCommand {
+    /// A write command (payload offset 0).
+    pub fn write(
+        request_id: u64,
+        sub_id: u32,
+        lba: Lba,
+        sectors: SectorCount,
+        payload_tag: u64,
+    ) -> Self {
+        HostCommand {
+            request_id,
+            sub_id,
+            lba,
+            sectors,
+            is_write: true,
+            payload_tag,
+            payload_offset: 0,
+        }
+    }
+
+    /// A read command.
+    pub fn read(request_id: u64, sub_id: u32, lba: Lba, sectors: SectorCount) -> Self {
+        HostCommand {
+            request_id,
+            sub_id,
+            lba,
+            sectors,
+            is_write: false,
+            payload_tag: 0,
+            payload_offset: 0,
+        }
+    }
+
+    /// Sets the payload offset (for split sub-requests).
+    pub fn with_payload_offset(mut self, offset: u64) -> Self {
+        self.payload_offset = offset;
+        self
+    }
+
+    /// Content of the `i`-th sector of this command's payload.
+    pub fn sector_content(&self, i: u64) -> PageData {
+        PageData::from_tag(mix64(self.payload_tag, self.payload_offset + i))
+    }
+}
+
+/// Result of a media scrub: per-sector readability over everything the
+/// mapping table references.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ScrubReport {
+    /// Mapped sectors scanned.
+    pub scanned: u64,
+    /// Sectors whose pages no longer decode (beyond ECC or erased).
+    pub unreadable: u64,
+    /// Sectors that decode but fail their content checksum.
+    pub garbled: u64,
+}
+
+impl ScrubReport {
+    /// Whether every mapped sector read back clean.
+    pub fn is_clean(&self) -> bool {
+        self.unreadable == 0 && self.garbled == 0
+    }
+}
+
+/// Result of a post-recovery verification read of one sector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VerifiedContent {
+    /// The sector has no durable mapping: reads as if never written.
+    Unwritten,
+    /// The sector read back this content (checksum comparison is the
+    /// Analyzer's job).
+    Written(PageData),
+    /// The mapped page is unreadable (beyond ECC).
+    Unreadable,
+}
+
+/// Cumulative device counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SsdStats {
+    /// Write sub-requests acknowledged.
+    pub writes_acked: u64,
+    /// Read sub-requests acknowledged.
+    pub reads_acked: u64,
+    /// Sub-requests that failed with a device error.
+    pub device_errors: u64,
+    /// Read sectors served from the cache.
+    pub cache_hits: u64,
+    /// Read sectors that went to flash.
+    pub cache_misses: u64,
+    /// Journal commits completed.
+    pub commits: u64,
+    /// Mapping checkpoints completed.
+    pub checkpoints: u64,
+    /// FLUSH barriers acknowledged.
+    pub flushes_acked: u64,
+    /// GC victims reclaimed.
+    pub gc_collections: u64,
+    /// Dirty sectors lost in the last power fault.
+    pub last_fault_dirty_lost: u64,
+    /// Volatile mapping sectors lost in the last power fault.
+    pub last_fault_map_lost: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PowerState {
+    /// Normal operation.
+    Operational,
+    /// Host link lost; firmware still (obliviously) working.
+    Brownout,
+    /// Rail collapsed; nothing works until recovery.
+    Dead,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct FrontOp {
+    cmd: HostCommand,
+    end: SimTime,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ProgramSource {
+    CacheFlush,
+    Direct { request_id: u64, sub_id: u32 },
+    GcRelocation { old_ppa: pfault_flash::Ppa },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PipelineOp {
+    lba: Lba,
+    data: PageData,
+    slot: WriteSlot,
+    source: ProgramSource,
+    start: SimTime,
+    end: SimTime,
+}
+
+#[derive(Debug, Clone)]
+enum ControlOp {
+    Commit {
+        op: CommitOp,
+        start: SimTime,
+        end: SimTime,
+    },
+    Checkpoint {
+        op: CheckpointOp,
+        end: SimTime,
+    },
+    Erase {
+        block: u64,
+        end: SimTime,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct GcState {
+    plan: GcPlan,
+    pending: VecDeque<(Lba, pfault_flash::Ppa)>,
+    in_flight: u32,
+}
+
+/// The simulated SSD. See the crate-level docs for an example.
+#[derive(Debug)]
+pub struct Ssd {
+    config: SsdConfig,
+    now: SimTime,
+    rng: DetRng,
+    array: FlashArray,
+    ftl: Ftl,
+    durable: DurableLog,
+    checkpoints: CheckpointStore,
+    cache: WriteCache,
+    state: PowerState,
+    pending: VecDeque<HostCommand>,
+    front: Option<FrontOp>,
+    pipeline: VecDeque<PipelineOp>,
+    control: Option<ControlOp>,
+    direct_queue: VecDeque<(HostCommand, u64)>, // (cmd, next sector index)
+    direct_remaining: HashMap<(u64, u32), u64>,
+    gc: Option<GcState>,
+    pending_flushes: Vec<(u64, u32)>,
+    next_commit_at: SimTime,
+    sync_flush_pending: bool,
+    completions: Vec<Completion>,
+    stats: SsdStats,
+}
+
+impl Ssd {
+    /// Creates a powered-on, empty drive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn new(config: SsdConfig, rng: DetRng) -> Self {
+        config.validate();
+        let mut rng = rng;
+        let mut array = FlashArray::with_ecc(config.geometry, config.cell_kind, config.ecc);
+        array.set_baseline_wear(config.baseline_wear);
+        let ftl = Ftl::new(config.ftl);
+        // The periodic-commit phase is arbitrary relative to host activity
+        // (the firmware booted whenever it booted), so draw it uniformly:
+        // the idle-tail exposure of §IV-A then varies per device instead
+        // of cliff-edging at exactly one commit interval.
+        let first_commit = SimTime::ZERO
+            + config
+                .ftl
+                .commit_interval
+                .mul_f64(0.25 + 0.75 * rng.unit_f64());
+        Ssd {
+            now: SimTime::ZERO,
+            rng,
+            array,
+            ftl,
+            durable: DurableLog::new(),
+            checkpoints: CheckpointStore::new(),
+            cache: WriteCache::new(config.cache.capacity_sectors),
+            state: PowerState::Operational,
+            pending: VecDeque::new(),
+            front: None,
+            pipeline: VecDeque::new(),
+            control: None,
+            direct_queue: VecDeque::new(),
+            direct_remaining: HashMap::new(),
+            gc: None,
+            pending_flushes: Vec::new(),
+            next_commit_at: first_commit,
+            sync_flush_pending: false,
+            completions: Vec::new(),
+            stats: SsdStats::default(),
+            config,
+        }
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> &SsdConfig {
+        &self.config
+    }
+
+    /// Current device time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Device counters.
+    pub fn stats(&self) -> SsdStats {
+        self.stats
+    }
+
+    /// Flash-array counters (programs, erases, interruptions…).
+    pub fn flash_stats(&self) -> pfault_flash::array::FlashStats {
+        self.array.stats()
+    }
+
+    /// Whether the device is powered and reachable.
+    pub fn is_operational(&self) -> bool {
+        self.state == PowerState::Operational
+    }
+
+    /// Dirty sectors currently in the write cache.
+    pub fn dirty_cache_sectors(&self) -> u64 {
+        self.cache.dirty_sectors()
+    }
+
+    /// Sectors whose mapping is still volatile (journal buffer).
+    pub fn volatile_map_sectors(&self) -> u64 {
+        self.ftl.volatile_mapped_sectors()
+    }
+
+    /// Submits a host sub-request at the current device time.
+    ///
+    /// Submitting to a dead or browning-out device fails immediately with
+    /// a device-error completion — the paper's IO-error condition
+    /// ("the request is issued to the SSD when it was unavailable").
+    pub fn submit(&mut self, cmd: HostCommand) {
+        if self.state != PowerState::Operational {
+            self.stats.device_errors += 1;
+            self.completions.push(Completion {
+                request_id: cmd.request_id,
+                sub_id: cmd.sub_id,
+                time: self.now,
+                kind: CompletionKind::DeviceError,
+            });
+            return;
+        }
+        self.pending.push_back(cmd);
+        self.schedule_work();
+    }
+
+    /// Submits a FLUSH barrier: it completes once everything accepted
+    /// before it is durable — dirty cache drained, mapping journal
+    /// committed, open extent closed. Data acknowledged before a completed
+    /// FLUSH survives any subsequent power fault; this is the barrier a
+    /// file system's journal relies on, and the designer-facing mitigation
+    /// the paper's §V implies.
+    pub fn submit_flush(&mut self, request_id: u64, sub_id: u32) {
+        if self.state != PowerState::Operational {
+            self.stats.device_errors += 1;
+            self.completions.push(Completion {
+                request_id,
+                sub_id,
+                time: self.now,
+                kind: CompletionKind::DeviceError,
+            });
+            return;
+        }
+        self.pending_flushes.push((request_id, sub_id));
+        self.schedule_work();
+        self.maybe_complete_flushes();
+    }
+
+    /// Whether everything accepted so far is durable. A FLUSH barrier
+    /// orders behind every previously accepted command, so the front-end
+    /// queue must be empty too.
+    fn all_durable(&self) -> bool {
+        self.pending.is_empty()
+            && self.front.is_none()
+            && self.cache.dirty_sectors() == 0
+            && self.pipeline.is_empty()
+            && self.direct_queue.is_empty()
+            && self.direct_remaining.is_empty()
+            && self.ftl.volatile_mapped_sectors() == 0
+            && self.control.is_none()
+    }
+
+    fn maybe_complete_flushes(&mut self) {
+        if self.pending_flushes.is_empty() || !self.all_durable() {
+            return;
+        }
+        for (request_id, sub_id) in std::mem::take(&mut self.pending_flushes) {
+            self.stats.flushes_acked += 1;
+            self.completions.push(Completion {
+                request_id,
+                sub_id,
+                time: self.now,
+                kind: CompletionKind::Acked,
+            });
+        }
+    }
+
+    /// Takes all completions accumulated so far.
+    pub fn drain_completions(&mut self) -> Vec<Completion> {
+        std::mem::take(&mut self.completions)
+    }
+
+    /// Earliest pending internal event, if any.
+    pub fn next_event(&self) -> Option<SimTime> {
+        let mut next: Option<SimTime> = None;
+        let mut consider = |t: SimTime| {
+            next = Some(next.map_or(t, |n| n.min(t)));
+        };
+        if let Some(f) = &self.front {
+            consider(f.end);
+        }
+        if let Some(p) = self.pipeline.front() {
+            consider(p.end);
+        }
+        match &self.control {
+            Some(ControlOp::Commit { end, .. })
+            | Some(ControlOp::Checkpoint { end, .. })
+            | Some(ControlOp::Erase { end, .. }) => consider(*end),
+            None => {}
+        }
+        // Interval commit becomes actionable at next_commit_at (it also
+        // covers the open extent, which it force-closes).
+        if self.control.is_none()
+            && self.state != PowerState::Dead
+            && (self.ftl.committable_entries() > 0 || self.ftl.open_extent_sectors() > 0)
+        {
+            consider(self.next_commit_at.max(self.now));
+        }
+        // A dirty entry becomes flushable when it ages past the delay.
+        if self.executing_programs() < self.config.program_lanes
+            && self.state != PowerState::Dead
+            && self.ftl.available_blocks() > 0
+        {
+            if let Some(ready) = self.flush_ready_time() {
+                consider(ready.max(self.now));
+            }
+        }
+        next
+    }
+
+    fn flush_ready_time(&self) -> Option<SimTime> {
+        // Conservative: if anything is dirty, it is ready no later than
+        // inserted + delay; under pressure it is ready immediately. The
+        // event loop re-checks via next_flushable.
+        if self.cache.dirty_sectors() == 0 {
+            return None;
+        }
+        let mut probe = self.cache.clone();
+        probe
+            .next_flushable(SimTime::MAX, self.config.cache.flush_delay, 2.0)
+            .map(|_| ())?;
+        // Cheap bound: ready now if pressured, else "now + small step".
+        // We recompute exactly by probing at `now`.
+        let mut probe2 = self.cache.clone();
+        if probe2
+            .next_flushable(
+                self.now,
+                self.config.cache.flush_delay,
+                self.config.cache.pressure_watermark,
+            )
+            .is_some()
+        {
+            Some(self.now)
+        } else {
+            Some(self.now + SimDuration::from_millis(5))
+        }
+    }
+
+    /// Advances device time to `t`, processing internal events in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is in the past.
+    pub fn advance_to(&mut self, t: SimTime) {
+        assert!(t >= self.now, "cannot advance into the past");
+        while let Some(e) = self.next_event() {
+            if e > t {
+                break;
+            }
+            self.now = self.now.max(e);
+            self.process_due_events();
+            self.schedule_work();
+        }
+        self.now = t;
+        self.schedule_work();
+    }
+
+    fn process_due_events(&mut self) {
+        let now = self.now;
+        if let Some(f) = self.front {
+            if f.end <= now {
+                self.front = None;
+                self.finish_front(f);
+            }
+        }
+        while self.pipeline.front().is_some_and(|p| p.end <= now) {
+            let p = self.pipeline.pop_front().expect("front checked above");
+            self.finish_program(p);
+        }
+        let control_done = match &self.control {
+            Some(ControlOp::Commit { end, .. })
+            | Some(ControlOp::Checkpoint { end, .. })
+            | Some(ControlOp::Erase { end, .. }) => *end <= now,
+            None => false,
+        };
+        if control_done {
+            let op = self.control.take().expect("control op checked above");
+            self.finish_control(op);
+        }
+        self.maybe_complete_flushes();
+    }
+
+    fn finish_front(&mut self, f: FrontOp) {
+        let cmd = f.cmd;
+        if cmd.is_write {
+            if self.config.cache.enabled {
+                // Insert all sectors dirty and ACK.
+                for i in 0..cmd.sectors.get() {
+                    let lba = Lba::new(cmd.lba.index() + i);
+                    self.cache.insert(lba, cmd.sector_content(i), f.end);
+                }
+                self.stats.writes_acked += 1;
+                self.completions.push(Completion {
+                    request_id: cmd.request_id,
+                    sub_id: cmd.sub_id,
+                    time: f.end,
+                    kind: CompletionKind::Acked,
+                });
+            } else {
+                // Direct write: sectors feed the pipeline; ACK on the last
+                // program.
+                self.direct_remaining
+                    .insert((cmd.request_id, cmd.sub_id), cmd.sectors.get());
+                self.direct_queue.push_back((cmd, 0));
+            }
+        } else {
+            // Read service finished; account hit/miss statistics.
+            for i in 0..cmd.sectors.get() {
+                let lba = Lba::new(cmd.lba.index() + i);
+                if self.cache.lookup(lba).is_some() {
+                    self.stats.cache_hits += 1;
+                } else {
+                    self.stats.cache_misses += 1;
+                }
+            }
+            self.stats.reads_acked += 1;
+            self.completions.push(Completion {
+                request_id: cmd.request_id,
+                sub_id: cmd.sub_id,
+                time: f.end,
+                kind: CompletionKind::Acked,
+            });
+        }
+    }
+
+    fn finish_program(&mut self, p: PipelineOp) {
+        // The program committed to the array at completion time.
+        let oob = Oob::user(p.lba, p.slot.seq);
+        self.array
+            .program(p.slot.ppa, p.data, oob)
+            .expect("pipeline programs are reserved in order");
+        match p.source {
+            ProgramSource::CacheFlush => {
+                self.ftl.finish_user_write(&p.slot);
+                self.cache.flush_complete(p.lba, p.data);
+            }
+            ProgramSource::Direct { request_id, sub_id } => {
+                self.ftl.finish_user_write(&p.slot);
+                // The tracking entry is gone if the host link dropped
+                // mid-request (the command was already errored); the
+                // program itself still lands.
+                if let Some(remaining) = self.direct_remaining.get_mut(&(request_id, sub_id)) {
+                    *remaining -= 1;
+                    if *remaining == 0 {
+                        self.direct_remaining.remove(&(request_id, sub_id));
+                        self.stats.writes_acked += 1;
+                        if self.state == PowerState::Operational {
+                            self.completions.push(Completion {
+                                request_id,
+                                sub_id,
+                                time: p.end,
+                                kind: CompletionKind::Acked,
+                            });
+                        }
+                    }
+                }
+            }
+            ProgramSource::GcRelocation { old_ppa } => {
+                // Publish only if the host has not overwritten it meanwhile.
+                if self.ftl.lookup(p.lba) == Some(old_ppa) {
+                    self.ftl.finish_user_write(&p.slot);
+                }
+                if let Some(gc) = &mut self.gc {
+                    gc.in_flight -= 1;
+                }
+            }
+        }
+    }
+
+    fn finish_control(&mut self, op: ControlOp) {
+        match op {
+            ControlOp::Commit { op, .. } => {
+                // Journal page content: the batch id, tagged as journal.
+                let data = PageData::from_tag(mix64(0x4A4E_4C00, op.batch.id));
+                self.array
+                    .program(op.page, data, Oob::journal(op.batch.id, op.seq))
+                    .expect("journal pages are reserved in order");
+                self.ftl.finish_journal_commit(op, &mut self.durable);
+                self.stats.commits += 1;
+            }
+            ControlOp::Checkpoint { op, .. } => {
+                let data = PageData::from_tag(mix64(0xC4EC_0000, op.checkpoint.id));
+                self.array
+                    .program(op.page, data, Oob::checkpoint(op.checkpoint.id, op.seq))
+                    .expect("checkpoint pages are reserved in order");
+                self.ftl.finish_checkpoint(op, &mut self.checkpoints);
+                self.checkpoints.prune(4);
+                self.stats.checkpoints += 1;
+            }
+            ControlOp::Erase { block, .. } => {
+                self.array.erase(block).expect("gc erases a full block");
+                let count = self.array.erase_count(block);
+                self.ftl.finish_gc(block, count);
+                self.stats.gc_collections += 1;
+                self.gc = None;
+            }
+        }
+    }
+
+    fn schedule_work(&mut self) {
+        if self.state == PowerState::Dead {
+            return;
+        }
+        self.start_front();
+        self.start_pipeline();
+        self.start_control();
+    }
+
+    fn start_front(&mut self) {
+        if self.state != PowerState::Operational {
+            return; // host link gone
+        }
+        if self.front.is_some() {
+            return;
+        }
+        let Some(cmd) = self.pending.front().copied() else {
+            return;
+        };
+        if cmd.is_write && self.config.cache.enabled {
+            let n = cmd.sectors.get();
+            if !self.cache.has_room_for(n) {
+                self.cache.evict_clean(n);
+            }
+            if !self.cache.has_room_for(n) {
+                return; // back-pressure: wait for flushes
+            }
+        }
+        self.pending.pop_front();
+        let duration = self.config.command_overhead
+            + self.config.per_sector_transfer * cmd.sectors.get()
+            + if !cmd.is_write && !self.all_sectors_cached(&cmd) {
+                self.config.read_latency
+            } else {
+                SimDuration::ZERO
+            };
+        self.front = Some(FrontOp {
+            cmd,
+            end: self.now + duration,
+        });
+    }
+
+    fn all_sectors_cached(&self, cmd: &HostCommand) -> bool {
+        (0..cmd.sectors.get()).all(|i| self.cache.lookup(Lba::new(cmd.lba.index() + i)).is_some())
+    }
+
+    fn effective_program_duration(&self, page: u64) -> SimDuration {
+        let raw = self
+            .array
+            .timing()
+            .program_duration(self.config.cell_kind, page);
+        ((raw * u64::from(self.config.program_lanes)) / u64::from(self.config.channels))
+            .max(SimDuration::from_micros(5))
+    }
+
+    /// Ops still executing (their program has not finished; finished ops
+    /// may linger at the back of the queue waiting for in-order
+    /// retirement and do not occupy a lane).
+    fn executing_programs(&self) -> u32 {
+        let now = self.now;
+        self.pipeline.iter().filter(|p| p.end > now).count() as u32
+    }
+
+    fn start_pipeline(&mut self) {
+        while self.executing_programs() < self.config.program_lanes {
+            if !self.start_one_program() {
+                break;
+            }
+        }
+    }
+
+    /// Starts at most one program op; returns whether one was started.
+    fn start_one_program(&mut self) -> bool {
+        // In-order retirement is enforced at pop time: an op whose
+        // program finishes early simply retires when the ops ahead of it
+        // do.
+        // 1. Direct (cache-off) write sectors.
+        if let Some((cmd, idx)) = self.direct_queue.front().copied() {
+            let lba = Lba::new(cmd.lba.index() + idx);
+            match self.ftl.begin_user_write(lba) {
+                Ok(slot) => {
+                    if idx + 1 >= cmd.sectors.get() {
+                        self.direct_queue.pop_front();
+                    } else {
+                        self.direct_queue.front_mut().expect("front exists").1 += 1;
+                    }
+                    let duration = self.effective_program_duration(slot.ppa.page);
+                    self.pipeline.push_back(PipelineOp {
+                        lba,
+                        data: cmd.sector_content(idx),
+                        slot,
+                        source: ProgramSource::Direct {
+                            request_id: cmd.request_id,
+                            sub_id: cmd.sub_id,
+                        },
+                        start: self.now,
+                        end: self.now + duration,
+                    });
+                    return true;
+                }
+                Err(_) => return false, // out of blocks: wait for GC
+            }
+        }
+        // 2. Cache flushes. A pending FLUSH barrier overrides the lazy
+        // timer: everything dirty is immediately eligible.
+        let (delay, watermark) = if self.pending_flushes.is_empty() {
+            (
+                self.config.cache.flush_delay,
+                self.config.cache.pressure_watermark,
+            )
+        } else {
+            (SimDuration::ZERO, 0.0)
+        };
+        if let Some((lba, data)) = self.cache.next_flushable(self.now, delay, watermark) {
+            match self.ftl.begin_user_write(lba) {
+                Ok(slot) => {
+                    let duration = self.effective_program_duration(slot.ppa.page);
+                    self.pipeline.push_back(PipelineOp {
+                        lba,
+                        data,
+                        slot,
+                        source: ProgramSource::CacheFlush,
+                        start: self.now,
+                        end: self.now + duration,
+                    });
+                    return true;
+                }
+                Err(_) => {
+                    self.cache.flush_aborted(lba);
+                    return false;
+                }
+            }
+        }
+        // 3. GC relocations.
+        let reloc = self.gc.as_mut().and_then(|gc| {
+            gc.pending.pop_front().inspect(|_r| {
+                gc.in_flight += 1;
+            })
+        });
+        if let Some((lba, old_ppa)) = reloc {
+            // Read the live data synchronously (array state lookup).
+            let data = match self.array.read(old_ppa, &mut self.rng) {
+                ReadOutcome::Ok { data, .. } => data,
+                // Unreadable victim data: nothing to relocate.
+                _ => {
+                    if let Some(gc) = &mut self.gc {
+                        gc.in_flight -= 1;
+                    }
+                    return false;
+                }
+            };
+            if let Ok(slot) = self.ftl.begin_user_write(lba) {
+                let duration = self.effective_program_duration(slot.ppa.page);
+                self.pipeline.push_back(PipelineOp {
+                    lba,
+                    data,
+                    slot,
+                    source: ProgramSource::GcRelocation { old_ppa },
+                    start: self.now,
+                    end: self.now + duration,
+                });
+                return true;
+            } else if let Some(gc) = &mut self.gc {
+                gc.in_flight -= 1;
+            }
+        }
+        false
+    }
+
+    fn start_control(&mut self) {
+        if self.control.is_some() {
+            return;
+        }
+        // The periodic full sync ticks on an absolute cadence (anchored at
+        // boot with a random phase): when a tick passes, the open extent
+        // is force-closed so the next commit covers it. This bounds idle
+        // exposure by the commit interval (§IV-A's ~700 ms tail) while
+        // backlog-driven commits — which do NOT close the open extent —
+        // keep the under-load window tight (§IV-D's extent penalty
+        // survives on hot runs).
+        if self.now >= self.next_commit_at {
+            if self.ftl.open_extent_sectors() > 0 {
+                self.ftl.close_open_extent();
+            }
+            self.sync_flush_pending = true;
+            while self.next_commit_at <= self.now {
+                self.next_commit_at += self.config.ftl.commit_interval;
+            }
+        }
+        // A pending FLUSH barrier needs the whole journal durable now:
+        // close the open extent and force a commit regardless of backlog.
+        if !self.pending_flushes.is_empty() {
+            if self.ftl.open_extent_sectors() > 0 {
+                self.ftl.close_open_extent();
+            }
+            if self.ftl.committable_entries() > 0 {
+                self.sync_flush_pending = true;
+            }
+        }
+        let commit_due = self.ftl.commit_due_by_count()
+            || (self.sync_flush_pending && self.ftl.committable_entries() > 0);
+        if commit_due {
+            if let Ok(Some(op)) = self.ftl.begin_journal_commit() {
+                self.sync_flush_pending = false;
+                let duration = self
+                    .array
+                    .timing()
+                    .program_duration(self.config.cell_kind, op.page.page);
+                self.control = Some(ControlOp::Commit {
+                    op,
+                    start: self.now,
+                    end: self.now + duration,
+                });
+                return;
+            }
+        }
+        // Checkpoint: bound recovery replay once enough batches piled up.
+        if self.ftl.checkpoint_due() {
+            if let Ok(op) = self.ftl.begin_checkpoint() {
+                // A full-map snapshot is bigger than one page program;
+                // model it as a handful of page programs back to back.
+                let duration = self
+                    .array
+                    .timing()
+                    .program_duration(self.config.cell_kind, op.page.page)
+                    * 4;
+                self.control = Some(ControlOp::Checkpoint {
+                    op,
+                    end: self.now + duration,
+                });
+                return;
+            }
+        }
+        // Garbage collection.
+        if self.gc.is_none() && self.ftl.gc_needed() {
+            if let Some(plan) = self.ftl.gc_plan() {
+                let pending: VecDeque<_> = plan.relocations.iter().copied().collect();
+                self.gc = Some(GcState {
+                    plan,
+                    pending,
+                    in_flight: 0,
+                });
+            }
+        }
+        if let Some(gc) = &self.gc {
+            if gc.pending.is_empty() && gc.in_flight == 0 {
+                let block = gc.plan.victim;
+                let duration = self.array.timing().erase;
+                self.control = Some(ControlOp::Erase {
+                    block,
+                    end: self.now + duration,
+                });
+            }
+        }
+    }
+
+    /// Applies a power fault.
+    ///
+    /// The device advances to `timeline.host_lost` normally (the rail is
+    /// still ≥ 4.5 V), then the host link dies: every unacknowledged
+    /// command fails with a device error. Firmware without a supercap keeps
+    /// working obliviously until `timeline.flash_unreliable`; whatever is
+    /// in flight then is interrupted, and all volatile state (cache,
+    /// mapping table, journal buffer) is lost. With a supercap the firmware
+    /// instead panic-flushes from stored energy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the timeline starts in the device's past.
+    pub fn power_fail(&mut self, timeline: &FaultTimeline) {
+        self.advance_to(timeline.host_lost);
+        self.state = PowerState::Brownout;
+        self.fail_host_side(timeline.host_lost);
+
+        if self.config.supercap {
+            self.panic_flush();
+            self.die_cleanly();
+            return;
+        }
+
+        // Oblivious firmware: flush/commit continue until the rail is too
+        // low for reliable NAND operations.
+        self.advance_to(timeline.flash_unreliable);
+        self.die_hard();
+    }
+
+    /// Errors out every host-visible command that has not been ACKed: the
+    /// link is gone.
+    fn fail_host_side(&mut self, at: SimTime) {
+        let error = |request_id: u64,
+                     sub_id: u32,
+                     completions: &mut Vec<Completion>,
+                     stats: &mut SsdStats| {
+            stats.device_errors += 1;
+            completions.push(Completion {
+                request_id,
+                sub_id,
+                time: at,
+                kind: CompletionKind::DeviceError,
+            });
+        };
+        for cmd in std::mem::take(&mut self.pending) {
+            error(
+                cmd.request_id,
+                cmd.sub_id,
+                &mut self.completions,
+                &mut self.stats,
+            );
+        }
+        if let Some(f) = self.front.take() {
+            error(
+                f.cmd.request_id,
+                f.cmd.sub_id,
+                &mut self.completions,
+                &mut self.stats,
+            );
+        }
+        let direct_outstanding: Vec<(u64, u32)> = self.direct_remaining.keys().copied().collect();
+        for (request_id, sub_id) in direct_outstanding {
+            error(request_id, sub_id, &mut self.completions, &mut self.stats);
+        }
+        self.direct_remaining.clear();
+        self.direct_queue.clear();
+        for (request_id, sub_id) in std::mem::take(&mut self.pending_flushes) {
+            error(request_id, sub_id, &mut self.completions, &mut self.stats);
+        }
+    }
+
+    /// Applies a transient voltage sag and returns its classified
+    /// severity. Harmless sags pass unnoticed; a link-drop sag errors the
+    /// in-flight host commands but preserves all internal state; a deeper
+    /// sag resets the controller — volatile state dies exactly as in a
+    /// full outage — but power returns by itself at the sag's end and the
+    /// firmware recovers immediately.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sag starts in the device's past.
+    pub fn apply_brownout(
+        &mut self,
+        event: &pfault_power::BrownoutEvent,
+    ) -> pfault_power::BrownoutSeverity {
+        use pfault_power::psu::{FLASH_UNRELIABLE_MV, HOST_LOSS_MV};
+        use pfault_power::BrownoutSeverity;
+        let nominal = crate::config::NOMINAL_RAIL;
+        let severity = event.severity();
+        match severity {
+            BrownoutSeverity::Harmless => {
+                self.advance_to(event.end());
+            }
+            BrownoutSeverity::LinkDrop => {
+                let (down, up) = event
+                    .window_below(HOST_LOSS_MV, nominal)
+                    .expect("link-drop sag crosses host loss");
+                self.advance_to(down);
+                self.state = PowerState::Brownout;
+                self.fail_host_side(down);
+                // Internal work continues through the dip.
+                self.advance_to(up);
+                self.state = PowerState::Operational;
+                self.advance_to(event.end());
+            }
+            BrownoutSeverity::ControllerReset | BrownoutSeverity::CoreLoss => {
+                let (down, _) = event
+                    .window_below(HOST_LOSS_MV, nominal)
+                    .expect("reset sag crosses host loss");
+                self.advance_to(down);
+                self.state = PowerState::Brownout;
+                self.fail_host_side(down);
+                let (reset_at, _) = event
+                    .window_below(FLASH_UNRELIABLE_MV, nominal)
+                    .expect("reset sag crosses the brownout detector");
+                self.advance_to(reset_at);
+                self.die_hard();
+                self.power_on_recover(event.end());
+            }
+        }
+        severity
+    }
+
+    /// Supercap-powered orderly shutdown: finish the in-flight program,
+    /// flush every dirty sector, close the open extent, and commit the
+    /// journal — all from stored energy.
+    fn panic_flush(&mut self) {
+        while let Some(p) = self.pipeline.pop_front() {
+            self.finish_program(p);
+        }
+        if let Some(op) = self.control.take() {
+            self.finish_control(op);
+        }
+        let dirty = self.cache.dirty_entries();
+        for (lba, data) in dirty {
+            if let Ok(slot) = self.ftl.begin_user_write(lba) {
+                let oob = Oob::user(lba, slot.seq);
+                if self.array.program(slot.ppa, data, oob).is_ok() {
+                    self.ftl.finish_user_write(&slot);
+                    self.cache.flush_complete(lba, data);
+                }
+            }
+        }
+        self.ftl.close_open_extent();
+        while let Ok(Some(op)) = self.ftl.begin_journal_commit() {
+            let data = PageData::from_tag(mix64(0x4A4E_4C00, op.batch.id));
+            if self
+                .array
+                .program(op.page, data, Oob::journal(op.batch.id, op.seq))
+                .is_ok()
+            {
+                self.ftl.finish_journal_commit(op, &mut self.durable);
+                self.stats.commits += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn die_cleanly(&mut self) {
+        self.stats.last_fault_dirty_lost = self.cache.dirty_sectors();
+        self.stats.last_fault_map_lost = self.ftl.volatile_mapped_sectors();
+        self.cache.clear();
+        self.pipeline.clear();
+        self.control = None;
+        self.direct_queue.clear();
+        self.direct_remaining.clear();
+        self.gc = None;
+        self.array.power_off();
+        self.state = PowerState::Dead;
+    }
+
+    fn die_hard(&mut self) {
+        // Interrupt everything mid-operation at the reset instant: ops
+        // whose own program already finished retire normally (their data
+        // is on the array even if the in-order bookkeeping lagged), the
+        // rest are cut mid-ISPP.
+        let inflight: Vec<PipelineOp> = self.pipeline.drain(..).collect();
+        for p in inflight {
+            if p.end <= self.now {
+                self.finish_program(p);
+                continue;
+            }
+            let total = (p.end - p.start).as_micros().max(1);
+            let done = self.now.saturating_since(p.start).as_micros();
+            let progress = (done as f64 / total as f64).clamp(0.0, 1.0);
+            self.array
+                .interrupt_program(p.slot.ppa, progress, &mut self.rng);
+        }
+        match self.control.take() {
+            Some(ControlOp::Commit { op, start, end }) => {
+                // A torn journal write: entries carry individual CRCs, so
+                // recovery replays the prefix that made it to the page and
+                // discards the tail — leaving half-applied requests behind
+                // (checksum-mismatch data failures, not clean reverts).
+                let total = (end - start).as_micros().max(1);
+                let done = self.now.saturating_since(start).as_micros();
+                let progress = (done as f64 / total as f64).clamp(0.0, 1.0);
+                let keep = (op.batch.coverage() as f64 * progress).floor() as u64;
+                let torn = op.batch.torn_prefix(keep);
+                if !torn.entries.is_empty() {
+                    let data = PageData::from_tag(mix64(0x4A4E_4C00, op.batch.id));
+                    if self
+                        .array
+                        .program(op.page, data, Oob::journal(op.batch.id, op.seq))
+                        .is_ok()
+                    {
+                        self.durable.append(op.page, torn);
+                    }
+                }
+                // The rest of the batch never became durable.
+            }
+            Some(ControlOp::Checkpoint { op, end }) => {
+                // The snapshot never completed: garble what was written of
+                // its page; recovery falls back to the previous
+                // checkpoint plus a longer journal replay.
+                let progress = 1.0
+                    - (end.saturating_since(self.now).as_micros() as f64
+                        / self
+                            .array
+                            .timing()
+                            .program_duration(self.config.cell_kind, op.page.page)
+                            .as_micros()
+                            .max(1) as f64)
+                        .clamp(0.0, 1.0);
+                self.array
+                    .interrupt_program(op.page, progress, &mut self.rng);
+            }
+            Some(ControlOp::Erase { block, .. }) => {
+                self.array.interrupt_erase(block);
+            }
+            None => {}
+        }
+        self.stats.last_fault_dirty_lost = self.cache.dirty_sectors();
+        self.stats.last_fault_map_lost = self.ftl.volatile_mapped_sectors();
+        self.cache.clear();
+        self.direct_queue.clear();
+        self.direct_remaining.clear();
+        self.gc = None;
+        self.array.power_off();
+        self.state = PowerState::Dead;
+    }
+
+    /// Restores power at `now` and runs the firmware's recovery: replay
+    /// the durable journal into a fresh mapping table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device is not dead.
+    pub fn power_on_recover(&mut self, now: SimTime) {
+        assert_eq!(
+            self.state,
+            PowerState::Dead,
+            "device must be dead to recover"
+        );
+        assert!(now >= self.now);
+        self.now = now;
+        self.array.power_on();
+        self.ftl = Ftl::recover_with_checkpoints(
+            self.config.ftl,
+            &mut self.array,
+            &self.durable,
+            &self.checkpoints,
+            &mut self.rng,
+        );
+        self.state = PowerState::Operational;
+        self.next_commit_at = now + self.config.ftl.commit_interval;
+        self.pending.clear();
+        self.front = None;
+    }
+
+    /// Discards a range of sectors (TRIM / DISCARD). Applied immediately
+    /// at the current device time: cached copies vanish and the mapping
+    /// removals are journaled (so, like writes, an uncommitted trim can
+    /// be undone by a power fault — the "ghost data" case).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device is not operational.
+    pub fn trim(&mut self, lba: Lba, sectors: SectorCount) {
+        assert!(self.is_operational(), "trim needs a powered device");
+        for i in 0..sectors.get() {
+            let l = Lba::new(lba.index() + i);
+            self.cache.invalidate(l);
+            self.ftl.trim(l);
+        }
+        self.schedule_work();
+    }
+
+    /// Post-recovery verification read of one sector, bypassing the (now
+    /// empty) cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device is not operational.
+    pub fn verify_read(&mut self, lba: Lba) -> VerifiedContent {
+        assert!(self.is_operational(), "verification needs a powered device");
+        match self.ftl.lookup(lba) {
+            None => VerifiedContent::Unwritten,
+            Some(ppa) => match self.array.read(ppa, &mut self.rng) {
+                ReadOutcome::Ok { data, .. } => VerifiedContent::Written(data),
+                ReadOutcome::Uncorrectable => VerifiedContent::Unreadable,
+                ReadOutcome::Erased => VerifiedContent::Unwritten,
+            },
+        }
+    }
+
+    /// Scans every mapped sector and reports how many are unreadable — a
+    /// SMART-style media self-test (the post-mortem a cautious operator
+    /// runs after an outage).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device is not operational.
+    pub fn scrub(&mut self) -> ScrubReport {
+        assert!(self.is_operational(), "scrub needs a powered device");
+        let mapped: Vec<(Lba, pfault_flash::Ppa)> = {
+            let mut v: Vec<_> = self.ftl.iter_mapped().collect();
+            v.sort_by_key(|(l, _)| *l);
+            v
+        };
+        let mut report = ScrubReport::default();
+        for (_, ppa) in mapped {
+            report.scanned += 1;
+            match self.array.read(ppa, &mut self.rng) {
+                ReadOutcome::Ok { data, .. } => {
+                    if !data.is_intact() {
+                        report.garbled += 1;
+                    }
+                }
+                ReadOutcome::Uncorrectable => report.unreadable += 1,
+                ReadOutcome::Erased => report.unreadable += 1,
+            }
+        }
+        report
+    }
+
+    /// Drains all dirty state to flash and commits the journal, taking
+    /// simulated time (used to reach a clean baseline between campaign
+    /// phases).
+    pub fn quiesce(&mut self) {
+        // Force flush eligibility by advancing until nothing dirty remains.
+        let mut guard = 0;
+        while self.cache.dirty_sectors() > 0
+            || !self.pipeline.is_empty()
+            || self.control.is_some()
+            || !self.direct_queue.is_empty()
+        {
+            let step = self
+                .next_event()
+                .unwrap_or(self.now + self.config.cache.flush_delay);
+            self.advance_to(step.max(self.now + SimDuration::from_micros(100)));
+            guard += 1;
+            assert!(guard < 1_000_000, "quiesce failed to converge");
+        }
+        self.ftl.close_open_extent();
+        if let Ok(Some(op)) = self.ftl.begin_journal_commit() {
+            let data = PageData::from_tag(mix64(0x4A4E_4C00, op.batch.id));
+            self.array
+                .program(op.page, data, Oob::journal(op.batch.id, op.seq))
+                .expect("journal page reserved in order");
+            self.ftl.finish_journal_commit(op, &mut self.durable);
+            self.stats.commits += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CacheConfig;
+    use crate::vendor::VendorPreset;
+    use pfault_power::FaultInjector;
+
+    fn small_ssd() -> Ssd {
+        let mut config = VendorPreset::SsdA.config();
+        config.geometry = pfault_flash::FlashGeometry::new(512, 64);
+        config.ftl = pfault_ftl::FtlConfig::for_geometry(config.geometry);
+        Ssd::new(config, DetRng::new(7))
+    }
+
+    fn drive_until_acked(ssd: &mut Ssd, deadline_ms: u64) -> Vec<Completion> {
+        ssd.advance_to(SimTime::from_millis(deadline_ms));
+        ssd.drain_completions()
+    }
+
+    #[test]
+    fn write_is_acked_from_cache_quickly() {
+        let mut ssd = small_ssd();
+        ssd.submit(HostCommand::write(
+            1,
+            0,
+            Lba::new(0),
+            SectorCount::new(8),
+            0xAA,
+        ));
+        let comps = drive_until_acked(&mut ssd, 5);
+        assert_eq!(comps.len(), 1);
+        assert!(comps[0].acked());
+        // ACK is front-end latency, far faster than a NAND program chain.
+        assert!(comps[0].time < SimTime::from_millis(1));
+        assert_eq!(ssd.dirty_cache_sectors(), 8);
+    }
+
+    #[test]
+    fn flush_eventually_drains_cache() {
+        let mut ssd = small_ssd();
+        ssd.submit(HostCommand::write(
+            1,
+            0,
+            Lba::new(0),
+            SectorCount::new(4),
+            0xBB,
+        ));
+        ssd.advance_to(SimTime::from_millis(2_000));
+        assert_eq!(ssd.dirty_cache_sectors(), 0, "flusher should have drained");
+        assert!(ssd.flash_stats().programs >= 4);
+    }
+
+    #[test]
+    fn read_completes_and_counts_hits() {
+        let mut ssd = small_ssd();
+        ssd.submit(HostCommand::write(
+            1,
+            0,
+            Lba::new(5),
+            SectorCount::new(2),
+            0xCC,
+        ));
+        ssd.advance_to(SimTime::from_millis(1));
+        ssd.drain_completions();
+        ssd.submit(HostCommand::read(2, 0, Lba::new(5), SectorCount::new(2)));
+        let comps = drive_until_acked(&mut ssd, 10);
+        assert_eq!(comps.len(), 1);
+        assert!(comps[0].acked());
+        assert_eq!(ssd.stats().cache_hits, 2);
+    }
+
+    #[test]
+    fn submit_to_dead_device_errors_immediately() {
+        let mut ssd = small_ssd();
+        let injector = FaultInjector::arduino_atx_loaded();
+        let timeline = injector.timeline(SimTime::from_millis(1));
+        ssd.power_fail(&timeline);
+        ssd.submit(HostCommand::write(
+            9,
+            0,
+            Lba::new(0),
+            SectorCount::new(1),
+            1,
+        ));
+        let comps = ssd.drain_completions();
+        assert!(comps.iter().any(|c| c.request_id == 9 && !c.acked()));
+    }
+
+    #[test]
+    fn power_fault_loses_acked_dirty_data() {
+        let mut ssd = small_ssd();
+        ssd.submit(HostCommand::write(
+            1,
+            0,
+            Lba::new(10),
+            SectorCount::new(4),
+            0xDD,
+        ));
+        ssd.advance_to(SimTime::from_millis(1));
+        let comps = ssd.drain_completions();
+        assert!(comps[0].acked(), "host holds an ACK");
+        // Instant cut before the lazy flush window expires.
+        let timeline = FaultInjector::transistor().timeline(SimTime::from_millis(2));
+        ssd.power_fail(&timeline);
+        assert!(ssd.stats().last_fault_dirty_lost > 0, "dirty data died");
+        ssd.power_on_recover(timeline.discharged + SimDuration::from_secs(1));
+        // The ACKed data is gone: FWA from the Analyzer's point of view.
+        assert_eq!(ssd.verify_read(Lba::new(10)), VerifiedContent::Unwritten);
+    }
+
+    #[test]
+    fn quiesced_data_survives_power_fault() {
+        let mut ssd = small_ssd();
+        let cmd = HostCommand::write(1, 0, Lba::new(20), SectorCount::new(4), 0xEE);
+        ssd.submit(cmd);
+        ssd.advance_to(SimTime::from_millis(1));
+        ssd.quiesce();
+        let timeline = FaultInjector::arduino_atx_loaded().timeline(ssd.now());
+        ssd.power_fail(&timeline);
+        ssd.power_on_recover(timeline.discharged + SimDuration::from_secs(1));
+        for i in 0..4 {
+            let lba = Lba::new(20 + i);
+            match ssd.verify_read(lba) {
+                VerifiedContent::Written(data) => {
+                    assert_eq!(data, cmd.sector_content(i), "content mismatch at {lba}");
+                }
+                other => panic!("sector {lba} should survive, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn supercap_saves_dirty_data() {
+        let mut config = VendorPreset::SsdA.config();
+        config.geometry = pfault_flash::FlashGeometry::new(512, 64);
+        config.ftl = pfault_ftl::FtlConfig::for_geometry(config.geometry);
+        config.supercap = true;
+        let mut ssd = Ssd::new(config, DetRng::new(7));
+        let cmd = HostCommand::write(1, 0, Lba::new(30), SectorCount::new(4), 0xFF);
+        ssd.submit(cmd);
+        ssd.advance_to(SimTime::from_millis(1));
+        assert!(ssd.dirty_cache_sectors() > 0);
+        let timeline = FaultInjector::arduino_atx_loaded().timeline(SimTime::from_millis(2));
+        ssd.power_fail(&timeline);
+        ssd.power_on_recover(timeline.discharged + SimDuration::from_secs(1));
+        for i in 0..4 {
+            match ssd.verify_read(Lba::new(30 + i)) {
+                VerifiedContent::Written(data) => assert_eq!(data, cmd.sector_content(i)),
+                other => panic!("supercap should save sector {i}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn disabled_cache_acks_only_after_program() {
+        let mut config = VendorPreset::SsdA.config();
+        config.geometry = pfault_flash::FlashGeometry::new(512, 64);
+        config.ftl = pfault_ftl::FtlConfig::for_geometry(config.geometry);
+        config.cache = CacheConfig::disabled();
+        let mut ssd = Ssd::new(config, DetRng::new(7));
+        ssd.submit(HostCommand::write(
+            1,
+            0,
+            Lba::new(0),
+            SectorCount::new(4),
+            0x11,
+        ));
+        ssd.advance_to(SimTime::from_micros(250));
+        assert!(
+            ssd.drain_completions().is_empty(),
+            "no early ACK without cache"
+        );
+        ssd.advance_to(SimTime::from_millis(50));
+        let comps = ssd.drain_completions();
+        assert_eq!(comps.len(), 1);
+        assert!(comps[0].acked());
+        assert_eq!(ssd.dirty_cache_sectors(), 0);
+    }
+
+    #[test]
+    fn disabled_cache_still_vulnerable_via_volatile_map() {
+        // §IV-A: failures persist with the internal cache disabled —
+        // because the mapping journal is still volatile.
+        let mut config = VendorPreset::SsdA.config();
+        config.geometry = pfault_flash::FlashGeometry::new(512, 64);
+        config.ftl = pfault_ftl::FtlConfig::for_geometry(config.geometry);
+        config.cache = CacheConfig::disabled();
+        let mut ssd = Ssd::new(config, DetRng::new(7));
+        let cmd = HostCommand::write(1, 0, Lba::new(40), SectorCount::new(4), 0x22);
+        ssd.submit(cmd);
+        ssd.advance_to(SimTime::from_millis(50));
+        assert!(ssd.drain_completions()[0].acked());
+        assert!(ssd.volatile_map_sectors() > 0, "mapping still volatile");
+        let timeline = FaultInjector::arduino_atx_loaded().timeline(ssd.now());
+        ssd.power_fail(&timeline);
+        ssd.power_on_recover(timeline.discharged + SimDuration::from_secs(1));
+        // Mapping was never committed: data lost despite the ACK.
+        assert_eq!(ssd.verify_read(Lba::new(40)), VerifiedContent::Unwritten);
+    }
+
+    #[test]
+    fn transistor_cut_interrupts_in_flight_program() {
+        let mut ssd = small_ssd();
+        // Saturate with writes so a program is in flight, then cut
+        // instantly.
+        for i in 0..64 {
+            ssd.submit(HostCommand::write(
+                i,
+                0,
+                Lba::new(i * 8),
+                SectorCount::new(8),
+                i,
+            ));
+        }
+        // Cut while dirty data is still accumulating in the cache.
+        ssd.advance_to(SimTime::from_millis(3));
+        assert!(
+            ssd.dirty_cache_sectors() > 0,
+            "cache should hold dirty data"
+        );
+        let timeline = FaultInjector::transistor().timeline(ssd.now());
+        ssd.power_fail(&timeline);
+        assert!(
+            ssd.flash_stats().interrupted_programs + ssd.flash_stats().interrupted_erases >= 1
+                || ssd.stats().last_fault_dirty_lost > 0,
+            "an instant cut mid-workload must leave damage"
+        );
+    }
+
+    #[test]
+    fn iops_saturates_near_config_ceiling() {
+        let mut ssd = small_ssd();
+        // Submit far more 4 KiB writes than one second of front-end
+        // capacity; count ACKs within the first simulated second.
+        for i in 0..20_000u64 {
+            ssd.submit(HostCommand::write(
+                i,
+                0,
+                Lba::new(i % 500 * 8),
+                SectorCount::new(1),
+                i,
+            ));
+        }
+        ssd.advance_to(SimTime::from_secs(1));
+        let acked = ssd
+            .drain_completions()
+            .iter()
+            .filter(|c| c.acked() && c.time <= SimTime::from_secs(1))
+            .count() as f64;
+        let ceiling = ssd.config().iops_ceiling();
+        assert!(
+            acked <= ceiling * 1.05,
+            "acked {acked} must not exceed ceiling {ceiling}"
+        );
+        assert!(
+            acked >= ceiling * 0.5,
+            "acked {acked} unreasonably below ceiling {ceiling}"
+        );
+    }
+
+    #[test]
+    fn checkpoints_fire_and_recovery_uses_them() {
+        let mut config = VendorPreset::SsdA.config();
+        config.geometry = pfault_flash::FlashGeometry::new(512, 64);
+        config.ftl = pfault_ftl::FtlConfig::for_geometry(config.geometry);
+        config.ftl.checkpoint_every_batches = 4;
+        let mut ssd = Ssd::new(config, DetRng::new(17));
+        // Enough distinct writes for several commits and checkpoints.
+        let mut cmds = Vec::new();
+        for i in 0..40u64 {
+            let cmd = HostCommand::write(i, 0, Lba::new(i * 16), SectorCount::new(2), i + 1);
+            cmds.push(cmd);
+            ssd.submit(cmd);
+            ssd.advance_to(ssd.now() + SimDuration::from_millis(5));
+        }
+        ssd.quiesce();
+        assert!(ssd.stats().checkpoints > 0, "checkpoints must have fired");
+        let timeline = FaultInjector::arduino_atx_loaded().timeline(ssd.now());
+        ssd.power_fail(&timeline);
+        ssd.power_on_recover(timeline.discharged + SimDuration::from_secs(1));
+        for cmd in &cmds {
+            for i in 0..2 {
+                match ssd.verify_read(Lba::new(cmd.lba.index() + i)) {
+                    VerifiedContent::Written(d) => assert_eq!(d, cmd.sector_content(i)),
+                    other => panic!("request {} sector {i} lost: {other:?}", cmd.request_id),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trim_discards_data_durably_after_commit() {
+        let mut ssd = small_ssd();
+        ssd.submit(HostCommand::write(
+            1,
+            0,
+            Lba::new(60),
+            SectorCount::new(4),
+            0x77,
+        ));
+        ssd.advance_to(SimTime::from_millis(1));
+        ssd.drain_completions();
+        ssd.quiesce();
+        ssd.trim(Lba::new(60), SectorCount::new(4));
+        ssd.quiesce(); // commits the trim entries
+        let timeline = FaultInjector::arduino_atx_loaded().timeline(ssd.now());
+        ssd.power_fail(&timeline);
+        ssd.power_on_recover(timeline.discharged + SimDuration::from_secs(1));
+        for i in 0..4 {
+            assert_eq!(
+                ssd.verify_read(Lba::new(60 + i)),
+                VerifiedContent::Unwritten,
+                "trimmed sector {i} must stay gone"
+            );
+        }
+    }
+
+    #[test]
+    fn uncommitted_trim_can_resurrect_ghost_data() {
+        let mut ssd = small_ssd();
+        let cmd = HostCommand::write(1, 0, Lba::new(70), SectorCount::new(2), 0x88);
+        ssd.submit(cmd);
+        ssd.advance_to(SimTime::from_millis(1));
+        ssd.quiesce(); // data durable
+        ssd.trim(Lba::new(70), SectorCount::new(2));
+        // Instant cut before the trim journal entry commits.
+        let timeline = FaultInjector::transistor().timeline(ssd.now());
+        ssd.power_fail(&timeline);
+        ssd.power_on_recover(timeline.discharged + SimDuration::from_secs(1));
+        // The trim was volatile: the old data reappears.
+        for i in 0..2 {
+            match ssd.verify_read(Lba::new(70 + i)) {
+                VerifiedContent::Written(d) => assert_eq!(d, cmd.sector_content(i)),
+                other => panic!("ghost data should be back, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn flush_barrier_makes_acked_data_survive_instant_cut() {
+        let mut ssd = small_ssd();
+        let cmd = HostCommand::write(1, 0, Lba::new(10), SectorCount::new(8), 0xF1);
+        ssd.submit(cmd);
+        ssd.advance_to(SimTime::from_millis(1));
+        assert!(ssd.drain_completions()[0].acked());
+        ssd.submit_flush(2, 0);
+        // Drive until the flush completes.
+        let mut guard = 0;
+        loop {
+            let comps = ssd.drain_completions();
+            if comps.iter().any(|c| c.request_id == 2 && c.acked()) {
+                break;
+            }
+            let next = ssd
+                .next_event()
+                .unwrap_or(ssd.now() + SimDuration::from_millis(1));
+            ssd.advance_to(next.max(ssd.now() + SimDuration::from_micros(1)));
+            guard += 1;
+            assert!(guard < 100_000, "flush failed to complete");
+        }
+        assert!(ssd.stats().flushes_acked > 0);
+        // Instant cut right after the flush ACK: everything must survive.
+        let timeline = FaultInjector::transistor().timeline(ssd.now());
+        ssd.power_fail(&timeline);
+        ssd.power_on_recover(timeline.discharged + SimDuration::from_secs(1));
+        for i in 0..8 {
+            match ssd.verify_read(Lba::new(10 + i)) {
+                VerifiedContent::Written(d) => assert_eq!(d, cmd.sector_content(i)),
+                other => panic!("flushed sector {i} lost: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn flush_waits_for_durability() {
+        let mut ssd = small_ssd();
+        ssd.submit(HostCommand::write(
+            1,
+            0,
+            Lba::new(0),
+            SectorCount::new(64),
+            0xF2,
+        ));
+        ssd.advance_to(SimTime::from_millis(1));
+        ssd.drain_completions();
+        let before = ssd.now();
+        ssd.submit_flush(2, 0);
+        // The flush cannot complete instantly: 64 sectors still owe
+        // programs plus a journal commit.
+        let comps = ssd.drain_completions();
+        assert!(!comps.iter().any(|c| c.request_id == 2));
+        ssd.advance_to(before + SimDuration::from_millis(100));
+        let comps = ssd.drain_completions();
+        let flush = comps
+            .iter()
+            .find(|c| c.request_id == 2)
+            .expect("flush done");
+        assert!(flush.acked());
+        assert!(flush.time > before);
+    }
+
+    #[test]
+    fn flush_on_dead_device_errors() {
+        let mut ssd = small_ssd();
+        let timeline = FaultInjector::transistor().timeline(SimTime::from_millis(1));
+        ssd.power_fail(&timeline);
+        ssd.submit_flush(9, 0);
+        assert!(ssd
+            .drain_completions()
+            .iter()
+            .any(|c| c.request_id == 9 && !c.acked()));
+    }
+
+    #[test]
+    fn shallow_brownout_is_invisible() {
+        let mut ssd = small_ssd();
+        let cmd = HostCommand::write(1, 0, Lba::new(80), SectorCount::new(4), 0x99);
+        ssd.submit(cmd);
+        ssd.advance_to(SimTime::from_millis(1));
+        assert!(ssd.drain_completions()[0].acked());
+        let event = pfault_power::BrownoutEvent::shallow(ssd.now());
+        let severity = ssd.apply_brownout(&event);
+        assert_eq!(severity, pfault_power::BrownoutSeverity::Harmless);
+        assert!(ssd.is_operational());
+        ssd.quiesce();
+        for i in 0..4 {
+            assert!(matches!(
+                ssd.verify_read(Lba::new(80 + i)),
+                VerifiedContent::Written(_)
+            ));
+        }
+    }
+
+    #[test]
+    fn link_drop_brownout_errors_in_flight_but_keeps_state() {
+        let mut ssd = small_ssd();
+        // An ACKed write sits dirty in the cache…
+        ssd.submit(HostCommand::write(
+            1,
+            0,
+            Lba::new(90),
+            SectorCount::new(4),
+            0xA1,
+        ));
+        ssd.advance_to(SimTime::from_millis(1));
+        assert!(ssd.drain_completions()[0].acked());
+        // …and a large command is still in the front end when the link
+        // drops (a steep sag reaches 4.5 V before its ~1.2 ms service).
+        ssd.submit(HostCommand::write(
+            2,
+            0,
+            Lba::new(94),
+            SectorCount::new(128),
+            0xA2,
+        ));
+        let mut event = pfault_power::BrownoutEvent::shallow(ssd.now());
+        event.floor = pfault_power::Millivolts::new(4495); // link-drop depth
+        event.sag = SimDuration::from_micros(500);
+        event.recovery = SimDuration::from_micros(500);
+        let severity = ssd.apply_brownout(&event);
+        assert_eq!(severity, pfault_power::BrownoutSeverity::LinkDrop);
+        let comps = ssd.drain_completions();
+        assert!(comps.iter().any(|c| c.request_id == 2 && !c.acked()));
+        assert!(ssd.is_operational(), "controller rode the sag out");
+        // The earlier write survives (no volatile state was lost).
+        ssd.quiesce();
+        assert!(matches!(
+            ssd.verify_read(Lba::new(90)),
+            VerifiedContent::Written(_)
+        ));
+    }
+
+    #[test]
+    fn deep_brownout_resets_controller_and_loses_volatile_state() {
+        let mut ssd = small_ssd();
+        ssd.submit(HostCommand::write(
+            1,
+            0,
+            Lba::new(95),
+            SectorCount::new(4),
+            0xB1,
+        ));
+        ssd.advance_to(SimTime::from_micros(300));
+        assert!(ssd.drain_completions()[0].acked());
+        let event = pfault_power::BrownoutEvent::deep(ssd.now());
+        let severity = ssd.apply_brownout(&event);
+        assert_eq!(severity, pfault_power::BrownoutSeverity::ControllerReset);
+        assert!(ssd.is_operational(), "power came back by itself");
+        // The freshly-ACKed write was still cached: gone.
+        assert_eq!(ssd.verify_read(Lba::new(95)), VerifiedContent::Unwritten);
+    }
+
+    #[test]
+    fn scrub_is_clean_on_a_healthy_device_and_dirty_after_eol_fault() {
+        let mut ssd = small_ssd();
+        for i in 0..8u64 {
+            ssd.submit(HostCommand::write(
+                i,
+                0,
+                Lba::new(i * 8),
+                SectorCount::new(4),
+                i + 1,
+            ));
+        }
+        ssd.advance_to(SimTime::from_millis(5));
+        ssd.drain_completions();
+        ssd.quiesce();
+        let report = ssd.scrub();
+        assert_eq!(report.scanned, 32);
+        assert!(report.is_clean(), "{report:?}");
+
+        // Now an end-of-life device: faults leave unreadable pages behind.
+        let mut config = VendorPreset::SsdA.config();
+        config.geometry = pfault_flash::FlashGeometry::new(512, 64);
+        config.ftl = pfault_ftl::FtlConfig::for_geometry(config.geometry);
+        config.baseline_wear = 2_900;
+        let mut old = Ssd::new(config, DetRng::new(9));
+        for i in 0..8u64 {
+            old.submit(HostCommand::write(
+                i,
+                0,
+                Lba::new(i * 8),
+                SectorCount::new(4),
+                i + 1,
+            ));
+        }
+        old.advance_to(SimTime::from_millis(5));
+        old.drain_completions();
+        old.quiesce();
+        let timeline = FaultInjector::transistor().timeline(old.now());
+        old.power_fail(&timeline);
+        old.power_on_recover(timeline.discharged + SimDuration::from_secs(1));
+        let report = old.scrub();
+        assert!(
+            report.unreadable > 0,
+            "worn media after a fault must show unreadable sectors: {report:?}"
+        );
+    }
+
+    #[test]
+    fn gc_reclaims_space_under_churn() {
+        let mut config = VendorPreset::SsdA.config();
+        config.geometry = pfault_flash::FlashGeometry::new(12, 16);
+        config.ftl = pfault_ftl::FtlConfig::for_geometry(config.geometry);
+        config.ftl.gc_low_water_blocks = 4;
+        config.cache.flush_delay = SimDuration::ZERO;
+        let mut ssd = Ssd::new(config, DetRng::new(9));
+        // Overwrite a small working set repeatedly: forces GC.
+        for round in 0..40u64 {
+            for lba in 0..8u64 {
+                ssd.submit(HostCommand::write(
+                    round * 8 + lba,
+                    0,
+                    Lba::new(lba),
+                    SectorCount::new(1),
+                    round * 100 + lba,
+                ));
+            }
+            ssd.advance_to(ssd.now() + SimDuration::from_millis(50));
+        }
+        ssd.advance_to(ssd.now() + SimDuration::from_secs(2));
+        assert!(ssd.stats().gc_collections > 0, "GC must have run");
+        // Device still works after GC.
+        ssd.submit(HostCommand::write(
+            9_999,
+            0,
+            Lba::new(3),
+            SectorCount::new(1),
+            1,
+        ));
+        ssd.advance_to(ssd.now() + SimDuration::from_millis(100));
+        assert!(ssd.drain_completions().iter().any(|c| c.acked()));
+    }
+}

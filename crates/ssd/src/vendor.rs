@@ -1,0 +1,125 @@
+//! Vendor presets — the paper's Table I drives.
+//!
+//! | SSD | Size   | Interface | Cache | ECC      | Cell | Year |
+//! |-----|--------|-----------|-------|----------|------|------|
+//! | A   | 256 GB | SATA      | yes   | yes      | MLC  | 2013 |
+//! | B   | 120 GB | SATA      | yes   | LDPC     | TLC  | 2015 |
+//! | C   | 120 GB | SATA      | yes   | yes      | MLC  | n/a  |
+//!
+//! The physical geometries are sized to the advertised capacities; block
+//! state materialises lazily, so memory use scales with data written, not
+//! with capacity.
+
+use serde::{Deserialize, Serialize};
+
+use pfault_flash::ecc::EccScheme;
+use pfault_flash::geometry::FlashGeometry;
+use pfault_flash::CellKind;
+use pfault_ftl::FtlConfig;
+use pfault_sim::storage::GIB;
+
+use crate::config::SsdConfig;
+
+/// The three drive models of Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum VendorPreset {
+    /// SSD A: 256 GB MLC (2013), BCH-class ECC.
+    SsdA,
+    /// SSD B: 120 GB TLC (2015), LDPC ECC.
+    SsdB,
+    /// SSD C: 120 GB MLC, BCH-class ECC.
+    SsdC,
+}
+
+impl VendorPreset {
+    /// All Table I presets, in order.
+    pub fn all() -> [VendorPreset; 3] {
+        [VendorPreset::SsdA, VendorPreset::SsdB, VendorPreset::SsdC]
+    }
+
+    /// Human-readable label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            VendorPreset::SsdA => "SSD A (256GB MLC 2013)",
+            VendorPreset::SsdB => "SSD B (120GB TLC LDPC 2015)",
+            VendorPreset::SsdC => "SSD C (120GB MLC)",
+        }
+    }
+
+    /// Advertised capacity in bytes.
+    pub fn capacity_bytes(self) -> u64 {
+        match self {
+            VendorPreset::SsdA => 256 * GIB,
+            VendorPreset::SsdB | VendorPreset::SsdC => 120 * GIB,
+        }
+    }
+
+    /// Cell technology.
+    pub fn cell_kind(self) -> CellKind {
+        match self {
+            VendorPreset::SsdA | VendorPreset::SsdC => CellKind::Mlc,
+            VendorPreset::SsdB => CellKind::Tlc,
+        }
+    }
+
+    /// ECC scheme.
+    pub fn ecc(self) -> EccScheme {
+        match self {
+            VendorPreset::SsdA => EccScheme::bch_mlc(),
+            VendorPreset::SsdB => EccScheme::ldpc_tlc(),
+            // SSD C is an older controller: slightly weaker BCH.
+            VendorPreset::SsdC => EccScheme::Bch { t: 24 },
+        }
+    }
+
+    /// Full device configuration for this preset.
+    pub fn config(self) -> SsdConfig {
+        // 256 pages per block of 4 KiB → 1 MiB blocks; enough blocks to
+        // exceed the advertised capacity (with spare area).
+        let pages_per_block = 256;
+        let block_bytes = pages_per_block * 4096;
+        let blocks = (self.capacity_bytes() / block_bytes) * 108 / 100; // ~8 % OP
+        let geometry = FlashGeometry::new(blocks, pages_per_block);
+        let mut config = SsdConfig::consumer(geometry, self.cell_kind(), self.ecc());
+        config.ftl = FtlConfig::for_geometry(geometry);
+        if self == VendorPreset::SsdB {
+            // TLC pipeline is slower per page; more channels compensate.
+            config.channels = 240;
+        }
+        config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_properties() {
+        assert_eq!(VendorPreset::SsdA.cell_kind(), CellKind::Mlc);
+        assert_eq!(VendorPreset::SsdB.cell_kind(), CellKind::Tlc);
+        assert_eq!(VendorPreset::SsdC.cell_kind(), CellKind::Mlc);
+        assert!(matches!(VendorPreset::SsdB.ecc(), EccScheme::Ldpc { .. }));
+        assert_eq!(VendorPreset::SsdA.capacity_bytes(), 256 * GIB);
+        assert_eq!(VendorPreset::SsdC.capacity_bytes(), 120 * GIB);
+    }
+
+    #[test]
+    fn configs_validate_and_overprovision() {
+        for preset in VendorPreset::all() {
+            let c = preset.config();
+            c.validate();
+            assert!(
+                c.geometry.capacity_bytes() > preset.capacity_bytes(),
+                "{preset:?} must have spare blocks"
+            );
+        }
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: std::collections::HashSet<&str> =
+            VendorPreset::all().iter().map(|p| p.label()).collect();
+        assert_eq!(labels.len(), 3);
+    }
+}

@@ -1,0 +1,421 @@
+//! Per-IO post-processing — the modified-`btt --per-io-dump` equivalent.
+//!
+//! Reassembles the event stream into per-request records, computes timing,
+//! and applies the paper's completion rule (§III-B): *"a request would be
+//! marked as completed when all its sub-requests are in the complete
+//! state"*, with a 30-second timeout for delayed requests. The Analyzer
+//! feeds these `completed` flags into the failure classification.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use pfault_sim::{Lba, SectorCount, SimDuration, SimTime};
+
+use crate::event::{TraceAction, TraceEvent};
+
+/// Per-request record, as the paper's per-IO dump produces.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PerIo {
+    /// Request identifier.
+    pub request_id: u64,
+    /// Starting sector of the whole request.
+    pub lba: Lba,
+    /// Total length of the whole request.
+    pub sectors: SectorCount,
+    /// Write or read.
+    pub is_write: bool,
+    /// When the request was queued.
+    pub queued_at: SimTime,
+    /// When the first fragment was dispatched, if any was.
+    pub dispatched_at: Option<SimTime>,
+    /// When the *last* fragment completed — the request's completion
+    /// instant — if all fragments completed.
+    pub completed_at: Option<SimTime>,
+    /// Number of sub-requests the request was split into.
+    pub sub_count: u32,
+    /// Sub-requests that reached the complete state.
+    pub subs_completed: u32,
+    /// Sub-requests that reported a device error.
+    pub subs_errored: u32,
+    /// The §III-B flag: all sub-requests complete (within the timeout).
+    pub completed: bool,
+    /// The request exceeded the timeout without completing.
+    pub timed_out: bool,
+}
+
+impl PerIo {
+    /// Queue-to-completion latency, if the request completed.
+    pub fn q2c(&self) -> Option<SimDuration> {
+        self.completed_at.map(|c| c - self.queued_at)
+    }
+}
+
+/// Result of analyzing one trace.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct BttReport {
+    ios: BTreeMap<u64, PerIo>,
+}
+
+impl BttReport {
+    /// Record for `request_id`, if the request appears in the trace.
+    pub fn io(&self, request_id: u64) -> Option<&PerIo> {
+        self.ios.get(&request_id)
+    }
+
+    /// Iterates records in request-id order.
+    pub fn iter(&self) -> impl Iterator<Item = &PerIo> + '_ {
+        self.ios.values()
+    }
+
+    /// Number of traced requests.
+    pub fn len(&self) -> usize {
+        self.ios.len()
+    }
+
+    /// Whether the trace contained no requests.
+    pub fn is_empty(&self) -> bool {
+        self.ios.is_empty()
+    }
+
+    /// Requests that did not complete (power fault or timeout).
+    pub fn incomplete(&self) -> impl Iterator<Item = &PerIo> + '_ {
+        self.ios.values().filter(|io| !io.completed)
+    }
+
+    /// `(reads, writes)` request counts.
+    pub fn by_type(&self) -> (u64, u64) {
+        let writes = self.ios.values().filter(|io| io.is_write).count() as u64;
+        (self.ios.len() as u64 - writes, writes)
+    }
+}
+
+/// Latency summary over a trace — the headline numbers real `btt` prints
+/// (request counts, Q2C and D2C latency distribution).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BttSummary {
+    /// Requests traced.
+    pub requests: u64,
+    /// Requests that completed.
+    pub completed: u64,
+    /// Requests that timed out.
+    pub timed_out: u64,
+    /// Mean queue-to-completion latency, ms (completed requests).
+    pub q2c_mean_ms: f64,
+    /// Median queue-to-completion latency, ms.
+    pub q2c_p50_ms: f64,
+    /// 99th-percentile queue-to-completion latency, ms.
+    pub q2c_p99_ms: f64,
+    /// Mean dispatch-to-completion latency, ms (requests with both).
+    pub d2c_mean_ms: f64,
+}
+
+impl BttReport {
+    /// Computes the latency summary of this report.
+    pub fn summary(&self) -> BttSummary {
+        let mut q2c: Vec<f64> = Vec::new();
+        let mut d2c: Vec<f64> = Vec::new();
+        let mut completed = 0;
+        let mut timed_out = 0;
+        for io in self.iter() {
+            if io.completed {
+                completed += 1;
+                if let Some(lat) = io.q2c() {
+                    q2c.push(lat.as_millis_f64());
+                }
+                if let (Some(d), Some(c)) = (io.dispatched_at, io.completed_at) {
+                    d2c.push((c - d).as_millis_f64());
+                }
+            }
+            if io.timed_out {
+                timed_out += 1;
+            }
+        }
+        let mean = |v: &[f64]| {
+            if v.is_empty() {
+                0.0
+            } else {
+                v.iter().sum::<f64>() / v.len() as f64
+            }
+        };
+        BttSummary {
+            requests: self.len() as u64,
+            completed,
+            timed_out,
+            q2c_mean_ms: mean(&q2c),
+            q2c_p50_ms: pfault_sim::stats::percentile(&q2c, 50.0).unwrap_or(0.0),
+            q2c_p99_ms: pfault_sim::stats::percentile(&q2c, 99.0).unwrap_or(0.0),
+            d2c_mean_ms: mean(&d2c),
+        }
+    }
+}
+
+impl BttReport {
+    /// Renders the per-request dump the paper's modified
+    /// `btt --per-io-dump` produces: one line per request with its
+    /// geometry, timing, sub-request accounting, and completion flag.
+    pub fn per_io_dump(&self) -> String {
+        let mut out = String::new();
+        out.push_str(
+            "#  req        lba  sectors  rw   queued(ms)  completed(ms)  subs  done  err  state\n",
+        );
+        for io in self.iter() {
+            let completed = io
+                .completed_at
+                .map_or("-".to_string(), |t| format!("{:.3}", t.as_millis_f64()));
+            let state = if io.completed {
+                "complete"
+            } else if io.timed_out {
+                "timeout"
+            } else {
+                "incomplete"
+            };
+            out.push_str(&format!(
+                "{:>6} {:>10} {:>8}   {}  {:>11.3}  {:>13}  {:>4}  {:>4}  {:>3}  {}\n",
+                io.request_id,
+                io.lba.index(),
+                io.sectors.get(),
+                if io.is_write { 'W' } else { 'R' },
+                io.queued_at.as_millis_f64(),
+                completed,
+                io.sub_count,
+                io.subs_completed,
+                io.subs_errored,
+                state,
+            ));
+        }
+        out
+    }
+}
+
+/// Analyzes an event stream.
+///
+/// `timeout` is the paper's 30-second delayed-request limit; `now` is the
+/// analysis instant (requests still pending but younger than the timeout
+/// are *also* marked incomplete — after a power fault nothing will ever
+/// complete them, which is exactly the §III-B IO-error condition).
+pub fn analyze(events: &[TraceEvent], timeout: SimDuration, now: SimTime) -> BttReport {
+    let mut ios: BTreeMap<u64, PerIo> = BTreeMap::new();
+    for e in events {
+        match e.action {
+            TraceAction::Queued => {
+                ios.insert(
+                    e.request_id,
+                    PerIo {
+                        request_id: e.request_id,
+                        lba: e.lba,
+                        sectors: e.sectors,
+                        is_write: e.is_write,
+                        queued_at: e.time,
+                        dispatched_at: None,
+                        completed_at: None,
+                        sub_count: 1,
+                        subs_completed: 0,
+                        subs_errored: 0,
+                        completed: false,
+                        timed_out: false,
+                    },
+                );
+            }
+            TraceAction::Split => {
+                if let Some(io) = ios.get_mut(&e.request_id) {
+                    io.sub_count += 1;
+                }
+            }
+            TraceAction::Dispatched => {
+                if let Some(io) = ios.get_mut(&e.request_id) {
+                    if io.dispatched_at.is_none() {
+                        io.dispatched_at = Some(e.time);
+                    }
+                }
+            }
+            TraceAction::Completed => {
+                if let Some(io) = ios.get_mut(&e.request_id) {
+                    io.subs_completed += 1;
+                    let latest = io.completed_at.map_or(e.time, |c| c.max(e.time));
+                    io.completed_at = Some(latest);
+                }
+            }
+            TraceAction::Error => {
+                if let Some(io) = ios.get_mut(&e.request_id) {
+                    io.subs_errored += 1;
+                }
+            }
+        }
+    }
+    for io in ios.values_mut() {
+        let all_complete = io.subs_completed >= io.sub_count;
+        io.timed_out = !all_complete && now.saturating_since(io.queued_at) >= timeout;
+        io.completed = all_complete;
+        if !all_complete {
+            io.completed_at = None;
+        }
+    }
+    BttReport { ios }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracer::BlockTracer;
+
+    const TIMEOUT: SimDuration = SimDuration::from_secs(30);
+
+    #[test]
+    fn completed_request_has_timing() {
+        let mut t = BlockTracer::new(SectorCount::new(128));
+        t.queue_request(
+            1,
+            Lba::new(0),
+            SectorCount::new(8),
+            true,
+            SimTime::from_millis(1),
+        );
+        t.dispatch(1, 0, SimTime::from_millis(2));
+        t.complete(1, 0, SimTime::from_millis(5));
+        let r = analyze(t.events(), TIMEOUT, SimTime::from_millis(10));
+        let io = r.io(1).unwrap();
+        assert!(io.completed);
+        assert_eq!(io.q2c(), Some(SimDuration::from_millis(4)));
+        assert_eq!(io.dispatched_at, Some(SimTime::from_millis(2)));
+    }
+
+    #[test]
+    fn split_request_needs_all_fragments() {
+        let mut t = BlockTracer::new(SectorCount::new(128));
+        let subs = t.queue_request(1, Lba::new(0), SectorCount::new(256), true, SimTime::ZERO);
+        assert_eq!(subs.len(), 2);
+        t.dispatch(1, 0, SimTime::from_millis(1));
+        t.complete(1, 0, SimTime::from_millis(2));
+        // Fragment 1 never completes (power fault).
+        let r = analyze(t.events(), TIMEOUT, SimTime::from_millis(100));
+        let io = r.io(1).unwrap();
+        assert!(!io.completed);
+        assert_eq!(io.subs_completed, 1);
+        assert_eq!(io.sub_count, 2);
+        assert_eq!(io.completed_at, None);
+        assert_eq!(r.incomplete().count(), 1);
+    }
+
+    #[test]
+    fn completion_instant_is_last_fragment() {
+        let mut t = BlockTracer::new(SectorCount::new(128));
+        t.queue_request(1, Lba::new(0), SectorCount::new(256), true, SimTime::ZERO);
+        t.complete(1, 1, SimTime::from_millis(9));
+        t.complete(1, 0, SimTime::from_millis(3));
+        let r = analyze(t.events(), TIMEOUT, SimTime::from_millis(20));
+        assert_eq!(r.io(1).unwrap().completed_at, Some(SimTime::from_millis(9)));
+    }
+
+    #[test]
+    fn timeout_marks_delayed_requests() {
+        let mut t = BlockTracer::new(SectorCount::new(128));
+        t.queue_request(1, Lba::new(0), SectorCount::new(8), true, SimTime::ZERO);
+        t.dispatch(1, 0, SimTime::from_millis(1));
+        // Analyzed 31 s later with no completion.
+        let r = analyze(t.events(), TIMEOUT, SimTime::from_secs(31));
+        let io = r.io(1).unwrap();
+        assert!(!io.completed);
+        assert!(io.timed_out);
+    }
+
+    #[test]
+    fn young_pending_request_is_incomplete_but_not_timed_out() {
+        let mut t = BlockTracer::new(SectorCount::new(128));
+        t.queue_request(1, Lba::new(0), SectorCount::new(8), true, SimTime::ZERO);
+        let r = analyze(t.events(), TIMEOUT, SimTime::from_secs(1));
+        let io = r.io(1).unwrap();
+        assert!(!io.completed);
+        assert!(!io.timed_out);
+    }
+
+    #[test]
+    fn errors_are_counted() {
+        let mut t = BlockTracer::new(SectorCount::new(128));
+        t.queue_request(1, Lba::new(0), SectorCount::new(8), false, SimTime::ZERO);
+        t.dispatch(1, 0, SimTime::from_millis(1));
+        t.error(1, 0, SimTime::from_millis(2));
+        let r = analyze(t.events(), TIMEOUT, SimTime::from_millis(5));
+        let io = r.io(1).unwrap();
+        assert_eq!(io.subs_errored, 1);
+        assert!(!io.completed);
+        assert!(!io.is_write);
+    }
+
+    #[test]
+    fn report_iterates_in_id_order() {
+        let mut t = BlockTracer::new(SectorCount::new(128));
+        for id in [5u64, 2, 9] {
+            t.queue_request(id, Lba::new(id), SectorCount::new(1), true, SimTime::ZERO);
+        }
+        let r = analyze(t.events(), TIMEOUT, SimTime::from_secs(1));
+        let ids: Vec<u64> = r.iter().map(|io| io.request_id).collect();
+        assert_eq!(ids, vec![2, 5, 9]);
+        assert_eq!(r.len(), 3);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn summary_computes_latency_distribution() {
+        let mut t = BlockTracer::new(SectorCount::new(128));
+        // Three completed requests with q2c of 2, 4, 10 ms.
+        for (id, lat_ms) in [(1u64, 2u64), (2, 4), (3, 10)] {
+            t.queue_request(id, Lba::new(id), SectorCount::new(1), true, SimTime::ZERO);
+            t.dispatch(id, 0, SimTime::from_millis(1));
+            t.complete(id, 0, SimTime::from_millis(lat_ms));
+        }
+        // One incomplete, timed out.
+        t.queue_request(9, Lba::new(9), SectorCount::new(1), true, SimTime::ZERO);
+        let r = analyze(t.events(), TIMEOUT, SimTime::from_secs(40));
+        let s = r.summary();
+        assert_eq!(s.requests, 4);
+        assert_eq!(s.completed, 3);
+        assert_eq!(s.timed_out, 1);
+        assert!((s.q2c_mean_ms - 16.0 / 3.0).abs() < 1e-9);
+        assert_eq!(s.q2c_p50_ms, 4.0);
+        assert_eq!(s.q2c_p99_ms, 10.0);
+        assert!((s.d2c_mean_ms - (1.0 + 3.0 + 9.0) / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_summary_is_zeroed() {
+        let s = analyze(&[], TIMEOUT, SimTime::ZERO).summary();
+        assert_eq!(s.requests, 0);
+        assert_eq!(s.q2c_mean_ms, 0.0);
+        assert_eq!(s.q2c_p99_ms, 0.0);
+    }
+
+    #[test]
+    fn per_io_dump_lists_every_request_with_state() {
+        let mut t = BlockTracer::new(SectorCount::new(128));
+        t.queue_request(1, Lba::new(0), SectorCount::new(8), true, SimTime::ZERO);
+        t.dispatch(1, 0, SimTime::from_millis(1));
+        t.complete(1, 0, SimTime::from_millis(2));
+        t.queue_request(2, Lba::new(64), SectorCount::new(8), false, SimTime::ZERO);
+        let r = analyze(t.events(), TIMEOUT, SimTime::from_secs(60));
+        let dump = r.per_io_dump();
+        let lines: Vec<&str> = dump.lines().collect();
+        assert_eq!(lines.len(), 3); // header + 2 requests
+        assert!(lines[1].contains("complete"), "{dump}");
+        assert!(lines[2].contains("timeout"), "{dump}");
+        assert!(lines[1].contains(" W "), "{dump}");
+        assert!(lines[2].contains(" R "), "{dump}");
+    }
+
+    #[test]
+    fn by_type_splits_reads_and_writes() {
+        let mut t = BlockTracer::new(SectorCount::new(128));
+        t.queue_request(1, Lba::new(0), SectorCount::new(1), true, SimTime::ZERO);
+        t.queue_request(2, Lba::new(8), SectorCount::new(1), false, SimTime::ZERO);
+        t.queue_request(3, Lba::new(16), SectorCount::new(1), false, SimTime::ZERO);
+        let r = analyze(t.events(), TIMEOUT, SimTime::from_secs(1));
+        assert_eq!(r.by_type(), (2, 1));
+    }
+
+    #[test]
+    fn empty_trace_is_empty_report() {
+        let r = analyze(&[], TIMEOUT, SimTime::ZERO);
+        assert!(r.is_empty());
+        assert_eq!(r.io(1), None);
+    }
+}

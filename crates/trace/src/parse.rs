@@ -1,0 +1,169 @@
+//! Parsing the `blkparse`-style text format back into events.
+//!
+//! [`crate::tracer::BlockTracer::to_text`] renders a trace as text; this
+//! module parses that text back, so traces can be stored, diffed, and
+//! re-analyzed offline — the workflow the paper runs with `blktrace`
+//! output files.
+
+use core::fmt;
+
+use pfault_sim::{Lba, SectorCount, SimTime};
+
+use crate::event::{TraceAction, TraceEvent};
+
+/// Error parsing a trace text line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseEventError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub reason: String,
+}
+
+impl fmt::Display for ParseEventError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace text line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for ParseEventError {}
+
+fn parse_action(code: &str) -> Option<TraceAction> {
+    match code {
+        "Q" => Some(TraceAction::Queued),
+        "X" => Some(TraceAction::Split),
+        "D" => Some(TraceAction::Dispatched),
+        "C" => Some(TraceAction::Completed),
+        "E" => Some(TraceAction::Error),
+        _ => None,
+    }
+}
+
+/// Parses one rendered event line
+/// (`"   1.500000 Q W 2048 + 8 (3.0)"`).
+///
+/// # Errors
+///
+/// Returns [`ParseEventError`] (with `line` set to 1) on malformed input.
+pub fn parse_event_line(text: &str) -> Result<TraceEvent, ParseEventError> {
+    parse_line_at(text, 1)
+}
+
+fn parse_line_at(text: &str, line: usize) -> Result<TraceEvent, ParseEventError> {
+    let err = |reason: &str| ParseEventError {
+        line,
+        reason: reason.to_string(),
+    };
+    let fields: Vec<&str> = text.split_whitespace().collect();
+    // time action rw sector + len (req.sub)
+    if fields.len() != 7 || fields[4] != "+" {
+        return Err(err("expected 'time action rw sector + len (req.sub)'"));
+    }
+    let seconds: f64 = fields[0].parse().map_err(|_| err("bad timestamp"))?;
+    let action = parse_action(fields[1]).ok_or_else(|| err("unknown action code"))?;
+    let is_write = match fields[2] {
+        "W" => true,
+        "R" => false,
+        _ => return Err(err("rw flag must be R or W")),
+    };
+    let sector: u64 = fields[3].parse().map_err(|_| err("bad sector"))?;
+    let len: u64 = fields[5].parse().map_err(|_| err("bad length"))?;
+    if len == 0 {
+        return Err(err("length must be positive"));
+    }
+    let ids = fields[6]
+        .strip_prefix('(')
+        .and_then(|s| s.strip_suffix(')'))
+        .ok_or_else(|| err("bad (req.sub) field"))?;
+    let (req, sub) = ids
+        .split_once('.')
+        .ok_or_else(|| err("bad (req.sub) field"))?;
+    let request_id: u64 = req.parse().map_err(|_| err("bad request id"))?;
+    let sub_id: u32 = sub.parse().map_err(|_| err("bad sub id"))?;
+    Ok(TraceEvent {
+        time: SimTime::from_micros((seconds * 1_000_000.0).round() as u64),
+        action,
+        request_id,
+        sub_id,
+        lba: Lba::new(sector),
+        sectors: SectorCount::new(len),
+        is_write,
+    })
+}
+
+/// Parses a whole rendered trace (one event per line; blank lines are
+/// skipped).
+///
+/// # Errors
+///
+/// Returns the first line's [`ParseEventError`].
+pub fn parse_trace_text(text: &str) -> Result<Vec<TraceEvent>, ParseEventError> {
+    let mut events = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        if raw.trim().is_empty() {
+            continue;
+        }
+        events.push(parse_line_at(raw, idx + 1)?);
+    }
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracer::BlockTracer;
+
+    #[test]
+    fn round_trips_a_rendered_trace() {
+        let mut t = BlockTracer::new(SectorCount::new(128));
+        t.queue_request(
+            3,
+            Lba::new(2048),
+            SectorCount::new(200),
+            true,
+            SimTime::from_millis(1),
+        );
+        t.dispatch(3, 0, SimTime::from_millis(2));
+        t.complete(3, 0, SimTime::from_millis(3));
+        t.dispatch(3, 1, SimTime::from_millis(2));
+        t.error(3, 1, SimTime::from_millis(4));
+        let text = t.to_text();
+        let parsed = parse_trace_text(&text).expect("rendered text parses");
+        assert_eq!(parsed.len(), t.events().len());
+        for (a, b) in parsed.iter().zip(t.events()) {
+            assert_eq!(a, b, "round trip mismatch");
+        }
+    }
+
+    #[test]
+    fn parses_a_single_line() {
+        let e = parse_event_line("    1.500000 Q W 2048 + 8 (3.0)").expect("valid line");
+        assert_eq!(e.time, SimTime::from_millis(1500));
+        assert_eq!(e.action, TraceAction::Queued);
+        assert!(e.is_write);
+        assert_eq!(e.lba, Lba::new(2048));
+        assert_eq!(e.sectors, SectorCount::new(8));
+        assert_eq!((e.request_id, e.sub_id), (3, 0));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        for (text, needle) in [
+            ("1.0 Q W 10 + 8", "expected"),
+            ("x Q W 10 + 8 (1.0)", "bad timestamp"),
+            ("1.0 Z W 10 + 8 (1.0)", "unknown action"),
+            ("1.0 Q T 10 + 8 (1.0)", "rw flag"),
+            ("1.0 Q W 10 + 0 (1.0)", "length must be positive"),
+            ("1.0 Q W 10 + 8 (10)", "bad (req.sub)"),
+        ] {
+            let err = parse_event_line(text).expect_err(text);
+            assert!(err.reason.contains(needle), "{text}: {err}");
+        }
+    }
+
+    #[test]
+    fn whole_trace_reports_offending_line() {
+        let err = parse_trace_text("1.0 Q W 10 + 8 (1.0)\ngarbage\n").expect_err("line 2 bad");
+        assert_eq!(err.line, 2);
+    }
+}

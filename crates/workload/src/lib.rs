@@ -1,0 +1,47 @@
+//! Workload generation for the power-fault platform.
+//!
+//! The paper's IO Generator produces "data packets" — requests whose
+//! header carries size, destination address, issue/queue time, and three
+//! checksums (Fig 2) — under workload knobs that §IV sweeps one at a time:
+//!
+//! * working-set size (WSS), 1–90 GB (§IV-C / Fig 6);
+//! * request size, 4 KiB–1 MiB, random or fixed (§IV-E / Fig 7);
+//! * request type mix, 0–100 % write (§IV-B / Fig 5);
+//! * access pattern, uniform random vs sequential (§IV-D);
+//! * access sequences RAR / RAW / WAR / WAW (§IV-G / Fig 9);
+//! * requested IOPS (§IV-F / Fig 8).
+//!
+//! [`spec::WorkloadSpec`] captures those knobs (builder-style), and
+//! [`generator::WorkloadGenerator`] turns a spec plus a seed into a
+//! deterministic stream of [`packet::DataPacket`]s.
+//!
+//! # Example
+//!
+//! ```
+//! use pfault_workload::spec::{AccessPattern, WorkloadSpec};
+//! use pfault_workload::generator::WorkloadGenerator;
+//! use pfault_sim::{storage::GIB, DetRng};
+//!
+//! let spec = WorkloadSpec::builder()
+//!     .wss_bytes(4 * GIB)
+//!     .write_fraction(1.0)
+//!     .pattern(AccessPattern::UniformRandom)
+//!     .build();
+//! let mut generator = WorkloadGenerator::new(spec, DetRng::new(7));
+//! let packet = generator.next_packet();
+//! assert!(packet.is_write);
+//! assert!(packet.sectors.bytes() >= 4096);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod generator;
+pub mod packet;
+pub mod replay;
+pub mod spec;
+
+pub use generator::WorkloadGenerator;
+pub use packet::DataPacket;
+pub use replay::{parse_trace, ReplayGenerator, TraceOp};
+pub use spec::{AccessPattern, ArrivalModel, SequenceMode, SizeSpec, WorkloadSpec};

@@ -1,0 +1,106 @@
+//! Data packets — the paper's Fig 2 structure.
+//!
+//! A packet is one IO request plus the bookkeeping the Analyzer needs:
+//! identity, geometry, per-sector content tags (stand-ins for the randomly
+//! generated payload), and the checksum of that payload. The remaining
+//! Fig 2 header fields — initial checksum (pre-issue content of the target
+//! range), final checksum (post-fault read-back), queue/complete times, and
+//! the `modified` / `data failure` / `not issued` flags — are filled in by
+//! the platform as the request progresses.
+
+use serde::{Deserialize, Serialize};
+
+use pfault_sim::checksum::mix64;
+use pfault_sim::{Lba, SectorCount, SimTime};
+
+/// One IO request with its payload identity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DataPacket {
+    /// Request identifier (monotonic per generator).
+    pub id: u64,
+    /// Destination address.
+    pub lba: Lba,
+    /// Request length.
+    pub sectors: SectorCount,
+    /// Write (`true`) or read.
+    pub is_write: bool,
+    /// Arrival instant chosen by the generator's arrival model.
+    pub arrival: SimTime,
+    /// Identity of the randomly generated payload (writes only; the
+    /// per-sector content tag is derived via [`DataPacket::sector_tag`]).
+    pub payload_tag: u64,
+}
+
+impl DataPacket {
+    /// Content tag of the `index`-th sector of this request's payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range for the request.
+    pub fn sector_tag(&self, index: u64) -> u64 {
+        assert!(index < self.sectors.get(), "sector index out of range");
+        mix64(self.payload_tag, index)
+    }
+
+    /// Checksum of the whole payload (the Fig 2 "data checksum" field).
+    pub fn data_checksum(&self) -> u64 {
+        let mut acc = 0u64;
+        for i in 0..self.sectors.get() {
+            acc = mix64(acc, self.sector_tag(i));
+        }
+        acc
+    }
+
+    /// The LBAs this request touches.
+    pub fn lbas(&self) -> impl Iterator<Item = Lba> {
+        self.lba.span(self.sectors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn packet() -> DataPacket {
+        DataPacket {
+            id: 1,
+            lba: Lba::new(100),
+            sectors: SectorCount::new(4),
+            is_write: true,
+            arrival: SimTime::from_millis(3),
+            payload_tag: 0xABCD,
+        }
+    }
+
+    #[test]
+    fn sector_tags_are_distinct_and_stable() {
+        let p = packet();
+        let tags: Vec<u64> = (0..4).map(|i| p.sector_tag(i)).collect();
+        let mut dedup = tags.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 4, "sector tags must be distinct");
+        assert_eq!(p.sector_tag(2), tags[2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "sector index out of range")]
+    fn sector_tag_bounds_checked() {
+        packet().sector_tag(4);
+    }
+
+    #[test]
+    fn data_checksum_depends_on_every_sector() {
+        let a = packet();
+        let mut b = a;
+        b.payload_tag ^= 1;
+        assert_ne!(a.data_checksum(), b.data_checksum());
+    }
+
+    #[test]
+    fn lbas_cover_the_request() {
+        let p = packet();
+        let v: Vec<u64> = p.lbas().map(Lba::index).collect();
+        assert_eq!(v, vec![100, 101, 102, 103]);
+    }
+}

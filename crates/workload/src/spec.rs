@@ -1,0 +1,305 @@
+//! Workload specification and builder.
+
+use serde::{Deserialize, Serialize};
+
+use pfault_sim::storage::{GIB, KIB, MIB, SECTOR_BYTES};
+
+/// Spatial access pattern (§IV-D).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AccessPattern {
+    /// Uniform random addresses over the working set.
+    UniformRandom,
+    /// Consecutive addresses, wrapping at the working-set end.
+    Sequential,
+    /// Zipf-skewed addresses: a small hot region absorbs most accesses.
+    /// `theta` ∈ [0, 1): 0 degenerates to uniform, 0.99 is heavily
+    /// skewed (YCSB-style).
+    Zipf {
+        /// Skew parameter.
+        theta: f64,
+    },
+}
+
+/// Dependent access sequences (§IV-G). Requests come in pairs on the same
+/// address: the second access of each pair lands on the address of the
+/// previously completed request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SequenceMode {
+    /// Read after read.
+    Rar,
+    /// Read after write.
+    Raw,
+    /// Write after read.
+    War,
+    /// Write after write.
+    Waw,
+}
+
+impl SequenceMode {
+    /// `(first, second)` of each pair as `is_write` flags.
+    pub fn pair(self) -> (bool, bool) {
+        match self {
+            SequenceMode::Rar => (false, false),
+            SequenceMode::Raw => (true, false), // read AFTER write
+            SequenceMode::War => (false, true), // write AFTER read
+            SequenceMode::Waw => (true, true),
+        }
+    }
+
+    /// All four modes, in the paper's Fig 9 x-axis order.
+    pub fn all() -> [SequenceMode; 4] {
+        [
+            SequenceMode::Raw,
+            SequenceMode::War,
+            SequenceMode::Rar,
+            SequenceMode::Waw,
+        ]
+    }
+}
+
+/// Request size model (§IV-E).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SizeSpec {
+    /// Uniform random length in `[min_bytes, max_bytes]`, rounded to
+    /// sectors. The paper's default is 4 KiB–1 MiB.
+    UniformBytes {
+        /// Smallest request, bytes.
+        min_bytes: u64,
+        /// Largest request, bytes.
+        max_bytes: u64,
+    },
+    /// Every request has exactly this many bytes.
+    FixedBytes(u64),
+}
+
+impl SizeSpec {
+    /// The paper's default range: 4 KiB to 1 MiB.
+    pub const fn paper_default() -> Self {
+        SizeSpec::UniformBytes {
+            min_bytes: 4 * KIB,
+            max_bytes: MIB,
+        }
+    }
+
+    /// Largest possible request, in sectors.
+    pub fn max_sectors(&self) -> u64 {
+        let bytes = match *self {
+            SizeSpec::UniformBytes { max_bytes, .. } => max_bytes,
+            SizeSpec::FixedBytes(b) => b,
+        };
+        bytes.div_ceil(SECTOR_BYTES)
+    }
+}
+
+/// How request arrivals are paced (§IV-F).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalModel {
+    /// Closed loop: the platform keeps `queue_depth` requests outstanding
+    /// and submits a new one on each completion.
+    ClosedLoop {
+        /// Outstanding-request target.
+        queue_depth: u32,
+    },
+    /// Open loop at a fixed requested IOPS (deterministic pacing).
+    OpenLoop {
+        /// Requests per second submitted regardless of completions.
+        iops: f64,
+    },
+    /// Open loop with Poisson arrivals at a mean IOPS (exponential
+    /// inter-arrival times) — a burstier, more realistic arrival process
+    /// than fixed pacing.
+    OpenLoopPoisson {
+        /// Mean requests per second.
+        iops: f64,
+    },
+}
+
+/// A complete workload description.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Working-set size in bytes (§IV-C): addresses fall in
+    /// `[0, wss_bytes)`.
+    pub wss_bytes: u64,
+    /// Fraction of requests that are writes, `0.0..=1.0` (§IV-B).
+    pub write_fraction: f64,
+    /// Request size model.
+    pub size: SizeSpec,
+    /// Spatial pattern.
+    pub pattern: AccessPattern,
+    /// Optional dependent-sequence mode (overrides `write_fraction` and
+    /// `pattern` for address/type selection).
+    pub sequence: Option<SequenceMode>,
+    /// Arrival pacing.
+    pub arrival: ArrivalModel,
+}
+
+impl WorkloadSpec {
+    /// Starts a builder with the paper's §IV defaults: 64 GiB WSS, 100 %
+    /// random writes of 4 KiB–1 MiB, closed loop at queue depth 1 (the
+    /// paper's generator issues requests near-serially; the shallow depth
+    /// also keeps in-flight-at-fault IO errors in the paper's range).
+    pub fn builder() -> WorkloadSpecBuilder {
+        WorkloadSpecBuilder {
+            spec: WorkloadSpec {
+                wss_bytes: 64 * GIB,
+                write_fraction: 1.0,
+                size: SizeSpec::paper_default(),
+                pattern: AccessPattern::UniformRandom,
+                sequence: None,
+                arrival: ArrivalModel::ClosedLoop { queue_depth: 1 },
+            },
+        }
+    }
+
+    /// Working-set size in sectors.
+    pub fn wss_sectors(&self) -> u64 {
+        self.wss_bytes / SECTOR_BYTES
+    }
+
+    /// Validates the specification.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the working set cannot hold the largest request, the
+    /// write fraction is outside `[0, 1]`, or the arrival model is
+    /// degenerate.
+    pub fn validate(&self) {
+        assert!(
+            (0.0..=1.0).contains(&self.write_fraction),
+            "write fraction must be in [0, 1]"
+        );
+        assert!(
+            self.wss_sectors() >= self.size.max_sectors(),
+            "working set smaller than the largest request"
+        );
+        match self.arrival {
+            ArrivalModel::ClosedLoop { queue_depth } => {
+                assert!(queue_depth > 0, "queue depth must be positive");
+            }
+            ArrivalModel::OpenLoop { iops } | ArrivalModel::OpenLoopPoisson { iops } => {
+                assert!(iops > 0.0 && iops.is_finite(), "iops must be positive");
+            }
+        }
+        if let SizeSpec::UniformBytes {
+            min_bytes,
+            max_bytes,
+        } = self.size
+        {
+            assert!(min_bytes > 0 && min_bytes <= max_bytes, "bad size range");
+        }
+        if let AccessPattern::Zipf { theta } = self.pattern {
+            assert!((0.0..1.0).contains(&theta), "zipf theta must be in [0, 1)");
+        }
+    }
+}
+
+/// Builder for [`WorkloadSpec`].
+#[derive(Debug, Clone)]
+pub struct WorkloadSpecBuilder {
+    spec: WorkloadSpec,
+}
+
+impl WorkloadSpecBuilder {
+    /// Sets the working-set size in bytes.
+    pub fn wss_bytes(mut self, bytes: u64) -> Self {
+        self.spec.wss_bytes = bytes;
+        self
+    }
+
+    /// Sets the write fraction (`1.0` = all writes).
+    pub fn write_fraction(mut self, fraction: f64) -> Self {
+        self.spec.write_fraction = fraction;
+        self
+    }
+
+    /// Sets the request size model.
+    pub fn size(mut self, size: SizeSpec) -> Self {
+        self.spec.size = size;
+        self
+    }
+
+    /// Sets the spatial pattern.
+    pub fn pattern(mut self, pattern: AccessPattern) -> Self {
+        self.spec.pattern = pattern;
+        self
+    }
+
+    /// Enables a dependent-sequence mode.
+    pub fn sequence(mut self, mode: SequenceMode) -> Self {
+        self.spec.sequence = Some(mode);
+        self
+    }
+
+    /// Sets the arrival model.
+    pub fn arrival(mut self, arrival: ArrivalModel) -> Self {
+        self.spec.arrival = arrival;
+        self
+    }
+
+    /// Finishes the builder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resulting spec is invalid (see
+    /// [`WorkloadSpec::validate`]).
+    pub fn build(self) -> WorkloadSpec {
+        self.spec.validate();
+        self.spec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_match_paper() {
+        let s = WorkloadSpec::builder().build();
+        assert_eq!(s.wss_bytes, 64 * GIB);
+        assert_eq!(s.write_fraction, 1.0);
+        assert_eq!(s.size, SizeSpec::paper_default());
+        assert_eq!(s.pattern, AccessPattern::UniformRandom);
+        assert!(s.sequence.is_none());
+    }
+
+    #[test]
+    fn sequence_pairs_have_correct_types() {
+        assert_eq!(SequenceMode::Rar.pair(), (false, false));
+        assert_eq!(SequenceMode::Raw.pair(), (true, false));
+        assert_eq!(SequenceMode::War.pair(), (false, true));
+        assert_eq!(SequenceMode::Waw.pair(), (true, true));
+        assert_eq!(SequenceMode::all().len(), 4);
+    }
+
+    #[test]
+    fn size_max_sectors() {
+        assert_eq!(SizeSpec::paper_default().max_sectors(), 256);
+        assert_eq!(SizeSpec::FixedBytes(4 * KIB).max_sectors(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "write fraction must be in [0, 1]")]
+    fn bad_write_fraction_rejected() {
+        WorkloadSpec::builder().write_fraction(1.5).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "working set smaller than the largest request")]
+    fn tiny_wss_rejected() {
+        WorkloadSpec::builder().wss_bytes(512 * KIB).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "iops must be positive")]
+    fn bad_iops_rejected() {
+        WorkloadSpec::builder()
+            .arrival(ArrivalModel::OpenLoop { iops: 0.0 })
+            .build();
+    }
+
+    #[test]
+    fn wss_sector_conversion() {
+        let s = WorkloadSpec::builder().wss_bytes(GIB).build();
+        assert_eq!(s.wss_sectors(), GIB / 4096);
+    }
+}

@@ -1,0 +1,22 @@
+//! Cache study: quantify the volatile DRAM write-back cache's role in
+//! power-fault data loss — enabled, disabled, and with supercap
+//! power-loss protection (§IV-A and §I).
+//!
+//! ```text
+//! cargo run --release --example cache_study
+//! ```
+
+use pfault_platform::experiments::{cache_ablation, ExperimentScale};
+
+fn main() {
+    let mut scale = ExperimentScale::quick();
+    scale.faults_per_point = 30;
+    let report = cache_ablation::run(scale, 99);
+    println!("{}", report.table().render());
+    println!(
+        "Observations (matching §IV-A / §V):\n\
+         * disabling the cache removes most FWA but NOT all data loss —\n\
+           the mapping table is still volatile;\n\
+         * a supercapacitor (power-loss protection) eliminates loss."
+    );
+}

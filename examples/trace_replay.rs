@@ -1,0 +1,93 @@
+//! Trace replay: drive the simulated SSD from a recorded IO trace, inject
+//! a fault mid-replay, and verify what survived.
+//!
+//! ```text
+//! cargo run --release --example trace_replay
+//! ```
+
+use pfault_power::FaultInjector;
+use pfault_sim::{DetRng, Lba, SimDuration};
+use pfault_ssd::device::{HostCommand, Ssd, VerifiedContent};
+use pfault_ssd::VendorPreset;
+use pfault_workload::replay::{parse_trace, ReplayGenerator};
+
+/// A small hand-written trace: a metadata-ish pattern of writes with one
+/// re-read, then a burst of larger writes.
+const TRACE: &str = "\
+# time_us, op, lba, sectors
+0,W,2048,8
+300,W,2056,8
+600,R,2048,8
+900,W,409600,256
+1600,W,409856,256
+2300,W,2048,8
+2600,W,1048576,128
+";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let ops = parse_trace(TRACE)?;
+    println!("replaying {} recorded operations…", ops.len());
+    let mut replay = ReplayGenerator::new(ops, DetRng::new(2024));
+    let mut ssd = Ssd::new(VendorPreset::SsdA.config(), DetRng::new(7));
+
+    let mut writes = Vec::new();
+    while let Some(packet) = replay.next_packet() {
+        ssd.advance_to(packet.arrival.max(ssd.now()));
+        let cmd = if packet.is_write {
+            HostCommand::write(packet.id, 0, packet.lba, packet.sectors, packet.payload_tag)
+        } else {
+            HostCommand::read(packet.id, 0, packet.lba, packet.sectors)
+        };
+        ssd.submit(cmd);
+        if packet.is_write {
+            writes.push(cmd);
+        }
+    }
+    // Let the tail of the trace reach the device, then pull the plug.
+    ssd.advance_to(ssd.now() + SimDuration::from_millis(2));
+    let timeline = FaultInjector::arduino_atx_loaded().timeline(ssd.now());
+    ssd.power_fail(&timeline);
+    ssd.power_on_recover(timeline.discharged + SimDuration::from_secs(1));
+
+    // Expected content per sector = the *last* write that touched it.
+    let mut expected = std::collections::HashMap::new();
+    for cmd in &writes {
+        for i in 0..cmd.sectors.get() {
+            expected.insert(cmd.lba.index() + i, (cmd.request_id, cmd.sector_content(i)));
+        }
+    }
+    for cmd in &writes {
+        let mut intact = 0;
+        let mut lost = 0;
+        let mut garbage = 0;
+        let mut superseded = 0;
+        for i in 0..cmd.sectors.get() {
+            let sector = cmd.lba.index() + i;
+            let (owner, want) = expected[&sector];
+            if owner != cmd.request_id {
+                superseded += 1;
+                continue; // a later write owns this sector now
+            }
+            match ssd.verify_read(Lba::new(sector)) {
+                VerifiedContent::Written(d) if d == want => intact += 1,
+                VerifiedContent::Written(_) | VerifiedContent::Unwritten => lost += 1,
+                VerifiedContent::Unreadable => garbage += 1,
+            }
+        }
+        println!(
+            "write #{:<2} lba {:>8} +{:<4} → {:>3} intact, {:>3} lost, {:>3} unreadable, {:>3} superseded",
+            cmd.request_id,
+            cmd.lba.index(),
+            cmd.sectors.get(),
+            intact,
+            lost,
+            garbage,
+            superseded
+        );
+    }
+    println!(
+        "\nA fault right after the replay catches the youngest writes still\n\
+         volatile (cache / uncommitted mapping); earlier ones survive."
+    );
+    Ok(())
+}

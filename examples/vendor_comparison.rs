@@ -1,0 +1,21 @@
+//! Vendor comparison: run the same fault campaign against the three
+//! Table I drive models (MLC 2013, TLC+LDPC 2015, MLC).
+//!
+//! ```text
+//! cargo run --release --example vendor_comparison
+//! ```
+
+use pfault_platform::experiments::{vendors, ExperimentScale};
+
+fn main() {
+    let mut scale = ExperimentScale::quick();
+    scale.faults_per_point = 30;
+    let report = vendors::run(scale, 7);
+    println!("Table I drives under identical full-write campaigns:\n");
+    println!("{}", report.table().render());
+    println!(
+        "All three consumer drives lose data under power faults — the paper\n\
+         found thirteen of fifteen drives vulnerable in the prior study [12]\n\
+         and all of its own Table I drives affected."
+    );
+}

@@ -1,0 +1,27 @@
+//! Wear study: how device age changes power-fault damage.
+//!
+//! Runs the default fault campaign on drives pre-aged to increasing
+//! program/erase cycle counts. Near end of life the raw bit-error floor
+//! reaches the ECC's correction strength and the fault's added
+//! disturbance — or even the recovery metadata reads themselves — tips
+//! marginal pages over.
+//!
+//! ```text
+//! cargo run --release --example wear_study
+//! ```
+
+use pfault_platform::experiments::{wear, ExperimentScale};
+
+fn main() {
+    let mut scale = ExperimentScale::quick();
+    scale.faults_per_point = 30;
+    let report = wear::run(scale, 3);
+    println!("{}", report.table().render());
+    println!(
+        "Fresh and mid-life drives lose roughly the same (power-fault loss is\n\
+         dominated by volatile state, not raw bit errors) — but near the wear\n\
+         budget the recovery metadata itself becomes unreadable and a single\n\
+         fault can cost essentially everything, consistent with the bricked\n\
+         drives reported by Zheng et al. [12]."
+    );
+}

@@ -1,0 +1,174 @@
+//! Cross-crate integration: each experiment reproduces its figure's
+//! qualitative shape at a reduced scale.
+
+use pfault_platform::experiments::cache_ablation::CacheVariant;
+use pfault_platform::experiments::{
+    access_pattern, cache_ablation, injector_ablation, iops, psu, request_size, request_type,
+    sequence, vendors, wss, ExperimentScale,
+};
+use pfault_workload::SequenceMode;
+
+fn tiny() -> ExperimentScale {
+    ExperimentScale {
+        faults_per_point: 25,
+        requests_per_trial: 35,
+        threads: 4,
+    }
+}
+
+#[test]
+fn fig4_psu_landmarks() {
+    let report = psu::run();
+    assert!((35.0..45.0).contains(&report.loaded.host_loss_ms));
+    assert!((850.0..950.0).contains(&report.loaded.discharged_ms));
+    assert!((1350.0..1450.0).contains(&report.unloaded.discharged_ms));
+    // Monotone decay in both series.
+    for curve in [&report.loaded, &report.unloaded] {
+        for pair in curve.points.windows(2) {
+            assert!(pair[1].volts <= pair[0].volts);
+        }
+    }
+}
+
+#[test]
+fn fig5_read_share_shape() {
+    let report = request_type::run(tiny(), 11);
+    let full_read = report.at(100).expect("100% read row");
+    assert_eq!(
+        full_read.data_failures, 0,
+        "§IV-B: no data failure at 100% read"
+    );
+    assert_eq!(full_read.fwa, 0);
+    assert!(
+        full_read.io_errors > 0,
+        "§IV-B: IO errors persist at 100% read"
+    );
+    let full_write = report.at(0).expect("0% read row");
+    let loss0 = full_write.data_failures + full_write.fwa;
+    let loss80 = report
+        .at(80)
+        .map(|r| r.data_failures + r.fwa)
+        .expect("80% row");
+    assert!(
+        loss0 > loss80,
+        "loss at full write ({loss0}) must exceed 80% read ({loss80})"
+    );
+}
+
+#[test]
+fn fig6_wss_has_no_effect() {
+    let report = wss::run(tiny(), 11, Some(&[1, 90]));
+    assert!(
+        report.spread_ratio() < 2.5,
+        "per-fault rates across WSS must stay close: {:?}",
+        report.rows
+    );
+}
+
+#[test]
+fn sec4d_sequential_exceeds_random() {
+    let mut scale = tiny();
+    scale.faults_per_point = 60;
+    let report = access_pattern::run(scale, 11);
+    let excess = report.sequential_excess_pct();
+    assert!(
+        excess > 0.0,
+        "sequential must lose more than random (measured {excess:+.1}%)"
+    );
+}
+
+#[test]
+fn fig7_small_requests_fail_more_and_fwa_dominates_at_4k() {
+    let report = request_size::run(tiny(), 11);
+    let small = report.at(4).expect("4 KiB row");
+    let large = report.at(1024).expect("1 MiB row");
+    assert!(
+        small.data_loss_per_fault > 3.0 * large.data_loss_per_fault,
+        "4 KiB ({}) must far exceed 1 MiB ({})",
+        small.data_loss_per_fault,
+        large.data_loss_per_fault
+    );
+    assert!(
+        small.fwa > small.data_failures,
+        "§IV-E: FWA dominates at 4 KiB ({} FWA vs {} DF)",
+        small.fwa,
+        small.data_failures
+    );
+}
+
+#[test]
+fn fig8_responded_iops_saturates() {
+    let report = iops::run(tiny(), 11);
+    let low = report.rows.first().expect("first row");
+    let rel_err =
+        (low.responded_iops - low.requested_iops as f64).abs() / low.requested_iops as f64;
+    assert!(
+        rel_err < 0.1,
+        "below the knee responded ≈ requested: {low:?}"
+    );
+    let sat = report.saturation_iops();
+    assert!(
+        (6_000.0..7_500.0).contains(&sat),
+        "saturation {sat} should be near the paper's ~6 900"
+    );
+    // Past the knee, responded stops tracking requested.
+    let top = report.rows.last().expect("last row");
+    assert!(top.responded_iops < top.requested_iops as f64 * 0.5);
+}
+
+#[test]
+fn fig9_sequence_ordering() {
+    let report = sequence::run(tiny(), 11);
+    let waw = report.at(SequenceMode::Waw).expect("WAW");
+    let rar = report.at(SequenceMode::Rar).expect("RAR");
+    let raw = report.at(SequenceMode::Raw).expect("RAW");
+    let war = report.at(SequenceMode::War).expect("WAR");
+    assert_eq!(rar.data_failures + rar.fwa, 0, "RAR loses nothing");
+    assert!(rar.io_errors > 0, "RAR still sees IO errors");
+    let waw_loss = waw.data_failures + waw.fwa;
+    assert!(waw_loss > raw.data_failures + raw.fwa);
+    assert!(waw_loss > war.data_failures + war.fwa);
+    assert!(
+        waw.data_failures > raw.data_failures.max(war.data_failures),
+        "WAW has the most data failures (Fig 9)"
+    );
+}
+
+#[test]
+fn table1_all_drives_vulnerable() {
+    let report = vendors::run(tiny(), 11);
+    assert_eq!(report.rows.len(), 3);
+    for row in &report.rows {
+        assert!(
+            row.data_failures + row.fwa > 0,
+            "{}: every Table I drive loses data",
+            row.label
+        );
+    }
+}
+
+#[test]
+fn cache_ablation_ordering() {
+    let report = cache_ablation::run(tiny(), 11);
+    let on = report.at(CacheVariant::Enabled).expect("enabled");
+    let off = report.at(CacheVariant::Disabled).expect("disabled");
+    let plp = report.at(CacheVariant::Supercap).expect("supercap");
+    assert_eq!(plp.data_failures + plp.fwa, 0, "supercap saves everything");
+    assert!(
+        off.data_failures + off.fwa > 0,
+        "cache-off still loses data"
+    );
+    assert!(
+        on.fwa > off.fwa,
+        "the write-back cache is the dominant FWA source"
+    );
+}
+
+#[test]
+fn injector_ablation_both_rigs_dangerous() {
+    let report = injector_ablation::run(tiny(), 11);
+    assert!(report.atx.data_loss > 0);
+    assert!(report.transistor.data_loss > 0);
+    assert!(report.atx.interrupted_programs > 0);
+    assert!(report.transistor.interrupted_programs > 0);
+}

@@ -1,0 +1,209 @@
+//! Cross-crate integration: the extension features (checkpoints, TRIM,
+//! brownouts, wear, Zipf, trace replay) compose with the fault platform.
+
+use pfault_platform::experiments::{brownout, flush, recovery, repeated, wear, ExperimentScale};
+use pfault_platform::platform::{TestPlatform, TrialConfig};
+use pfault_power::{BrownoutEvent, BrownoutSeverity, FaultInjector, Millivolts};
+use pfault_sim::storage::GIB;
+use pfault_sim::{DetRng, Lba, SectorCount, SimDuration};
+use pfault_ssd::device::{HostCommand, Ssd, VerifiedContent};
+use pfault_ssd::VendorPreset;
+use pfault_workload::replay::{parse_trace, ReplayGenerator};
+use pfault_workload::{AccessPattern, WorkloadSpec};
+
+fn tiny() -> ExperimentScale {
+    ExperimentScale {
+        faults_per_point: 24,
+        requests_per_trial: 30,
+        threads: 4,
+    }
+}
+
+#[test]
+fn brownout_severity_staircase() {
+    let report = brownout::run(tiny(), 5);
+    let harmless = report.at(4_600).expect("harmless row");
+    let link = report.at(4_495).expect("link-drop row");
+    let reset = report.at(3_500).expect("reset row");
+    assert_eq!(harmless.severity, BrownoutSeverity::Harmless);
+    assert_eq!(harmless.trials_with_data_loss, 0);
+    assert_eq!(harmless.io_errors, 0);
+    assert_eq!(link.severity, BrownoutSeverity::LinkDrop);
+    assert_eq!(link.trials_with_data_loss, 0, "link drops lose no state");
+    assert!(
+        reset.trials_with_data_loss > 0,
+        "controller resets lose volatile state"
+    );
+}
+
+#[test]
+fn wear_amplifies_fault_damage_at_end_of_life() {
+    let report = wear::run(tiny(), 5);
+    let fresh = report.at(0).expect("fresh row");
+    let eol = report.at(2_800).expect("EOL row");
+    assert!(
+        eol.data_loss_per_fault > 2.0 * fresh.data_loss_per_fault,
+        "EOL ({}) must lose far more than fresh ({})",
+        eol.data_loss_per_fault,
+        fresh.data_loss_per_fault
+    );
+}
+
+#[test]
+fn flush_barriers_reduce_loss_but_cost_throughput() {
+    let report = flush::run(tiny(), 5);
+    let never = report.at(None).expect("never row");
+    let every = report.at(Some(1)).expect("every-write row");
+    assert!(
+        every.data_loss_per_fault < never.data_loss_per_fault,
+        "fsync-per-write ({}) must lose less than never ({})",
+        every.data_loss_per_fault,
+        never.data_loss_per_fault
+    );
+    assert!(
+        every.responded_iops < never.responded_iops,
+        "durability costs throughput"
+    );
+}
+
+#[test]
+fn full_scan_recovery_reduces_loss() {
+    let report = recovery::run(tiny(), 5);
+    assert!(
+        report.scan.data_loss_per_fault < report.journal.data_loss_per_fault,
+        "scan ({}) must lose less than journal replay ({})",
+        report.scan.data_loss_per_fault,
+        report.journal.data_loss_per_fault
+    );
+    assert!(
+        report.scan.fwa < report.journal.fwa,
+        "the scan specifically recovers clean reverts (FWA)"
+    );
+}
+
+#[test]
+fn repeated_outages_do_not_compound_on_young_devices() {
+    let mut scale = tiny();
+    scale.faults_per_point = 16; // → 2 devices × 8 cycles
+    let report = repeated::run(scale, 5);
+    assert_eq!(report.rows.len(), 8);
+    // Once a request survives an outage (its state is durable), later
+    // outages must not claim it.
+    assert_eq!(report.total_old_newly_lost(), 0);
+    // Per-cycle loss does not trend upward: the last cycle loses no more
+    // than double the first (flat within noise).
+    let first = report.rows.first().expect("cycle 0").fresh_lost;
+    let last = report.rows.last().expect("cycle 7").fresh_lost;
+    assert!(
+        last <= first.max(1) * 3,
+        "per-cycle loss should stay flat: first {first}, last {last}"
+    );
+}
+
+#[test]
+fn checkpointed_device_still_reproduces_failures() {
+    // Aggressive checkpointing must not hide the core result: faults on
+    // write workloads still lose recent data.
+    let mut c = TrialConfig::paper_default();
+    c.ssd.ftl.checkpoint_every_batches = 8;
+    c.workload = WorkloadSpec::builder().wss_bytes(8 * GIB).build();
+    c.requests = 40;
+    let platform = TestPlatform::new(c);
+    let loss: u64 = (0..12)
+        .map(|s| platform.run_trial(s).counts.total_data_loss())
+        .sum();
+    assert!(loss > 0);
+}
+
+#[test]
+fn zipf_workload_runs_through_the_full_platform() {
+    let mut c = TrialConfig::paper_default();
+    c.workload = WorkloadSpec::builder()
+        .wss_bytes(8 * GIB)
+        .pattern(AccessPattern::Zipf { theta: 0.9 })
+        .build();
+    c.requests = 30;
+    let platform = TestPlatform::new(c);
+    let baseline = platform.run_fault_free(3);
+    assert_eq!(baseline.counts.total_data_loss(), 0);
+    let faulted = platform.run_trial(3);
+    assert!(faulted.requests_issued > 0);
+    // Hot overwrites mean many sectors are superseded; the tally still
+    // covers every request exactly once.
+    let tallied = faulted.counts.data_failures
+        + faulted.counts.fwa
+        + faulted.counts.io_errors
+        + faulted.counts.intact;
+    assert_eq!(tallied, faulted.requests_issued);
+}
+
+#[test]
+fn trim_then_fault_interacts_correctly_with_recovery() {
+    let mut ssd = Ssd::new(VendorPreset::SsdA.config(), DetRng::new(8));
+    let cmd = HostCommand::write(1, 0, Lba::new(500), SectorCount::new(4), 0xFE);
+    ssd.submit(cmd);
+    ssd.advance_to(pfault_sim::SimTime::from_millis(5));
+    ssd.drain_completions();
+    ssd.quiesce();
+    ssd.trim(Lba::new(500), SectorCount::new(4));
+    ssd.quiesce();
+    let timeline = FaultInjector::arduino_atx_loaded().timeline(ssd.now());
+    ssd.power_fail(&timeline);
+    ssd.power_on_recover(timeline.discharged + SimDuration::from_secs(1));
+    for i in 0..4 {
+        assert_eq!(
+            ssd.verify_read(Lba::new(500 + i)),
+            VerifiedContent::Unwritten
+        );
+    }
+}
+
+#[test]
+fn replayed_trace_survives_clean_power_cycle() {
+    let ops = parse_trace("0,W,100,8\n500,W,200,16\n1000,W,100,8\n").expect("valid trace");
+    let mut replay = ReplayGenerator::new(ops, DetRng::new(5));
+    let mut ssd = Ssd::new(VendorPreset::SsdC.config(), DetRng::new(5));
+    let mut last_writes = std::collections::HashMap::new();
+    while let Some(p) = replay.next_packet() {
+        ssd.advance_to(p.arrival.max(ssd.now()));
+        let cmd = HostCommand::write(p.id, 0, p.lba, p.sectors, p.payload_tag);
+        ssd.submit(cmd);
+        for i in 0..p.sectors.get() {
+            last_writes.insert(Lba::new(p.lba.index() + i), cmd.sector_content(i));
+        }
+    }
+    ssd.advance_to(ssd.now() + SimDuration::from_millis(5));
+    ssd.quiesce();
+    let timeline = FaultInjector::arduino_atx_loaded().timeline(ssd.now());
+    ssd.power_fail(&timeline);
+    ssd.power_on_recover(timeline.discharged + SimDuration::from_secs(1));
+    for (lba, expected) in last_writes {
+        match ssd.verify_read(lba) {
+            VerifiedContent::Written(d) => assert_eq!(d, expected, "{lba}"),
+            other => panic!("{lba} lost after quiesced cycle: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn shallow_brownout_storm_is_survivable() {
+    // A storm of shallow sags must neither error IO nor lose data.
+    let mut ssd = Ssd::new(VendorPreset::SsdB.config(), DetRng::new(6));
+    let cmd = HostCommand::write(1, 0, Lba::new(40), SectorCount::new(8), 0x5A);
+    ssd.submit(cmd);
+    ssd.advance_to(pfault_sim::SimTime::from_millis(2));
+    ssd.drain_completions();
+    for i in 0..10 {
+        let mut event = BrownoutEvent::shallow(ssd.now() + SimDuration::from_millis(i));
+        event.floor = Millivolts::new(4_550 + (i as u32 * 10) % 200);
+        let severity = ssd.apply_brownout(&event);
+        assert_eq!(severity, BrownoutSeverity::Harmless);
+    }
+    ssd.quiesce();
+    for i in 0..8 {
+        assert!(matches!(
+            ssd.verify_read(Lba::new(40 + i)),
+            VerifiedContent::Written(_)
+        ));
+    }
+}

@@ -1,0 +1,116 @@
+//! Cross-crate integration: the paper's qualitative failure-mode claims
+//! hold in the model.
+
+use pfault_platform::platform::{TestPlatform, TrialConfig};
+use pfault_power::FaultInjector;
+use pfault_sim::storage::GIB;
+use pfault_ssd::CacheConfig;
+use pfault_workload::WorkloadSpec;
+
+fn base() -> TrialConfig {
+    let mut c = TrialConfig::paper_default();
+    c.workload = WorkloadSpec::builder().wss_bytes(8 * GIB).build();
+    c.requests = 40;
+    c
+}
+
+fn total_loss(config: TrialConfig, seeds: std::ops::Range<u64>) -> u64 {
+    let platform = TestPlatform::new(config);
+    seeds
+        .map(|s| platform.run_trial(s).counts.total_data_loss())
+        .sum()
+}
+
+#[test]
+fn read_only_workloads_lose_no_data() {
+    let mut c = base();
+    c.workload = WorkloadSpec::builder()
+        .wss_bytes(8 * GIB)
+        .write_fraction(0.0)
+        .build();
+    assert_eq!(
+        total_loss(c, 0..10),
+        0,
+        "§IV-B: fully-read → no data failure"
+    );
+}
+
+#[test]
+fn supercap_power_loss_protection_eliminates_loss() {
+    let mut c = base();
+    c.ssd.supercap = true;
+    assert_eq!(total_loss(c, 0..10), 0, "§I: PLP drives move pending data");
+}
+
+#[test]
+fn disabling_the_cache_does_not_eliminate_loss() {
+    // §IV-A: "we have also performed experiments by disabling the SSD
+    // internal cache where the results reveal the similar failures".
+    let mut c = base();
+    c.ssd.cache = CacheConfig::disabled();
+    let loss = total_loss(c, 0..20);
+    assert!(loss > 0, "mapping volatility must still lose data");
+}
+
+#[test]
+fn write_heavier_mixes_lose_more() {
+    // §IV-B shape: the failure count grows with the write share.
+    let loss_at = |wf: f64| {
+        let mut c = base();
+        c.workload = WorkloadSpec::builder()
+            .wss_bytes(8 * GIB)
+            .write_fraction(wf)
+            .build();
+        total_loss(c, 0..20)
+    };
+    let full = loss_at(1.0);
+    let light = loss_at(0.2);
+    assert!(
+        full > light,
+        "full-write loss ({full}) must exceed 20%-write loss ({light})"
+    );
+}
+
+#[test]
+fn transistor_cut_and_discharge_ramp_both_lose_data() {
+    // §III-A2: the rigs differ, but neither is safe; the instant cut
+    // interrupts at least as many in-flight programs.
+    let atx = base();
+    let mut cutter = base();
+    cutter.injector = FaultInjector::transistor();
+    let platform_atx = TestPlatform::new(atx);
+    let platform_cut = TestPlatform::new(cutter);
+    let mut atx_loss = 0;
+    let mut cut_loss = 0;
+    let mut atx_interrupted = 0;
+    let mut cut_interrupted = 0;
+    for seed in 0..15 {
+        let a = platform_atx.run_trial(seed);
+        let c = platform_cut.run_trial(seed);
+        atx_loss += a.counts.total_data_loss();
+        cut_loss += c.counts.total_data_loss();
+        atx_interrupted += a.interrupted_programs;
+        cut_interrupted += c.interrupted_programs;
+    }
+    assert!(atx_loss > 0);
+    assert!(cut_loss > 0);
+    assert!(
+        atx_interrupted > 0,
+        "ramp faults must catch in-flight programs"
+    );
+    assert!(
+        cut_interrupted > 0,
+        "instant cuts must catch in-flight programs"
+    );
+}
+
+#[test]
+fn paired_page_damage_reaches_previously_written_data() {
+    // §IV-A: "power fault not only may disturb the currently writing
+    // data, it may corrupt the previously written data".
+    let platform = TestPlatform::new(base());
+    let paired: u64 = (0..15)
+        .map(|s| platform.run_trial(s).paired_corruptions)
+        .sum();
+    assert!(paired > 0, "paired-page collateral damage must occur");
+}

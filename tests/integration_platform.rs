@@ -1,0 +1,104 @@
+//! Cross-crate integration: the full platform pipeline (workload →
+//! device → fault → tracer → analyzer) behaves coherently.
+
+use pfault_platform::campaign::{Campaign, CampaignConfig};
+use pfault_platform::platform::{TestPlatform, TrialConfig};
+use pfault_platform::FailureKind;
+use pfault_sim::storage::GIB;
+use pfault_workload::WorkloadSpec;
+
+fn small_trial() -> TrialConfig {
+    let mut c = TrialConfig::paper_default();
+    c.workload = WorkloadSpec::builder().wss_bytes(8 * GIB).build();
+    c.requests = 40;
+    c
+}
+
+#[test]
+fn fault_free_baseline_verifies_everything_intact() {
+    let platform = TestPlatform::new(small_trial());
+    for seed in [1, 2, 3] {
+        let o = platform.run_fault_free(seed);
+        assert_eq!(o.counts.data_failures, 0, "seed {seed}: {:?}", o.counts);
+        assert_eq!(o.counts.fwa, 0, "seed {seed}");
+        assert_eq!(o.counts.io_errors, 0, "seed {seed}");
+        assert_eq!(o.counts.intact, o.requests_issued, "seed {seed}");
+    }
+}
+
+#[test]
+fn trials_replay_bit_exactly() {
+    let platform = TestPlatform::new(small_trial());
+    let a = platform.run_trial(77);
+    let b = platform.run_trial(77);
+    assert_eq!(a.counts, b.counts);
+    assert_eq!(a.verdicts, b.verdicts);
+    assert_eq!(a.fault_commanded_ms, b.fault_commanded_ms);
+    assert_eq!(a.failed_ack_intervals_ms, b.failed_ack_intervals_ms);
+}
+
+#[test]
+fn every_issued_request_gets_exactly_one_verdict() {
+    let platform = TestPlatform::new(small_trial());
+    let o = platform.run_trial(13);
+    assert_eq!(o.verdicts.len() as u64, o.requests_issued);
+    let tallied = o.counts.data_failures + o.counts.fwa + o.counts.io_errors + o.counts.intact;
+    assert_eq!(tallied, o.requests_issued);
+}
+
+#[test]
+fn faults_on_write_workloads_lose_data() {
+    let platform = TestPlatform::new(small_trial());
+    let loss: u64 = (0..12)
+        .map(|seed| platform.run_trial(seed).counts.total_data_loss())
+        .sum();
+    assert!(
+        loss > 0,
+        "12 faults on a full-write workload must lose data"
+    );
+}
+
+#[test]
+fn io_errors_happen_at_the_fault_boundary() {
+    let platform = TestPlatform::new(small_trial());
+    let mut io_errors = 0;
+    for seed in 0..12 {
+        io_errors += platform.run_trial(seed).counts.io_errors;
+    }
+    assert!(io_errors > 0, "in-flight requests at host-loss must error");
+}
+
+#[test]
+fn campaign_serial_equals_parallel() {
+    let config = CampaignConfig {
+        trial: small_trial(),
+        trials: 8,
+        requests_per_trial: 30,
+    };
+    let serial = Campaign::new(config, 3).run();
+    let parallel = Campaign::new(config, 3).run_parallel(4);
+    assert_eq!(serial.counts, parallel.counts);
+    assert_eq!(serial.requests_issued, parallel.requests_issued);
+    assert_eq!(
+        serial.max_failed_ack_interval_ms,
+        parallel.max_failed_ack_interval_ms
+    );
+}
+
+#[test]
+fn failed_requests_were_acked_before_the_fault() {
+    // Every ACK→fault interval must be non-negative, and verdicts of kind
+    // IoError must correspond to requests that never completed.
+    let platform = TestPlatform::new(small_trial());
+    for seed in 0..6 {
+        let o = platform.run_trial(seed);
+        for &interval in &o.failed_ack_intervals_ms {
+            assert!(interval >= 0.0);
+        }
+        for v in &o.verdicts {
+            if v.kind == FailureKind::IoError {
+                assert_eq!(v.sectors_checked, 0, "IO errors are not verified");
+            }
+        }
+    }
+}
