@@ -1,0 +1,36 @@
+# Developer workflow for the pfault workspace.
+#
+#   make build   — release build of every crate and binary
+#   make test    — full test suite (unit + integration + property)
+#   make lint    — clippy gate: warnings are errors, and bare unwrap()
+#                  is banned in pfault-platform library code (tests are
+#                  allow-listed via cfg_attr in crates/core/src/lib.rs)
+#   make check   — everything CI runs
+
+CARGO ?= cargo
+
+.PHONY: all build test lint lint-core lint-workspace check clean
+
+all: check
+
+build:
+	$(CARGO) build --release
+
+test:
+	$(CARGO) test -q
+
+# The platform crate is the resilience boundary: trial failures must be
+# values, never process aborts, so unwrap() is denied in its library and
+# binaries outright.
+lint-core:
+	$(CARGO) clippy -p pfault-platform --all-targets -- -D warnings -D clippy::unwrap_used
+
+lint-workspace:
+	$(CARGO) clippy --workspace --all-targets -- -D warnings
+
+lint: lint-core lint-workspace
+
+check: build lint test
+
+clean:
+	$(CARGO) clean

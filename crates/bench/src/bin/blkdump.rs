@@ -25,8 +25,20 @@ fn main() -> ExitCode {
     let mut it = env::args().skip(1);
     while let Some(flag) = it.next() {
         match (flag.as_str(), it.next()) {
-            ("--requests", Some(v)) => requests = v.parse().unwrap_or(8),
-            ("--seed", Some(v)) => seed = v.parse().unwrap_or(3),
+            ("--requests", Some(v)) => match v.parse() {
+                Ok(n) => requests = n,
+                Err(_) => {
+                    eprintln!("bad --requests '{v}' (expected a number)");
+                    return ExitCode::FAILURE;
+                }
+            },
+            ("--seed", Some(v)) => match v.parse() {
+                Ok(n) => seed = n,
+                Err(_) => {
+                    eprintln!("bad --seed '{v}' (expected a number)");
+                    return ExitCode::FAILURE;
+                }
+            },
             _ => {
                 eprintln!("blkdump [--requests N] [--seed N]");
                 return ExitCode::FAILURE;
@@ -84,8 +96,21 @@ fn main() -> ExitCode {
     let text = tracer.to_text();
     println!("== raw event stream (blkparse format) ==");
     print!("{text}");
-    let round_trip = parse_trace_text(&text).expect("own rendering parses");
-    assert_eq!(round_trip.len(), tracer.events().len());
+    let round_trip = match parse_trace_text(&text) {
+        Ok(events) => events,
+        Err(e) => {
+            eprintln!("internal error: own trace rendering failed to parse back: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if round_trip.len() != tracer.events().len() {
+        eprintln!(
+            "internal error: trace round-trip lost events ({} of {})",
+            round_trip.len(),
+            tracer.events().len()
+        );
+        return ExitCode::FAILURE;
+    }
 
     let analysis_at = timeline.discharged + SimDuration::from_secs(1);
     let report = analyze(tracer.events(), SimDuration::from_secs(30), analysis_at);

@@ -7,7 +7,12 @@
 //! ```text
 //! pfio [--vendor a|b|c] [--requests N] [--size-kib N] [--write-pct P]
 //!      [--pattern random|sequential|zipf] [--qd N] [--seed N]
+//!      [--watchdog-ms N]
 //! ```
+//!
+//! `--watchdog-ms` caps the simulated runtime; if the device stalls and
+//! the workload cannot finish within the budget, pfio reports the stall
+//! and exits nonzero instead of spinning forever.
 
 use std::env;
 use std::process::ExitCode;
@@ -27,6 +32,7 @@ struct Args {
     pattern: AccessPattern,
     queue_depth: u32,
     seed: u64,
+    watchdog_ms: Option<u64>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -38,6 +44,7 @@ fn parse_args() -> Result<Args, String> {
         pattern: AccessPattern::UniformRandom,
         queue_depth: 1,
         seed: 1,
+        watchdog_ms: None,
     };
     let mut it = env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -76,10 +83,18 @@ fn parse_args() -> Result<Args, String> {
             }
             "--qd" => args.queue_depth = value()?.parse().map_err(|_| "bad --qd".to_string())?,
             "--seed" => args.seed = value()?.parse().map_err(|_| "bad --seed".to_string())?,
+            "--watchdog-ms" => {
+                args.watchdog_ms = Some(
+                    value()?
+                        .parse()
+                        .map_err(|_| "bad --watchdog-ms".to_string())?,
+                )
+            }
             "--help" | "-h" => {
                 return Err(
                     "pfio [--vendor a|b|c] [--requests N] [--size-kib N | --mixed-sizes] \
-                     [--write-pct P] [--pattern random|sequential|zipf] [--qd N] [--seed N]"
+                     [--write-pct P] [--pattern random|sequential|zipf] [--qd N] [--seed N] \
+                     [--watchdog-ms N]"
                         .to_string(),
                 )
             }
@@ -116,10 +131,24 @@ fn main() -> ExitCode {
     let mut generator = WorkloadGenerator::new(spec, root.fork("workload"));
     let mut tracer = BlockTracer::new(SectorCount::new(ssd.config().max_segment_sectors));
 
+    let deadline = args.watchdog_ms.map(SimDuration::from_millis);
     let mut issued = 0usize;
     let mut outstanding = 0usize;
     let mut bytes = 0u64;
     while issued < args.requests || outstanding > 0 {
+        if let Some(cap) = deadline {
+            if ssd.now().as_micros() > cap.as_micros() {
+                eprintln!(
+                    "watchdog: workload did not finish within {} ms of simulated time \
+                     ({} of {} requests issued, {} outstanding)",
+                    args.watchdog_ms.unwrap_or(0),
+                    issued,
+                    args.requests,
+                    outstanding
+                );
+                return ExitCode::FAILURE;
+            }
+        }
         for c in ssd.drain_completions() {
             outstanding -= 1;
             if c.acked() {

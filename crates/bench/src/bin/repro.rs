@@ -4,31 +4,69 @@
 //!
 //! ```text
 //! repro [--scale quick|paper] [--seed N] [--exp NAME] [--json FILE]
+//!       [--trials N] [--retries N] [--checkpoint FILE]
+//!       [--checkpoint-every K] [--resume] [--watchdog-ms N]
+//!       [--watchdog-events N]
 //! ```
 //!
 //! Experiments: `fig4` `interval` `interval-nocache` `fig5` `fig6`
 //! `pattern` `fig7` `fig8` `fig9` `table1` `ablation-injector`
 //! `ablation-cache` `brownout`, or `all` (default). `--json FILE` also
 //! writes every produced report as machine-readable JSON.
+//!
+//! `--exp campaign` (not part of `all`) runs one raw fault-injection
+//! campaign with the resilience controls: per-trial watchdog budgets,
+//! deterministic retries of failing trials, and checkpoint/resume.
 
 use std::env;
 use std::process::ExitCode;
 
 use pfault_bench::{ScaleArg, DEFAULT_SEED};
+use pfault_platform::campaign::{Campaign, CampaignConfig};
 use pfault_platform::experiments::wss;
 use pfault_platform::experiments::{
     access_pattern, brownout, cache_ablation, flush, injector_ablation, interval, iops, psu,
     recovery, repeated, request_size, request_type, sequence, vendors, wear,
 };
+use pfault_platform::Watchdog;
 
 fn main() -> ExitCode {
     let mut scale = ScaleArg::Quick;
     let mut seed = DEFAULT_SEED;
     let mut exp = String::from("all");
     let mut json_path: Option<String> = None;
+    let mut trials: Option<usize> = None;
+    let mut retries: u32 = 0;
+    let mut checkpoint: Option<String> = None;
+    let mut checkpoint_every: u64 = 25;
+    let mut resume = false;
+    let mut watchdog_ms: Option<u64> = None;
+    let mut watchdog_events: Option<u64> = None;
     let mut args = env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--trials" => match num_flag(&mut args, "--trials") {
+                Ok(n) => trials = Some(n as usize),
+                Err(code) => return code,
+            },
+            "--retries" => match num_flag(&mut args, "--retries") {
+                Ok(n) => retries = n as u32,
+                Err(code) => return code,
+            },
+            "--checkpoint" => checkpoint = args.next(),
+            "--checkpoint-every" => match num_flag(&mut args, "--checkpoint-every") {
+                Ok(n) => checkpoint_every = n,
+                Err(code) => return code,
+            },
+            "--resume" => resume = true,
+            "--watchdog-ms" => match num_flag(&mut args, "--watchdog-ms") {
+                Ok(n) => watchdog_ms = Some(n),
+                Err(code) => return code,
+            },
+            "--watchdog-events" => match num_flag(&mut args, "--watchdog-events") {
+                Ok(n) => watchdog_events = Some(n),
+                Err(code) => return code,
+            },
             "--scale" => {
                 let v = args.next().unwrap_or_default();
                 match ScaleArg::parse(&v) {
@@ -54,9 +92,16 @@ fn main() -> ExitCode {
             "--help" | "-h" => {
                 println!(
                     "repro [--scale quick|paper] [--seed N] [--exp NAME] [--json FILE]\n\
+                     \x20     [--trials N] [--retries N] [--checkpoint FILE] \
+                     [--checkpoint-every K]\n\
+                     \x20     [--resume] [--watchdog-ms N] [--watchdog-events N]\n\
                      experiments: fig4 interval interval-nocache fig5 fig6 pattern \
                      fig7 fig8 fig9 table1 ablation-injector ablation-cache \
-                     brownout wear flush recovery repeated all"
+                     brownout wear flush recovery repeated all campaign\n\
+                     campaign mode (--exp campaign, not part of 'all') runs one raw \
+                     campaign with watchdog budgets,\n\
+                     deterministic retries, and checkpoint/resume; the other flags \
+                     only apply there"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -311,6 +356,65 @@ fn main() -> ExitCode {
         );
     }
 
+    if exp == "campaign" {
+        matched = true;
+        let mut config = CampaignConfig::paper_default();
+        config.trials = trials.unwrap_or(s.faults_per_point);
+        config.requests_per_trial = s.requests_per_trial;
+        if watchdog_ms.is_some() || watchdog_events.is_some() {
+            config.trial.watchdog = Watchdog {
+                max_sim_time_us: watchdog_ms.map(|ms| ms * 1_000),
+                max_events: watchdog_events,
+            };
+        }
+        let mut campaign = Campaign::new(config, seed).with_retries(retries);
+        if let Some(path) = &checkpoint {
+            campaign = campaign.with_checkpoint(path, checkpoint_every);
+        }
+        let result = match (&checkpoint, resume) {
+            (Some(path), true) => campaign.resume_from(path),
+            (None, true) => {
+                eprintln!("--resume needs --checkpoint FILE to resume from");
+                return ExitCode::FAILURE;
+            }
+            _ => campaign.run_checked(),
+        };
+        let report = match result {
+            Ok(report) => report,
+            Err(e) => {
+                eprintln!("campaign failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        record(
+            &mut json,
+            "campaign",
+            serde_json::to_value(&report).expect("serializable"),
+        );
+        println!("== Campaign: {} fault injections ==", report.faults);
+        println!(
+            "requests: {} issued, {} completed",
+            report.requests_issued, report.requests_completed
+        );
+        println!(
+            "failures: {} data, {} FWA, {} IO errors, {} bricked devices",
+            report.counts.data_failures,
+            report.counts.fwa,
+            report.counts.io_errors,
+            report.counts.bricked_devices
+        );
+        let f = &report.failures;
+        if f.total_failed() > 0 || f.retries > 0 {
+            println!(
+                "trials without an outcome: panicked {:?}, watchdog {:?}, bricked {:?} \
+                 ({} retry attempts spent)",
+                f.panicked, f.watchdog_expired, f.bricked, f.retries
+            );
+        } else {
+            println!("all trials produced an outcome (no retries needed)");
+        }
+    }
+
     if !matched {
         eprintln!("unknown experiment '{exp}'");
         return ExitCode::FAILURE;
@@ -334,4 +438,14 @@ fn main() -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+/// Parses the numeric value of `name` from the argument stream, printing
+/// a usage error (and yielding the exit code) when missing or malformed.
+fn num_flag(args: &mut impl Iterator<Item = String>, name: &str) -> Result<u64, ExitCode> {
+    let v = args.next().unwrap_or_default();
+    v.parse().map_err(|_| {
+        eprintln!("bad {name} '{v}' (expected a number)");
+        ExitCode::FAILURE
+    })
 }

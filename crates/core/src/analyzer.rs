@@ -137,6 +137,10 @@ pub struct FailureCounts {
     pub io_errors: u64,
     /// Requests verified intact.
     pub intact: u64,
+    /// Trials whose device never mounted again after the fault — the
+    /// per-request verdicts above do not exist for these, so the device
+    /// loss itself is tallied as a first-class failure.
+    pub bricked_devices: u64,
 }
 
 impl FailureCounts {
@@ -162,6 +166,7 @@ impl FailureCounts {
         self.fwa += other.fwa;
         self.io_errors += other.io_errors;
         self.intact += other.intact;
+        self.bricked_devices += other.bricked_devices;
     }
 }
 

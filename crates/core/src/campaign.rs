@@ -7,13 +7,17 @@
 //! [`Campaign::run_parallel`] distributes them over threads with results
 //! identical to the serial runner.
 
-use crossbeam::channel;
 use serde::{Deserialize, Serialize};
+use std::panic::{self, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::mpsc;
 
+use pfault_sim::checksum::fnv64;
 use pfault_sim::stats::{Histogram, OnlineStats};
 use pfault_sim::DetRng;
 
 use crate::analyzer::FailureCounts;
+use crate::error::{CheckpointError, PlatformError, TrialError};
 use crate::platform::{TestPlatform, TrialConfig, TrialOutcome};
 
 /// Campaign configuration: a trial template plus the fault count.
@@ -36,6 +40,49 @@ impl CampaignConfig {
             trial,
             trials: 300,
         }
+    }
+}
+
+/// Trials that produced no outcome, by terminal cause, plus the retry
+/// effort the campaign spent. Indices are campaign trial indices
+/// (`0..trials`), kept sorted.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrialFailures {
+    /// Trials whose body panicked on every attempt.
+    pub panicked: Vec<u64>,
+    /// Trials that exceeded the watchdog budget on every attempt.
+    pub watchdog_expired: Vec<u64>,
+    /// Trials whose device bricked (never mounted again) on every attempt.
+    pub bricked: Vec<u64>,
+    /// Extra attempts spent across all trials (0 if nothing was retried).
+    pub retries: u64,
+}
+
+impl TrialFailures {
+    /// Total trials that failed terminally.
+    pub fn total_failed(&self) -> usize {
+        self.panicked.len() + self.watchdog_expired.len() + self.bricked.len()
+    }
+
+    fn record(&mut self, index: u64, error: &TrialError) {
+        match error {
+            TrialError::Panicked { .. } => self.panicked.push(index),
+            TrialError::WatchdogExpired { .. } => self.watchdog_expired.push(index),
+            TrialError::DeviceBricked { .. } => self.bricked.push(index),
+        }
+    }
+
+    fn merge(&mut self, other: &TrialFailures) {
+        self.panicked.extend_from_slice(&other.panicked);
+        self.watchdog_expired
+            .extend_from_slice(&other.watchdog_expired);
+        self.bricked.extend_from_slice(&other.bricked);
+        // Partial reports merge in worker-completion order; sorting keeps
+        // the merged ledger identical to the serial runner's.
+        self.panicked.sort_unstable();
+        self.watchdog_expired.sort_unstable();
+        self.bricked.sort_unstable();
+        self.retries += other.retries;
     }
 }
 
@@ -64,6 +111,8 @@ pub struct CampaignReport {
     pub interrupted_programs: u64,
     /// Paired-page collateral corruptions across all trials.
     pub paired_corruptions: u64,
+    /// Trials that ended without an outcome (panic, watchdog, brick).
+    pub failures: TrialFailures,
 }
 
 impl CampaignReport {
@@ -79,6 +128,7 @@ impl CampaignReport {
             failed_ack_interval_hist: Histogram::new(50.0, 20),
             interrupted_programs: 0,
             paired_corruptions: 0,
+            failures: TrialFailures::default(),
         }
     }
 
@@ -97,6 +147,18 @@ impl CampaignReport {
         }
         self.interrupted_programs += outcome.interrupted_programs;
         self.paired_corruptions += outcome.paired_corruptions;
+    }
+
+    /// Tallies a trial that ended without an outcome. The fault was still
+    /// injected (the trial ran up to and past the discharge before dying),
+    /// and a bricked device is a first-class failure alongside the per-
+    /// request verdicts.
+    fn absorb_failure(&mut self, index: u64, error: &TrialError) {
+        self.faults += 1;
+        if matches!(error, TrialError::DeviceBricked { .. }) {
+            self.counts.bricked_devices += 1;
+        }
+        self.failures.record(index, error);
     }
 
     fn merge(&mut self, other: &CampaignReport) {
@@ -121,6 +183,7 @@ impl CampaignReport {
         }
         self.interrupted_programs += other.interrupted_programs;
         self.paired_corruptions += other.paired_corruptions;
+        self.failures.merge(&other.failures);
     }
 
     /// Data failures (excluding FWA) per injected fault — the paper's
@@ -149,17 +212,66 @@ impl CampaignReport {
     }
 }
 
+/// On-disk snapshot of a partially completed campaign: trials
+/// `0..completed` are absorbed into `report`. The identity fields pin the
+/// snapshot to one (config, seed) pair so a resume cannot silently mix
+/// campaigns.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct CampaignCheckpoint {
+    version: u32,
+    config_digest: u64,
+    seed: u64,
+    trials: u64,
+    completed: u64,
+    report: CampaignReport,
+}
+
+const CHECKPOINT_VERSION: u32 = 1;
+
 /// A campaign runner.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Campaign {
     config: CampaignConfig,
     seed: u64,
+    retries: u32,
+    checkpoint: Option<CheckpointSpec>,
+}
+
+#[derive(Debug, Clone)]
+struct CheckpointSpec {
+    path: PathBuf,
+    every: u64,
 }
 
 impl Campaign {
     /// Creates a campaign; `seed` determines every trial.
     pub fn new(config: CampaignConfig, seed: u64) -> Self {
-        Campaign { config, seed }
+        Campaign {
+            config,
+            seed,
+            retries: 0,
+            checkpoint: None,
+        }
+    }
+
+    /// Retries each failing trial up to `retries` extra attempts, each
+    /// with a deterministically derived fresh seed. The first attempt
+    /// always uses the original trial seed, so a campaign with zero
+    /// failures is unaffected by this setting.
+    pub fn with_retries(mut self, retries: u32) -> Self {
+        self.retries = retries;
+        self
+    }
+
+    /// Writes a resumable JSON checkpoint to `path` after every `every`
+    /// completed trials (serial runs only; `every` is clamped to ≥ 1).
+    /// The write is atomic: a temp file is renamed over `path`.
+    pub fn with_checkpoint(mut self, path: impl Into<PathBuf>, every: u64) -> Self {
+        self.checkpoint = Some(CheckpointSpec {
+            path: path.into(),
+            every: every.max(1),
+        });
+        self
     }
 
     fn trial_config(&self) -> TrialConfig {
@@ -172,44 +284,162 @@ impl Campaign {
         DetRng::new(self.seed).fork_index(index as u64).next_u64()
     }
 
-    /// Runs all trials serially.
-    pub fn run(&self) -> CampaignReport {
-        let platform = TestPlatform::new(self.trial_config());
-        let mut report = CampaignReport::empty();
-        for i in 0..self.config.trials {
-            let outcome = platform.run_trial(self.trial_seed(i));
-            report.absorb(&outcome);
+    /// Seed for attempt `attempt` of trial `index`. Attempt 0 is the
+    /// original [`Campaign::trial_seed`] stream; retries fork a disjoint
+    /// stream so a retried trial sees fresh (but reproducible) randomness.
+    fn attempt_seed(&self, index: u64, attempt: u32) -> u64 {
+        if attempt == 0 {
+            return self.trial_seed(index as usize);
         }
-        report
+        DetRng::new(self.seed)
+            .fork("retry")
+            .fork_index(index)
+            .fork_index(u64::from(attempt))
+            .next_u64()
     }
 
-    /// Runs all trials across `threads` worker threads. The result is
-    /// bit-identical to [`Campaign::run`] for all order-insensitive
-    /// aggregates (counts, means, extremes).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `threads` is zero.
+    /// Fingerprint of everything that shapes trial behaviour, used to pin
+    /// checkpoints to their campaign.
+    fn config_digest(&self) -> u64 {
+        fnv64(format!("{:?}", self.config).as_bytes())
+    }
+
+    /// Runs one trial with panic isolation and deterministic retry.
+    /// Returns the outcome (or the last attempt's error) plus the number
+    /// of extra attempts consumed.
+    fn run_one(&self, platform: &TestPlatform, index: u64) -> (Result<TrialOutcome, TrialError>, u64) {
+        let mut attempt: u32 = 0;
+        loop {
+            let seed = self.attempt_seed(index, attempt);
+            let result = panic::catch_unwind(AssertUnwindSafe(|| platform.run_trial_checked(seed)));
+            let error = match result {
+                Ok(Ok(outcome)) => return (Ok(outcome), u64::from(attempt)),
+                Ok(Err(e)) => e,
+                Err(payload) => TrialError::Panicked {
+                    seed,
+                    message: panic_message(payload.as_ref()),
+                },
+            };
+            if attempt >= self.retries {
+                return (Err(error), u64::from(attempt));
+            }
+            attempt += 1;
+        }
+    }
+
+    /// Runs trials `start..trials` serially, absorbing into `report`.
+    fn run_range(
+        &self,
+        mut report: CampaignReport,
+        start: u64,
+    ) -> Result<CampaignReport, PlatformError> {
+        let platform = TestPlatform::new(self.trial_config());
+        let trials = self.config.trials as u64;
+        for i in start..trials {
+            let (result, retries_used) = self.run_one(&platform, i);
+            report.failures.retries += retries_used;
+            match result {
+                Ok(outcome) => report.absorb(&outcome),
+                Err(error) => report.absorb_failure(i, &error),
+            }
+            if let Some(spec) = &self.checkpoint {
+                let completed = i + 1;
+                if completed % spec.every == 0 && completed < trials {
+                    self.write_checkpoint(spec, completed, &report)?;
+                }
+            }
+        }
+        Ok(report)
+    }
+
+    fn write_checkpoint(
+        &self,
+        spec: &CheckpointSpec,
+        completed: u64,
+        report: &CampaignReport,
+    ) -> Result<(), CheckpointError> {
+        let snapshot = CampaignCheckpoint {
+            version: CHECKPOINT_VERSION,
+            config_digest: self.config_digest(),
+            seed: self.seed,
+            trials: self.config.trials as u64,
+            completed,
+            report: report.clone(),
+        };
+        let text = serde_json::to_string(&snapshot)
+            .map_err(|e| CheckpointError::Corrupt(e.to_string()))?;
+        let tmp = spec.path.with_extension("tmp");
+        std::fs::write(&tmp, text)?;
+        std::fs::rename(&tmp, &spec.path)?;
+        Ok(())
+    }
+
+    /// Runs all trials serially. Equivalent to
+    /// [`Campaign::run_checked`] but panics on a checkpoint IO error.
+    pub fn run(&self) -> CampaignReport {
+        match self.run_checked() {
+            Ok(report) => report,
+            Err(e) => panic!("campaign failed: {e}"),
+        }
+    }
+
+    /// Runs all trials serially. Trials that panic, exceed the watchdog
+    /// budget, or brick the device are retried per
+    /// [`Campaign::with_retries`] and, if still failing, recorded in
+    /// [`CampaignReport::failures`] — the campaign itself keeps going.
+    /// Errors only on checkpoint IO problems.
+    pub fn run_checked(&self) -> Result<CampaignReport, PlatformError> {
+        self.run_range(CampaignReport::empty(), 0)
+    }
+
+    /// Resumes a serial run from a checkpoint written by
+    /// [`Campaign::with_checkpoint`]. The checkpoint must match this
+    /// campaign's seed, trial count, and configuration; the completed
+    /// prefix is taken from the snapshot and the remaining trials run
+    /// normally, so the final report is identical to an uninterrupted
+    /// [`Campaign::run_checked`].
+    pub fn resume_from(&self, path: impl AsRef<Path>) -> Result<CampaignReport, PlatformError> {
+        let text = std::fs::read_to_string(path.as_ref()).map_err(CheckpointError::Io)?;
+        let snapshot: CampaignCheckpoint =
+            serde_json::from_str(&text).map_err(|e| CheckpointError::Corrupt(e.to_string()))?;
+        check_match("version", snapshot.version, CHECKPOINT_VERSION)?;
+        check_match("seed", snapshot.seed, self.seed)?;
+        check_match("trials", snapshot.trials, self.config.trials as u64)?;
+        check_match("config_digest", snapshot.config_digest, self.config_digest())?;
+        if snapshot.completed > snapshot.trials {
+            return Err(CheckpointError::Corrupt(format!(
+                "checkpoint claims {} completed trials of {}",
+                snapshot.completed, snapshot.trials
+            ))
+            .into());
+        }
+        self.run_range(snapshot.report, snapshot.completed)
+    }
+
+    /// Runs all trials across `threads` worker threads (`0` is treated as
+    /// `1`). The result is bit-identical to [`Campaign::run`] for all
+    /// order-insensitive aggregates (counts, means, extremes, and the
+    /// sorted failure ledger). Checkpointing is serial-only and ignored
+    /// here.
     pub fn run_parallel(&self, threads: usize) -> CampaignReport {
-        assert!(threads > 0, "need at least one thread");
-        let trial_config = self.trial_config();
-        let trials = self.config.trials;
-        let (tx, rx) = channel::unbounded::<CampaignReport>();
+        let threads = threads.max(1);
+        let trials = self.config.trials as u64;
+        let (tx, rx) = mpsc::channel::<CampaignReport>();
         std::thread::scope(|scope| {
-            for worker in 0..threads {
+            for worker in 0..threads as u64 {
                 let tx = tx.clone();
-                let campaign = Campaign {
-                    config: self.config,
-                    seed: self.seed,
-                };
                 scope.spawn(move || {
-                    let platform = TestPlatform::new(trial_config);
+                    let platform = TestPlatform::new(self.trial_config());
                     let mut partial = CampaignReport::empty();
                     let mut i = worker;
                     while i < trials {
-                        let outcome = platform.run_trial(campaign.trial_seed(i));
-                        partial.absorb(&outcome);
-                        i += threads;
+                        let (result, retries_used) = self.run_one(&platform, i);
+                        partial.failures.retries += retries_used;
+                        match result {
+                            Ok(outcome) => partial.absorb(&outcome),
+                            Err(error) => partial.absorb_failure(i, &error),
+                        }
+                        i += threads as u64;
                     }
                     tx.send(partial).expect("receiver lives in this scope");
                 });
@@ -221,6 +451,32 @@ impl Campaign {
             report.merge(&partial);
         }
         report
+    }
+}
+
+/// Renders a `catch_unwind` payload for [`TrialError::Panicked`].
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+fn check_match<T>(field: &'static str, found: T, expected: T) -> Result<(), CheckpointError>
+where
+    T: PartialEq + std::fmt::Display,
+{
+    if found == expected {
+        Ok(())
+    } else {
+        Err(CheckpointError::Mismatch {
+            field,
+            found: found.to_string(),
+            expected: expected.to_string(),
+        })
     }
 }
 
@@ -291,5 +547,207 @@ mod tests {
         let report = Campaign::new(tiny_config(), 13).run();
         let expected = report.counts.data_failures as f64 / report.faults as f64;
         assert!((report.data_failures_per_fault() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn one_campaign_survives_mixed_failure_classes() {
+        // Per-trial event counts at seed 11 range 1249..=1600, so a
+        // 1400-event budget expires some trials and spares others; the
+        // spared trials then mount with a coin-flip failure rate, so a
+        // single campaign mixes watchdog expiries, bricked devices, and
+        // successful trials — and still completes with every affected
+        // index on the ledger.
+        let mut config = tiny_config();
+        config.trial.watchdog = crate::platform::Watchdog {
+            max_sim_time_us: None,
+            max_events: Some(1400),
+        };
+        config.trial.ssd.mount_failure_rate = 0.5;
+        config.trial.ssd.mount_retry_limit = 1;
+        let campaign = Campaign::new(config, 11);
+        let report = campaign.run();
+        assert_eq!(report.faults, 6);
+        assert!(
+            !report.failures.watchdog_expired.is_empty(),
+            "expected at least one watchdog expiry, got {:?}",
+            report.failures
+        );
+        assert!(
+            !report.failures.bricked.is_empty(),
+            "expected at least one bricked device, got {:?}",
+            report.failures
+        );
+        assert!(
+            report.failures.total_failed() < 6,
+            "expected at least one successful trial, got {:?}",
+            report.failures
+        );
+        // No trial lands on two lists.
+        let mut all: Vec<u64> = report
+            .failures
+            .watchdog_expired
+            .iter()
+            .chain(&report.failures.bricked)
+            .chain(&report.failures.panicked)
+            .copied()
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), report.failures.total_failed());
+        let parallel = campaign.run_parallel(3);
+        assert_eq!(parallel.failures, report.failures);
+        assert_eq!(parallel.counts, report.counts);
+    }
+
+    #[test]
+    fn zero_threads_is_clamped_to_serial() {
+        let campaign = Campaign::new(tiny_config(), 11);
+        let zero = campaign.run_parallel(0);
+        let serial = campaign.run();
+        assert_eq!(zero.faults, serial.faults);
+        assert_eq!(zero.counts, serial.counts);
+    }
+
+    #[test]
+    fn watchdog_expiry_is_reported_not_hung() {
+        let mut config = tiny_config();
+        config.trials = 3;
+        config.trial.watchdog = crate::platform::Watchdog {
+            max_sim_time_us: None,
+            max_events: Some(10),
+        };
+        let report = Campaign::new(config, 3).run();
+        assert_eq!(report.faults, 3);
+        assert_eq!(report.failures.watchdog_expired, vec![0, 1, 2]);
+        assert_eq!(report.failures.total_failed(), 3);
+        assert_eq!(report.responded_iops.count(), 0);
+    }
+
+    #[test]
+    fn panicking_trials_are_isolated_and_deterministic() {
+        let mut config = tiny_config();
+        // A zero-capacity cache fails SsdConfig validation inside the
+        // trial body, so every trial panics.
+        config.trial.ssd.cache.capacity_sectors = 0;
+        let campaign = Campaign::new(config, 17).with_retries(2);
+        let a = campaign.run();
+        assert_eq!(a.faults, 6);
+        assert_eq!(a.failures.panicked, vec![0, 1, 2, 3, 4, 5]);
+        // 2 extra attempts per trial, all panicking.
+        assert_eq!(a.failures.retries, 12);
+        let b = campaign.run();
+        assert_eq!(a.failures, b.failures);
+        let parallel = campaign.run_parallel(3);
+        assert_eq!(parallel.failures, a.failures);
+    }
+
+    #[test]
+    fn bricked_devices_are_tallied_as_failures() {
+        let mut config = tiny_config();
+        config.trial.ssd.mount_failure_rate = 1.0;
+        config.trial.ssd.mount_retry_limit = 2;
+        let report = Campaign::new(config, 23).run();
+        assert_eq!(report.faults, 6);
+        assert_eq!(report.counts.bricked_devices, 6);
+        assert_eq!(report.failures.bricked.len(), 6);
+    }
+
+    #[test]
+    fn mixed_mount_failures_brick_some_trials() {
+        let mut config = tiny_config();
+        config.trials = 12;
+        config.trial.ssd.mount_failure_rate = 0.5;
+        config.trial.ssd.mount_retry_limit = 1;
+        let report = Campaign::new(config, 29).run();
+        let bricked = report.failures.bricked.len() as u64;
+        assert_eq!(report.counts.bricked_devices, bricked);
+        assert!(bricked > 0, "rate 0.5 should brick at least one of 12");
+        assert!(bricked < 12, "rate 0.5 should let at least one mount");
+        assert_eq!(report.responded_iops.count() + bricked, 12);
+        let parallel = Campaign::new(config, 29).run_parallel(4);
+        assert_eq!(parallel.failures, report.failures);
+        assert_eq!(parallel.counts, report.counts);
+    }
+
+    #[test]
+    fn retry_recovers_flaky_mounts() {
+        let mut config = tiny_config();
+        config.trial.ssd.mount_failure_rate = 0.5;
+        config.trial.ssd.mount_retry_limit = 1;
+        let no_retry = Campaign::new(config, 29).run();
+        let with_retry = Campaign::new(config, 29).with_retries(4).run();
+        assert!(no_retry.failures.bricked.len() > with_retry.failures.bricked.len());
+        assert!(with_retry.failures.retries > 0);
+    }
+
+    #[test]
+    fn checkpoint_resume_equals_uninterrupted_run() {
+        let dir = std::env::temp_dir().join("pfault-checkpoint-test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("resume.json");
+        let _ = std::fs::remove_file(&path);
+
+        let plain = Campaign::new(tiny_config(), 31).run();
+        let checkpointed = Campaign::new(tiny_config(), 31).with_checkpoint(&path, 2);
+        let full = checkpointed.run_checked().expect("checkpointed run");
+        assert_eq!(
+            serde_json::to_string(&full).unwrap(),
+            serde_json::to_string(&plain).unwrap(),
+            "checkpointing must not perturb the result"
+        );
+
+        // The file on disk holds a partial prefix (the last mid-run
+        // snapshot); resuming from it must reproduce the full report
+        // byte-for-byte.
+        let resumed = checkpointed.resume_from(&path).expect("resume");
+        assert_eq!(
+            serde_json::to_string(&resumed).unwrap(),
+            serde_json::to_string(&plain).unwrap(),
+            "resumed run must equal the uninterrupted run"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_campaign() {
+        let dir = std::env::temp_dir().join("pfault-checkpoint-test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("mismatch.json");
+        let _ = std::fs::remove_file(&path);
+
+        let campaign = Campaign::new(tiny_config(), 37).with_checkpoint(&path, 2);
+        campaign.run_checked().expect("run");
+
+        let wrong_seed = Campaign::new(tiny_config(), 38);
+        match wrong_seed.resume_from(&path) {
+            Err(PlatformError::Checkpoint(CheckpointError::Mismatch { field, .. })) => {
+                assert_eq!(field, "seed");
+            }
+            other => panic!("expected seed mismatch, got {other:?}"),
+        }
+
+        let mut other_config = tiny_config();
+        other_config.requests_per_trial += 1;
+        let wrong_config = Campaign::new(other_config, 37);
+        match wrong_config.resume_from(&path) {
+            Err(PlatformError::Checkpoint(CheckpointError::Mismatch { field, .. })) => {
+                assert_eq!(field, "config_digest");
+            }
+            other => panic!("expected config mismatch, got {other:?}"),
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn resume_rejects_corrupt_checkpoint() {
+        let dir = std::env::temp_dir().join("pfault-checkpoint-test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("corrupt.json");
+        std::fs::write(&path, "{not json").expect("write");
+        match Campaign::new(tiny_config(), 41).resume_from(&path) {
+            Err(PlatformError::Checkpoint(CheckpointError::Corrupt(_))) => {}
+            other => panic!("expected corrupt checkpoint, got {other:?}"),
+        }
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -1,0 +1,213 @@
+//! Unified error model for the test platform.
+//!
+//! Hand-rolled [`std::error::Error`] implementations in the style of
+//! `pfault_ftl::FtlError`: every layer's failure converts losslessly into
+//! [`PlatformError`], so campaign drivers and bench binaries handle one
+//! type. Trial-level failures ([`TrialError`]) are *expected* outcomes of
+//! a resilience-aware campaign — a watchdog firing or a device bricking
+//! ends one trial, not the campaign.
+
+use std::fmt;
+
+/// Why one trial did not produce a [`crate::platform::TrialOutcome`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrialError {
+    /// The trial exceeded its watchdog budget (simulated-time ceiling or
+    /// event count) — the event loop would otherwise spin forever.
+    WatchdogExpired {
+        /// Seed of the offending trial.
+        seed: u64,
+        /// Simulated time reached when the watchdog fired, in µs.
+        sim_time_us: u64,
+        /// Event-loop iterations executed when the watchdog fired.
+        events: u64,
+    },
+    /// The device failed every post-fault mount attempt and is
+    /// permanently dead (the paper's worst outcome class).
+    DeviceBricked {
+        /// Seed of the offending trial.
+        seed: u64,
+        /// Mount attempts made before the firmware gave up.
+        attempts: u32,
+    },
+    /// The trial body panicked; the campaign isolated it.
+    Panicked {
+        /// Seed of the offending trial.
+        seed: u64,
+        /// The panic payload, if it was a string.
+        message: String,
+    },
+}
+
+impl TrialError {
+    /// The seed of the trial that failed.
+    pub fn seed(&self) -> u64 {
+        match self {
+            TrialError::WatchdogExpired { seed, .. }
+            | TrialError::DeviceBricked { seed, .. }
+            | TrialError::Panicked { seed, .. } => *seed,
+        }
+    }
+}
+
+impl fmt::Display for TrialError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrialError::WatchdogExpired {
+                seed,
+                sim_time_us,
+                events,
+            } => write!(
+                f,
+                "trial (seed {seed}) exceeded its watchdog budget at \
+                 {sim_time_us} µs simulated after {events} events"
+            ),
+            TrialError::DeviceBricked { seed, attempts } => write!(
+                f,
+                "trial (seed {seed}): device bricked after {attempts} failed mount attempts"
+            ),
+            TrialError::Panicked { seed, message } => {
+                write!(f, "trial (seed {seed}) panicked: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TrialError {}
+
+/// Why a campaign checkpoint could not be written or resumed.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Reading or writing the checkpoint file failed.
+    Io(std::io::Error),
+    /// The file exists but does not parse as a checkpoint of the
+    /// supported version.
+    Corrupt(String),
+    /// The checkpoint was taken by a campaign with a different
+    /// configuration, seed, or trial count.
+    Mismatch {
+        /// Which field disagreed.
+        field: &'static str,
+        /// Value recorded in the checkpoint.
+        found: String,
+        /// Value the resuming campaign expects.
+        expected: String,
+    },
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint io error: {e}"),
+            CheckpointError::Corrupt(why) => write!(f, "corrupt checkpoint: {why}"),
+            CheckpointError::Mismatch {
+                field,
+                found,
+                expected,
+            } => write!(
+                f,
+                "checkpoint {field} mismatch: checkpoint has {found}, campaign expects {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            CheckpointError::Corrupt(_) | CheckpointError::Mismatch { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+/// Top-level error for campaign drivers and bench binaries.
+#[derive(Debug)]
+pub enum PlatformError {
+    /// A trial failed terminally (after any configured retries).
+    Trial(TrialError),
+    /// Checkpointing or resuming failed.
+    Checkpoint(CheckpointError),
+    /// A configuration was rejected before any trial ran.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for PlatformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlatformError::Trial(e) => write!(f, "{e}"),
+            PlatformError::Checkpoint(e) => write!(f, "{e}"),
+            PlatformError::InvalidConfig(why) => write!(f, "invalid configuration: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for PlatformError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PlatformError::Trial(e) => Some(e),
+            PlatformError::Checkpoint(e) => Some(e),
+            PlatformError::InvalidConfig(_) => None,
+        }
+    }
+}
+
+impl From<TrialError> for PlatformError {
+    fn from(e: TrialError) -> Self {
+        PlatformError::Trial(e)
+    }
+}
+
+impl From<CheckpointError> for PlatformError {
+    fn from(e: CheckpointError) -> Self {
+        PlatformError::Checkpoint(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn displays_are_informative() {
+        let w = TrialError::WatchdogExpired {
+            seed: 7,
+            sim_time_us: 1_000,
+            events: 42,
+        };
+        assert!(w.to_string().contains("seed 7"));
+        assert!(w.to_string().contains("42 events"));
+        let b = TrialError::DeviceBricked {
+            seed: 9,
+            attempts: 3,
+        };
+        assert!(b.to_string().contains("bricked"));
+        assert_eq!(b.seed(), 9);
+    }
+
+    #[test]
+    fn sources_chain() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let p = PlatformError::from(CheckpointError::from(io));
+        assert!(p.source().is_some());
+        assert!(p.to_string().contains("gone"));
+    }
+
+    #[test]
+    fn mismatch_reports_both_sides() {
+        let e = CheckpointError::Mismatch {
+            field: "seed",
+            found: "1".into(),
+            expected: "2".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("seed") && s.contains('1') && s.contains('2'));
+    }
+}

@@ -47,10 +47,14 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// The lint gate (`make lint`) denies unwrap() in library code; tests may
+// unwrap freely.
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 
 pub mod analyzer;
 pub mod campaign;
 pub mod chart;
+pub mod error;
 pub mod experiments;
 pub mod oracle;
 pub mod platform;
@@ -58,5 +62,6 @@ pub mod record;
 pub mod report;
 
 pub use analyzer::{FailureKind, RequestVerdict};
-pub use campaign::{Campaign, CampaignConfig, CampaignReport};
-pub use platform::{TestPlatform, TrialConfig, TrialOutcome};
+pub use campaign::{Campaign, CampaignConfig, CampaignReport, TrialFailures};
+pub use error::{CheckpointError, PlatformError, TrialError};
+pub use platform::{TestPlatform, TrialConfig, TrialOutcome, Watchdog};

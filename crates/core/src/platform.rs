@@ -17,8 +17,47 @@ use pfault_trace::{analyze, BlockTracer};
 use pfault_workload::{ArrivalModel, WorkloadGenerator, WorkloadSpec};
 
 use crate::analyzer::{classify_all, FailureCounts, RequestVerdict};
+use crate::error::TrialError;
 use crate::oracle::Oracle;
 use crate::record::RequestRecord;
+
+/// Per-trial runaway protection: bounds on simulated time and event-loop
+/// iterations. A trial that exceeds either bound ends with
+/// [`TrialError::WatchdogExpired`] instead of hanging the campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Watchdog {
+    /// Ceiling on simulated time, in microseconds. `None` = unbounded.
+    pub max_sim_time_us: Option<u64>,
+    /// Ceiling on event-loop iterations. `None` = unbounded.
+    pub max_events: Option<u64>,
+}
+
+impl Watchdog {
+    /// Generous defaults that no healthy trial approaches: one hour of
+    /// simulated time, fifty million loop iterations.
+    pub fn generous() -> Self {
+        Watchdog {
+            max_sim_time_us: Some(3_600_000_000),
+            max_events: Some(50_000_000),
+        }
+    }
+
+    /// No protection at all (pre-watchdog behaviour).
+    pub fn unlimited() -> Self {
+        Watchdog {
+            max_sim_time_us: None,
+            max_events: None,
+        }
+    }
+
+    /// Whether a trial at simulated time `now` after `events` iterations
+    /// has exceeded either budget.
+    pub fn expired(&self, now: SimTime, events: u64) -> bool {
+        self.max_sim_time_us
+            .is_some_and(|cap| now.as_micros() > cap)
+            || self.max_events.is_some_and(|cap| events > cap)
+    }
+}
 
 /// Configuration of a single trial.
 #[derive(Debug, Clone, Copy)]
@@ -42,6 +81,8 @@ pub struct TrialConfig {
     /// Issue a FLUSH barrier after every N write requests (fsync-style),
     /// blocking the closed loop until it completes. `None` = never.
     pub flush_every: Option<u64>,
+    /// Runaway-trial protection.
+    pub watchdog: Watchdog,
 }
 
 impl TrialConfig {
@@ -56,6 +97,7 @@ impl TrialConfig {
             fault_after_fraction: (0.3, 0.9),
             fault_jitter_us: 20_000,
             flush_every: None,
+            watchdog: Watchdog::generous(),
         }
     }
 }
@@ -86,6 +128,9 @@ pub struct TrialOutcome {
     pub dirty_sectors_lost: u64,
     /// Volatile mapping sectors lost at the fault.
     pub map_sectors_lost: u64,
+    /// Scheduler-loop events consumed (the quantity the watchdog's
+    /// event budget meters).
+    pub events: u64,
 }
 
 /// Runs fault-injection trials. See the crate docs for the architecture.
@@ -106,7 +151,26 @@ impl TestPlatform {
     }
 
     /// Runs one complete trial with the given seed.
+    ///
+    /// Infallible wrapper over [`TestPlatform::run_trial_checked`] for
+    /// configurations that cannot fail (the defaults: generous watchdog,
+    /// zero mount-failure rate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trial fails — campaigns that enable tight watchdogs
+    /// or mount failures must use [`TestPlatform::run_trial_checked`].
     pub fn run_trial(&self, seed: u64) -> TrialOutcome {
+        match self.run_trial_checked(seed) {
+            Ok(outcome) => outcome,
+            Err(e) => panic!("run_trial on a failing configuration: {e}"),
+        }
+    }
+
+    /// Runs one complete trial with the given seed, reporting watchdog
+    /// expiry and unrecoverable (bricked) devices as errors instead of
+    /// hanging or panicking.
+    pub fn run_trial_checked(&self, seed: u64) -> Result<TrialOutcome, TrialError> {
         let root = DetRng::new(seed);
         let mut sched_rng = root.fork("scheduler");
         let mut ssd = Ssd::new(self.config.ssd, root.fork("ssd"));
@@ -140,8 +204,20 @@ impl TestPlatform {
         const FLUSH_ID_BASE: u64 = 1 << 40;
         let mut writes_since_flush = 0u64;
         let mut flush_counter = 0u64;
+        let mut events = 0u64;
 
         loop {
+            // Watchdog: a wedged pipeline or a degenerate configuration
+            // must end the trial, not the campaign.
+            events += 1;
+            if self.config.watchdog.expired(ssd.now(), events) {
+                return Err(TrialError::WatchdogExpired {
+                    seed,
+                    sim_time_us: ssd.now().as_micros(),
+                    events,
+                });
+            }
+
             // Drain completions into records/oracle/tracer first, so the
             // closed loop can refill before the idle check below.
             for c in ssd.drain_completions() {
@@ -264,9 +340,27 @@ impl TestPlatform {
         }
 
         // Power restore and firmware recovery, one second after full
-        // discharge (the paper power-cycles between injections).
-        let recovery_time = timeline.discharged + SimDuration::from_secs(1);
-        ssd.power_on_recover(recovery_time);
+        // discharge (the paper power-cycles between injections). A failed
+        // mount gets another power cycle a second later; a device that
+        // exhausts its retries is bricked — the trial's terminal outcome.
+        let mut recovery_time = timeline.discharged + SimDuration::from_secs(1);
+        loop {
+            match ssd.try_power_on_recover(recovery_time) {
+                Ok(()) => break,
+                Err(pfault_ssd::DeviceError::Bricked { attempts }) => {
+                    return Err(TrialError::DeviceBricked { seed, attempts });
+                }
+                Err(pfault_ssd::DeviceError::RecoveryFailed { .. }) => {
+                    // The mount worked but FTL recovery rebuilt an
+                    // unusable device; the device has already bricked
+                    // itself and retrying cannot change the outcome.
+                    return Err(TrialError::DeviceBricked { seed, attempts: 1 });
+                }
+                Err(pfault_ssd::DeviceError::MountFailed { .. }) => {
+                    recovery_time += SimDuration::from_secs(1);
+                }
+            }
+        }
 
         // btt-style cross-check: the block-layer view of completion must
         // agree with the platform's records.
@@ -303,7 +397,7 @@ impl TestPlatform {
             .filter(|r| r.acked_at.is_some_and(|t| t <= fault_commanded))
             .count();
         let flash = ssd.flash_stats();
-        TrialOutcome {
+        Ok(TrialOutcome {
             counts,
             verdicts,
             requests_issued: issued as u64,
@@ -315,7 +409,8 @@ impl TestPlatform {
             paired_corruptions: flash.paired_corruptions,
             dirty_sectors_lost: ssd.stats().last_fault_dirty_lost,
             map_sectors_lost: ssd.stats().last_fault_map_lost,
-        }
+            events,
+        })
     }
 
     /// Returns the number of sub-requests submitted.
@@ -442,6 +537,7 @@ impl TestPlatform {
             paired_corruptions: 0,
             dirty_sectors_lost: 0,
             map_sectors_lost: 0,
+            events: 0,
         }
     }
 }

@@ -19,6 +19,14 @@ pub enum FtlError {
     },
     /// An underlying flash operation failed.
     Flash(FlashError),
+    /// Post-fault recovery rebuilt a mapping that consumes every block in
+    /// the array: no free block remains for new writes or journal
+    /// commits, so the recovered device would be unusable. Deterministic —
+    /// power-cycling and retrying cannot succeed.
+    RecoveryExhausted {
+        /// Total blocks in the array, all consumed by recovered state.
+        blocks: u64,
+    },
 }
 
 impl fmt::Display for FtlError {
@@ -32,6 +40,12 @@ impl fmt::Display for FtlError {
                 )
             }
             FtlError::Flash(e) => write!(f, "flash operation failed: {e}"),
+            FtlError::RecoveryExhausted { blocks } => {
+                write!(
+                    f,
+                    "recovery left no usable free block (all {blocks} consumed)"
+                )
+            }
         }
     }
 }

@@ -379,6 +379,27 @@ impl Ftl {
         Ftl::recover_with_checkpoints(config, array, durable, &CheckpointStore::new(), rng)
     }
 
+    /// Fallible recovery: like [`Ftl::recover_with_checkpoints`], but
+    /// returns [`FtlError::RecoveryExhausted`] when the rebuilt state
+    /// consumes every block in the array — the recovered device would
+    /// have no free block for new writes or journal commits. The
+    /// condition is deterministic, so retrying the mount cannot help.
+    pub fn try_recover_with_checkpoints(
+        config: FtlConfig,
+        array: &mut FlashArray,
+        durable: &DurableLog,
+        checkpoints: &CheckpointStore,
+        rng: &mut DetRng,
+    ) -> Result<Ftl, FtlError> {
+        let ftl = Ftl::recover_with_checkpoints(config, array, durable, checkpoints, rng);
+        if ftl.available_blocks() == 0 {
+            return Err(FtlError::RecoveryExhausted {
+                blocks: config.geometry.blocks(),
+            });
+        }
+        Ok(ftl)
+    }
+
     /// Full recovery: start from the newest *readable* checkpoint, then
     /// replay only the journal batches newer than it. Falls back to older
     /// checkpoints (and ultimately to a full replay) when checkpoint pages
@@ -543,6 +564,50 @@ mod tests {
         let slot = write_sector(&mut array, &mut ftl, Lba::new(5), 99);
         assert_eq!(ftl.lookup(Lba::new(5)), Some(slot.ppa));
         assert_eq!(ftl.mapped_sectors(), 1);
+    }
+
+    #[test]
+    fn fallible_recovery_matches_infallible_on_healthy_device() {
+        let (mut array, mut ftl, mut durable, mut rng) = setup();
+        let slot = write_sector(&mut array, &mut ftl, Lba::new(7), 3);
+        commit(&mut array, &mut ftl, &mut durable);
+        let recovered = Ftl::try_recover_with_checkpoints(
+            ftl.config,
+            &mut array,
+            &durable,
+            &CheckpointStore::new(),
+            &mut rng,
+        )
+        .expect("healthy device recovers");
+        assert_eq!(recovered.lookup(Lba::new(7)), Some(slot.ppa));
+    }
+
+    #[test]
+    fn exhausted_array_fails_fallible_recovery() {
+        let (mut array, mut ftl, durable, mut rng) = setup();
+        // Touch every block so recovery's allocation high-water mark
+        // consumes the whole array.
+        let mut lba = 0u64;
+        while let Ok(slot) = ftl.begin_user_write(Lba::new(lba)) {
+            array
+                .program(
+                    slot.ppa,
+                    PageData::from_tag(lba),
+                    Oob::user(Lba::new(lba), slot.seq),
+                )
+                .unwrap();
+            ftl.finish_user_write(&slot);
+            lba += 1;
+        }
+        let err = Ftl::try_recover_with_checkpoints(
+            ftl.config,
+            &mut array,
+            &durable,
+            &CheckpointStore::new(),
+            &mut rng,
+        )
+        .unwrap_err();
+        assert!(matches!(err, FtlError::RecoveryExhausted { .. }));
     }
 
     #[test]

@@ -1,0 +1,216 @@
+//! Offline shim of the `rand` 0.8 API surface used by this workspace.
+//!
+//! Provides [`RngCore`] (implemented by `pfault_sim::DetRng`), the
+//! [`Error`] type referenced by `try_fill_bytes`, and the [`Rng`]
+//! extension trait with `gen_range` over primitive ranges. Distribution
+//! machinery, thread-local generators, and seeding helpers are omitted —
+//! nothing in the workspace uses them.
+
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+
+/// Error type for fallible RNG operations (never produced by the
+/// deterministic generators in this workspace).
+#[derive(Debug)]
+pub struct Error {
+    message: &'static str,
+}
+
+impl Error {
+    /// Creates an error with a static message.
+    pub fn new(message: &'static str) -> Self {
+        Error { message }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rng error: {}", self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Core random number generation trait, mirroring `rand::RngCore`.
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+    /// Fallible variant of [`RngCore::fill_bytes`].
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// Range types accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws a uniform sample from the range.
+    fn sample(self, rng: &mut dyn RngCore) -> T;
+}
+
+fn unit_f64(rng: &mut dyn RngCore) -> f64 {
+    // 53-bit uniform in [0, 1).
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+fn below_u64(rng: &mut dyn RngCore, bound: u64) -> u64 {
+    assert!(bound > 0, "cannot sample empty range");
+    // Lemire's nearly-divisionless rejection method.
+    let mut x = rng.next_u64();
+    let mut m = (x as u128).wrapping_mul(bound as u128);
+    let mut l = m as u64;
+    if l < bound {
+        let t = bound.wrapping_neg() % bound;
+        while l < t {
+            x = rng.next_u64();
+            m = (x as u128).wrapping_mul(bound as u128);
+            l = m as u64;
+        }
+    }
+    (m >> 64) as u64
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample(self, rng: &mut dyn RngCore) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + unit_f64(rng) * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f32> for Range<f32> {
+    fn sample(self, rng: &mut dyn RngCore) -> f32 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + (unit_f64(rng) as f32) * (self.end - self.start)
+    }
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample(self, rng: &mut dyn RngCore) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + below_u64(rng, span) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample(self, rng: &mut dyn RngCore) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                if lo == hi {
+                    return lo;
+                }
+                let span = (hi - lo) as u64;
+                if span == u64::MAX as u64 {
+                    return rng.next_u64() as $t;
+                }
+                lo + below_u64(rng, span + 1) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize);
+
+/// Convenience extension trait, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Draws a uniform sample from `range` (half-open or inclusive).
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        unit_f64(self) < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 so the stream looks uniform enough for range tests.
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let v = self.next_u64().to_le_bytes();
+                chunk.copy_from_slice(&v[..chunk.len()]);
+            }
+        }
+    }
+
+    #[test]
+    fn float_range_stays_in_bounds() {
+        let mut rng = Counter(1);
+        for _ in 0..1000 {
+            let v: f64 = rng.gen_range(0.25..0.75);
+            assert!((0.25..0.75).contains(&v));
+        }
+    }
+
+    #[test]
+    fn int_ranges_cover_and_stay_in_bounds() {
+        let mut rng = Counter(2);
+        let mut seen = [false; 5];
+        for _ in 0..500 {
+            let v: usize = rng.gen_range(3..8);
+            assert!((3..8).contains(&v));
+            seen[v - 3] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        for _ in 0..100 {
+            let v: u64 = rng.gen_range(10..=12);
+            assert!((10..=12).contains(&v));
+        }
+    }
+
+    #[test]
+    fn try_fill_bytes_default_succeeds() {
+        let mut rng = Counter(3);
+        let mut buf = [0u8; 9];
+        rng.try_fill_bytes(&mut buf).unwrap();
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

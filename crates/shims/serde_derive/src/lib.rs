@@ -1,0 +1,520 @@
+//! Offline shim of `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! in-repo `serde` shim, generating impls of its `Serialize` /
+//! `Deserialize` traits (a direct JSON-value data model rather than
+//! serde's visitor machinery). Supported shapes — the ones this workspace
+//! uses — follow serde's standard JSON representations:
+//!
+//! * named-field structs → objects (fields in declaration order);
+//! * newtype structs → the inner value;
+//! * tuple structs → arrays; unit structs → `null`;
+//! * enums: unit variants → `"Name"`, newtype variants → `{"Name": v}`,
+//!   tuple variants → `{"Name": [..]}`, struct variants → `{"Name": {..}}`.
+//!
+//! Generics, `where` clauses, and `#[serde(...)]` attributes are not
+//! supported; deriving on such an item is a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the deriving item.
+enum Shape {
+    NamedStruct { name: String, fields: Vec<String> },
+    TupleStruct { name: String, arity: usize },
+    UnitStruct { name: String },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// One enum variant.
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Derives the shim `Serialize` trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+/// Derives the shim `Deserialize` trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Shape) -> String) -> TokenStream {
+    match parse_item(input) {
+        Ok(shape) => gen(&shape)
+            .parse()
+            .unwrap_or_else(|e| error(&format!("serde_derive shim generated bad code: {e}"))),
+        Err(msg) => error(&msg),
+    }
+}
+
+fn error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("literal compile_error invocation parses")
+}
+
+// ------------------------------------------------------------------ parse
+
+fn parse_item(input: TokenStream) -> Result<Shape, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, found {other:?}")),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde_derive shim: generic item `{name}` is not supported"
+        ));
+    }
+    match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                Ok(Shape::NamedStruct { name, fields })
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                Ok(Shape::TupleStruct { name, arity })
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Shape::UnitStruct { name }),
+            other => Err(format!("unsupported struct body for `{name}`: {other:?}")),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let variants = parse_variants(g.stream())?;
+                Ok(Shape::Enum { name, variants })
+            }
+            other => Err(format!("unsupported enum body for `{name}`: {other:?}")),
+        },
+        other => Err(format!(
+            "serde_derive shim supports structs and enums, found `{other}`"
+        )),
+    }
+}
+
+/// Advances past `#[...]` attributes (including doc comments) and
+/// `pub`/`pub(...)` visibility markers.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // the attribute's bracket group
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    *i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parses `name: Type, ...` field lists, returning the field names.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let Some(tree) = tokens.get(i) else { break };
+        let name = match tree {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected `:` after field `{name}`, found {other:?}")),
+        }
+        skip_type(&tokens, &mut i);
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+/// Advances past a type expression, stopping after the `,` that ends it
+/// (or at the end of the list). Tracks `<`/`>` nesting so commas inside
+/// generic arguments do not terminate the field.
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(tree) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = tree {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' if angle_depth > 0 => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    *i += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+/// Counts the elements of a tuple-struct / tuple-variant field list.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth = 0i32;
+    let mut trailing_comma = false;
+    for tree in &tokens {
+        trailing_comma = false;
+        if let TokenTree::Punct(p) = tree {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' if angle_depth > 0 => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    count += 1;
+                    trailing_comma = true;
+                }
+                _ => {}
+            }
+        }
+    }
+    if trailing_comma {
+        count -= 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let Some(tree) = tokens.get(i) else { break };
+        let name = match tree {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                i += 1;
+                VariantKind::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                i += 1;
+                VariantKind::Named(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) and the separating comma.
+        while let Some(tree) = tokens.get(i) {
+            if matches!(tree, TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------- codegen
+
+const VALUE: &str = "::serde::Value";
+const SER: &str = "::serde::Serialize";
+const DE: &str = "::serde::Deserialize";
+const ERR: &str = "::serde::DeError";
+
+fn gen_serialize(shape: &Shape) -> String {
+    match shape {
+        Shape::NamedStruct { name, fields } => {
+            let inserts: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "m.insert(::std::string::String::from({f:?}), \
+                         {SER}::to_json_value(&self.{f}));\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl {SER} for {name} {{\n\
+                   fn to_json_value(&self) -> {VALUE} {{\n\
+                     let mut m = ::serde::Map::new();\n\
+                     {inserts}\
+                     {VALUE}::Object(m)\n\
+                   }}\n\
+                 }}"
+            )
+        }
+        Shape::TupleStruct { name, arity: 1 } => format!(
+            "impl {SER} for {name} {{\n\
+               fn to_json_value(&self) -> {VALUE} {{ {SER}::to_json_value(&self.0) }}\n\
+             }}"
+        ),
+        Shape::TupleStruct { name, arity } => {
+            let elems: Vec<String> = (0..*arity)
+                .map(|i| format!("{SER}::to_json_value(&self.{i})"))
+                .collect();
+            format!(
+                "impl {SER} for {name} {{\n\
+                   fn to_json_value(&self) -> {VALUE} {{\n\
+                     {VALUE}::Array(::std::vec![{}])\n\
+                   }}\n\
+                 }}",
+                elems.join(", ")
+            )
+        }
+        Shape::UnitStruct { name } => format!(
+            "impl {SER} for {name} {{\n\
+               fn to_json_value(&self) -> {VALUE} {{ {VALUE}::Null }}\n\
+             }}"
+        ),
+        Shape::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| gen_serialize_variant(name, v))
+                .collect();
+            format!(
+                "impl {SER} for {name} {{\n\
+                   fn to_json_value(&self) -> {VALUE} {{\n\
+                     match self {{\n{arms}}}\n\
+                   }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+fn gen_serialize_variant(enum_name: &str, v: &Variant) -> String {
+    let vname = &v.name;
+    let tag = format!("::std::string::String::from({vname:?})");
+    match &v.kind {
+        VariantKind::Unit => {
+            format!("{enum_name}::{vname} => {VALUE}::String({tag}),\n")
+        }
+        VariantKind::Tuple(1) => format!(
+            "{enum_name}::{vname}(f0) => {{\n\
+               let mut m = ::serde::Map::new();\n\
+               m.insert({tag}, {SER}::to_json_value(f0));\n\
+               {VALUE}::Object(m)\n\
+             }}\n"
+        ),
+        VariantKind::Tuple(arity) => {
+            let binders: Vec<String> = (0..*arity).map(|i| format!("f{i}")).collect();
+            let elems: Vec<String> = binders
+                .iter()
+                .map(|b| format!("{SER}::to_json_value({b})"))
+                .collect();
+            format!(
+                "{enum_name}::{vname}({binders}) => {{\n\
+                   let mut m = ::serde::Map::new();\n\
+                   m.insert({tag}, {VALUE}::Array(::std::vec![{elems}]));\n\
+                   {VALUE}::Object(m)\n\
+                 }}\n",
+                binders = binders.join(", "),
+                elems = elems.join(", ")
+            )
+        }
+        VariantKind::Named(fields) => {
+            let inserts: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "inner.insert(::std::string::String::from({f:?}), \
+                         {SER}::to_json_value({f}));\n"
+                    )
+                })
+                .collect();
+            format!(
+                "{enum_name}::{vname} {{ {binders} }} => {{\n\
+                   let mut inner = ::serde::Map::new();\n\
+                   {inserts}\
+                   let mut m = ::serde::Map::new();\n\
+                   m.insert({tag}, {VALUE}::Object(inner));\n\
+                   {VALUE}::Object(m)\n\
+                 }}\n",
+                binders = fields.join(", ")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(shape: &Shape) -> String {
+    let body = match shape {
+        Shape::NamedStruct { name, fields } => {
+            let extracts: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: {DE}::from_json_value(obj.get({f:?}).ok_or_else(|| \
+                         {ERR}::new(::std::format!(\"missing field `{f}` in {name}\")))?)?,\n"
+                    )
+                })
+                .collect();
+            format!(
+                "let obj = value.as_object().ok_or_else(|| \
+                 {ERR}::expected(\"object ({name})\", value))?;\n\
+                 ::std::result::Result::Ok({name} {{\n{extracts}}})"
+            )
+        }
+        Shape::TupleStruct { name, arity: 1 } => {
+            format!("::std::result::Result::Ok({name}({DE}::from_json_value(value)?))")
+        }
+        Shape::TupleStruct { name, arity } => {
+            let elems: Vec<String> = (0..*arity)
+                .map(|i| format!("{DE}::from_json_value(&arr[{i}])?"))
+                .collect();
+            format!(
+                "let arr = value.as_array().ok_or_else(|| \
+                 {ERR}::expected(\"array ({name})\", value))?;\n\
+                 if arr.len() != {arity} {{\n\
+                   return ::std::result::Result::Err({ERR}::new(::std::format!(\n\
+                     \"expected {arity} elements for {name}, found {{}}\", arr.len())));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({name}({elems}))",
+                elems = elems.join(", ")
+            )
+        }
+        Shape::UnitStruct { name } => format!(
+            "match value {{\n\
+               {VALUE}::Null => ::std::result::Result::Ok({name}),\n\
+               other => ::std::result::Result::Err({ERR}::expected(\"null ({name})\", other)),\n\
+             }}"
+        ),
+        Shape::Enum { name, variants } => gen_deserialize_enum(name, variants),
+    };
+    let name = shape_name(shape);
+    format!(
+        "impl {DE} for {name} {{\n\
+           fn from_json_value(value: &{VALUE}) -> ::std::result::Result<Self, {ERR}> {{\n\
+             {body}\n\
+           }}\n\
+         }}"
+    )
+}
+
+fn shape_name(shape: &Shape) -> &str {
+    match shape {
+        Shape::NamedStruct { name, .. }
+        | Shape::TupleStruct { name, .. }
+        | Shape::UnitStruct { name }
+        | Shape::Enum { name, .. } => name,
+    }
+}
+
+fn gen_deserialize_enum(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: String = variants
+        .iter()
+        .filter(|v| matches!(v.kind, VariantKind::Unit))
+        .map(|v| {
+            format!(
+                "{vname:?} => ::std::result::Result::Ok({name}::{vname}),\n",
+                vname = v.name
+            )
+        })
+        .collect();
+    let data_arms: String = variants
+        .iter()
+        .filter(|v| !matches!(v.kind, VariantKind::Unit))
+        .map(|v| gen_deserialize_variant(name, v))
+        .collect();
+    format!(
+        "match value {{\n\
+           {VALUE}::String(s) => match s.as_str() {{\n\
+             {unit_arms}\
+             other => ::std::result::Result::Err({ERR}::new(::std::format!(\n\
+               \"unknown {name} variant `{{other}}`\"))),\n\
+           }},\n\
+           {VALUE}::Object(m) => {{\n\
+             let mut it = m.iter();\n\
+             let (tag, inner) = match (it.next(), it.next()) {{\n\
+               (::std::option::Option::Some(entry), ::std::option::Option::None) => entry,\n\
+               _ => return ::std::result::Result::Err({ERR}::new(\n\
+                 \"expected single-key object for {name} variant\")),\n\
+             }};\n\
+             match tag.as_str() {{\n\
+               {data_arms}\
+               other => ::std::result::Result::Err({ERR}::new(::std::format!(\n\
+                 \"unknown {name} variant `{{other}}`\"))),\n\
+             }}\n\
+           }}\n\
+           other => ::std::result::Result::Err({ERR}::expected(\"{name} variant\", other)),\n\
+         }}"
+    )
+}
+
+fn gen_deserialize_variant(name: &str, v: &Variant) -> String {
+    let vname = &v.name;
+    match &v.kind {
+        VariantKind::Unit => unreachable!("unit variants handled in the string arm"),
+        VariantKind::Tuple(1) => format!(
+            "{vname:?} => ::std::result::Result::Ok(\
+             {name}::{vname}({DE}::from_json_value(inner)?)),\n"
+        ),
+        VariantKind::Tuple(arity) => {
+            let elems: Vec<String> = (0..*arity)
+                .map(|i| format!("{DE}::from_json_value(&arr[{i}])?"))
+                .collect();
+            format!(
+                "{vname:?} => {{\n\
+                   let arr = inner.as_array().ok_or_else(|| \
+                   {ERR}::expected(\"array ({name}::{vname})\", inner))?;\n\
+                   if arr.len() != {arity} {{\n\
+                     return ::std::result::Result::Err({ERR}::new(::std::format!(\n\
+                       \"expected {arity} elements for {name}::{vname}, found {{}}\", arr.len())));\n\
+                   }}\n\
+                   ::std::result::Result::Ok({name}::{vname}({elems}))\n\
+                 }}\n",
+                elems = elems.join(", ")
+            )
+        }
+        VariantKind::Named(fields) => {
+            let extracts: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: {DE}::from_json_value(obj.get({f:?}).ok_or_else(|| \
+                         {ERR}::new(::std::format!(\
+                         \"missing field `{f}` in {name}::{vname}\")))?)?,\n"
+                    )
+                })
+                .collect();
+            format!(
+                "{vname:?} => {{\n\
+                   let obj = inner.as_object().ok_or_else(|| \
+                   {ERR}::expected(\"object ({name}::{vname})\", inner))?;\n\
+                   ::std::result::Result::Ok({name}::{vname} {{\n{extracts}}})\n\
+                 }}\n"
+            )
+        }
+    }
+}

@@ -1,0 +1,554 @@
+//! Offline shim of the `serde_json` crate.
+//!
+//! Renders and parses the [`Value`] tree defined by the in-repo `serde`
+//! shim. The API mirrors the `serde_json` functions the workspace uses:
+//! [`to_value`], [`from_value`], [`to_string`], [`to_string_pretty`],
+//! [`from_str`], [`to_writer`], plus the [`json!`] macro for flat object
+//! literals.
+//!
+//! One deliberate divergence from real serde_json: non-finite floats are
+//! emitted as the bare tokens `Infinity`, `-Infinity`, and `NaN` (and
+//! accepted back by the parser), so statistics accumulators whose min/max
+//! rest at ±∞ round-trip losslessly through campaign checkpoints.
+
+pub use serde::{DeError, Map, Number, Value};
+
+// Re-exported so the `json!` macro can reach the trait through `$crate`
+// without requiring callers to depend on `serde` themselves.
+#[doc(hidden)]
+pub use serde::Serialize as __Serialize;
+
+use std::fmt;
+use std::io::Write;
+
+/// Error type covering parsing and value-conversion failures.
+#[derive(Debug)]
+pub enum Error {
+    /// Malformed JSON text at (1-based) line/column.
+    Syntax {
+        /// Human-readable description.
+        message: String,
+        /// Byte offset in the input.
+        offset: usize,
+    },
+    /// The value tree did not match the target type.
+    Data(DeError),
+    /// An IO error from [`to_writer`].
+    Io(std::io::Error),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Syntax { message, offset } => {
+                write!(f, "JSON syntax error at byte {offset}: {message}")
+            }
+            Error::Data(e) => write!(f, "JSON data error: {e}"),
+            Error::Io(e) => write!(f, "JSON io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Data(e) => Some(e),
+            Error::Io(e) => Some(e),
+            Error::Syntax { .. } => None,
+        }
+    }
+}
+
+impl From<DeError> for Error {
+    fn from(e: DeError) -> Self {
+        Error::Data(e)
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+/// `serde_json::Result` lookalike.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Converts any [`serde::Serialize`] value into a [`Value`] tree.
+///
+/// Infallible in this shim (the signature keeps `Result` for source
+/// compatibility with real serde_json).
+#[allow(clippy::unnecessary_wraps)]
+pub fn to_value<T: serde::Serialize>(value: &T) -> Result<Value> {
+    Ok(value.to_json_value())
+}
+
+/// Rebuilds a typed value from a [`Value`] tree.
+pub fn from_value<T: serde::Deserialize>(value: &Value) -> Result<T> {
+    T::from_json_value(value).map_err(Error::Data)
+}
+
+/// Renders compact JSON.
+#[allow(clippy::unnecessary_wraps)]
+pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_json_value(), None, 0);
+    Ok(out)
+}
+
+/// Renders human-readable JSON (two-space indent).
+#[allow(clippy::unnecessary_wraps)]
+pub fn to_string_pretty<T: serde::Serialize>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_json_value(), Some(2), 0);
+    Ok(out)
+}
+
+/// Writes compact JSON to an `io::Write`.
+pub fn to_writer<W: Write, T: serde::Serialize>(mut writer: W, value: &T) -> Result<()> {
+    let s = to_string(value)?;
+    writer.write_all(s.as_bytes())?;
+    Ok(())
+}
+
+/// Parses JSON text into a typed value.
+pub fn from_str<T: serde::Deserialize>(text: &str) -> Result<T> {
+    let value = parse_value_str(text)?;
+    T::from_json_value(&value).map_err(Error::Data)
+}
+
+/// Parses JSON text into a raw [`Value`] tree.
+pub fn parse_value_str(text: &str) -> Result<Value> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after JSON document"));
+    }
+    Ok(v)
+}
+
+/// Builds a [`Value::Object`] literal from `"key": expr` pairs; every
+/// expression goes through [`serde::Serialize`] (a `Value` passes through
+/// unchanged).
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({ $($key:tt : $val:expr),* $(,)? }) => {{
+        let mut m = $crate::Map::new();
+        $( m.insert(::std::string::String::from($key),
+                    $crate::__Serialize::to_json_value(&$val)); )*
+        $crate::Value::Object(m)
+    }};
+    ([ $($val:expr),* $(,)? ]) => {
+        $crate::Value::Array(::std::vec![
+            $( $crate::__Serialize::to_json_value(&$val) ),*
+        ])
+    };
+    ($other:expr) => { $crate::__Serialize::to_json_value(&$other) };
+}
+
+// ------------------------------------------------------------------ emit
+
+fn write_value(out: &mut String, value: &Value, indent: Option<usize>, depth: usize) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Number(n) => write_number(out, *n),
+        Value::String(s) => write_string(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_value(out, item, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push(']');
+        }
+        Value::Object(map) => {
+            if map.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, v)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_string(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, v, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * depth {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_number(out: &mut String, n: Number) {
+    match n {
+        Number::U64(v) => out.push_str(&v.to_string()),
+        Number::I64(v) => out.push_str(&v.to_string()),
+        Number::F64(v) => {
+            if v.is_nan() {
+                out.push_str("NaN");
+            } else if v == f64::INFINITY {
+                out.push_str("Infinity");
+            } else if v == f64::NEG_INFINITY {
+                out.push_str("-Infinity");
+            } else if v == v.trunc() && v.abs() < 1e15 {
+                // Keep integral floats readable and round-trippable: `1.0`
+                // rather than `1`, so they parse back as floats.
+                out.push_str(&format!("{v:.1}"));
+            } else {
+                // Rust's Display prints the shortest representation that
+                // round-trips exactly.
+                out.push_str(&v.to_string());
+            }
+        }
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ----------------------------------------------------------------- parse
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: &str) -> Error {
+        Error::Syntax {
+            message: message.to_string(),
+            offset: self.pos,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, expected: u8) -> Result<()> {
+        if self.peek() == Some(expected) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", expected as char)))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b't') if self.eat_keyword("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_keyword("false") => Ok(Value::Bool(false)),
+            Some(b'n') if self.eat_keyword("null") => Ok(Value::Null),
+            Some(b'N') if self.eat_keyword("NaN") => Ok(Value::Number(Number::F64(f64::NAN))),
+            Some(b'I') if self.eat_keyword("Infinity") => {
+                Ok(Value::Number(Number::F64(f64::INFINITY)))
+            }
+            Some(b'-') if self.bytes[self.pos..].starts_with(b"-Infinity") => {
+                self.pos += "-Infinity".len();
+                Ok(Value::Number(Number::F64(f64::NEG_INFINITY)))
+            }
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value> {
+        self.eat(b'{')?;
+        let mut map = Map::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            let value = self.parse_value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => return Err(self.err("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String> {
+        self.eat(b'"')?;
+        let mut s = String::new();
+        loop {
+            let Some(c) = self.peek() else {
+                return Err(self.err("unterminated string"));
+            };
+            self.pos += 1;
+            match c {
+                b'"' => return Ok(s),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err(self.err("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => s.push('"'),
+                        b'\\' => s.push('\\'),
+                        b'/' => s.push('/'),
+                        b'n' => s.push('\n'),
+                        b'r' => s.push('\r'),
+                        b't' => s.push('\t'),
+                        b'b' => s.push('\u{8}'),
+                        b'f' => s.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogate pairs are not produced by our own
+                            // emitter; reject them rather than mis-decode.
+                            let c = char::from_u32(code)
+                                .ok_or_else(|| self.err("invalid \\u code point"))?;
+                            s.push(c);
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                c if c < 0x80 => s.push(c as char),
+                _ => {
+                    // Multi-byte UTF-8: re-decode from the byte slice.
+                    let start = self.pos - 1;
+                    let len = utf8_len(c);
+                    let chunk = self
+                        .bytes
+                        .get(start..start + len)
+                        .ok_or_else(|| self.err("truncated UTF-8 sequence"))?;
+                    let decoded = std::str::from_utf8(chunk)
+                        .map_err(|_| self.err("invalid UTF-8 in string"))?;
+                    s.push_str(decoded);
+                    self.pos = start + len;
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("non-UTF-8 number"))?;
+        if is_float {
+            text.parse::<f64>()
+                .map(|v| Value::Number(Number::F64(v)))
+                .map_err(|_| self.err("malformed float"))
+        } else if let Some(stripped) = text.strip_prefix('-') {
+            stripped
+                .parse::<u64>()
+                .ok()
+                .and_then(|_| text.parse::<i64>().ok())
+                .map(|v| Value::Number(Number::I64(v)))
+                .ok_or_else(|| self.err("malformed integer"))
+        } else {
+            text.parse::<u64>()
+                .map(|v| Value::Number(Number::U64(v)))
+                .map_err(|_| self.err("malformed integer"))
+        }
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_scalars() {
+        for text in ["null", "true", "false", "42", "-7", "2.5", "\"hi\""] {
+            let v: Value = parse_value_str(text).unwrap();
+            assert_eq!(to_string(&v).unwrap(), text);
+        }
+    }
+
+    #[test]
+    fn round_trips_nonfinite_floats() {
+        let v = Value::Array(vec![
+            Value::Number(Number::F64(f64::INFINITY)),
+            Value::Number(Number::F64(f64::NEG_INFINITY)),
+        ]);
+        let text = to_string(&v).unwrap();
+        assert_eq!(text, "[Infinity,-Infinity]");
+        let back: Value = parse_value_str(&text).unwrap();
+        assert_eq!(back, v);
+        let nan: Value = parse_value_str("NaN").unwrap();
+        assert!(nan.as_f64().unwrap().is_nan());
+    }
+
+    #[test]
+    fn integral_floats_keep_a_fraction_digit() {
+        let text = to_string(&Value::Number(Number::F64(3.0))).unwrap();
+        assert_eq!(text, "3.0");
+        let back: Value = parse_value_str(&text).unwrap();
+        assert_eq!(back, Value::Number(Number::F64(3.0)));
+    }
+
+    #[test]
+    fn object_round_trip_preserves_order() {
+        let text = "{\"b\":1,\"a\":{\"x\":[1,2,3]},\"c\":\"s\"}";
+        let v: Value = parse_value_str(text).unwrap();
+        assert_eq!(to_string(&v).unwrap(), text);
+    }
+
+    #[test]
+    fn pretty_output_parses_back() {
+        let v: Value = parse_value_str("{\"a\":[1,2],\"b\":{\"c\":null}}").unwrap();
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains("\n  \"a\""));
+        let back: Value = parse_value_str(&pretty).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let v = Value::String("line\n\"quote\"\t\\slash \u{1}".to_string());
+        let text = to_string(&v).unwrap();
+        let back: Value = parse_value_str(&text).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn unicode_strings_round_trip() {
+        let v = Value::String("héllo → 世界".to_string());
+        let back: Value = parse_value_str(&to_string(&v).unwrap()).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn json_macro_builds_objects() {
+        let v = json!({ "a": 1u64, "b": "text", "c": Value::Null });
+        let obj = v.as_object().unwrap();
+        assert_eq!(obj.get("a").and_then(Value::as_u64), Some(1));
+        assert_eq!(obj.get("b").and_then(Value::as_str), Some("text"));
+        assert_eq!(obj.get("c"), Some(&Value::Null));
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(parse_value_str("1 2").is_err());
+        assert!(parse_value_str("{\"a\":}").is_err());
+        assert!(parse_value_str("[1,").is_err());
+    }
+}

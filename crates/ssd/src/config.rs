@@ -85,6 +85,13 @@ pub struct SsdConfig {
     /// Program/erase cycles the device has already served (end-of-life
     /// studies): every block starts with this wear.
     pub baseline_wear: u32,
+    /// Probability that one post-fault mount (recovery boot) fails and
+    /// the host must power-cycle and retry. The paper observed drives
+    /// that needed several cycles — and one that never came back.
+    pub mount_failure_rate: f64,
+    /// Consecutive failed mounts after which the device is permanently
+    /// bricked.
+    pub mount_retry_limit: u32,
 }
 
 impl SsdConfig {
@@ -104,6 +111,8 @@ impl SsdConfig {
             read_latency: SimDuration::from_micros(90),
             max_segment_sectors: 128,
             baseline_wear: 0,
+            mount_failure_rate: 0.0,
+            mount_retry_limit: 3,
         }
     }
 
@@ -129,6 +138,14 @@ impl SsdConfig {
         assert!(
             (0.0..=1.0).contains(&self.cache.pressure_watermark),
             "pressure watermark must be a fraction"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.mount_failure_rate),
+            "mount failure rate must be a probability"
+        );
+        assert!(
+            self.mount_retry_limit > 0,
+            "mount retry limit must be positive"
         );
         self.ftl.validate();
     }

@@ -7,6 +7,7 @@
 //! injected fault. See the crate-level docs for the architecture.
 
 use std::collections::{HashMap, VecDeque};
+use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
@@ -152,6 +153,55 @@ enum PowerState {
     Brownout,
     /// Rail collapsed; nothing works until recovery.
     Dead,
+    /// Recovery failed permanently: the device never mounts again.
+    Bricked,
+}
+
+/// Why a device-level operation failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeviceError {
+    /// One post-fault mount attempt failed; the host may power-cycle and
+    /// retry.
+    MountFailed {
+        /// Consecutive failed attempts so far.
+        attempt: u32,
+    },
+    /// The device exhausted its mount retries and is permanently dead.
+    Bricked {
+        /// Total mount attempts made before the firmware gave up.
+        attempts: u32,
+    },
+    /// The mount succeeded but FTL recovery rebuilt an unusable device
+    /// (e.g. no free block left). Deterministic — the device bricks.
+    RecoveryFailed {
+        /// The underlying FTL recovery error.
+        error: pfault_ftl::FtlError,
+    },
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceError::MountFailed { attempt } => {
+                write!(f, "post-fault mount attempt {attempt} failed")
+            }
+            DeviceError::Bricked { attempts } => {
+                write!(f, "device bricked after {attempts} failed mount attempts")
+            }
+            DeviceError::RecoveryFailed { error } => {
+                write!(f, "post-fault recovery failed: {error}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DeviceError::RecoveryFailed { error } => Some(error),
+            _ => None,
+        }
+    }
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -225,6 +275,7 @@ pub struct Ssd {
     sync_flush_pending: bool,
     completions: Vec<Completion>,
     stats: SsdStats,
+    mount_attempts: u32,
 }
 
 impl Ssd {
@@ -269,6 +320,7 @@ impl Ssd {
             sync_flush_pending: false,
             completions: Vec::new(),
             stats: SsdStats::default(),
+            mount_attempts: 0,
             config,
         }
     }
@@ -296,6 +348,16 @@ impl Ssd {
     /// Whether the device is powered and reachable.
     pub fn is_operational(&self) -> bool {
         self.state == PowerState::Operational
+    }
+
+    /// Whether the device has permanently failed recovery.
+    pub fn is_bricked(&self) -> bool {
+        self.state == PowerState::Bricked
+    }
+
+    /// Dead or bricked: the rail is down, nothing executes.
+    fn powered_down(&self) -> bool {
+        matches!(self.state, PowerState::Dead | PowerState::Bricked)
     }
 
     /// Dirty sectors currently in the write cache.
@@ -405,14 +467,14 @@ impl Ssd {
         // Interval commit becomes actionable at next_commit_at (it also
         // covers the open extent, which it force-closes).
         if self.control.is_none()
-            && self.state != PowerState::Dead
+            && !self.powered_down()
             && (self.ftl.committable_entries() > 0 || self.ftl.open_extent_sectors() > 0)
         {
             consider(self.next_commit_at.max(self.now));
         }
         // A dirty entry becomes flushable when it ages past the delay.
         if self.executing_programs() < self.config.program_lanes
-            && self.state != PowerState::Dead
+            && !self.powered_down()
             && self.ftl.available_blocks() > 0
         {
             if let Some(ready) = self.flush_ready_time() {
@@ -612,7 +674,7 @@ impl Ssd {
     }
 
     fn schedule_work(&mut self) {
-        if self.state == PowerState::Dead {
+        if self.powered_down() {
             return;
         }
         self.start_front();
@@ -1114,10 +1176,39 @@ impl Ssd {
     /// Restores power at `now` and runs the firmware's recovery: replay
     /// the durable journal into a fresh mapping table.
     ///
+    /// Infallible wrapper over [`Ssd::try_power_on_recover`] for
+    /// configurations with `mount_failure_rate == 0.0` (the default).
+    ///
     /// # Panics
     ///
-    /// Panics if the device is not dead.
+    /// Panics if the device is not dead, or if the mount fails (possible
+    /// only with a nonzero `mount_failure_rate` — such configurations
+    /// must use [`Ssd::try_power_on_recover`]).
     pub fn power_on_recover(&mut self, now: SimTime) {
+        if let Err(e) = self.try_power_on_recover(now) {
+            panic!("power_on_recover on a failing mount: {e}");
+        }
+    }
+
+    /// Restores power at `now` and attempts the firmware's recovery
+    /// mount: replay the durable journal into a fresh mapping table.
+    ///
+    /// With a nonzero `mount_failure_rate`, each attempt may fail with
+    /// [`DeviceError::MountFailed`] (the host may power-cycle and call
+    /// again at a later `now`). After `mount_retry_limit` consecutive
+    /// failures the device transitions to a permanent bricked state and
+    /// every further call returns [`DeviceError::Bricked`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device is operational or still browning out, or if
+    /// `now` precedes the device clock.
+    pub fn try_power_on_recover(&mut self, now: SimTime) -> Result<(), DeviceError> {
+        if self.state == PowerState::Bricked {
+            return Err(DeviceError::Bricked {
+                attempts: self.mount_attempts,
+            });
+        }
         assert_eq!(
             self.state,
             PowerState::Dead,
@@ -1125,18 +1216,40 @@ impl Ssd {
         );
         assert!(now >= self.now);
         self.now = now;
+        if self.rng.chance(self.config.mount_failure_rate) {
+            self.mount_attempts += 1;
+            if self.mount_attempts >= self.config.mount_retry_limit {
+                self.state = PowerState::Bricked;
+                return Err(DeviceError::Bricked {
+                    attempts: self.mount_attempts,
+                });
+            }
+            return Err(DeviceError::MountFailed {
+                attempt: self.mount_attempts,
+            });
+        }
+        self.mount_attempts = 0;
         self.array.power_on();
-        self.ftl = Ftl::recover_with_checkpoints(
+        self.ftl = match Ftl::try_recover_with_checkpoints(
             self.config.ftl,
             &mut self.array,
             &self.durable,
             &self.checkpoints,
             &mut self.rng,
-        );
+        ) {
+            Ok(ftl) => ftl,
+            Err(error) => {
+                // Deterministic: power-cycling cannot fix an exhausted
+                // array, so the device bricks immediately.
+                self.state = PowerState::Bricked;
+                return Err(DeviceError::RecoveryFailed { error });
+            }
+        };
         self.state = PowerState::Operational;
         self.next_commit_at = now + self.config.ftl.commit_interval;
         self.pending.clear();
         self.front = None;
+        Ok(())
     }
 
     /// Discards a range of sectors (TRIM / DISCARD). Applied immediately

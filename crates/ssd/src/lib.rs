@@ -46,5 +46,5 @@ pub mod vendor;
 
 pub use completion::{Completion, CompletionKind};
 pub use config::{CacheConfig, SsdConfig};
-pub use device::{HostCommand, Ssd, VerifiedContent};
+pub use device::{DeviceError, HostCommand, Ssd, VerifiedContent};
 pub use vendor::VendorPreset;
