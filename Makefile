@@ -5,11 +5,14 @@
 #   make lint    — clippy gate: warnings are errors, and bare unwrap()
 #                  is banned in pfault-platform library code (tests are
 #                  allow-listed via cfg_attr in crates/core/src/lib.rs)
+#   make sweep-smoke — bounded fault-space boundary sweep (<10 s): the
+#                  stock firmware must sweep clean, and the seeded
+#                  apply-before-verify bug must be caught and minimized
 #   make check   — everything CI runs
 
 CARGO ?= cargo
 
-.PHONY: all build test lint lint-core lint-workspace check clean
+.PHONY: all build test lint lint-core lint-workspace sweep-smoke check clean
 
 all: check
 
@@ -18,6 +21,13 @@ build:
 
 test:
 	$(CARGO) test -q
+
+# Self-checking: the sweep's own oracle asserts the clean run has zero
+# violations; the --inject-crc-bug run exits non-zero unless the bug is
+# found and shrunk (see crates/bench/src/bin/repro.rs).
+sweep-smoke: build
+	./target/release/repro --exp sweep --seed 7
+	./target/release/repro --exp sweep --seed 7 --inject-crc-bug --minimize
 
 # The platform crate is the resilience boundary: trial failures must be
 # values, never process aborts, so unwrap() is denied in its library and
@@ -30,7 +40,7 @@ lint-workspace:
 
 lint: lint-core lint-workspace
 
-check: build lint test
+check: build lint test sweep-smoke
 
 clean:
 	$(CARGO) clean

@@ -17,6 +17,14 @@
 //! `--exp campaign` (not part of `all`) runs one raw fault-injection
 //! campaign with the resilience controls: per-trial watchdog budgets,
 //! deterministic retries of failing trials, and checkpoint/resume.
+//!
+//! `--exp sweep` (not part of `all`) runs the systematic fault-space
+//! sweep: a fault-free census enumerates every named fault site, then one
+//! trial per (site, occurrence, phase) cuts power at that exact instant
+//! and checks the recovery invariants. `--inject-crc-bug` disables the
+//! firmware's batch-CRC verification (the apply-before-verify bug) so the
+//! sweeper has something to find; `--minimize` shrinks the first
+//! violation's workload to a minimal reproducer.
 
 use std::env;
 use std::process::ExitCode;
@@ -28,7 +36,7 @@ use pfault_platform::experiments::{
     access_pattern, brownout, cache_ablation, flush, injector_ablation, interval, iops, psu,
     recovery, repeated, request_size, request_type, sequence, vendors, wear,
 };
-use pfault_platform::Watchdog;
+use pfault_platform::{SweepConfig, Sweeper, ViolationKind, Watchdog};
 
 fn main() -> ExitCode {
     let mut scale = ScaleArg::Quick;
@@ -42,6 +50,8 @@ fn main() -> ExitCode {
     let mut resume = false;
     let mut watchdog_ms: Option<u64> = None;
     let mut watchdog_events: Option<u64> = None;
+    let mut minimize = false;
+    let mut inject_crc_bug = false;
     let mut args = env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -59,6 +69,8 @@ fn main() -> ExitCode {
                 Err(code) => return code,
             },
             "--resume" => resume = true,
+            "--minimize" => minimize = true,
+            "--inject-crc-bug" => inject_crc_bug = true,
             "--watchdog-ms" => match num_flag(&mut args, "--watchdog-ms") {
                 Ok(n) => watchdog_ms = Some(n),
                 Err(code) => return code,
@@ -95,13 +107,18 @@ fn main() -> ExitCode {
                      \x20     [--trials N] [--retries N] [--checkpoint FILE] \
                      [--checkpoint-every K]\n\
                      \x20     [--resume] [--watchdog-ms N] [--watchdog-events N]\n\
+                     \x20     [--minimize] [--inject-crc-bug]\n\
                      experiments: fig4 interval interval-nocache fig5 fig6 pattern \
                      fig7 fig8 fig9 table1 ablation-injector ablation-cache \
-                     brownout wear flush recovery repeated all campaign\n\
+                     brownout wear flush recovery repeated all campaign sweep\n\
                      campaign mode (--exp campaign, not part of 'all') runs one raw \
                      campaign with watchdog budgets,\n\
                      deterministic retries, and checkpoint/resume; the other flags \
-                     only apply there"
+                     only apply there\n\
+                     sweep mode (--exp sweep, not part of 'all') cuts power at every \
+                     recorded fault site and checks\n\
+                     recovery invariants; --inject-crc-bug seeds the apply-before-\
+                     verify bug, --minimize shrinks the repro"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -412,6 +429,118 @@ fn main() -> ExitCode {
             );
         } else {
             println!("all trials produced an outcome (no retries needed)");
+        }
+    }
+
+    if exp == "sweep" {
+        matched = true;
+        let mut config = SweepConfig::smoke(seed);
+        if inject_crc_bug {
+            config.ssd.ftl.verify_batch_crc = false;
+        }
+        let sweeper = Sweeper::new(config);
+        let report = match sweeper.run() {
+            Ok(report) => report,
+            Err(e) => {
+                eprintln!("sweep failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        println!(
+            "== Sweep: {} site spans, {} boundary trials ==",
+            report.sites_censused, report.trials
+        );
+        if report.violations.is_empty() {
+            println!("no invariant violations (recovery is torn-write safe)");
+        }
+        for v in &report.violations {
+            println!(
+                "violation: {} at {}#{} ({}) t={}us — {}",
+                v.kind.name(),
+                v.site.name(),
+                v.occurrence,
+                v.phase.name(),
+                v.cut_us,
+                v.detail
+            );
+        }
+        if report.failures.total_failed() > 0 {
+            println!(
+                "trials without a verdict: {} (ledger {:?})",
+                report.failures.total_failed(),
+                report.failures
+            );
+        }
+        record(
+            &mut json,
+            "sweep",
+            serde_json::json!({
+                "sites_censused": report.sites_censused,
+                "trials": report.trials,
+                "failed_trials": report.failures.total_failed(),
+                "violations": report.violations.iter().map(|v| serde_json::json!({
+                    "kind": v.kind.name(),
+                    "site": v.site.name(),
+                    "occurrence": v.occurrence,
+                    "phase": v.phase.name(),
+                    "cut_us": v.cut_us,
+                    "detail": v.detail,
+                })).collect::<Vec<_>>(),
+            }),
+        );
+        // Self-checking exit status: the clean sweep must BE clean, the
+        // seeded bug must be caught, and nothing may go unverified.
+        if report.failures.total_failed() > 0 {
+            eprintln!("sweep smoke failed: some boundary trials produced no verdict");
+            return ExitCode::FAILURE;
+        }
+        if inject_crc_bug {
+            let caught = report
+                .violations
+                .iter()
+                .any(|v| v.kind == ViolationKind::TornBatchHalfApplied);
+            if !caught {
+                eprintln!("sweep smoke failed: seeded CRC bug was not caught");
+                return ExitCode::FAILURE;
+            }
+        } else if !report.violations.is_empty() {
+            eprintln!("sweep smoke failed: baseline firmware must sweep clean");
+            return ExitCode::FAILURE;
+        }
+        if minimize {
+            if let Some(kind) = report.violations.first().map(|v| v.kind) {
+                match sweeper.minimize(kind) {
+                    Ok(Some(repro)) => {
+                        println!("minimal repro ({} ops):", repro.ops.len());
+                        for op in &repro.ops {
+                            println!("  {op:?}");
+                        }
+                        let v = &repro.violation;
+                        println!(
+                            "  fault: {} occurrence {} ({}) at t={}us -> {}",
+                            v.site.name(),
+                            v.occurrence,
+                            v.phase.name(),
+                            v.cut_us,
+                            v.kind.name()
+                        );
+                        if inject_crc_bug && repro.ops.len() > 3 {
+                            eprintln!("sweep smoke failed: repro did not shrink below 4 ops");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                    Ok(None) => {
+                        eprintln!("minimizer could not reproduce the violation");
+                        return ExitCode::FAILURE;
+                    }
+                    Err(e) => {
+                        eprintln!("minimize failed: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            } else {
+                println!("nothing to minimize: sweep found no violations");
+            }
         }
     }
 

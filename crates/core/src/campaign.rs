@@ -64,7 +64,7 @@ impl TrialFailures {
         self.panicked.len() + self.watchdog_expired.len() + self.bricked.len()
     }
 
-    fn record(&mut self, index: u64, error: &TrialError) {
+    pub(crate) fn record(&mut self, index: u64, error: &TrialError) {
         match error {
             TrialError::Panicked { .. } => self.panicked.push(index),
             TrialError::WatchdogExpired { .. } => self.watchdog_expired.push(index),
@@ -307,7 +307,11 @@ impl Campaign {
     /// Runs one trial with panic isolation and deterministic retry.
     /// Returns the outcome (or the last attempt's error) plus the number
     /// of extra attempts consumed.
-    fn run_one(&self, platform: &TestPlatform, index: u64) -> (Result<TrialOutcome, TrialError>, u64) {
+    fn run_one(
+        &self,
+        platform: &TestPlatform,
+        index: u64,
+    ) -> (Result<TrialOutcome, TrialError>, u64) {
         let mut attempt: u32 = 0;
         loop {
             let seed = self.attempt_seed(index, attempt);
@@ -405,7 +409,11 @@ impl Campaign {
         check_match("version", snapshot.version, CHECKPOINT_VERSION)?;
         check_match("seed", snapshot.seed, self.seed)?;
         check_match("trials", snapshot.trials, self.config.trials as u64)?;
-        check_match("config_digest", snapshot.config_digest, self.config_digest())?;
+        check_match(
+            "config_digest",
+            snapshot.config_digest,
+            self.config_digest(),
+        )?;
         if snapshot.completed > snapshot.trials {
             return Err(CheckpointError::Corrupt(format!(
                 "checkpoint claims {} completed trials of {}",

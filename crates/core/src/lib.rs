@@ -60,8 +60,12 @@ pub mod oracle;
 pub mod platform;
 pub mod record;
 pub mod report;
+pub mod sweep;
 
 pub use analyzer::{FailureKind, RequestVerdict};
 pub use campaign::{Campaign, CampaignConfig, CampaignReport, TrialFailures};
 pub use error::{CheckpointError, PlatformError, TrialError};
 pub use platform::{TestPlatform, TrialConfig, TrialOutcome, Watchdog};
+pub use sweep::{
+    IoOp, MinimalRepro, Phase, SweepConfig, SweepReport, Sweeper, Violation, ViolationKind,
+};

@@ -347,6 +347,13 @@ impl FlashArray {
     /// if the disturbance exceeds the ECC strength the sibling is counted
     /// as corrupted in the report.
     ///
+    /// The fault-space sweeper (`pfault_platform::sweep`) drives this
+    /// with `progress` derived from its cut phase: a cut at a program
+    /// span's *start* arrives with progress 0, a *mid* cut lands partway
+    /// through, and a cut exactly at the span's *end* never reaches this
+    /// function at all — the event kernel's left-closed boundary lets the
+    /// program complete first.
+    ///
     /// # Panics
     ///
     /// Panics if `ppa` is outside the geometry.
@@ -508,6 +515,29 @@ mod tests {
         // With MLC BCH-40 and an early interruption, the page must be
         // uncorrectable.
         assert_eq!(a.read(ppa, &mut rng), ReadOutcome::Uncorrectable);
+    }
+
+    #[test]
+    fn interruption_is_deterministic_for_a_fixed_seed() {
+        // The boundary sweeper replays the same cut across census, trial,
+        // and minimizer sub-sweeps; identical RNG state must yield an
+        // identical damage report every time.
+        let run = |seed: u64| {
+            let mut a = mlc_array();
+            let mut rng = DetRng::new(seed);
+            for page in 0..4 {
+                a.program(
+                    Ppa::new(0, page),
+                    PageData::from_tag(page),
+                    Oob::user(Lba::new(page), page),
+                )
+                .unwrap();
+            }
+            let report = a.interrupt_program(Ppa::new(0, 4), 0.5, &mut rng);
+            (report, a.stats())
+        };
+        assert_eq!(run(9), run(9));
+        assert_eq!(run(9).1.interrupted_programs, 1);
     }
 
     #[test]

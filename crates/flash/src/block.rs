@@ -47,6 +47,13 @@ impl PageData {
     }
 
     /// Whether this data still matches its original checksum.
+    ///
+    /// This is the gate the fault-space sweep oracle
+    /// (`pfault_platform::sweep`) uses to separate NAND-physics damage
+    /// from protocol violations: a garbled or torn page fails
+    /// `is_intact` and is therefore judged as *data loss*, while only
+    /// intact content that was never issued for its LBA counts as
+    /// *phantom data*.
     pub fn is_intact(&self) -> bool {
         self.checksum == mix64(self.tag, 0xDA7A_C0DE)
     }
@@ -248,6 +255,21 @@ mod tests {
         assert!(!g.is_intact());
         assert_eq!(g.tag, d.tag); // identity preserved, content broken
         assert_ne!(g.checksum, d.checksum);
+    }
+
+    #[test]
+    fn garbling_is_absorbing_for_any_noise_word() {
+        // The sweep oracle's phantom-data check trusts that no sequence
+        // of corruptions can land back on an intact checksum — in
+        // particular noise 0 must still garble (the `noise | 1` floor).
+        for tag in [0u64, 7, u64::MAX] {
+            let mut d = data(tag);
+            for noise in [0u64, 1, 2, 0xFFFF_FFFF_FFFF_FFFF] {
+                d = d.garbled(noise);
+                assert!(!d.is_intact(), "tag {tag} noise {noise}");
+                assert_eq!(d.tag, tag, "garbling never changes identity");
+            }
+        }
     }
 
     #[test]

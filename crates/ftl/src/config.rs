@@ -48,6 +48,18 @@ pub struct FtlConfig {
     pub checkpoint_every_batches: u64,
     /// Post-outage mapping reconstruction strategy.
     pub recovery_policy: RecoveryPolicy,
+    /// Verify each durable batch's CRC before applying it during replay; a
+    /// mismatching (torn) batch is discarded whole and replay stops at the
+    /// tear. With it **off** the firmware applies a batch *before*
+    /// checking it — a torn commit page replays half a batch, which is
+    /// where the paper's partially-applied requests (checksum-mismatch
+    /// data failures) come from. The default is `false`: the consumer
+    /// drives the paper studies evidently ship the apply-before-verify
+    /// behaviour, and the reproduction's campaign statistics depend on
+    /// it. Correct firmware — and the fault-space sweeper's baseline
+    /// ([`crate::config`] consumers such as `SweepConfig::smoke`) — sets
+    /// it to `true`.
+    pub verify_batch_crc: bool,
 }
 
 impl FtlConfig {
@@ -69,6 +81,7 @@ impl FtlConfig {
             gc_low_water_blocks: 4,
             checkpoint_every_batches: 512,
             recovery_policy: RecoveryPolicy::JournalReplay,
+            verify_batch_crc: false,
         }
     }
 

@@ -427,25 +427,28 @@ impl Ftl {
                 break;
             }
         }
-        for (page, batch) in durable.iter() {
-            if replay_after.is_some_and(|last| batch.id <= last) {
+        for record in durable.iter_records() {
+            if replay_after.is_some_and(|last| record.batch.id <= last) {
                 continue; // already folded into the checkpoint base
             }
-            let readable =
-                matches!(array.read(page, rng), ReadOutcome::Ok { data, .. } if data.is_intact());
+            let readable = matches!(
+                array.read(record.page, rng),
+                ReadOutcome::Ok { data, .. } if data.is_intact()
+            );
             if !readable {
                 // Journal page destroyed by the fault: replay stops here.
                 break;
             }
-            for entry in &batch.entries {
-                if let crate::journal::JournalEntry::Trim { lba } = entry {
-                    map.remove(*lba);
-                    continue;
-                }
-                for (lba, ppa) in entry.pairs(config.geometry.pages_per_block()) {
-                    map.update(lba, ppa);
-                }
+            if config.verify_batch_crc && !record.crc_ok() {
+                // Torn batch: the stored CRC covers the full committed
+                // batch, but only a prefix of its entries persisted.
+                // Discard it whole — never half-apply — and stop replay:
+                // every later batch was ordered after the tear.
+                break;
             }
+            record
+                .batch
+                .apply_to(&mut map, config.geometry.pages_per_block());
         }
         if config.recovery_policy == RecoveryPolicy::FullScan {
             // OOB scan: adopt the newest readable user page per sector.
@@ -898,6 +901,53 @@ mod tests {
         // The interrupted page is unreadable; the committed older version
         // must win.
         assert_eq!(recovered.lookup(Lba::new(7)), Some(s1.ppa));
+    }
+
+    #[test]
+    fn torn_batch_is_discarded_whole_not_half_applied() {
+        let (mut array, mut ftl, mut durable, mut rng) = setup();
+        // First commit is intact; the second lands torn: only 1 of its 2
+        // point entries persisted, but the page itself reads back fine
+        // (the tear hit the entry stream, not the whole page).
+        let s1 = write_sector(&mut array, &mut ftl, Lba::new(1), 1);
+        commit(&mut array, &mut ftl, &mut durable);
+        write_sector(&mut array, &mut ftl, Lba::new(10), 2);
+        write_sector(&mut array, &mut ftl, Lba::new(20), 3);
+        ftl.close_open_extent();
+        let op = ftl.begin_journal_commit().unwrap().expect("committable");
+        assert_eq!(op.batch.coverage(), 2);
+        array
+            .program(
+                op.page,
+                PageData::from_tag(op.batch.id),
+                Oob::journal(op.batch.id, op.seq),
+            )
+            .unwrap();
+        durable.append_torn(op.page, &op.batch, 1);
+
+        // Correct firmware verifies the stored CRC first and discards the
+        // torn batch whole.
+        let mut strict = *ftl.config();
+        strict.verify_batch_crc = true;
+        let recovered = Ftl::recover(strict, &mut array, &durable, &mut rng);
+        assert_eq!(
+            recovered.lookup(Lba::new(1)),
+            Some(s1.ppa),
+            "intact batch applies"
+        );
+        assert_eq!(
+            recovered.lookup(Lba::new(10)),
+            None,
+            "torn batch must be discarded whole, not half-applied"
+        );
+        assert_eq!(recovered.lookup(Lba::new(20)), None);
+
+        // The workspace default models the paper's drives: apply before
+        // verify, so the surviving prefix is half-applied.
+        assert!(!ftl.config().verify_batch_crc, "studied-drive default");
+        let half = Ftl::recover(*ftl.config(), &mut array, &durable, &mut rng);
+        assert!(half.lookup(Lba::new(10)).is_some(), "bug knob half-applies");
+        assert_eq!(half.lookup(Lba::new(20)), None);
     }
 
     #[test]

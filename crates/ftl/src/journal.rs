@@ -15,7 +15,9 @@
 use serde::{Deserialize, Serialize};
 
 use pfault_flash::geometry::Ppa;
-use pfault_sim::Lba;
+use pfault_sim::{checksum, Lba};
+
+use crate::mapping::MappingTable;
 
 /// One mapping-journal record.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -77,6 +79,36 @@ impl JournalEntry {
                 .collect(),
         }
     }
+
+    /// Appends this entry's canonical byte encoding to `buf` (the input to
+    /// the batch CRC). The encoding is versioned by discriminant byte and
+    /// must stay stable: the stored CRC of every durable batch depends on
+    /// it.
+    fn encode_into(&self, buf: &mut Vec<u8>) {
+        match *self {
+            JournalEntry::Point { lba, ppa } => {
+                buf.push(0);
+                buf.extend_from_slice(&lba.index().to_le_bytes());
+                buf.extend_from_slice(&ppa.block.to_le_bytes());
+                buf.extend_from_slice(&ppa.page.to_le_bytes());
+            }
+            JournalEntry::Extent {
+                lba_start,
+                ppa_start,
+                len,
+            } => {
+                buf.push(1);
+                buf.extend_from_slice(&lba_start.index().to_le_bytes());
+                buf.extend_from_slice(&ppa_start.block.to_le_bytes());
+                buf.extend_from_slice(&ppa_start.page.to_le_bytes());
+                buf.extend_from_slice(&len.to_le_bytes());
+            }
+            JournalEntry::Trim { lba } => {
+                buf.push(2);
+                buf.extend_from_slice(&lba.index().to_le_bytes());
+            }
+        }
+    }
 }
 
 /// A committed (or about-to-commit) group of journal entries.
@@ -92,6 +124,36 @@ impl JournalBatch {
     /// Total sectors mapped by this batch.
     pub fn coverage(&self) -> u64 {
         self.entries.iter().map(JournalEntry::coverage).sum()
+    }
+
+    /// CRC-32 (IEEE) over the batch id and the canonical encoding of every
+    /// entry. The device stores this checksum alongside the batch when the
+    /// journal page program completes; a torn program persists the full
+    /// batch's CRC over a *prefix* of the entries, so recovery detects the
+    /// tear by recomputing the CRC over what actually survived.
+    pub fn crc(&self) -> u32 {
+        let mut buf = Vec::with_capacity(8 + self.entries.len() * 25);
+        buf.extend_from_slice(&self.id.to_le_bytes());
+        for e in &self.entries {
+            e.encode_into(&mut buf);
+        }
+        checksum::crc32(&buf)
+    }
+
+    /// Applies every entry of this batch to `map` in commit order: `Trim`
+    /// removes the mapping, `Point`/`Extent` install their `(lba, ppa)`
+    /// pairs. This is the single replay primitive shared by FTL recovery
+    /// and the sweep oracle's reference replay.
+    pub fn apply_to(&self, map: &mut MappingTable, pages_per_block: u64) {
+        for entry in &self.entries {
+            if let JournalEntry::Trim { lba } = *entry {
+                map.remove(lba);
+            } else {
+                for (lba, ppa) in entry.pairs(pages_per_block) {
+                    map.update(lba, ppa);
+                }
+            }
+        }
     }
 
     /// Returns the batch truncated to its first `sectors` sectors of
@@ -274,15 +336,40 @@ impl JournalBuffer {
     }
 }
 
+/// One record of the durable journal: the entries that made it to flash,
+/// the page backing them, and the CRC the device wrote with them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DurableBatch {
+    /// Flash journal page backing this batch.
+    pub page: Ppa,
+    /// The entries that actually persisted (a torn program persists only a
+    /// prefix of the committed batch).
+    pub batch: JournalBatch,
+    /// The CRC stored in the journal page — always the CRC of the *full*
+    /// committed batch, so it mismatches `batch.crc()` exactly when the
+    /// program was torn.
+    pub stored_crc: u32,
+}
+
+impl DurableBatch {
+    /// Whether the stored CRC matches the entries that survived — false
+    /// exactly for torn (partially-programmed) batches.
+    pub fn crc_ok(&self) -> bool {
+        self.batch.crc() == self.stored_crc
+    }
+}
+
 /// The durable journal: batches whose journal page program completed.
 ///
 /// This models the *contents* of the flash journal pages; durability of
 /// each batch is decided by the device layer (the batch is appended only
 /// after its journal page program completes). Each batch remembers which
-/// flash page backs it, so recovery can verify the page is still readable.
+/// flash page backs it, so recovery can verify the page is still readable,
+/// and the CRC the device stored with it, so recovery can detect torn
+/// (partially-programmed) batches.
 #[derive(Debug, Clone, Default)]
 pub struct DurableLog {
-    batches: Vec<(Ppa, JournalBatch)>,
+    batches: Vec<DurableBatch>,
 }
 
 impl DurableLog {
@@ -291,18 +378,43 @@ impl DurableLog {
         DurableLog::default()
     }
 
-    /// Appends a batch backed by journal page `page`.
+    /// Appends a fully-programmed batch backed by journal page `page`. The
+    /// stored CRC is the batch's own CRC: recovery will accept it.
     pub fn append(&mut self, page: Ppa, batch: JournalBatch) {
+        let crc = batch.crc();
+        self.append_with_crc(page, batch, crc);
+    }
+
+    /// Appends the torn prefix of `full`: only the first `kept_sectors`
+    /// sectors of coverage persisted, but the page carries the *full*
+    /// batch's CRC (the checksum field is written with the header, the
+    /// entries stream in behind it). Recovery recomputes the CRC over the
+    /// surviving entries and sees the mismatch.
+    pub fn append_torn(&mut self, page: Ppa, full: &JournalBatch, kept_sectors: u64) {
+        self.append_with_crc(page, full.torn_prefix(kept_sectors), full.crc());
+    }
+
+    fn append_with_crc(&mut self, page: Ppa, batch: JournalBatch, stored_crc: u32) {
         debug_assert!(
-            self.batches.last().is_none_or(|(_, b)| b.id < batch.id),
+            self.batches.last().is_none_or(|d| d.batch.id < batch.id),
             "batch ids must be monotonic"
         );
-        self.batches.push((page, batch));
+        self.batches.push(DurableBatch {
+            page,
+            batch,
+            stored_crc,
+        });
     }
 
     /// Iterates batches in commit order with their backing pages.
     pub fn iter(&self) -> impl Iterator<Item = (Ppa, &JournalBatch)> + '_ {
-        self.batches.iter().map(|(p, b)| (*p, b))
+        self.batches.iter().map(|d| (d.page, &d.batch))
+    }
+
+    /// Iterates the full durable records (page, batch, stored CRC) in
+    /// commit order — what CRC-aware recovery and the sweep oracle read.
+    pub fn iter_records(&self) -> impl Iterator<Item = &DurableBatch> + '_ {
+        self.batches.iter()
     }
 
     /// Number of durable batches.
@@ -452,6 +564,108 @@ mod tests {
         let ids: Vec<u64> = log.iter().map(|(_, b)| b.id).collect();
         assert_eq!(ids, vec![1, 2]);
         assert_eq!(log.iter().nth(1).unwrap().1.coverage(), 1);
+    }
+
+    #[test]
+    fn crc_is_stable_and_sensitive() {
+        let batch = JournalBatch {
+            id: 3,
+            entries: vec![
+                JournalEntry::Point {
+                    lba: lba(1),
+                    ppa: Ppa::new(0, 0),
+                },
+                JournalEntry::Trim { lba: lba(2) },
+            ],
+        };
+        assert_eq!(batch.crc(), batch.clone().crc());
+        let mut truncated = batch.clone();
+        truncated.entries.pop();
+        assert_ne!(
+            batch.crc(),
+            truncated.crc(),
+            "dropping an entry must change the CRC"
+        );
+        let mut renumbered = batch.clone();
+        renumbered.id = 4;
+        assert_ne!(
+            batch.crc(),
+            renumbered.crc(),
+            "the id is covered by the CRC"
+        );
+    }
+
+    #[test]
+    fn torn_append_stores_full_batch_crc() {
+        let full = JournalBatch {
+            id: 1,
+            entries: vec![JournalEntry::Extent {
+                lba_start: lba(10),
+                ppa_start: Ppa::new(2, 0),
+                len: 8,
+            }],
+        };
+        let mut log = DurableLog::new();
+        log.append_torn(Ppa::new(9, 0), &full, 3);
+        let rec = log.iter_records().next().unwrap();
+        assert_eq!(rec.batch.coverage(), 3);
+        assert_eq!(rec.stored_crc, full.crc());
+        assert!(!rec.crc_ok(), "a torn batch must fail its CRC check");
+
+        // A tear that happens to keep every sector is indistinguishable
+        // from a complete program — and passes.
+        let mut log2 = DurableLog::new();
+        log2.append_torn(Ppa::new(9, 1), &full, 8);
+        assert!(log2.iter_records().next().unwrap().crc_ok());
+    }
+
+    #[test]
+    fn intact_append_passes_crc() {
+        let mut log = DurableLog::new();
+        log.append(
+            Ppa::new(9, 0),
+            JournalBatch {
+                id: 1,
+                entries: vec![JournalEntry::Point {
+                    lba: lba(4),
+                    ppa: Ppa::new(1, 1),
+                }],
+            },
+        );
+        assert!(log.iter_records().all(DurableBatch::crc_ok));
+    }
+
+    #[test]
+    fn apply_to_handles_all_entry_kinds() {
+        let mut map = MappingTable::new();
+        let batch = JournalBatch {
+            id: 0,
+            entries: vec![
+                JournalEntry::Extent {
+                    lba_start: lba(10),
+                    ppa_start: Ppa::new(0, 254),
+                    len: 4, // wraps into block 1
+                },
+                JournalEntry::Point {
+                    lba: lba(10),
+                    ppa: Ppa::new(5, 0),
+                },
+                JournalEntry::Trim { lba: lba(11) },
+            ],
+        };
+        batch.apply_to(&mut map, 256);
+        assert_eq!(
+            map.lookup(lba(10)),
+            Some(Ppa::new(5, 0)),
+            "later entries win"
+        );
+        assert_eq!(map.lookup(lba(11)), None, "trim removes");
+        assert_eq!(
+            map.lookup(lba(12)),
+            Some(Ppa::new(1, 0)),
+            "extent wrapped blocks"
+        );
+        assert_eq!(map.lookup(lba(13)), Some(Ppa::new(1, 1)));
     }
 
     #[test]

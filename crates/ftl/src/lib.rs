@@ -54,4 +54,4 @@ pub use checkpoint::{Checkpoint, CheckpointStore};
 pub use config::{FtlConfig, RecoveryPolicy};
 pub use error::FtlError;
 pub use ftl::{CheckpointOp, CommitOp, Ftl, GcPlan, WriteSlot};
-pub use journal::{DurableLog, JournalBatch, JournalEntry};
+pub use journal::{DurableBatch, DurableLog, JournalBatch, JournalEntry};

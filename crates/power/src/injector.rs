@@ -52,8 +52,41 @@ pub struct FaultTimeline {
 
 impl FaultTimeline {
     /// Length of the brownout race window (host loss → core death).
+    ///
+    /// # Boundary semantics (half-open windows)
+    ///
+    /// Every threshold instant classifies operations consistently as
+    /// half-open windows closed on the *left*: an operation whose
+    /// completion time is `<= host_lost` completes and is acknowledged to
+    /// the host; one completing exactly at `flash_unreliable` finishes on
+    /// the array (the device processes events with `end <= t` before the
+    /// rail state changes at `t`); only operations strictly in flight
+    /// *after* a threshold are affected by it. Equivalently, the brownout
+    /// race occupies `(host_lost, flash_unreliable]` for firmware work and
+    /// the interval is empty for a transistor-cut timeline where all
+    /// thresholds coincide. The sweeper relies on this: a fault placed at
+    /// a recorded span's `end` observes the operation *completed*, one
+    /// placed anywhere earlier in the span observes it *interrupted*.
     pub fn brownout_window(&self) -> SimDuration {
         self.core_dead - self.host_lost
+    }
+
+    /// A degenerate timeline whose every threshold is `t`: the rail
+    /// vanishes instantaneously (an idealised transistor cutter with zero
+    /// fall time). The host link, NAND reliability, and the core all die
+    /// at the same instant, so there is no brownout race and no oblivious
+    /// firmware window — the device state at the cut is exactly the state
+    /// recovery sees. This is the injection primitive the fault-space
+    /// sweeper uses to place a cut *inside* a recorded site span.
+    pub fn at_instant(t: SimTime) -> FaultTimeline {
+        FaultTimeline {
+            commanded: t,
+            cut: t,
+            host_lost: t,
+            flash_unreliable: t,
+            core_dead: t,
+            discharged: t,
+        }
     }
 }
 
@@ -195,6 +228,19 @@ mod tests {
             assert!(t.flash_unreliable <= t.core_dead);
             assert!(t.core_dead <= t.discharged);
         }
+    }
+
+    #[test]
+    fn instant_timeline_collapses_every_threshold() {
+        let t = SimTime::from_millis(17);
+        let tl = FaultTimeline::at_instant(t);
+        assert_eq!(tl.commanded, t);
+        assert_eq!(tl.cut, t);
+        assert_eq!(tl.host_lost, t);
+        assert_eq!(tl.flash_unreliable, t);
+        assert_eq!(tl.core_dead, t);
+        assert_eq!(tl.discharged, t);
+        assert_eq!(tl.brownout_window(), SimDuration::ZERO);
     }
 
     #[test]

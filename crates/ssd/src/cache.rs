@@ -7,6 +7,12 @@
 //! paper singles this cache out as the prime suspect for post-completion
 //! data loss (§IV-A) and for the FWA-dominated failures of small requests
 //! (§IV-E).
+//!
+//! Each background flush program the cache feeds into NAND is a named
+//! fault site ([`crate::sites::FaultSite::CacheFlushProgram`], recorded
+//! by the device when site logging is enabled), so the boundary sweeper
+//! can cut power at the start, middle, and end of every eviction it
+//! schedules.
 
 use std::collections::{HashMap, VecDeque};
 

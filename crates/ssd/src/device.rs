@@ -21,6 +21,7 @@ use pfault_sim::{DetRng, Lba, SectorCount, SimDuration, SimTime};
 use crate::cache::WriteCache;
 use crate::completion::{Completion, CompletionKind};
 use crate::config::SsdConfig;
+use crate::sites::{FaultSite, SiteLog, SiteSpan};
 
 /// A command submitted by the host (one block-layer sub-request).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -276,6 +277,7 @@ pub struct Ssd {
     completions: Vec<Completion>,
     stats: SsdStats,
     mount_attempts: u32,
+    site_log: SiteLog,
 }
 
 impl Ssd {
@@ -321,8 +323,42 @@ impl Ssd {
             completions: Vec::new(),
             stats: SsdStats::default(),
             mount_attempts: 0,
+            site_log: SiteLog::new(),
             config,
         }
+    }
+
+    /// Turns on fault-site recording: every subsequent occurrence of a
+    /// [`FaultSite`] is logged with its time span. Off by default —
+    /// campaigns pay nothing for the instrumentation.
+    pub fn enable_site_recording(&mut self) {
+        self.site_log.enable();
+    }
+
+    /// The fault-site occurrences recorded so far (empty unless
+    /// [`Ssd::enable_site_recording`] was called).
+    pub fn site_spans(&self) -> &[SiteSpan] {
+        self.site_log.spans()
+    }
+
+    /// The durable journal log (read-only; the sweep oracle's reference
+    /// replay walks it independently of FTL recovery).
+    pub fn durable_log(&self) -> &DurableLog {
+        &self.durable
+    }
+
+    /// The durable checkpoint store (read-only; sweep-oracle input).
+    pub fn checkpoint_store(&self) -> &CheckpointStore {
+        &self.checkpoints
+    }
+
+    /// Sorted snapshot of the logical→physical mapping. The sweep oracle
+    /// compares the post-recovery snapshot against an independent
+    /// reference replay of the durable journal.
+    pub fn mapped(&self) -> Vec<(Lba, pfault_flash::Ppa)> {
+        let mut v: Vec<_> = self.ftl.iter_mapped().collect();
+        v.sort_by_key(|(l, _)| *l);
+        v
     }
 
     /// The device configuration.
@@ -744,6 +780,23 @@ impl Ssd {
         }
     }
 
+    /// Logs a user-data program occurrence, plus the paired-page site when
+    /// the program endangers earlier wordline siblings.
+    fn record_program_site(&mut self, site: FaultSite, slot: &WriteSlot, end: SimTime) {
+        if !self.site_log.is_enabled() {
+            return;
+        }
+        self.site_log.record(site, self.now, end, Some(slot.ppa));
+        if pfault_flash::pairing::endangers_earlier(self.config.cell_kind, slot.ppa.page) {
+            self.site_log.record(
+                FaultSite::PairedSecondProgram,
+                self.now,
+                end,
+                Some(slot.ppa),
+            );
+        }
+    }
+
     /// Starts at most one program op; returns whether one was started.
     fn start_one_program(&mut self) -> bool {
         // In-order retirement is enforced at pop time: an op whose
@@ -760,6 +813,8 @@ impl Ssd {
                         self.direct_queue.front_mut().expect("front exists").1 += 1;
                     }
                     let duration = self.effective_program_duration(slot.ppa.page);
+                    let end = self.now + duration;
+                    self.record_program_site(FaultSite::DirectProgram, &slot, end);
                     self.pipeline.push_back(PipelineOp {
                         lba,
                         data: cmd.sector_content(idx),
@@ -769,7 +824,7 @@ impl Ssd {
                             sub_id: cmd.sub_id,
                         },
                         start: self.now,
-                        end: self.now + duration,
+                        end,
                     });
                     return true;
                 }
@@ -790,13 +845,15 @@ impl Ssd {
             match self.ftl.begin_user_write(lba) {
                 Ok(slot) => {
                     let duration = self.effective_program_duration(slot.ppa.page);
+                    let end = self.now + duration;
+                    self.record_program_site(FaultSite::CacheFlushProgram, &slot, end);
                     self.pipeline.push_back(PipelineOp {
                         lba,
                         data,
                         slot,
                         source: ProgramSource::CacheFlush,
                         start: self.now,
-                        end: self.now + duration,
+                        end,
                     });
                     return true;
                 }
@@ -826,13 +883,15 @@ impl Ssd {
             };
             if let Ok(slot) = self.ftl.begin_user_write(lba) {
                 let duration = self.effective_program_duration(slot.ppa.page);
+                let end = self.now + duration;
+                self.record_program_site(FaultSite::GcRelocProgram, &slot, end);
                 self.pipeline.push_back(PipelineOp {
                     lba,
                     data,
                     slot,
                     source: ProgramSource::GcRelocation { old_ppa },
                     start: self.now,
-                    end: self.now + duration,
+                    end,
                 });
                 return true;
             } else if let Some(gc) = &mut self.gc {
@@ -881,10 +940,17 @@ impl Ssd {
                     .array
                     .timing()
                     .program_duration(self.config.cell_kind, op.page.page);
+                let end = self.now + duration;
+                self.site_log.record(
+                    FaultSite::JournalCommitProgram,
+                    self.now,
+                    end,
+                    Some(op.page),
+                );
                 self.control = Some(ControlOp::Commit {
                     op,
                     start: self.now,
-                    end: self.now + duration,
+                    end,
                 });
                 return;
             }
@@ -899,10 +965,10 @@ impl Ssd {
                     .timing()
                     .program_duration(self.config.cell_kind, op.page.page)
                     * 4;
-                self.control = Some(ControlOp::Checkpoint {
-                    op,
-                    end: self.now + duration,
-                });
+                let end = self.now + duration;
+                self.site_log
+                    .record(FaultSite::CheckpointProgram, self.now, end, Some(op.page));
+                self.control = Some(ControlOp::Checkpoint { op, end });
                 return;
             }
         }
@@ -921,10 +987,14 @@ impl Ssd {
             if gc.pending.is_empty() && gc.in_flight == 0 {
                 let block = gc.plan.victim;
                 let duration = self.array.timing().erase;
-                self.control = Some(ControlOp::Erase {
-                    block,
-                    end: self.now + duration,
-                });
+                let end = self.now + duration;
+                self.site_log.record(
+                    FaultSite::GcErase,
+                    self.now,
+                    end,
+                    Some(pfault_flash::Ppa::new(block, 0)),
+                );
+                self.control = Some(ControlOp::Erase { block, end });
             }
         }
     }
@@ -1121,23 +1191,25 @@ impl Ssd {
         }
         match self.control.take() {
             Some(ControlOp::Commit { op, start, end }) => {
-                // A torn journal write: entries carry individual CRCs, so
-                // recovery replays the prefix that made it to the page and
-                // discards the tail — leaving half-applied requests behind
-                // (checksum-mismatch data failures, not clean reverts).
+                // A torn journal write: the page header (batch id + the
+                // full batch's CRC) lands first, then the entry stream —
+                // cut mid-program, only a prefix of the entries persists
+                // under the full batch's checksum. Recovery recomputes the
+                // CRC over what survived, sees the mismatch, and discards
+                // the batch whole (unless `verify_batch_crc` is off, which
+                // reintroduces the half-apply firmware bug).
                 let total = (end - start).as_micros().max(1);
                 let done = self.now.saturating_since(start).as_micros();
                 let progress = (done as f64 / total as f64).clamp(0.0, 1.0);
                 let keep = (op.batch.coverage() as f64 * progress).floor() as u64;
-                let torn = op.batch.torn_prefix(keep);
-                if !torn.entries.is_empty() {
+                if keep > 0 {
                     let data = PageData::from_tag(mix64(0x4A4E_4C00, op.batch.id));
                     if self
                         .array
                         .program(op.page, data, Oob::journal(op.batch.id, op.seq))
                         .is_ok()
                     {
-                        self.durable.append(op.page, torn);
+                        self.durable.append_torn(op.page, &op.batch, keep);
                     }
                 }
                 // The rest of the batch never became durable.
@@ -1230,6 +1302,12 @@ impl Ssd {
         }
         self.mount_attempts = 0;
         self.array.power_on();
+        // The replay itself is a fault site: a second outage mid-recovery
+        // re-runs it from the same durable inputs (replay idempotence is
+        // one of the sweep oracle's invariants). The mount is modelled as
+        // instantaneous, so the span is zero-width at `now`.
+        self.site_log
+            .record(FaultSite::MappingReplay, now, now, None);
         self.ftl = match Ftl::try_recover_with_checkpoints(
             self.config.ftl,
             &mut self.array,
@@ -1920,5 +1998,161 @@ mod tests {
         ));
         ssd.advance_to(ssd.now() + SimDuration::from_millis(100));
         assert!(ssd.drain_completions().iter().any(|c| c.acked()));
+    }
+
+    #[test]
+    fn site_census_is_deterministic_across_same_seed_runs() {
+        let census = |_: u32| {
+            let mut ssd = small_ssd();
+            ssd.enable_site_recording();
+            for i in 0..4u64 {
+                ssd.submit(HostCommand::write(
+                    i,
+                    0,
+                    Lba::new(i * 16),
+                    SectorCount::new(4),
+                    i + 1,
+                ));
+            }
+            ssd.advance_to(SimTime::from_secs(2));
+            ssd.site_spans().to_vec()
+        };
+        let a = census(0);
+        let b = census(1);
+        assert!(!a.is_empty(), "census must observe program sites");
+        assert_eq!(a, b, "same seed must reproduce the same occurrence stream");
+        assert!(a
+            .iter()
+            .any(|s| s.site == crate::sites::FaultSite::CacheFlushProgram));
+        assert!(a
+            .iter()
+            .any(|s| s.site == crate::sites::FaultSite::JournalCommitProgram));
+    }
+
+    #[test]
+    fn recording_disabled_by_default_costs_nothing() {
+        let mut ssd = small_ssd();
+        ssd.submit(HostCommand::write(
+            1,
+            0,
+            Lba::new(0),
+            SectorCount::new(4),
+            1,
+        ));
+        ssd.advance_to(SimTime::from_secs(1));
+        assert!(ssd.site_spans().is_empty());
+    }
+
+    #[test]
+    fn op_ending_exactly_at_threshold_completes() {
+        // Satellite: half-open boundary windows. Census the single cache
+        // flush program of a one-sector write, then replay with the cut
+        // placed exactly at the span's end (op completes — left-closed
+        // window) and strictly inside it (op is interrupted).
+        let run = |cut: Option<SimTime>| {
+            let mut ssd = small_ssd();
+            ssd.enable_site_recording();
+            ssd.submit(HostCommand::write(
+                1,
+                0,
+                Lba::new(5),
+                SectorCount::new(1),
+                0x5A,
+            ));
+            match cut {
+                None => {
+                    ssd.advance_to(SimTime::from_secs(1));
+                }
+                Some(t) => {
+                    ssd.power_fail(&FaultTimeline::at_instant(t));
+                }
+            }
+            ssd
+        };
+        let census = run(None);
+        let span = census
+            .site_spans()
+            .iter()
+            .find(|s| s.site == crate::sites::FaultSite::CacheFlushProgram)
+            .copied()
+            .expect("one flush program must occur");
+        assert!(span.end > span.start);
+
+        // Cut exactly at the completion instant: the program finishes.
+        let at_end = run(Some(span.end));
+        assert_eq!(
+            at_end.flash_stats().interrupted_programs,
+            0,
+            "an op ending exactly at the threshold must complete"
+        );
+        // Cut strictly inside the span: the program is torn.
+        let mid = span.start + SimDuration::from_micros((span.end - span.start).as_micros() / 2);
+        let torn = run(Some(mid));
+        assert_eq!(
+            torn.flash_stats().interrupted_programs,
+            1,
+            "a cut strictly inside the span must interrupt the program"
+        );
+    }
+
+    #[test]
+    fn recover_and_try_recover_produce_identical_state() {
+        // Satellite: the infallible path delegates to the checked one;
+        // both must rebuild the same device from the same seed.
+        let prepare = |_: u32| {
+            let mut ssd = small_ssd();
+            for i in 0..6u64 {
+                ssd.submit(HostCommand::write(
+                    i,
+                    0,
+                    Lba::new(i * 8),
+                    SectorCount::new(4),
+                    i + 1,
+                ));
+            }
+            ssd.advance_to(SimTime::from_millis(400));
+            let timeline = FaultInjector::transistor().timeline(ssd.now());
+            ssd.power_fail(&timeline);
+            (ssd, timeline)
+        };
+        let (mut a, tl) = prepare(0);
+        let (mut b, _) = prepare(1);
+        let at = tl.discharged + SimDuration::from_secs(1);
+        a.power_on_recover(at);
+        b.try_power_on_recover(at).expect("mount succeeds");
+        assert_eq!(a.now(), b.now());
+        assert_eq!(a.stats(), b.stats());
+        assert_eq!(a.scrub(), b.scrub());
+        for i in 0..48u64 {
+            assert_eq!(
+                a.verify_read(Lba::new(i)),
+                b.verify_read(Lba::new(i)),
+                "post-recovery content diverged at lba {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn mapping_replay_site_recorded_on_recovery() {
+        let mut ssd = small_ssd();
+        ssd.enable_site_recording();
+        ssd.submit(HostCommand::write(
+            1,
+            0,
+            Lba::new(0),
+            SectorCount::new(4),
+            1,
+        ));
+        ssd.advance_to(SimTime::from_millis(10));
+        let timeline = FaultInjector::transistor().timeline(ssd.now());
+        ssd.power_fail(&timeline);
+        ssd.power_on_recover(timeline.discharged + SimDuration::from_secs(1));
+        let replay: Vec<_> = ssd
+            .site_spans()
+            .iter()
+            .filter(|s| s.site == crate::sites::FaultSite::MappingReplay)
+            .collect();
+        assert_eq!(replay.len(), 1);
+        assert_eq!(replay[0].start, replay[0].end, "mount is instantaneous");
     }
 }

@@ -42,9 +42,11 @@ pub mod cache;
 pub mod completion;
 pub mod config;
 pub mod device;
+pub mod sites;
 pub mod vendor;
 
 pub use completion::{Completion, CompletionKind};
 pub use config::{CacheConfig, SsdConfig};
 pub use device::{DeviceError, HostCommand, Ssd, VerifiedContent};
+pub use sites::{FaultSite, SiteLog, SiteSpan};
 pub use vendor::VendorPreset;

@@ -1,0 +1,208 @@
+//! Named, deterministic fault sites.
+//!
+//! The fault-space sweeper wants to cut power *at a pipeline event*, not
+//! at an operator-guessed `SimTime`: "during the third journal-batch
+//! program", "halfway through the checkpoint write", "just as the paired
+//! upper page starts". To make that addressable, the device records a
+//! [`SiteSpan`] for every occurrence of each named [`FaultSite`] while
+//! recording is enabled. A census run (same seed, no fault) enumerates the
+//! spans; the sweeper then replays the trial once per (site, occurrence,
+//! phase) with the cut placed inside the recorded span. Determinism of the
+//! whole stack guarantees the replayed occurrence lands at the recorded
+//! instant.
+//!
+//! Recording is off by default — campaigns pay nothing for it.
+
+use pfault_flash::Ppa;
+use pfault_sim::SimTime;
+
+/// A named class of instants at which a power cut is interesting.
+///
+/// The variants cover every durability-relevant transition of the device
+/// pipeline: user-data programs from each source, the journal/checkpoint
+/// control programs, GC erase, the paired-page second program that can
+/// destroy already-acknowledged sibling data, and the mapping replay on
+/// the recovery path itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FaultSite {
+    /// NAND program of a dirty sector flushed from the write cache.
+    CacheFlushProgram,
+    /// NAND program of a direct (cache-off) user write sector.
+    DirectProgram,
+    /// NAND program relocating a live sector during garbage collection.
+    GcRelocProgram,
+    /// A program landing on an upper page whose earlier wordline siblings
+    /// hold acknowledged data (the paired-page corruption window).
+    PairedSecondProgram,
+    /// Journal-batch program: the window in which a batch can tear.
+    JournalCommitProgram,
+    /// Mapping-checkpoint program.
+    CheckpointProgram,
+    /// GC victim-block erase.
+    GcErase,
+    /// Journal/checkpoint replay during `try_power_on_recover` (a cut
+    /// here models a second outage mid-recovery).
+    MappingReplay,
+}
+
+impl FaultSite {
+    /// Every site, in a fixed order (indexes into per-site counters).
+    pub const ALL: [FaultSite; 8] = [
+        FaultSite::CacheFlushProgram,
+        FaultSite::DirectProgram,
+        FaultSite::GcRelocProgram,
+        FaultSite::PairedSecondProgram,
+        FaultSite::JournalCommitProgram,
+        FaultSite::CheckpointProgram,
+        FaultSite::GcErase,
+        FaultSite::MappingReplay,
+    ];
+
+    /// Stable human-readable name (used in reports and repro files).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultSite::CacheFlushProgram => "cache-flush-program",
+            FaultSite::DirectProgram => "direct-program",
+            FaultSite::GcRelocProgram => "gc-reloc-program",
+            FaultSite::PairedSecondProgram => "paired-second-program",
+            FaultSite::JournalCommitProgram => "journal-commit-program",
+            FaultSite::CheckpointProgram => "checkpoint-program",
+            FaultSite::GcErase => "gc-erase",
+            FaultSite::MappingReplay => "mapping-replay",
+        }
+    }
+
+    fn slot(self) -> usize {
+        FaultSite::ALL
+            .iter()
+            .position(|&s| s == self)
+            .expect("every site is listed in ALL")
+    }
+}
+
+/// One recorded occurrence of a fault site: the `index`-th time `site`
+/// happened, spanning `[start, end]` in simulated time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SiteSpan {
+    /// Which site occurred.
+    pub site: FaultSite,
+    /// Per-site occurrence number, starting at 0.
+    pub index: u64,
+    /// When the operation started (instantaneous sites use `start == end`).
+    pub start: SimTime,
+    /// When the operation completed.
+    pub end: SimTime,
+    /// Flash address involved, when the site has one (erases report page 0
+    /// of the victim block).
+    pub ppa: Option<Ppa>,
+}
+
+/// Recorder for site occurrences. Disabled (and free) by default.
+#[derive(Debug, Clone, Default)]
+pub struct SiteLog {
+    enabled: bool,
+    spans: Vec<SiteSpan>,
+    counts: [u64; FaultSite::ALL.len()],
+}
+
+impl SiteLog {
+    /// Creates a disabled log.
+    pub fn new() -> Self {
+        SiteLog::default()
+    }
+
+    /// Starts recording occurrences.
+    pub fn enable(&mut self) {
+        self.enabled = true;
+    }
+
+    /// Whether occurrences are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records one occurrence of `site` spanning `[start, end]`. A no-op
+    /// while disabled (the occurrence counters do not advance either, so a
+    /// later census starts from zero).
+    pub fn record(&mut self, site: FaultSite, start: SimTime, end: SimTime, ppa: Option<Ppa>) {
+        if !self.enabled {
+            return;
+        }
+        let slot = site.slot();
+        let index = self.counts[slot];
+        self.counts[slot] += 1;
+        self.spans.push(SiteSpan {
+            site,
+            index,
+            start,
+            end,
+            ppa,
+        });
+    }
+
+    /// All recorded spans, in the order they occurred.
+    pub fn spans(&self) -> &[SiteSpan] {
+        &self.spans
+    }
+
+    /// Occurrences recorded for `site` so far.
+    pub fn count(&self, site: FaultSite) -> u64 {
+        self.counts[site.slot()]
+    }
+
+    /// Total recorded spans.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_log_records_nothing() {
+        let mut log = SiteLog::new();
+        log.record(
+            FaultSite::CacheFlushProgram,
+            SimTime::ZERO,
+            SimTime::from_micros(10),
+            None,
+        );
+        assert!(log.is_empty());
+        assert_eq!(log.count(FaultSite::CacheFlushProgram), 0);
+    }
+
+    #[test]
+    fn indexes_count_per_site() {
+        let mut log = SiteLog::new();
+        log.enable();
+        let t = SimTime::from_micros(1);
+        log.record(FaultSite::JournalCommitProgram, t, t, None);
+        log.record(FaultSite::CacheFlushProgram, t, t, None);
+        log.record(FaultSite::JournalCommitProgram, t, t, None);
+        let journal: Vec<u64> = log
+            .spans()
+            .iter()
+            .filter(|s| s.site == FaultSite::JournalCommitProgram)
+            .map(|s| s.index)
+            .collect();
+        assert_eq!(journal, vec![0, 1]);
+        assert_eq!(log.count(FaultSite::JournalCommitProgram), 2);
+        assert_eq!(log.count(FaultSite::CacheFlushProgram), 1);
+        assert_eq!(log.len(), 3);
+    }
+
+    #[test]
+    fn names_are_unique_and_stable() {
+        let mut names: Vec<&str> = FaultSite::ALL.iter().map(|s| s.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), FaultSite::ALL.len());
+    }
+}

@@ -86,6 +86,46 @@ fn campaign_serial_equals_parallel() {
 }
 
 #[test]
+fn failure_ledger_is_deterministic_between_serial_and_parallel() {
+    use pfault_platform::Watchdog;
+
+    // A config that actually produces trial failures: a tight event budget
+    // expires some trials, and the spared ones face a coin-flip mount
+    // failure with a single retry, so some devices brick. The parallel
+    // runner strides trials across workers and merges; the resulting
+    // failures ledger must be *exactly* equal to the serial one —
+    // same indices, same causes, same (sorted) order.
+    let mut config = CampaignConfig {
+        trial: small_trial(),
+        trials: 10,
+        requests_per_trial: 25,
+    };
+    config.trial.ssd.geometry = pfault_flash::FlashGeometry::new(1 << 14, 256);
+    config.trial.ssd.ftl = pfault_ftl::FtlConfig::for_geometry(config.trial.ssd.geometry);
+    config.trial.workload = WorkloadSpec::builder().wss_bytes(4 * GIB).build();
+    config.trial.watchdog = Watchdog {
+        max_sim_time_us: None,
+        max_events: Some(1400),
+    };
+    config.trial.ssd.mount_failure_rate = 0.5;
+    config.trial.ssd.mount_retry_limit = 1;
+
+    let serial = Campaign::new(config, 11).run();
+    let parallel = Campaign::new(config, 11).run_parallel(4);
+
+    assert!(
+        serial.failures.total_failed() > 0,
+        "config must produce ledger entries, got {:?}",
+        serial.failures
+    );
+    assert_eq!(serial.failures, parallel.failures);
+    for ledger in [&serial.failures, &parallel.failures] {
+        assert!(ledger.watchdog_expired.windows(2).all(|w| w[0] < w[1]));
+        assert!(ledger.bricked.windows(2).all(|w| w[0] < w[1]));
+    }
+}
+
+#[test]
 fn failed_requests_were_acked_before_the_fault() {
     // Every ACK→fault interval must be non-negative, and verdicts of kind
     // IoError must correspond to requests that never completed.

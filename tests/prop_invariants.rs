@@ -6,7 +6,7 @@ use proptest::prelude::*;
 use pfault_flash::block::PageData;
 use pfault_flash::cell::{CellKind, CellPage};
 use pfault_flash::geometry::Ppa;
-use pfault_ftl::journal::{JournalBatch, JournalBuffer, JournalEntry};
+use pfault_ftl::journal::{DurableLog, JournalBatch, JournalBuffer, JournalEntry};
 use pfault_ftl::mapping::MappingTable;
 use pfault_power::psu::PsuModel;
 use pfault_power::{FaultInjector, Millivolts};
@@ -211,6 +211,55 @@ proptest! {
             .flat_map(|e| e.pairs(64))
             .collect();
         prop_assert_eq!(&full[..kept.len()], &kept[..]);
+    }
+
+    #[test]
+    fn journal_replay_is_idempotent(
+        raw in proptest::collection::vec(
+            proptest::collection::vec((0u64..400, 0u64..2048, 1u64..16, 0u8..3), 1..8),
+            1..10,
+        ),
+    ) {
+        // Replaying a durable journal twice must yield the same mapping
+        // table as replaying it once: Point, Extent and Trim entries are
+        // all last-writer-wins, so a second full pass re-applies each
+        // update to the value it already has. Crash recovery relies on
+        // this — a recovery interrupted and restarted may replay batches
+        // it already applied.
+        let mut log = DurableLog::new();
+        for (i, raw_entries) in raw.iter().enumerate() {
+            let entries: Vec<JournalEntry> = raw_entries
+                .iter()
+                .map(|&(lba, flat_page, len, kind)| match kind {
+                    0 => JournalEntry::Point {
+                        lba: Lba::new(lba),
+                        ppa: Ppa::new(flat_page / 64, flat_page % 64),
+                    },
+                    1 => JournalEntry::Extent {
+                        lba_start: Lba::new(lba),
+                        ppa_start: Ppa::new(flat_page / 64, flat_page % 64),
+                        len,
+                    },
+                    _ => JournalEntry::Trim { lba: Lba::new(lba) },
+                })
+                .collect();
+            log.append(
+                Ppa::new(4000 + i as u64, 0),
+                JournalBatch { id: i as u64 + 1, entries },
+            );
+        }
+        let replay = |passes: usize| {
+            let mut map = MappingTable::new();
+            for _ in 0..passes {
+                for record in log.iter_records() {
+                    record.batch.apply_to(&mut map, 64);
+                }
+            }
+            let mut pairs: Vec<_> = map.iter().collect();
+            pairs.sort_by_key(|&(lba, _)| lba);
+            pairs
+        };
+        prop_assert_eq!(replay(1), replay(2));
     }
 
     // ---------------- pfault-power ----------------
