@@ -8,11 +8,14 @@
 #   make sweep-smoke — bounded fault-space boundary sweep (<10 s): the
 #                  stock firmware must sweep clean, and the seeded
 #                  apply-before-verify bug must be caught and minimized
+#   make obs-smoke — observability determinism gate: two same-seed
+#                  campaigns must write byte-identical metrics JSON and
+#                  probe-trace JSONL
 #   make check   — everything CI runs
 
 CARGO ?= cargo
 
-.PHONY: all build test lint lint-core lint-workspace sweep-smoke check clean
+.PHONY: all build test lint lint-core lint-workspace sweep-smoke obs-smoke check clean
 
 all: check
 
@@ -40,7 +43,19 @@ lint-workspace:
 
 lint: lint-core lint-workspace
 
-check: build lint test sweep-smoke
+# The probe bus is only useful if it is deterministic: the repro binary
+# self-checks the trace (dense seqs, parseable lines, non-empty
+# per-class metrics), and cmp enforces bit-identical reruns.
+obs-smoke: build
+	./target/release/repro --exp campaign --trials 4 --seed 11 \
+		--metrics target/obs-a.json --trace target/obs-a.jsonl
+	./target/release/repro --exp campaign --trials 4 --seed 11 \
+		--metrics target/obs-b.json --trace target/obs-b.jsonl
+	cmp target/obs-a.json target/obs-b.json
+	cmp target/obs-a.jsonl target/obs-b.jsonl
+	./target/release/blkdump --obs target/obs-a.jsonl > /dev/null
+
+check: build lint test sweep-smoke obs-smoke
 
 clean:
 	$(CARGO) clean

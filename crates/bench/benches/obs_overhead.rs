@@ -1,0 +1,48 @@
+//! Probe-bus overhead bench: the fault-free path with probes disabled
+//! must be indistinguishable (≤1%) from the pre-observability baseline,
+//! and the `obs-off` vs `obs-on` pair quantifies what enabling costs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use pfault_platform::platform::{TestPlatform, TrialConfig};
+use pfault_sim::storage::GIB;
+use pfault_workload::WorkloadSpec;
+
+fn trial_config(obs: bool) -> TrialConfig {
+    TrialConfig::paper_default()
+        .with_workload(WorkloadSpec::builder().wss_bytes(8 * GIB).build())
+        .with_requests(60)
+        .with_obs(obs)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_overhead");
+    group.sample_size(10);
+    for (label, obs) in [("fault-free-obs-off", false), ("fault-free-obs-on", true)] {
+        group.bench_function(label, |b| {
+            let platform = TestPlatform::new(trial_config(obs));
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(platform.run_fault_free(seed))
+            });
+        });
+    }
+    // The faulted path exercises every emission site (power cut, torn
+    // journal, recovery narration).
+    for (label, obs) in [("faulted-obs-off", false), ("faulted-obs-on", true)] {
+        group.bench_function(label, |b| {
+            let platform = TestPlatform::new(trial_config(obs));
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(platform.run_trial(seed).expect("trial runs"))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

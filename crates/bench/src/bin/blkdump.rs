@@ -3,11 +3,16 @@
 //! Runs a short workload into a power fault, then prints the raw
 //! `blkparse`-style event stream, the reconstructed per-IO dump (the
 //! paper's modified `btt --per-io-dump`), and the latency summary.
+//! `--jsonl` additionally prints the block trace as one JSON object per
+//! line. `--obs FILE` instead consumes a probe-bus JSONL trace (written
+//! by `repro --exp campaign --trace FILE`) and summarises it.
 //!
 //! ```text
-//! blkdump [--requests N] [--seed N]
+//! blkdump [--requests N] [--seed N] [--jsonl]
+//! blkdump --obs FILE
 //! ```
 
+use std::collections::BTreeMap;
 use std::env;
 use std::process::ExitCode;
 
@@ -16,34 +21,102 @@ use pfault_sim::storage::GIB;
 use pfault_sim::{DetRng, SectorCount, SimDuration};
 use pfault_ssd::device::{HostCommand, Ssd};
 use pfault_ssd::VendorPreset;
-use pfault_trace::{analyze, parse_trace_text, BlockTracer};
+use pfault_trace::{
+    analyze, parse_trace_jsonl_line, parse_trace_text, render_trace_events, BlockTracer,
+};
 use pfault_workload::{WorkloadGenerator, WorkloadSpec};
+
+/// Consumes a probe-bus JSONL file: parses every line, checks sequence
+/// density, and prints per-layer and per-kind event counts.
+fn consume_obs(path: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut by_layer: BTreeMap<String, u64> = BTreeMap::new();
+    let mut by_kind: BTreeMap<String, u64> = BTreeMap::new();
+    let mut span_us = 0u64;
+    let mut lines = 0u64;
+    for (i, line) in text.lines().enumerate() {
+        let parsed = match pfault_obs::parse_jsonl_line(line) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("{path}:{}: {e}", i + 1);
+                return ExitCode::FAILURE;
+            }
+        };
+        // Sequence numbers are the authoritative order: emission order.
+        // Timestamps may interleave inside one pipeline drain (programs
+        // on different lanes retire with different latencies), so only
+        // density is checked.
+        if parsed.seq != i as u64 {
+            eprintln!(
+                "{path}:{}: sequence hole (seq {} at line {})",
+                i + 1,
+                parsed.seq,
+                i
+            );
+            return ExitCode::FAILURE;
+        }
+        span_us = span_us.max(parsed.time_us);
+        *by_layer.entry(parsed.layer).or_insert(0) += 1;
+        *by_kind.entry(parsed.event).or_insert(0) += 1;
+        lines += 1;
+    }
+    println!("{lines} probe events over {span_us} us of simulated time, dense sequence");
+    println!("== events by layer ==");
+    for (layer, n) in &by_layer {
+        println!("{layer}: {n}");
+    }
+    println!("== events by kind ==");
+    for (kind, n) in &by_kind {
+        println!("{kind}: {n}");
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage() -> ExitCode {
+    eprintln!("blkdump [--requests N] [--seed N] [--jsonl] | blkdump --obs FILE");
+    ExitCode::FAILURE
+}
 
 fn main() -> ExitCode {
     let mut requests = 8usize;
     let mut seed = 3u64;
+    let mut jsonl = false;
+    let mut obs_path: Option<String> = None;
     let mut it = env::args().skip(1);
     while let Some(flag) = it.next() {
-        match (flag.as_str(), it.next()) {
-            ("--requests", Some(v)) => match v.parse() {
-                Ok(n) => requests = n,
-                Err(_) => {
+        match flag.as_str() {
+            "--jsonl" => jsonl = true,
+            "--requests" => match it.next().map(|v| (v.parse(), v)) {
+                Some((Ok(n), _)) => requests = n,
+                Some((Err(_), v)) => {
                     eprintln!("bad --requests '{v}' (expected a number)");
                     return ExitCode::FAILURE;
                 }
+                None => return usage(),
             },
-            ("--seed", Some(v)) => match v.parse() {
-                Ok(n) => seed = n,
-                Err(_) => {
+            "--seed" => match it.next().map(|v| (v.parse(), v)) {
+                Some((Ok(n), _)) => seed = n,
+                Some((Err(_), v)) => {
                     eprintln!("bad --seed '{v}' (expected a number)");
                     return ExitCode::FAILURE;
                 }
+                None => return usage(),
             },
-            _ => {
-                eprintln!("blkdump [--requests N] [--seed N]");
-                return ExitCode::FAILURE;
-            }
+            "--obs" => match it.next() {
+                Some(p) => obs_path = Some(p),
+                None => return usage(),
+            },
+            _ => return usage(),
         }
+    }
+    if let Some(path) = obs_path {
+        return consume_obs(&path);
     }
 
     let root = DetRng::new(seed);
@@ -110,6 +183,25 @@ fn main() -> ExitCode {
             tracer.events().len()
         );
         return ExitCode::FAILURE;
+    }
+
+    if jsonl {
+        println!("\n== event stream (JSONL) ==");
+        let rendered = render_trace_events(tracer.events());
+        print!("{rendered}");
+        for (i, line) in rendered.lines().enumerate() {
+            match parse_trace_jsonl_line(line) {
+                Ok(e) if e == tracer.events()[i] => {}
+                Ok(_) => {
+                    eprintln!("internal error: JSONL line {i} round-tripped to a different event");
+                    return ExitCode::FAILURE;
+                }
+                Err(e) => {
+                    eprintln!("internal error: own JSONL failed to parse back: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
     }
 
     let analysis_at = timeline.discharged + SimDuration::from_secs(1);

@@ -17,6 +17,7 @@
 use std::env;
 use std::process::ExitCode;
 
+use pfault_obs::Metrics;
 use pfault_sim::storage::{GIB, KIB};
 use pfault_sim::{DetRng, SectorCount, SimDuration};
 use pfault_ssd::device::{HostCommand, Ssd};
@@ -33,6 +34,7 @@ struct Args {
     queue_depth: u32,
     seed: u64,
     watchdog_ms: Option<u64>,
+    obs: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -45,6 +47,7 @@ fn parse_args() -> Result<Args, String> {
         queue_depth: 1,
         seed: 1,
         watchdog_ms: None,
+        obs: false,
     };
     let mut it = env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -90,11 +93,12 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|_| "bad --watchdog-ms".to_string())?,
                 )
             }
+            "--obs" => args.obs = true,
             "--help" | "-h" => {
                 return Err(
                     "pfio [--vendor a|b|c] [--requests N] [--size-kib N | --mixed-sizes] \
                      [--write-pct P] [--pattern random|sequential|zipf] [--qd N] [--seed N] \
-                     [--watchdog-ms N]"
+                     [--watchdog-ms N] [--obs]"
                         .to_string(),
                 )
             }
@@ -128,6 +132,9 @@ fn main() -> ExitCode {
 
     let root = DetRng::new(args.seed);
     let mut ssd = Ssd::new(args.vendor.config(), root.fork("ssd"));
+    if args.obs {
+        ssd.enable_probes();
+    }
     let mut generator = WorkloadGenerator::new(spec, root.fork("workload"));
     let mut tracer = BlockTracer::new(SectorCount::new(ssd.config().max_segment_sectors));
 
@@ -211,5 +218,20 @@ fn main() -> ExitCode {
         ssd.stats().commits,
         ssd.stats().gc_collections
     );
+    if args.obs {
+        let metrics = Metrics::from_records(ssd.probe_records());
+        println!("== probe metrics ==");
+        for (key, value) in &metrics.counters {
+            println!("{key}: {value}");
+        }
+        for (key, hist) in &metrics.histograms {
+            println!(
+                "{key}: n={} p50>={} p99>={}",
+                hist.count(),
+                hist.percentile_lower_bound(50).unwrap_or(0),
+                hist.percentile_lower_bound(99).unwrap_or(0)
+            );
+        }
+    }
     ExitCode::SUCCESS
 }

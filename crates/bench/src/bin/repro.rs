@@ -36,6 +36,7 @@ use pfault_platform::experiments::{
     access_pattern, brownout, cache_ablation, flush, injector_ablation, interval, iops, psu,
     recovery, repeated, request_size, request_type, sequence, vendors, wear,
 };
+use pfault_platform::platform::TestPlatform;
 use pfault_platform::{SweepConfig, Sweeper, ViolationKind, Watchdog};
 
 fn main() -> ExitCode {
@@ -52,6 +53,8 @@ fn main() -> ExitCode {
     let mut watchdog_events: Option<u64> = None;
     let mut minimize = false;
     let mut inject_crc_bug = false;
+    let mut metrics_path: Option<String> = None;
+    let mut trace_path: Option<String> = None;
     let mut args = env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -101,13 +104,15 @@ fn main() -> ExitCode {
             }
             "--exp" => exp = args.next().unwrap_or_default(),
             "--json" => json_path = args.next(),
+            "--metrics" => metrics_path = args.next(),
+            "--trace" => trace_path = args.next(),
             "--help" | "-h" => {
                 println!(
                     "repro [--scale quick|paper] [--seed N] [--exp NAME] [--json FILE]\n\
                      \x20     [--trials N] [--retries N] [--checkpoint FILE] \
                      [--checkpoint-every K]\n\
                      \x20     [--resume] [--watchdog-ms N] [--watchdog-events N]\n\
-                     \x20     [--minimize] [--inject-crc-bug]\n\
+                     \x20     [--minimize] [--inject-crc-bug] [--metrics FILE] [--trace FILE]\n\
                      experiments: fig4 interval interval-nocache fig5 fig6 pattern \
                      fig7 fig8 fig9 table1 ablation-injector ablation-cache \
                      brownout wear flush recovery repeated all campaign sweep\n\
@@ -378,6 +383,9 @@ fn main() -> ExitCode {
         let mut config = CampaignConfig::paper_default();
         config.trials = trials.unwrap_or(s.faults_per_point);
         config.requests_per_trial = s.requests_per_trial;
+        if metrics_path.is_some() || trace_path.is_some() {
+            config.trial.obs = true;
+        }
         if watchdog_ms.is_some() || watchdog_events.is_some() {
             config.trial.watchdog = Watchdog {
                 max_sim_time_us: watchdog_ms.map(|ms| ms * 1_000),
@@ -429,6 +437,74 @@ fn main() -> ExitCode {
             );
         } else {
             println!("all trials produced an outcome (no retries needed)");
+        }
+        if let Some(path) = &metrics_path {
+            // Per-failure-class probe telemetry. Self-checking: an
+            // obs-enabled campaign that observed no trial, or produced an
+            // unclassified aggregate, is a bug worth a nonzero exit.
+            if report.obs.is_empty() || report.obs.by_class.is_empty() {
+                eprintln!("obs smoke failed: campaign produced no telemetry");
+                return ExitCode::FAILURE;
+            }
+            let doc = serde_json::to_value(&report.obs).expect("serializable");
+            if let Err(e) = std::fs::write(
+                path,
+                serde_json::to_string_pretty(&doc).expect("serializable"),
+            ) {
+                eprintln!("failed to write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!(
+                "wrote metrics ({} observed trials, classes: {}) to {path}",
+                report.obs.trials_observed,
+                report
+                    .obs
+                    .by_class
+                    .keys()
+                    .cloned()
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+        }
+        if let Some(path) = &trace_path {
+            // One representative obs trial (the campaign seed itself)
+            // rendered as probe JSONL. Deterministic: same seed, same
+            // bytes.
+            let platform = TestPlatform::new(config.trial);
+            let outcome = match platform.run_trial(seed) {
+                Ok(o) => o,
+                Err(e) => {
+                    eprintln!("trace trial failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let jsonl = pfault_obs::render_records(&outcome.probe_records);
+            // Self-check: every rendered line must parse back, with dense
+            // sequence numbers.
+            for (i, line) in jsonl.lines().enumerate() {
+                match pfault_obs::parse_jsonl_line(line) {
+                    Ok(parsed) if parsed.seq == i as u64 => {}
+                    Ok(parsed) => {
+                        eprintln!(
+                            "obs smoke failed: line {i} has seq {} (expected {i})",
+                            parsed.seq
+                        );
+                        return ExitCode::FAILURE;
+                    }
+                    Err(e) => {
+                        eprintln!("obs smoke failed: line {i} does not parse back: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            if let Err(e) = std::fs::write(path, &jsonl) {
+                eprintln!("failed to write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!(
+                "wrote probe trace ({} events) to {path}",
+                outcome.probe_records.len()
+            );
         }
     }
 

@@ -8,10 +8,12 @@
 //! identical to the serial runner.
 
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 use std::panic::{self, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::mpsc;
 
+use pfault_obs::Metrics;
 use pfault_sim::checksum::fnv64;
 use pfault_sim::stats::{Histogram, OnlineStats};
 use pfault_sim::DetRng;
@@ -86,6 +88,73 @@ impl TrialFailures {
     }
 }
 
+/// Campaign-level observability aggregate: probe-derived counters and
+/// histograms summed over every obs-enabled trial, plus per-failure-class
+/// slices (the same metrics restricted to trials that exhibited that
+/// class). Empty — and free — when [`TrialConfig::obs`] is off.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ObsAggregate {
+    /// Trials whose telemetry contributed.
+    pub trials_observed: u64,
+    /// Metrics summed over all observed trials.
+    pub totals: Metrics,
+    /// Per-failure-class telemetry: a trial's metrics are merged into the
+    /// bucket of every failure class it exhibited (`data-failure`,
+    /// `false-write-ack`, `io-error`) or into `clean` if it exhibited
+    /// none. Keys are stable strings so the JSON report is self-labelled.
+    pub by_class: BTreeMap<String, Metrics>,
+}
+
+impl ObsAggregate {
+    /// The failure-class labels a trial's telemetry files under.
+    fn classes(counts: &FailureCounts) -> Vec<&'static str> {
+        let mut classes = Vec::new();
+        if counts.data_failures > 0 {
+            classes.push("data-failure");
+        }
+        if counts.fwa > 0 {
+            classes.push("false-write-ack");
+        }
+        if counts.io_errors > 0 {
+            classes.push("io-error");
+        }
+        if classes.is_empty() {
+            classes.push("clean");
+        }
+        classes
+    }
+
+    fn absorb(&mut self, outcome: &TrialOutcome) {
+        let Some(telemetry) = &outcome.telemetry else {
+            return;
+        };
+        self.trials_observed += 1;
+        self.totals.merge(telemetry);
+        for class in Self::classes(&outcome.counts) {
+            self.by_class
+                .entry(class.to_string())
+                .or_default()
+                .merge(telemetry);
+        }
+    }
+
+    fn merge(&mut self, other: &ObsAggregate) {
+        self.trials_observed += other.trials_observed;
+        self.totals.merge(&other.totals);
+        for (class, metrics) in &other.by_class {
+            self.by_class
+                .entry(class.clone())
+                .or_default()
+                .merge(metrics);
+        }
+    }
+
+    /// Whether no trial contributed telemetry.
+    pub fn is_empty(&self) -> bool {
+        self.trials_observed == 0
+    }
+}
+
 /// Aggregated results of a campaign.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CampaignReport {
@@ -113,6 +182,9 @@ pub struct CampaignReport {
     pub paired_corruptions: u64,
     /// Trials that ended without an outcome (panic, watchdog, brick).
     pub failures: TrialFailures,
+    /// Probe-derived telemetry (empty unless trials ran with
+    /// [`TrialConfig::obs`]).
+    pub obs: ObsAggregate,
 }
 
 impl CampaignReport {
@@ -129,6 +201,7 @@ impl CampaignReport {
             interrupted_programs: 0,
             paired_corruptions: 0,
             failures: TrialFailures::default(),
+            obs: ObsAggregate::default(),
         }
     }
 
@@ -147,6 +220,7 @@ impl CampaignReport {
         }
         self.interrupted_programs += outcome.interrupted_programs;
         self.paired_corruptions += outcome.paired_corruptions;
+        self.obs.absorb(outcome);
     }
 
     /// Tallies a trial that ended without an outcome. The fault was still
@@ -184,6 +258,7 @@ impl CampaignReport {
         self.interrupted_programs += other.interrupted_programs;
         self.paired_corruptions += other.paired_corruptions;
         self.failures.merge(&other.failures);
+        self.obs.merge(&other.obs);
     }
 
     /// Data failures (excluding FWA) per injected fault — the paper's
@@ -226,7 +301,7 @@ struct CampaignCheckpoint {
     report: CampaignReport,
 }
 
-const CHECKPOINT_VERSION: u32 = 1;
+const CHECKPOINT_VERSION: u32 = 2;
 
 /// A campaign runner.
 #[derive(Debug, Clone)]
@@ -315,7 +390,7 @@ impl Campaign {
         let mut attempt: u32 = 0;
         loop {
             let seed = self.attempt_seed(index, attempt);
-            let result = panic::catch_unwind(AssertUnwindSafe(|| platform.run_trial_checked(seed)));
+            let result = panic::catch_unwind(AssertUnwindSafe(|| platform.run_trial(seed)));
             let error = match result {
                 Ok(Ok(outcome)) => return (Ok(outcome), u64::from(attempt)),
                 Ok(Err(e)) => e,

@@ -107,11 +107,7 @@ impl BarChart {
         out.push('\n');
         // Legend.
         for (i, name) in self.series.iter().enumerate() {
-            out.push_str(&format!(
-                "  {} {}\n",
-                GLYPHS[i % GLYPHS.len()],
-                name
-            ));
+            out.push_str(&format!("  {} {}\n", GLYPHS[i % GLYPHS.len()], name));
         }
         for group in &self.groups {
             for (i, &value) in group.values.iter().enumerate() {

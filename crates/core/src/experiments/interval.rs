@@ -139,7 +139,8 @@ fn marker_trial(delay: SimDuration, cache_enabled: bool, seed: u64) -> bool {
     let timeline = injector.timeline((ack_time + delay).max(ssd.now()));
     ssd.advance_to(timeline.commanded);
     ssd.power_fail(&timeline);
-    ssd.power_on_recover(timeline.discharged + SimDuration::from_secs(1));
+    ssd.power_on_recover(timeline.discharged + SimDuration::from_secs(1))
+        .expect("recovery remounts");
 
     // Verify the marker.
     (0..marker_sectors.get()).any(|i| {

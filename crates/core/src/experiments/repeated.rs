@@ -127,7 +127,8 @@ fn device_run(cycles: u64, writes_per_cycle: u64, seed: u64) -> Vec<(u64, u64, u
 
         let timeline = injector.timeline(ssd.now());
         ssd.power_fail(&timeline);
-        ssd.power_on_recover(timeline.discharged + SimDuration::from_secs(1));
+        ssd.power_on_recover(timeline.discharged + SimDuration::from_secs(1))
+            .expect("recovery remounts");
 
         // Overwritten sectors belong to the newest writer; drop older
         // commands that were superseded before verifying.

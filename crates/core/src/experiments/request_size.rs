@@ -65,7 +65,6 @@ impl RequestSizeReport {
     }
 }
 
-
 impl RequestSizeReport {
     /// Renders the Fig 7-style grouped bar chart.
     pub fn chart(&self) -> crate::chart::BarChart {

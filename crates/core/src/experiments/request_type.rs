@@ -70,7 +70,6 @@ impl RequestTypeReport {
     }
 }
 
-
 impl RequestTypeReport {
     /// Renders the Fig 5-style grouped bar chart.
     pub fn chart(&self) -> crate::chart::BarChart {

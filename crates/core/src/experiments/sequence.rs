@@ -69,7 +69,6 @@ impl SequenceReport {
     }
 }
 
-
 impl SequenceReport {
     /// Renders the Fig 9-style grouped bar chart.
     pub fn chart(&self) -> crate::chart::BarChart {

@@ -63,7 +63,7 @@ pub mod report;
 pub mod sweep;
 
 pub use analyzer::{FailureKind, RequestVerdict};
-pub use campaign::{Campaign, CampaignConfig, CampaignReport, TrialFailures};
+pub use campaign::{Campaign, CampaignConfig, CampaignReport, ObsAggregate, TrialFailures};
 pub use error::{CheckpointError, PlatformError, TrialError};
 pub use platform::{TestPlatform, TrialConfig, TrialOutcome, Watchdog};
 pub use sweep::{

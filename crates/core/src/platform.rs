@@ -9,10 +9,11 @@
 use serde::{Deserialize, Serialize};
 
 use pfault_flash::array::PageData;
+use pfault_obs::{Metrics, ProbeRecord};
 use pfault_power::{FaultInjector, FaultTimeline};
 use pfault_sim::{DetRng, Lba, SectorCount, SimDuration, SimTime};
 use pfault_ssd::device::{HostCommand, Ssd};
-use pfault_ssd::{Completion, SsdConfig};
+use pfault_ssd::{Completion, RecoveryReport, SsdConfig, VendorPreset};
 use pfault_trace::{analyze, BlockTracer};
 use pfault_workload::{ArrivalModel, WorkloadGenerator, WorkloadSpec};
 
@@ -83,6 +84,10 @@ pub struct TrialConfig {
     pub flush_every: Option<u64>,
     /// Runaway-trial protection.
     pub watchdog: Watchdog,
+    /// Enable the cross-layer probe bus: the trial outcome then carries
+    /// the full probe stream plus derived counters/histograms. Off by
+    /// default — a disabled bus costs one branch per would-be event.
+    pub obs: bool,
 }
 
 impl TrialConfig {
@@ -90,7 +95,7 @@ impl TrialConfig {
     /// writes, ATX discharge rig, 80 requests per fault.
     pub fn paper_default() -> Self {
         TrialConfig {
-            ssd: pfault_ssd::VendorPreset::SsdA.config(),
+            ssd: VendorPreset::SsdA.config(),
             workload: WorkloadSpec::builder().build(),
             injector: FaultInjector::arduino_atx_loaded(),
             requests: 80,
@@ -98,7 +103,65 @@ impl TrialConfig {
             fault_jitter_us: 20_000,
             flush_every: None,
             watchdog: Watchdog::generous(),
+            obs: false,
         }
+    }
+
+    /// Replaces the device under test (chainable builder).
+    #[must_use]
+    pub fn with_ssd(mut self, ssd: SsdConfig) -> Self {
+        self.ssd = ssd;
+        self
+    }
+
+    /// Swaps in one of the paper's Table I drives (chainable builder):
+    /// `TrialConfig::paper_default().with_vendor(VendorPreset::SsdB)`.
+    #[must_use]
+    pub fn with_vendor(mut self, vendor: VendorPreset) -> Self {
+        self.ssd = vendor.config();
+        self
+    }
+
+    /// Replaces the workload (chainable builder).
+    #[must_use]
+    pub fn with_workload(mut self, workload: WorkloadSpec) -> Self {
+        self.workload = workload;
+        self
+    }
+
+    /// Replaces the fault-injection rig (chainable builder).
+    #[must_use]
+    pub fn with_injector(mut self, injector: FaultInjector) -> Self {
+        self.injector = injector;
+        self
+    }
+
+    /// Sets the nominal requests-per-fault count (chainable builder).
+    #[must_use]
+    pub fn with_requests(mut self, requests: usize) -> Self {
+        self.requests = requests;
+        self
+    }
+
+    /// Sets the FLUSH-barrier cadence (chainable builder).
+    #[must_use]
+    pub fn with_flush_every(mut self, every: Option<u64>) -> Self {
+        self.flush_every = every;
+        self
+    }
+
+    /// Replaces the runaway-trial watchdog (chainable builder).
+    #[must_use]
+    pub fn with_watchdog(mut self, watchdog: Watchdog) -> Self {
+        self.watchdog = watchdog;
+        self
+    }
+
+    /// Turns the probe bus on or off (chainable builder).
+    #[must_use]
+    pub fn with_obs(mut self, obs: bool) -> Self {
+        self.obs = obs;
+        self
     }
 }
 
@@ -131,6 +194,15 @@ pub struct TrialOutcome {
     /// Scheduler-loop events consumed (the quantity the watchdog's
     /// event budget meters).
     pub events: u64,
+    /// What firmware recovery did after the outage (mount attempts,
+    /// journal batches replayed/discarded, map rebuild size). `None` for
+    /// fault-free trials.
+    pub recovery: Option<RecoveryReport>,
+    /// Counters and log2 latency histograms derived from the probe
+    /// stream. `None` unless [`TrialConfig::obs`] was set.
+    pub telemetry: Option<Metrics>,
+    /// The raw probe stream (empty unless [`TrialConfig::obs`] was set).
+    pub probe_records: Vec<ProbeRecord>,
 }
 
 /// Runs fault-injection trials. See the crate docs for the architecture.
@@ -150,30 +222,16 @@ impl TestPlatform {
         &self.config
     }
 
-    /// Runs one complete trial with the given seed.
-    ///
-    /// Infallible wrapper over [`TestPlatform::run_trial_checked`] for
-    /// configurations that cannot fail (the defaults: generous watchdog,
-    /// zero mount-failure rate).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the trial fails — campaigns that enable tight watchdogs
-    /// or mount failures must use [`TestPlatform::run_trial_checked`].
-    pub fn run_trial(&self, seed: u64) -> TrialOutcome {
-        match self.run_trial_checked(seed) {
-            Ok(outcome) => outcome,
-            Err(e) => panic!("run_trial on a failing configuration: {e}"),
-        }
-    }
-
     /// Runs one complete trial with the given seed, reporting watchdog
     /// expiry and unrecoverable (bricked) devices as errors instead of
     /// hanging or panicking.
-    pub fn run_trial_checked(&self, seed: u64) -> Result<TrialOutcome, TrialError> {
+    pub fn run_trial(&self, seed: u64) -> Result<TrialOutcome, TrialError> {
         let root = DetRng::new(seed);
         let mut sched_rng = root.fork("scheduler");
         let mut ssd = Ssd::new(self.config.ssd, root.fork("ssd"));
+        if self.config.obs {
+            ssd.enable_probes();
+        }
         let mut generator = WorkloadGenerator::new(self.config.workload, root.fork("workload"));
         let mut tracer = BlockTracer::new(SectorCount::new(self.config.ssd.max_segment_sectors));
         let mut oracle = Oracle::new();
@@ -344,9 +402,9 @@ impl TestPlatform {
         // mount gets another power cycle a second later; a device that
         // exhausts its retries is bricked — the trial's terminal outcome.
         let mut recovery_time = timeline.discharged + SimDuration::from_secs(1);
-        loop {
-            match ssd.try_power_on_recover(recovery_time) {
-                Ok(()) => break,
+        let recovery = loop {
+            match ssd.power_on_recover(recovery_time) {
+                Ok(report) => break report,
                 Err(pfault_ssd::DeviceError::Bricked { attempts }) => {
                     return Err(TrialError::DeviceBricked { seed, attempts });
                 }
@@ -360,7 +418,7 @@ impl TestPlatform {
                     recovery_time += SimDuration::from_secs(1);
                 }
             }
-        }
+        };
 
         // btt-style cross-check: the block-layer view of completion must
         // agree with the platform's records.
@@ -397,6 +455,11 @@ impl TestPlatform {
             .filter(|r| r.acked_at.is_some_and(|t| t <= fault_commanded))
             .count();
         let flash = ssd.flash_stats();
+        let probe_records = ssd.take_probe_records();
+        let telemetry = self
+            .config
+            .obs
+            .then(|| Metrics::from_records(&probe_records));
         Ok(TrialOutcome {
             counts,
             verdicts,
@@ -410,7 +473,32 @@ impl TestPlatform {
             dirty_sectors_lost: ssd.stats().last_fault_dirty_lost,
             map_sectors_lost: ssd.stats().last_fault_map_lost,
             events,
+            recovery: Some(recovery),
+            telemetry,
+            probe_records,
         })
+    }
+
+    /// Deprecated alias of [`TestPlatform::run_trial`] from before the
+    /// Result-first rename.
+    #[deprecated(note = "use `run_trial`, which now returns Result<TrialOutcome, TrialError>")]
+    pub fn run_trial_checked(&self, seed: u64) -> Result<TrialOutcome, TrialError> {
+        self.run_trial(seed)
+    }
+
+    /// Deprecated infallible shim over [`TestPlatform::run_trial`] for
+    /// configurations that cannot fail (generous watchdog, zero
+    /// mount-failure rate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trial fails.
+    #[deprecated(note = "use `run_trial` and handle the Result")]
+    pub fn run_trial_infallible(&self, seed: u64) -> TrialOutcome {
+        match self.run_trial(seed) {
+            Ok(outcome) => outcome,
+            Err(e) => panic!("run_trial on a failing configuration: {e}"),
+        }
     }
 
     /// Returns the number of sub-requests submitted.
@@ -495,6 +583,9 @@ impl TestPlatform {
     pub fn run_fault_free(&self, seed: u64) -> TrialOutcome {
         let root = DetRng::new(seed);
         let mut ssd = Ssd::new(self.config.ssd, root.fork("ssd"));
+        if self.config.obs {
+            ssd.enable_probes();
+        }
         let mut generator = WorkloadGenerator::new(self.config.workload, root.fork("workload"));
         let mut tracer = BlockTracer::new(SectorCount::new(self.config.ssd.max_segment_sectors));
         let mut oracle = Oracle::new();
@@ -525,6 +616,11 @@ impl TestPlatform {
         }
         ssd.quiesce();
         let (verdicts, counts) = classify_all(&records, &oracle, &mut ssd);
+        let probe_records = ssd.take_probe_records();
+        let telemetry = self
+            .config
+            .obs
+            .then(|| Metrics::from_records(&probe_records));
         TrialOutcome {
             counts,
             verdicts,
@@ -538,6 +634,9 @@ impl TestPlatform {
             dirty_sectors_lost: 0,
             map_sectors_lost: 0,
             events: 0,
+            recovery: None,
+            telemetry,
+            probe_records,
         }
     }
 }
@@ -581,8 +680,8 @@ mod tests {
     #[test]
     fn trial_is_deterministic() {
         let platform = TestPlatform::new(small_config());
-        let a = platform.run_trial(123);
-        let b = platform.run_trial(123);
+        let a = platform.run_trial(123).expect("trial runs");
+        let b = platform.run_trial(123).expect("trial runs");
         assert_eq!(a.counts, b.counts);
         assert_eq!(a.requests_issued, b.requests_issued);
         assert_eq!(a.fault_commanded_ms, b.fault_commanded_ms);
@@ -591,8 +690,8 @@ mod tests {
     #[test]
     fn different_seeds_vary_fault_instants() {
         let platform = TestPlatform::new(small_config());
-        let a = platform.run_trial(1);
-        let b = platform.run_trial(2);
+        let a = platform.run_trial(1).expect("trial runs");
+        let b = platform.run_trial(2).expect("trial runs");
         assert_ne!(a.fault_commanded_ms, b.fault_commanded_ms);
     }
 
@@ -601,7 +700,7 @@ mod tests {
         let platform = TestPlatform::new(small_config());
         let mut loss = 0;
         for seed in 0..10 {
-            let o = platform.run_trial(seed);
+            let o = platform.run_trial(seed).expect("trial runs");
             loss += o.counts.total_data_loss();
         }
         assert!(loss > 0, "10 faults on a write workload must lose data");
@@ -617,7 +716,7 @@ mod tests {
         let platform = TestPlatform::new(config);
         let mut io_errors = 0;
         for seed in 0..10 {
-            let o = platform.run_trial(seed);
+            let o = platform.run_trial(seed).expect("trial runs");
             assert_eq!(o.counts.total_data_loss(), 0, "reads cannot lose data");
             io_errors += o.counts.io_errors;
         }
@@ -627,7 +726,7 @@ mod tests {
     #[test]
     fn verdict_kinds_are_consistent_with_counts() {
         let platform = TestPlatform::new(small_config());
-        let o = platform.run_trial(99);
+        let o = platform.run_trial(99).expect("trial runs");
         let df = o
             .verdicts
             .iter()
@@ -642,7 +741,7 @@ mod tests {
         config.ssd.supercap = true;
         let platform = TestPlatform::new(config);
         for seed in 0..5 {
-            let o = platform.run_trial(seed);
+            let o = platform.run_trial(seed).expect("trial runs");
             assert_eq!(
                 o.counts.total_data_loss(),
                 0,

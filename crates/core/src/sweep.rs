@@ -24,7 +24,7 @@
 //!
 //! # The oracle
 //!
-//! After `try_power_on_recover`, three invariants must hold:
+//! After `power_on_recover`, three invariants must hold:
 //!
 //! * **Whole-batch replay** — the recovered mapping equals an independent
 //!   reference replay of the durable journal over the newest checkpoint,
@@ -433,8 +433,8 @@ impl Sweeper {
         let mut at = ssd.now().max(cut) + SimDuration::from_secs(1);
         let mut attempts = 0u32;
         loop {
-            match ssd.try_power_on_recover(at) {
-                Ok(()) => break,
+            match ssd.power_on_recover(at) {
+                Ok(_) => break,
                 Err(pfault_ssd::DeviceError::Bricked { attempts }) => {
                     return Err(TrialError::DeviceBricked {
                         seed: self.config.seed,
@@ -520,8 +520,8 @@ impl Sweeper {
         let mut at = again + SimDuration::from_secs(1);
         let mut attempts = 0u64;
         let remounted = loop {
-            match ssd.try_power_on_recover(at) {
-                Ok(()) => break true,
+            match ssd.power_on_recover(at) {
+                Ok(_) => break true,
                 Err(pfault_ssd::DeviceError::MountFailed { .. }) if attempts < 8 => {
                     attempts += 1;
                     at += SimDuration::from_secs(1);

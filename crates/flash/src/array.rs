@@ -68,6 +68,12 @@ pub struct FlashStats {
     pub interrupted_erases: u64,
     /// Paired pages corrupted as collateral damage.
     pub paired_corruptions: u64,
+    /// Reads that needed ECC repair (repaired at least one bit).
+    pub ecc_corrected_reads: u64,
+    /// Total bits repaired by ECC across all reads.
+    pub ecc_corrected_bits: u64,
+    /// Reads the ECC could not correct.
+    pub ecc_uncorrectable_reads: u64,
 }
 
 /// A simulated NAND flash array.
@@ -296,24 +302,23 @@ impl FlashArray {
                 let raw_ber = raw_ber.saturating_add(extra);
                 match ecc::decode(self.ecc, raw_ber, rng) {
                     EccOutcome::Corrected { repaired } => {
-                        if data.is_intact() {
-                            ReadOutcome::Ok {
-                                data,
-                                oob,
-                                repaired,
-                            }
-                        } else {
-                            // Garbled payload: checksum mismatch will be
-                            // caught by the Analyzer; the read itself
-                            // "succeeds" from the chip's point of view.
-                            ReadOutcome::Ok {
-                                data,
-                                oob,
-                                repaired,
-                            }
+                        if repaired > 0 {
+                            self.stats.ecc_corrected_reads += 1;
+                            self.stats.ecc_corrected_bits += u64::from(repaired);
+                        }
+                        // A garbled payload still "succeeds" from the
+                        // chip's point of view: the checksum mismatch is
+                        // caught later by the Analyzer.
+                        ReadOutcome::Ok {
+                            data,
+                            oob,
+                            repaired,
                         }
                     }
-                    EccOutcome::Uncorrectable => ReadOutcome::Uncorrectable,
+                    EccOutcome::Uncorrectable => {
+                        self.stats.ecc_uncorrectable_reads += 1;
+                        ReadOutcome::Uncorrectable
+                    }
                 }
             }
         }

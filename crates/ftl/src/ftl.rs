@@ -16,6 +16,7 @@ use std::collections::HashSet;
 use pfault_flash::array::{FlashArray, ReadOutcome};
 use pfault_flash::geometry::Ppa;
 use pfault_sim::{DetRng, Lba};
+use serde::{Deserialize, Serialize};
 
 use crate::alloc::BlockAllocator;
 use crate::checkpoint::{Checkpoint, CheckpointStore};
@@ -23,6 +24,34 @@ use crate::config::{FtlConfig, RecoveryPolicy};
 use crate::error::FtlError;
 use crate::journal::{DurableLog, JournalBatch, JournalBuffer};
 use crate::mapping::MappingTable;
+
+/// Counters describing what a mapping-table recovery actually did:
+/// which base it started from, how much journal it replayed, what it
+/// discarded, and how big the rebuilt map ended up. Filled by
+/// [`Ftl::recover_with_stats`] and surfaced to the host through the
+/// device layer's `RecoveryReport`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct RecoveryStats {
+    /// Whether a readable mapping checkpoint seeded the rebuild.
+    pub checkpoint_restored: bool,
+    /// Mapping entries restored from that checkpoint (0 when none).
+    pub checkpoint_entries: u64,
+    /// Checkpoint pages skipped because the fault destroyed them.
+    pub checkpoints_unreadable: u64,
+    /// Journal batches replayed cleanly.
+    pub batches_replayed: u64,
+    /// Mapping entries applied from replayed batches.
+    pub entries_replayed: u64,
+    /// Torn batches discarded whole by the CRC check.
+    pub batches_discarded_torn: u64,
+    /// Batches never reached because replay stopped early (at an
+    /// unreadable journal page or after a discarded tear).
+    pub batches_truncated: u64,
+    /// Pages adopted by the [`RecoveryPolicy::FullScan`] OOB scan.
+    pub scan_adoptions: u64,
+    /// Final size of the rebuilt logical-to-physical map.
+    pub map_entries: u64,
+}
 
 /// A reserved slot for a user-data page program.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -391,13 +420,25 @@ impl Ftl {
         checkpoints: &CheckpointStore,
         rng: &mut DetRng,
     ) -> Result<Ftl, FtlError> {
-        let ftl = Ftl::recover_with_checkpoints(config, array, durable, checkpoints, rng);
+        Ftl::try_recover_with_stats(config, array, durable, checkpoints, rng).map(|(ftl, _)| ftl)
+    }
+
+    /// Fallible recovery that also reports what the rebuild did: the
+    /// [`RecoveryStats`] counterpart of [`Ftl::try_recover_with_checkpoints`].
+    pub fn try_recover_with_stats(
+        config: FtlConfig,
+        array: &mut FlashArray,
+        durable: &DurableLog,
+        checkpoints: &CheckpointStore,
+        rng: &mut DetRng,
+    ) -> Result<(Ftl, RecoveryStats), FtlError> {
+        let (ftl, stats) = Ftl::recover_with_stats(config, array, durable, checkpoints, rng);
         if ftl.available_blocks() == 0 {
             return Err(FtlError::RecoveryExhausted {
                 blocks: config.geometry.blocks(),
             });
         }
-        Ok(ftl)
+        Ok((ftl, stats))
     }
 
     /// Full recovery: start from the newest *readable* checkpoint, then
@@ -415,7 +456,20 @@ impl Ftl {
         checkpoints: &CheckpointStore,
         rng: &mut DetRng,
     ) -> Ftl {
+        Ftl::recover_with_stats(config, array, durable, checkpoints, rng).0
+    }
+
+    /// Like [`Ftl::recover_with_checkpoints`], additionally returning
+    /// [`RecoveryStats`] describing the rebuild.
+    pub fn recover_with_stats(
+        config: FtlConfig,
+        array: &mut FlashArray,
+        durable: &DurableLog,
+        checkpoints: &CheckpointStore,
+        rng: &mut DetRng,
+    ) -> (Ftl, RecoveryStats) {
         config.validate();
+        let mut stats = RecoveryStats::default();
         let mut map = MappingTable::new();
         let mut replay_after: Option<u64> = None;
         for (page, checkpoint) in checkpoints.iter_newest_first() {
@@ -424,10 +478,14 @@ impl Ftl {
             if readable {
                 map = checkpoint.restore();
                 replay_after = checkpoint.last_batch;
+                stats.checkpoint_restored = true;
+                stats.checkpoint_entries = map.len() as u64;
                 break;
             }
+            stats.checkpoints_unreadable += 1;
         }
-        for record in durable.iter_records() {
+        let records: Vec<_> = durable.iter_records().collect();
+        for (i, record) in records.iter().enumerate() {
             if replay_after.is_some_and(|last| record.batch.id <= last) {
                 continue; // already folded into the checkpoint base
             }
@@ -437,6 +495,7 @@ impl Ftl {
             );
             if !readable {
                 // Journal page destroyed by the fault: replay stops here.
+                stats.batches_truncated += (records.len() - i) as u64;
                 break;
             }
             if config.verify_batch_crc && !record.crc_ok() {
@@ -444,11 +503,15 @@ impl Ftl {
                 // batch, but only a prefix of its entries persisted.
                 // Discard it whole — never half-apply — and stop replay:
                 // every later batch was ordered after the tear.
+                stats.batches_discarded_torn += 1;
+                stats.batches_truncated += (records.len() - i - 1) as u64;
                 break;
             }
             record
                 .batch
                 .apply_to(&mut map, config.geometry.pages_per_block());
+            stats.batches_replayed += 1;
+            stats.entries_replayed += record.batch.entries.len() as u64;
         }
         if config.recovery_policy == RecoveryPolicy::FullScan {
             // OOB scan: adopt the newest readable user page per sector.
@@ -490,9 +553,11 @@ impl Ftl {
                         });
                 if base_seq.is_none_or(|b| scan_seq >= b) {
                     map.update(lba, ppa);
+                    stats.scan_adoptions += 1;
                 }
             }
         }
+        stats.map_entries = map.len() as u64;
 
         // Allocation restarts on fresh blocks beyond anything touched, so
         // post-recovery writes never collide with surviving data.
@@ -507,7 +572,7 @@ impl Ftl {
             // Consume the low blocks; they may hold stale-but-referenced data.
             let _ = alloc.allocate();
         }
-        Ftl {
+        let ftl = Ftl {
             config,
             map,
             alloc,
@@ -519,7 +584,8 @@ impl Ftl {
             next_batch_id: durable.len() as u64,
             batches_since_checkpoint: 0,
             next_checkpoint_id: checkpoints.len() as u64,
-        }
+        };
+        (ftl, stats)
     }
 }
 

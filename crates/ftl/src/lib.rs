@@ -53,5 +53,5 @@ pub mod mapping;
 pub use checkpoint::{Checkpoint, CheckpointStore};
 pub use config::{FtlConfig, RecoveryPolicy};
 pub use error::FtlError;
-pub use ftl::{CheckpointOp, CommitOp, Ftl, GcPlan, WriteSlot};
+pub use ftl::{CheckpointOp, CommitOp, Ftl, GcPlan, RecoveryStats, WriteSlot};
 pub use journal::{DurableBatch, DurableLog, JournalBatch, JournalEntry};

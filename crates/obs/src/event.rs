@@ -1,0 +1,380 @@
+//! Typed probe events and the layers that emit them.
+//!
+//! Events carry only integers (addresses, sector counts, microsecond
+//! durations) so that every serialisation is exact and deterministic.
+//! Fractions are expressed in permille (`progress_permille`), never as
+//! floats.
+
+use serde::{Deserialize, Serialize};
+
+/// Which layer of the stack emitted a probe record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Layer {
+    /// Host interface: request queue, ACK boundary.
+    Host,
+    /// DRAM write-back cache.
+    Cache,
+    /// NAND array operations (programs, erases, ECC).
+    Flash,
+    /// FTL bookkeeping: journal, checkpoints, GC.
+    Ftl,
+    /// Power subsystem: rail thresholds, volatile-state loss.
+    Power,
+    /// Power-on recovery path.
+    Recovery,
+}
+
+impl Layer {
+    /// Stable lowercase name used in JSONL output and metric keys.
+    pub fn name(self) -> &'static str {
+        match self {
+            Layer::Host => "host",
+            Layer::Cache => "cache",
+            Layer::Flash => "flash",
+            Layer::Ftl => "ftl",
+            Layer::Power => "power",
+            Layer::Recovery => "recovery",
+        }
+    }
+}
+
+/// What kind of NAND program a `Program*` event describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ProgramKind {
+    /// Dirty sector flushed from the write cache.
+    CacheFlush,
+    /// Direct (cache-off) user write.
+    Direct,
+    /// GC relocation of a live sector.
+    GcReloc,
+    /// Journal-batch control program.
+    Journal,
+    /// Mapping-checkpoint control program.
+    Checkpoint,
+}
+
+impl ProgramKind {
+    /// Stable name used in JSONL output.
+    pub fn name(self) -> &'static str {
+        match self {
+            ProgramKind::CacheFlush => "cache-flush",
+            ProgramKind::Direct => "direct",
+            ProgramKind::GcReloc => "gc-reloc",
+            ProgramKind::Journal => "journal",
+            ProgramKind::Checkpoint => "checkpoint",
+        }
+    }
+}
+
+/// One step of the power-on recovery pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum RecoveryStepKind {
+    /// A mount attempt started (`value` = attempt number, 1-based).
+    MountAttempt,
+    /// A mount attempt failed (`value` = attempt number, 1-based).
+    MountFailed,
+    /// A mapping checkpoint was restored (`value` = entries restored).
+    CheckpointRestored,
+    /// Journal batches replayed cleanly (`value` = batch count).
+    BatchReplayed,
+    /// Torn batches that failed their CRC and were discarded whole
+    /// (`value` = batch count).
+    BatchDiscardedTorn,
+    /// Replay stopped early at an unreadable journal page
+    /// (`value` = batches never reached).
+    ReplayTruncated,
+    /// The logical-to-physical map finished rebuilding
+    /// (`value` = mapped entries).
+    MapRebuilt,
+    /// Full-scan reconciliation adopted an OOB-tagged page
+    /// (`value` = pages adopted so far).
+    ScanAdopted,
+}
+
+impl RecoveryStepKind {
+    /// Stable name used in JSONL output and metric keys.
+    pub fn name(self) -> &'static str {
+        match self {
+            RecoveryStepKind::MountAttempt => "mount-attempt",
+            RecoveryStepKind::MountFailed => "mount-failed",
+            RecoveryStepKind::CheckpointRestored => "checkpoint-restored",
+            RecoveryStepKind::BatchReplayed => "batch-replayed",
+            RecoveryStepKind::BatchDiscardedTorn => "batch-discarded-torn",
+            RecoveryStepKind::ReplayTruncated => "replay-truncated",
+            RecoveryStepKind::MapRebuilt => "map-rebuilt",
+            RecoveryStepKind::ScanAdopted => "scan-adopted",
+        }
+    }
+}
+
+/// A typed probe event. All payload fields are integers so renderings
+/// are exact; durations are simulated microseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ProbeEvent {
+    /// Sector entered the write cache.
+    CacheInsert {
+        /// Logical block address.
+        lba: u64,
+        /// Dirty sectors resident after the insert.
+        dirty: u64,
+    },
+    /// Sector left the cache to make room (flush-on-pressure).
+    CacheEvict {
+        /// Logical block address.
+        lba: u64,
+        /// Dirty sectors resident after the eviction started.
+        dirty: u64,
+    },
+    /// A NAND program started.
+    ProgramStart {
+        /// What the program is writing.
+        kind: ProgramKind,
+        /// Physical block.
+        block: u64,
+        /// Page within the block.
+        page: u64,
+    },
+    /// A NAND program completed on the array.
+    ProgramEnd {
+        /// What the program was writing.
+        kind: ProgramKind,
+        /// Physical block.
+        block: u64,
+        /// Page within the block.
+        page: u64,
+        /// Program latency in simulated microseconds.
+        us: u64,
+    },
+    /// A NAND program was cut mid-flight by the rail collapse.
+    ProgramInterrupted {
+        /// What the program was writing.
+        kind: ProgramKind,
+        /// Physical block.
+        block: u64,
+        /// Page within the block.
+        page: u64,
+        /// How far the ISPP sequence had got, in permille.
+        progress_permille: u64,
+    },
+    /// A block erase started (GC victim).
+    EraseStart {
+        /// Physical block being erased.
+        block: u64,
+    },
+    /// A block erase completed.
+    EraseEnd {
+        /// Physical block erased.
+        block: u64,
+        /// Erase latency in simulated microseconds.
+        us: u64,
+    },
+    /// A block erase was cut mid-flight.
+    EraseInterrupted {
+        /// Physical block whose erase was interrupted.
+        block: u64,
+    },
+    /// A journal batch committed durably.
+    JournalCommit {
+        /// Mapping entries in the batch.
+        entries: u64,
+        /// Sectors of user data the batch covers.
+        coverage: u64,
+        /// Commit (program) latency in simulated microseconds.
+        us: u64,
+    },
+    /// A journal batch tore: only a prefix reached the array.
+    JournalTorn {
+        /// Sectors of the batch that survived.
+        kept: u64,
+        /// Sectors the full batch would have occupied.
+        full: u64,
+    },
+    /// A mapping checkpoint write started.
+    CheckpointBegin {
+        /// Monotonic checkpoint id.
+        id: u64,
+        /// Mapping entries captured.
+        entries: u64,
+    },
+    /// A mapping checkpoint write completed.
+    CheckpointEnd {
+        /// Monotonic checkpoint id.
+        id: u64,
+        /// Checkpoint (program) latency in simulated microseconds.
+        us: u64,
+    },
+    /// A mapping checkpoint write was cut mid-flight.
+    CheckpointInterrupted {
+        /// Monotonic checkpoint id.
+        id: u64,
+    },
+    /// GC relocated one live sector.
+    GcMove {
+        /// Logical block address moved.
+        lba: u64,
+        /// Victim block.
+        from_block: u64,
+        /// Destination block.
+        to_block: u64,
+    },
+    /// The power rail was cut; thresholds are absolute simulated µs.
+    PowerCut {
+        /// When the Off command was issued.
+        commanded_us: u64,
+        /// When the host link dropped (4.5 V).
+        host_lost_us: u64,
+        /// When NAND operations stopped being reliable (4.0 V).
+        flash_unreliable_us: u64,
+        /// When the controller core died (2.5 V).
+        core_dead_us: u64,
+    },
+    /// Volatile state lost at core death.
+    VolatileLost {
+        /// Dirty cache sectors that never reached the array.
+        dirty: u64,
+        /// Volatile mapping entries that never reached the journal.
+        map: u64,
+    },
+    /// One step of power-on recovery.
+    RecoveryStep {
+        /// Which step.
+        step: RecoveryStepKind,
+        /// Step-specific magnitude (see [`RecoveryStepKind`] docs).
+        value: u64,
+    },
+    /// ECC corrected a read.
+    EccCorrected {
+        /// Physical block read.
+        block: u64,
+        /// Page within the block.
+        page: u64,
+        /// Bits repaired.
+        bits: u64,
+    },
+    /// ECC could not correct a read.
+    EccUncorrectable {
+        /// Physical block read.
+        block: u64,
+        /// Page within the block.
+        page: u64,
+    },
+    /// The host link dropped with requests still in flight.
+    HostLinkLost {
+        /// Requests in flight when the link died.
+        inflight: u64,
+    },
+}
+
+impl ProbeEvent {
+    /// Stable dotted event name: used as the JSONL `event` field and as
+    /// the per-event counter key in [`crate::Metrics`].
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ProbeEvent::CacheInsert { .. } => "cache.insert",
+            ProbeEvent::CacheEvict { .. } => "cache.evict",
+            ProbeEvent::ProgramStart { .. } => "program.start",
+            ProbeEvent::ProgramEnd { .. } => "program.end",
+            ProbeEvent::ProgramInterrupted { .. } => "program.interrupted",
+            ProbeEvent::EraseStart { .. } => "erase.start",
+            ProbeEvent::EraseEnd { .. } => "erase.end",
+            ProbeEvent::EraseInterrupted { .. } => "erase.interrupted",
+            ProbeEvent::JournalCommit { .. } => "journal.commit",
+            ProbeEvent::JournalTorn { .. } => "journal.torn",
+            ProbeEvent::CheckpointBegin { .. } => "checkpoint.begin",
+            ProbeEvent::CheckpointEnd { .. } => "checkpoint.end",
+            ProbeEvent::CheckpointInterrupted { .. } => "checkpoint.interrupted",
+            ProbeEvent::GcMove { .. } => "gc.move",
+            ProbeEvent::PowerCut { .. } => "power.cut",
+            ProbeEvent::VolatileLost { .. } => "power.volatile-lost",
+            ProbeEvent::RecoveryStep { .. } => "recovery.step",
+            ProbeEvent::EccCorrected { .. } => "ecc.corrected",
+            ProbeEvent::EccUncorrectable { .. } => "ecc.uncorrectable",
+            ProbeEvent::HostLinkLost { .. } => "host.link-lost",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_are_unique() {
+        let events = [
+            ProbeEvent::CacheInsert { lba: 0, dirty: 0 },
+            ProbeEvent::CacheEvict { lba: 0, dirty: 0 },
+            ProbeEvent::ProgramStart {
+                kind: ProgramKind::Direct,
+                block: 0,
+                page: 0,
+            },
+            ProbeEvent::ProgramEnd {
+                kind: ProgramKind::Direct,
+                block: 0,
+                page: 0,
+                us: 0,
+            },
+            ProbeEvent::ProgramInterrupted {
+                kind: ProgramKind::Direct,
+                block: 0,
+                page: 0,
+                progress_permille: 0,
+            },
+            ProbeEvent::EraseStart { block: 0 },
+            ProbeEvent::EraseEnd { block: 0, us: 0 },
+            ProbeEvent::EraseInterrupted { block: 0 },
+            ProbeEvent::JournalCommit {
+                entries: 0,
+                coverage: 0,
+                us: 0,
+            },
+            ProbeEvent::JournalTorn { kept: 0, full: 0 },
+            ProbeEvent::CheckpointBegin { id: 0, entries: 0 },
+            ProbeEvent::CheckpointEnd { id: 0, us: 0 },
+            ProbeEvent::CheckpointInterrupted { id: 0 },
+            ProbeEvent::GcMove {
+                lba: 0,
+                from_block: 0,
+                to_block: 0,
+            },
+            ProbeEvent::PowerCut {
+                commanded_us: 0,
+                host_lost_us: 0,
+                flash_unreliable_us: 0,
+                core_dead_us: 0,
+            },
+            ProbeEvent::VolatileLost { dirty: 0, map: 0 },
+            ProbeEvent::RecoveryStep {
+                step: RecoveryStepKind::MountAttempt,
+                value: 0,
+            },
+            ProbeEvent::EccCorrected {
+                block: 0,
+                page: 0,
+                bits: 0,
+            },
+            ProbeEvent::EccUncorrectable { block: 0, page: 0 },
+            ProbeEvent::HostLinkLost { inflight: 0 },
+        ];
+        let mut kinds: Vec<&str> = events.iter().map(|e| e.kind()).collect();
+        kinds.sort_unstable();
+        kinds.dedup();
+        assert_eq!(kinds.len(), events.len());
+    }
+
+    #[test]
+    fn layer_names_are_unique() {
+        let layers = [
+            Layer::Host,
+            Layer::Cache,
+            Layer::Flash,
+            Layer::Ftl,
+            Layer::Power,
+            Layer::Recovery,
+        ];
+        let mut names: Vec<&str> = layers.iter().map(|l| l.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), layers.len());
+    }
+}

@@ -1,0 +1,257 @@
+//! Blkparse-style JSON-lines export of probe records.
+//!
+//! One record per line, keys in a fixed order (`seq`, `t_us`, `layer`,
+//! `req`, `span`, `event`, then the event's payload fields in
+//! declaration order). The renderer is hand-rolled rather than routed
+//! through serde so the byte layout is guaranteed stable — the
+//! determinism acceptance test compares whole files with `cmp`.
+
+use std::fmt::Write as _;
+
+use crate::event::ProbeEvent;
+use crate::probe::ProbeRecord;
+
+/// Renders one record as a single JSON line (no trailing newline).
+pub fn render_record(r: &ProbeRecord) -> String {
+    let mut s = String::with_capacity(128);
+    let _ = write!(
+        s,
+        "{{\"seq\":{},\"t_us\":{},\"layer\":\"{}\"",
+        r.seq,
+        r.time_us,
+        r.layer.name()
+    );
+    match r.request {
+        Some(id) => {
+            let _ = write!(s, ",\"req\":{id}");
+        }
+        None => s.push_str(",\"req\":null"),
+    }
+    match r.span {
+        Some(id) => {
+            let _ = write!(s, ",\"span\":{id}");
+        }
+        None => s.push_str(",\"span\":null"),
+    }
+    let _ = write!(s, ",\"event\":\"{}\"", r.event.kind());
+    render_payload(&mut s, &r.event);
+    s.push('}');
+    s
+}
+
+fn render_payload(s: &mut String, event: &ProbeEvent) {
+    match *event {
+        ProbeEvent::CacheInsert { lba, dirty } | ProbeEvent::CacheEvict { lba, dirty } => {
+            let _ = write!(s, ",\"lba\":{lba},\"dirty\":{dirty}");
+        }
+        ProbeEvent::ProgramStart { kind, block, page } => {
+            let _ = write!(
+                s,
+                ",\"kind\":\"{}\",\"block\":{block},\"page\":{page}",
+                kind.name()
+            );
+        }
+        ProbeEvent::ProgramEnd {
+            kind,
+            block,
+            page,
+            us,
+        } => {
+            let _ = write!(
+                s,
+                ",\"kind\":\"{}\",\"block\":{block},\"page\":{page},\"us\":{us}",
+                kind.name()
+            );
+        }
+        ProbeEvent::ProgramInterrupted {
+            kind,
+            block,
+            page,
+            progress_permille,
+        } => {
+            let _ = write!(
+                s,
+                ",\"kind\":\"{}\",\"block\":{block},\"page\":{page},\"progress_permille\":{progress_permille}",
+                kind.name()
+            );
+        }
+        ProbeEvent::EraseStart { block } | ProbeEvent::EraseInterrupted { block } => {
+            let _ = write!(s, ",\"block\":{block}");
+        }
+        ProbeEvent::EraseEnd { block, us } => {
+            let _ = write!(s, ",\"block\":{block},\"us\":{us}");
+        }
+        ProbeEvent::JournalCommit {
+            entries,
+            coverage,
+            us,
+        } => {
+            let _ = write!(
+                s,
+                ",\"entries\":{entries},\"coverage\":{coverage},\"us\":{us}"
+            );
+        }
+        ProbeEvent::JournalTorn { kept, full } => {
+            let _ = write!(s, ",\"kept\":{kept},\"full\":{full}");
+        }
+        ProbeEvent::CheckpointBegin { id, entries } => {
+            let _ = write!(s, ",\"id\":{id},\"entries\":{entries}");
+        }
+        ProbeEvent::CheckpointEnd { id, us } => {
+            let _ = write!(s, ",\"id\":{id},\"us\":{us}");
+        }
+        ProbeEvent::CheckpointInterrupted { id } => {
+            let _ = write!(s, ",\"id\":{id}");
+        }
+        ProbeEvent::GcMove {
+            lba,
+            from_block,
+            to_block,
+        } => {
+            let _ = write!(
+                s,
+                ",\"lba\":{lba},\"from_block\":{from_block},\"to_block\":{to_block}"
+            );
+        }
+        ProbeEvent::PowerCut {
+            commanded_us,
+            host_lost_us,
+            flash_unreliable_us,
+            core_dead_us,
+        } => {
+            let _ = write!(
+                s,
+                ",\"commanded_us\":{commanded_us},\"host_lost_us\":{host_lost_us},\"flash_unreliable_us\":{flash_unreliable_us},\"core_dead_us\":{core_dead_us}"
+            );
+        }
+        ProbeEvent::VolatileLost { dirty, map } => {
+            let _ = write!(s, ",\"dirty\":{dirty},\"map\":{map}");
+        }
+        ProbeEvent::RecoveryStep { step, value } => {
+            let _ = write!(s, ",\"step\":\"{}\",\"value\":{value}", step.name());
+        }
+        ProbeEvent::EccCorrected { block, page, bits } => {
+            let _ = write!(s, ",\"block\":{block},\"page\":{page},\"bits\":{bits}");
+        }
+        ProbeEvent::EccUncorrectable { block, page } => {
+            let _ = write!(s, ",\"block\":{block},\"page\":{page}");
+        }
+        ProbeEvent::HostLinkLost { inflight } => {
+            let _ = write!(s, ",\"inflight\":{inflight}");
+        }
+    }
+}
+
+/// Renders all records, one per line, with a trailing newline (empty
+/// string for an empty slice).
+pub fn render_records(records: &[ProbeRecord]) -> String {
+    let mut out = String::new();
+    for r in records {
+        out.push_str(&render_record(r));
+        out.push('\n');
+    }
+    out
+}
+
+/// The well-formedness view of one parsed JSONL line: the four header
+/// fields every record must carry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedProbeLine {
+    /// Emission sequence number.
+    pub seq: u64,
+    /// Simulated microsecond timestamp.
+    pub time_us: u64,
+    /// Emitting layer name.
+    pub layer: String,
+    /// Dotted event kind.
+    pub event: String,
+}
+
+/// Parses one JSONL line, verifying it is a JSON object carrying the
+/// mandatory header fields with the right types.
+pub fn parse_jsonl_line(line: &str) -> Result<ParsedProbeLine, String> {
+    let value = serde_json::parse_value_str(line).map_err(|e| e.to_string())?;
+    let object = value
+        .as_object()
+        .ok_or_else(|| "line is not a JSON object".to_string())?;
+    let get_u64 = |key: &str| -> Result<u64, String> {
+        object
+            .get(key)
+            .and_then(|v| v.as_u64())
+            .ok_or_else(|| format!("missing or non-integer field {key:?}"))
+    };
+    let get_str = |key: &str| -> Result<String, String> {
+        object
+            .get(key)
+            .and_then(|v| v.as_str())
+            .map(str::to_string)
+            .ok_or_else(|| format!("missing or non-string field {key:?}"))
+    };
+    Ok(ParsedProbeLine {
+        seq: get_u64("seq")?,
+        time_us: get_u64("t_us")?,
+        layer: get_str("layer")?,
+        event: get_str("event")?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Layer, ProgramKind};
+    use crate::probe::ProbeLog;
+    use pfault_sim::SimTime;
+
+    fn sample_log() -> ProbeLog {
+        let mut log = ProbeLog::enabled();
+        log.emit_tagged(
+            SimTime::from_micros(100),
+            Layer::Flash,
+            Some(3),
+            Some(0),
+            ProbeEvent::ProgramEnd {
+                kind: ProgramKind::CacheFlush,
+                block: 7,
+                page: 12,
+                us: 900,
+            },
+        );
+        log.emit(
+            SimTime::from_micros(150),
+            Layer::Power,
+            ProbeEvent::VolatileLost { dirty: 5, map: 2 },
+        );
+        log
+    }
+
+    #[test]
+    fn rendering_is_stable_and_parseable() {
+        let log = sample_log();
+        let text = render_records(log.records());
+        let again = render_records(log.records());
+        assert_eq!(text, again, "rendering must be byte-stable");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            "{\"seq\":0,\"t_us\":100,\"layer\":\"flash\",\"req\":3,\"span\":0,\
+             \"event\":\"program.end\",\"kind\":\"cache-flush\",\"block\":7,\"page\":12,\"us\":900}"
+        );
+        for (i, line) in lines.iter().enumerate() {
+            let parsed = parse_jsonl_line(line).expect("well-formed line");
+            assert_eq!(parsed.seq, i as u64);
+        }
+        let p = parse_jsonl_line(lines[1]).expect("well-formed");
+        assert_eq!(p.layer, "power");
+        assert_eq!(p.event, "power.volatile-lost");
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        assert!(parse_jsonl_line("not json").is_err());
+        assert!(parse_jsonl_line("{\"seq\":1}").is_err());
+        assert!(
+            parse_jsonl_line("{\"seq\":\"x\",\"t_us\":0,\"layer\":\"a\",\"event\":\"b\"}").is_err()
+        );
+    }
+}

@@ -1,0 +1,319 @@
+//! Deterministic counters and log2-bucket histograms.
+//!
+//! Everything here is integer arithmetic over simulated time, so two
+//! same-seed trials produce byte-identical serialisations. Keys are
+//! `BTreeMap<String, _>` so iteration (and therefore JSON key order) is
+//! sorted and stable regardless of insertion or merge order.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::event::{ProbeEvent, RecoveryStepKind};
+use crate::probe::ProbeRecord;
+
+/// Number of log2 buckets: bucket 0 holds the value 0, bucket `i` (for
+/// `i >= 1`) holds values whose bit length is `i`, i.e. the range
+/// `[2^(i-1), 2^i - 1]`. Bucket 64 holds values with the top bit set.
+pub const LOG2_BUCKETS: usize = 65;
+
+/// Fixed-bucket power-of-two histogram over `u64` samples.
+///
+/// The bucket vector always has [`LOG2_BUCKETS`] entries (a `Vec` only
+/// because the serde shim cannot round-trip fixed-size arrays).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Log2Histogram {
+    buckets: Vec<u64>,
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Self {
+        Log2Histogram::new()
+    }
+}
+
+impl Log2Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Log2Histogram {
+            buckets: vec![0; LOG2_BUCKETS],
+        }
+    }
+
+    /// Bucket index for `value`: 0 for 0, otherwise the bit length.
+    pub fn bucket_index(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        }
+    }
+
+    /// Inclusive lower bound of bucket `index` (0 for buckets 0 and 1).
+    pub fn bucket_lower_bound(index: usize) -> u64 {
+        match index {
+            0 => 0,
+            1 => 1,
+            i => 1u64 << (i - 1),
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Log2Histogram::bucket_index(value)] += 1;
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Whether no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count() == 0
+    }
+
+    /// The per-bucket sample counts (always [`LOG2_BUCKETS`] entries;
+    /// a deserialised histogram is re-padded on merge/record access).
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Adds every sample of `other` into `self`.
+    pub fn merge(&mut self, other: &Log2Histogram) {
+        for (i, n) in other.buckets.iter().enumerate() {
+            if i < self.buckets.len() {
+                self.buckets[i] += n;
+            }
+        }
+    }
+
+    /// Lower bound of the smallest bucket whose cumulative count
+    /// reaches `p` percent of all samples (deterministic percentile
+    /// floor; `None` when empty).
+    pub fn percentile_lower_bound(&self, p: u64) -> Option<u64> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let target = (total * p).div_ceil(100).max(1);
+        let mut seen = 0;
+        for (i, n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return Some(Log2Histogram::bucket_lower_bound(i));
+            }
+        }
+        None
+    }
+}
+
+/// A named set of counters and histograms — the per-trial (and, after
+/// merging, per-campaign) metrics registry.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Metrics {
+    /// Monotonic counters, keyed by dotted name.
+    pub counters: BTreeMap<String, u64>,
+    /// Latency/size histograms, keyed by dotted name.
+    pub histograms: BTreeMap<String, Log2Histogram>,
+}
+
+impl Metrics {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Adds `by` to the counter `name` (creating it at 0).
+    pub fn incr(&mut self, name: &str, by: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += by;
+    }
+
+    /// Records `value` into the histogram `name` (creating it empty).
+    pub fn observe(&mut self, name: &str, value: u64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .record(value);
+    }
+
+    /// Current value of a counter (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// A histogram by name, when present.
+    pub fn histogram(&self, name: &str) -> Option<&Log2Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Adds every counter and histogram of `other` into `self`.
+    pub fn merge(&mut self, other: &Metrics) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, h) in &other.histograms {
+            self.histograms.entry(k.clone()).or_default().merge(h);
+        }
+    }
+
+    /// Derives the standard per-trial registry from raw probe records:
+    /// one counter per event kind, magnitude counters for the fields
+    /// that matter to failure attribution (sectors lost, ECC bits,
+    /// recovery step values), and latency histograms for programs,
+    /// erases, journal commits, and checkpoints.
+    pub fn from_records(records: &[ProbeRecord]) -> Metrics {
+        let mut m = Metrics::new();
+        for r in records {
+            m.incr(r.event.kind(), 1);
+            match r.event {
+                ProbeEvent::ProgramEnd { us, .. } => m.observe("program.us", us),
+                ProbeEvent::EraseEnd { us, .. } => m.observe("erase.us", us),
+                ProbeEvent::JournalCommit { entries, us, .. } => {
+                    m.incr("journal.entries", entries);
+                    m.observe("journal.commit.us", us);
+                }
+                ProbeEvent::JournalTorn { kept, full } => {
+                    m.incr("journal.torn.kept-sectors", kept);
+                    m.incr("journal.torn.lost-sectors", full.saturating_sub(kept));
+                }
+                ProbeEvent::CheckpointEnd { us, .. } => m.observe("checkpoint.us", us),
+                ProbeEvent::CacheEvict { dirty, .. } => m.observe("cache.dirty-at-evict", dirty),
+                ProbeEvent::VolatileLost { dirty, map } => {
+                    m.incr("power.dirty-sectors-lost", dirty);
+                    m.incr("power.map-sectors-lost", map);
+                }
+                ProbeEvent::EccCorrected { bits, .. } => m.incr("ecc.corrected-bits", bits),
+                ProbeEvent::RecoveryStep { step, value }
+                    if !matches!(
+                        step,
+                        RecoveryStepKind::MountAttempt | RecoveryStepKind::MountFailed
+                    ) =>
+                {
+                    m.incr(&format!("recovery.{}", step.name()), value);
+                }
+                _ => {}
+            }
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Layer;
+    use crate::probe::ProbeLog;
+    use pfault_sim::SimTime;
+
+    #[test]
+    fn bucket_indexing_is_log2() {
+        assert_eq!(Log2Histogram::bucket_index(0), 0);
+        assert_eq!(Log2Histogram::bucket_index(1), 1);
+        assert_eq!(Log2Histogram::bucket_index(2), 2);
+        assert_eq!(Log2Histogram::bucket_index(3), 2);
+        assert_eq!(Log2Histogram::bucket_index(4), 3);
+        assert_eq!(Log2Histogram::bucket_index(1023), 10);
+        assert_eq!(Log2Histogram::bucket_index(1024), 11);
+        assert_eq!(Log2Histogram::bucket_index(u64::MAX), 64);
+        for i in 0..LOG2_BUCKETS {
+            let lo = Log2Histogram::bucket_lower_bound(i);
+            if i >= 1 {
+                assert_eq!(Log2Histogram::bucket_index(lo.max(1)), i.max(1));
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_merge_is_addition() {
+        let mut a = Log2Histogram::new();
+        let mut b = Log2Histogram::new();
+        a.record(5);
+        b.record(5);
+        b.record(100);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.buckets()[Log2Histogram::bucket_index(5)], 2);
+        assert_eq!(a.buckets()[Log2Histogram::bucket_index(100)], 1);
+    }
+
+    #[test]
+    fn percentile_lower_bound_floor() {
+        let mut h = Log2Histogram::new();
+        for v in [1u64, 2, 4, 8, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.percentile_lower_bound(50), Some(4));
+        assert_eq!(h.percentile_lower_bound(100), Some(512));
+        assert_eq!(Log2Histogram::new().percentile_lower_bound(50), None);
+    }
+
+    #[test]
+    fn metrics_merge_sums_counters() {
+        let mut a = Metrics::new();
+        let mut b = Metrics::new();
+        a.incr("x", 2);
+        b.incr("x", 3);
+        b.incr("y", 1);
+        b.observe("h", 7);
+        a.merge(&b);
+        assert_eq!(a.counter("x"), 5);
+        assert_eq!(a.counter("y"), 1);
+        assert_eq!(a.histogram("h").map(|h| h.count()), Some(1));
+    }
+
+    #[test]
+    fn from_records_counts_kinds_and_magnitudes() {
+        let mut log = ProbeLog::enabled();
+        let t = SimTime::from_micros(10);
+        log.emit(
+            t,
+            Layer::Ftl,
+            ProbeEvent::JournalCommit {
+                entries: 4,
+                coverage: 32,
+                us: 200,
+            },
+        );
+        log.emit(
+            t,
+            Layer::Power,
+            ProbeEvent::VolatileLost { dirty: 9, map: 3 },
+        );
+        log.emit(
+            t,
+            Layer::Flash,
+            ProbeEvent::EccCorrected {
+                block: 1,
+                page: 2,
+                bits: 5,
+            },
+        );
+        let m = Metrics::from_records(log.records());
+        assert_eq!(m.counter("journal.commit"), 1);
+        assert_eq!(m.counter("journal.entries"), 4);
+        assert_eq!(m.counter("power.dirty-sectors-lost"), 9);
+        assert_eq!(m.counter("power.map-sectors-lost"), 3);
+        assert_eq!(m.counter("ecc.corrected-bits"), 5);
+        assert_eq!(m.histogram("journal.commit.us").map(|h| h.count()), Some(1));
+    }
+
+    #[test]
+    fn serialisation_is_sorted_and_stable() {
+        let mut m = Metrics::new();
+        m.incr("zebra", 1);
+        m.incr("alpha", 2);
+        m.observe("lat", 33);
+        let a = serde_json::to_string(&m).expect("serialises");
+        let b = serde_json::to_string(&m.clone()).expect("serialises");
+        assert_eq!(a, b);
+        assert!(a.find("alpha").expect("alpha") < a.find("zebra").expect("zebra"));
+        let back: Metrics = serde_json::from_str(&a).expect("round-trips");
+        assert_eq!(back, m);
+    }
+}

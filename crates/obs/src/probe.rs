@@ -1,0 +1,210 @@
+//! The probe bus: an append-only, zero-cost-when-disabled event log.
+//!
+//! Mirrors the proven `SiteLog` pattern from `pfault-ssd`: a single
+//! `enabled` flag guards every emit, so a disabled log costs one branch
+//! and no allocation. Hot paths should use [`ProbeLog::emit_with`] so
+//! the event payload itself is never built while disabled.
+
+use pfault_sim::SimTime;
+use serde::{Deserialize, Serialize};
+
+use crate::event::{Layer, ProbeEvent};
+
+/// One emitted probe event with its full provenance tags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProbeRecord {
+    /// Emission sequence number within the trial, starting at 0.
+    pub seq: u64,
+    /// Simulated time of the event, in microseconds.
+    pub time_us: u64,
+    /// Layer that emitted the event.
+    pub layer: Layer,
+    /// Host request id the event is attributable to, when one exists.
+    pub request: Option<u64>,
+    /// Fault-site span index (`SiteLog` span number) the event belongs
+    /// to, when site recording is also enabled.
+    pub span: Option<u64>,
+    /// The typed payload.
+    pub event: ProbeEvent,
+}
+
+/// Append-only probe sink. Disabled (and free) by default.
+#[derive(Debug, Clone, Default)]
+pub struct ProbeLog {
+    enabled: bool,
+    records: Vec<ProbeRecord>,
+}
+
+impl ProbeLog {
+    /// Creates a disabled log: every emit is a no-op.
+    pub fn new() -> Self {
+        ProbeLog::default()
+    }
+
+    /// Creates a log that records from the first event.
+    pub fn enabled() -> Self {
+        ProbeLog {
+            enabled: true,
+            records: Vec::new(),
+        }
+    }
+
+    /// Starts recording.
+    pub fn enable(&mut self) {
+        self.enabled = true;
+    }
+
+    /// Whether events are being recorded.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Emits an untagged event (no request/span attribution).
+    #[inline]
+    pub fn emit(&mut self, time: SimTime, layer: Layer, event: ProbeEvent) {
+        if !self.enabled {
+            return;
+        }
+        self.push(time, layer, None, None, event);
+    }
+
+    /// Emits an event tagged with a request id and/or fault-site span.
+    #[inline]
+    pub fn emit_tagged(
+        &mut self,
+        time: SimTime,
+        layer: Layer,
+        request: Option<u64>,
+        span: Option<u64>,
+        event: ProbeEvent,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        self.push(time, layer, request, span, event);
+    }
+
+    /// Emits an event whose payload (and tags) are only computed when
+    /// the log is enabled — use on hot paths where building the event
+    /// would itself cost something.
+    #[inline]
+    pub fn emit_with<F>(&mut self, time: SimTime, layer: Layer, build: F)
+    where
+        F: FnOnce() -> (Option<u64>, Option<u64>, ProbeEvent),
+    {
+        if !self.enabled {
+            return;
+        }
+        let (request, span, event) = build();
+        self.push(time, layer, request, span, event);
+    }
+
+    fn push(
+        &mut self,
+        time: SimTime,
+        layer: Layer,
+        request: Option<u64>,
+        span: Option<u64>,
+        event: ProbeEvent,
+    ) {
+        let seq = self.records.len() as u64;
+        self.records.push(ProbeRecord {
+            seq,
+            time_us: time.as_micros(),
+            layer,
+            request,
+            span,
+            event,
+        });
+    }
+
+    /// All records emitted so far, in emission order.
+    pub fn records(&self) -> &[ProbeRecord] {
+        &self.records
+    }
+
+    /// Drains the records out of the log (the log stays enabled).
+    pub fn take_records(&mut self) -> Vec<ProbeRecord> {
+        std::mem::take(&mut self.records)
+    }
+
+    /// Number of records emitted.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether nothing has been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Count of records whose event kind equals `kind` (dotted name).
+    pub fn count_kind(&self, kind: &str) -> u64 {
+        self.records
+            .iter()
+            .filter(|r| r.event.kind() == kind)
+            .count() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_log_is_a_no_op() {
+        let mut log = ProbeLog::new();
+        log.emit(
+            SimTime::from_micros(5),
+            Layer::Cache,
+            ProbeEvent::CacheInsert { lba: 1, dirty: 1 },
+        );
+        let mut built = false;
+        log.emit_with(SimTime::from_micros(6), Layer::Flash, || {
+            built = true;
+            (None, None, ProbeEvent::EraseStart { block: 0 })
+        });
+        assert!(log.is_empty());
+        assert!(
+            !built,
+            "emit_with must not build the payload while disabled"
+        );
+    }
+
+    #[test]
+    fn sequence_numbers_are_dense_and_ordered() {
+        let mut log = ProbeLog::enabled();
+        for i in 0..4u64 {
+            log.emit(
+                SimTime::from_micros(i),
+                Layer::Flash,
+                ProbeEvent::EraseStart { block: i },
+            );
+        }
+        let seqs: Vec<u64> = log.records().iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3]);
+        assert_eq!(log.count_kind("erase.start"), 4);
+    }
+
+    #[test]
+    fn tags_are_preserved() {
+        let mut log = ProbeLog::enabled();
+        log.emit_tagged(
+            SimTime::from_micros(9),
+            Layer::Ftl,
+            Some(7),
+            Some(2),
+            ProbeEvent::GcMove {
+                lba: 3,
+                from_block: 1,
+                to_block: 2,
+            },
+        );
+        let r = log.records()[0];
+        assert_eq!(r.request, Some(7));
+        assert_eq!(r.span, Some(2));
+        assert_eq!(r.time_us, 9);
+        assert_eq!(r.layer, Layer::Ftl);
+    }
+}

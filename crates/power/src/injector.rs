@@ -88,6 +88,17 @@ impl FaultTimeline {
             discharged: t,
         }
     }
+
+    /// The probe-bus event describing this timeline: the four absolute
+    /// thresholds the device stack reacts to, in simulated microseconds.
+    pub fn probe_event(&self) -> pfault_obs::ProbeEvent {
+        pfault_obs::ProbeEvent::PowerCut {
+            commanded_us: self.commanded.as_micros(),
+            host_lost_us: self.host_lost.as_micros(),
+            flash_unreliable_us: self.flash_unreliable.as_micros(),
+            core_dead_us: self.core_dead.as_micros(),
+        }
+    }
 }
 
 /// A configured fault-injection rig.

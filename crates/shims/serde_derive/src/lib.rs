@@ -19,10 +19,21 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 /// Parsed shape of the deriving item.
 enum Shape {
-    NamedStruct { name: String, fields: Vec<String> },
-    TupleStruct { name: String, arity: usize },
-    UnitStruct { name: String },
-    Enum { name: String, variants: Vec<Variant> },
+    NamedStruct {
+        name: String,
+        fields: Vec<String>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
 }
 
 /// One enum variant.
@@ -150,7 +161,11 @@ fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
         i += 1;
         match tokens.get(i) {
             Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
-            other => return Err(format!("expected `:` after field `{name}`, found {other:?}")),
+            other => {
+                return Err(format!(
+                    "expected `:` after field `{name}`, found {other:?}"
+                ))
+            }
         }
         skip_type(&tokens, &mut i);
         fields.push(name);

@@ -116,6 +116,46 @@ impl SsdConfig {
         }
     }
 
+    /// Replaces the array geometry, re-deriving the FTL tunables that
+    /// scale with it (chainable builder).
+    #[must_use]
+    pub fn with_geometry(mut self, geometry: FlashGeometry) -> Self {
+        self.geometry = geometry;
+        self.ftl = FtlConfig::for_geometry(geometry);
+        self
+    }
+
+    /// Replaces the write-back cache configuration (chainable builder).
+    #[must_use]
+    pub fn with_cache(mut self, cache: CacheConfig) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// Enables or removes the supercapacitor power-loss protection
+    /// (chainable builder).
+    #[must_use]
+    pub fn with_supercap(mut self, supercap: bool) -> Self {
+        self.supercap = supercap;
+        self
+    }
+
+    /// Sets the post-fault mount failure behaviour (chainable builder).
+    #[must_use]
+    pub fn with_mount_failures(mut self, rate: f64, retry_limit: u32) -> Self {
+        self.mount_failure_rate = rate;
+        self.mount_retry_limit = retry_limit;
+        self
+    }
+
+    /// Starts every block with this many program/erase cycles already
+    /// served — the end-of-life studies (chainable builder).
+    #[must_use]
+    pub fn with_baseline_wear(mut self, cycles: u32) -> Self {
+        self.baseline_wear = cycles;
+        self
+    }
+
     /// Validates internal consistency.
     ///
     /// # Panics
@@ -182,6 +222,29 @@ mod tests {
             (6_500.0..7_200.0).contains(&iops),
             "ceiling {iops} should be near the paper's ~6 900"
         );
+    }
+
+    #[test]
+    fn builders_chain_and_rederive_ftl() {
+        let geometry = FlashGeometry::new(1 << 12, 128);
+        let c = base()
+            .with_geometry(geometry)
+            .with_cache(CacheConfig::disabled())
+            .with_supercap(true)
+            .with_mount_failures(0.25, 5)
+            .with_baseline_wear(3000);
+        assert_eq!(c.geometry, geometry);
+        assert_eq!(
+            c.ftl,
+            FtlConfig::for_geometry(geometry),
+            "geometry change must re-derive the FTL tunables"
+        );
+        assert!(!c.cache.enabled);
+        assert!(c.supercap);
+        assert!((c.mount_failure_rate - 0.25).abs() < f64::EPSILON);
+        assert_eq!(c.mount_retry_limit, 5);
+        assert_eq!(c.baseline_wear, 3000);
+        c.validate();
     }
 
     #[test]

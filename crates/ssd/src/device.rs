@@ -13,7 +13,10 @@ use serde::{Deserialize, Serialize};
 
 use pfault_flash::array::{FlashArray, PageData, ReadOutcome};
 use pfault_flash::oob::Oob;
-use pfault_ftl::{CheckpointOp, CheckpointStore, CommitOp, DurableLog, Ftl, GcPlan, WriteSlot};
+use pfault_ftl::{
+    CheckpointOp, CheckpointStore, CommitOp, DurableLog, Ftl, GcPlan, RecoveryStats, WriteSlot,
+};
+use pfault_obs::{Layer, ProbeEvent, ProbeLog, ProbeRecord, ProgramKind, RecoveryStepKind};
 use pfault_power::FaultTimeline;
 use pfault_sim::checksum::mix64;
 use pfault_sim::{DetRng, Lba, SectorCount, SimDuration, SimTime};
@@ -205,6 +208,47 @@ impl std::error::Error for DeviceError {
     }
 }
 
+/// What a successful power-on recovery did, assembled from the FTL's
+/// [`RecoveryStats`] plus the device-level mount bookkeeping. Returned
+/// by [`Ssd::power_on_recover`] so callers (and campaign telemetry) can
+/// attribute recovered state without re-deriving it from probe records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct RecoveryReport {
+    /// Which mount attempt succeeded (1-based; >1 means earlier attempts
+    /// failed and the host power-cycled).
+    pub mount_attempt: u32,
+    /// Whether a readable mapping checkpoint seeded the rebuild.
+    pub checkpoint_restored: bool,
+    /// Journal batches replayed cleanly.
+    pub journal_batches_replayed: u64,
+    /// Mapping entries applied from replayed batches.
+    pub journal_entries_replayed: u64,
+    /// Torn batches discarded whole by the CRC check.
+    pub batches_discarded: u64,
+    /// Batches never reached because replay stopped early.
+    pub batches_truncated: u64,
+    /// Pages adopted by the full-scan OOB reconciliation.
+    pub scan_adoptions: u64,
+    /// Final size of the rebuilt logical-to-physical map (the "map
+    /// rebuild steps" of the recovery pipeline).
+    pub map_rebuild_entries: u64,
+}
+
+impl RecoveryReport {
+    fn from_stats(mount_attempt: u32, stats: RecoveryStats) -> Self {
+        RecoveryReport {
+            mount_attempt,
+            checkpoint_restored: stats.checkpoint_restored,
+            journal_batches_replayed: stats.batches_replayed,
+            journal_entries_replayed: stats.entries_replayed,
+            batches_discarded: stats.batches_discarded_torn,
+            batches_truncated: stats.batches_truncated,
+            scan_adoptions: stats.scan_adoptions,
+            map_rebuild_entries: stats.map_entries,
+        }
+    }
+}
+
 #[derive(Debug, Clone, Copy)]
 struct FrontOp {
     cmd: HostCommand,
@@ -237,10 +281,12 @@ enum ControlOp {
     },
     Checkpoint {
         op: CheckpointOp,
+        start: SimTime,
         end: SimTime,
     },
     Erase {
         block: u64,
+        start: SimTime,
         end: SimTime,
     },
 }
@@ -278,6 +324,7 @@ pub struct Ssd {
     stats: SsdStats,
     mount_attempts: u32,
     site_log: SiteLog,
+    probes: ProbeLog,
 }
 
 impl Ssd {
@@ -324,8 +371,33 @@ impl Ssd {
             stats: SsdStats::default(),
             mount_attempts: 0,
             site_log: SiteLog::new(),
+            probes: ProbeLog::new(),
             config,
         }
+    }
+
+    /// Turns on the cross-layer probe bus: every subsequent cache, flash,
+    /// FTL, power, and recovery transition emits a typed
+    /// [`ProbeEvent`]. Off by default — the disabled bus costs one
+    /// branch per site and allocates nothing.
+    pub fn enable_probes(&mut self) {
+        self.probes.enable();
+    }
+
+    /// Whether the probe bus is recording.
+    pub fn probes_enabled(&self) -> bool {
+        self.probes.is_enabled()
+    }
+
+    /// The probe records emitted so far (empty unless
+    /// [`Ssd::enable_probes`] was called).
+    pub fn probe_records(&self) -> &[ProbeRecord] {
+        self.probes.records()
+    }
+
+    /// Drains the probe records accumulated so far (recording stays on).
+    pub fn take_probe_records(&mut self) -> Vec<ProbeRecord> {
+        self.probes.take_records()
     }
 
     /// Turns on fault-site recording: every subsequent occurrence of a
@@ -601,6 +673,17 @@ impl Ssd {
                     let lba = Lba::new(cmd.lba.index() + i);
                     self.cache.insert(lba, cmd.sector_content(i), f.end);
                 }
+                let dirty = self.cache.dirty_sectors();
+                self.probes.emit_with(f.end, Layer::Cache, || {
+                    (
+                        Some(cmd.request_id),
+                        None,
+                        ProbeEvent::CacheInsert {
+                            lba: cmd.lba.index(),
+                            dirty,
+                        },
+                    )
+                });
                 self.stats.writes_acked += 1;
                 self.completions.push(Completion {
                     request_id: cmd.request_id,
@@ -641,6 +724,31 @@ impl Ssd {
         self.array
             .program(p.slot.ppa, p.data, oob)
             .expect("pipeline programs are reserved in order");
+        self.probes.emit_with(p.end, Layer::Flash, || {
+            (
+                Ssd::program_request(&p.source),
+                None,
+                ProbeEvent::ProgramEnd {
+                    kind: Ssd::program_kind(&p.source),
+                    block: p.slot.ppa.block,
+                    page: p.slot.ppa.page,
+                    us: (p.end - p.start).as_micros(),
+                },
+            )
+        });
+        if let ProgramSource::GcRelocation { old_ppa } = p.source {
+            self.probes.emit_with(p.end, Layer::Ftl, || {
+                (
+                    None,
+                    None,
+                    ProbeEvent::GcMove {
+                        lba: p.lba.index(),
+                        from_block: old_ppa.block,
+                        to_block: p.slot.ppa.block,
+                    },
+                )
+            });
+        }
         match p.source {
             ProgramSource::CacheFlush => {
                 self.ftl.finish_user_write(&p.slot);
@@ -681,27 +789,58 @@ impl Ssd {
 
     fn finish_control(&mut self, op: ControlOp) {
         match op {
-            ControlOp::Commit { op, .. } => {
+            ControlOp::Commit { op, start, end } => {
                 // Journal page content: the batch id, tagged as journal.
                 let data = PageData::from_tag(mix64(0x4A4E_4C00, op.batch.id));
                 self.array
                     .program(op.page, data, Oob::journal(op.batch.id, op.seq))
                     .expect("journal pages are reserved in order");
+                self.probes.emit_with(end, Layer::Ftl, || {
+                    (
+                        None,
+                        None,
+                        ProbeEvent::JournalCommit {
+                            entries: op.batch.entries.len() as u64,
+                            coverage: op.batch.coverage(),
+                            us: (end - start).as_micros(),
+                        },
+                    )
+                });
                 self.ftl.finish_journal_commit(op, &mut self.durable);
                 self.stats.commits += 1;
             }
-            ControlOp::Checkpoint { op, .. } => {
+            ControlOp::Checkpoint { op, start, end } => {
                 let data = PageData::from_tag(mix64(0xC4EC_0000, op.checkpoint.id));
                 self.array
                     .program(op.page, data, Oob::checkpoint(op.checkpoint.id, op.seq))
                     .expect("checkpoint pages are reserved in order");
+                self.probes.emit_with(end, Layer::Ftl, || {
+                    (
+                        None,
+                        None,
+                        ProbeEvent::CheckpointEnd {
+                            id: op.checkpoint.id,
+                            us: (end - start).as_micros(),
+                        },
+                    )
+                });
                 self.ftl.finish_checkpoint(op, &mut self.checkpoints);
                 self.checkpoints.prune(4);
                 self.stats.checkpoints += 1;
             }
-            ControlOp::Erase { block, .. } => {
+            ControlOp::Erase { block, start, end } => {
                 self.array.erase(block).expect("gc erases a full block");
                 let count = self.array.erase_count(block);
+                self.probes.emit_with(end, Layer::Flash, || {
+                    (
+                        None,
+                        None,
+                        ProbeEvent::EraseEnd {
+                            block,
+                            us: (end - start).as_micros(),
+                        },
+                    )
+                });
                 self.ftl.finish_gc(block, count);
                 self.stats.gc_collections += 1;
                 self.gc = None;
@@ -781,12 +920,18 @@ impl Ssd {
     }
 
     /// Logs a user-data program occurrence, plus the paired-page site when
-    /// the program endangers earlier wordline siblings.
-    fn record_program_site(&mut self, site: FaultSite, slot: &WriteSlot, end: SimTime) {
+    /// the program endangers earlier wordline siblings. Returns the span
+    /// id of the primary site (for probe tagging) when recording is on.
+    fn record_program_site(
+        &mut self,
+        site: FaultSite,
+        slot: &WriteSlot,
+        end: SimTime,
+    ) -> Option<u64> {
         if !self.site_log.is_enabled() {
-            return;
+            return None;
         }
-        self.site_log.record(site, self.now, end, Some(slot.ppa));
+        let span = self.site_log.record(site, self.now, end, Some(slot.ppa));
         if pfault_flash::pairing::endangers_earlier(self.config.cell_kind, slot.ppa.page) {
             self.site_log.record(
                 FaultSite::PairedSecondProgram,
@@ -794,6 +939,24 @@ impl Ssd {
                 end,
                 Some(slot.ppa),
             );
+        }
+        span
+    }
+
+    /// The probe-bus kind for a pipeline op's source.
+    fn program_kind(source: &ProgramSource) -> ProgramKind {
+        match source {
+            ProgramSource::CacheFlush => ProgramKind::CacheFlush,
+            ProgramSource::Direct { .. } => ProgramKind::Direct,
+            ProgramSource::GcRelocation { .. } => ProgramKind::GcReloc,
+        }
+    }
+
+    /// The host request a pipeline op is attributable to, when any.
+    fn program_request(source: &ProgramSource) -> Option<u64> {
+        match source {
+            ProgramSource::Direct { request_id, .. } => Some(*request_id),
+            _ => None,
         }
     }
 
@@ -814,7 +977,19 @@ impl Ssd {
                     }
                     let duration = self.effective_program_duration(slot.ppa.page);
                     let end = self.now + duration;
-                    self.record_program_site(FaultSite::DirectProgram, &slot, end);
+                    let span = self.record_program_site(FaultSite::DirectProgram, &slot, end);
+                    let now = self.now;
+                    self.probes.emit_with(now, Layer::Flash, || {
+                        (
+                            Some(cmd.request_id),
+                            span,
+                            ProbeEvent::ProgramStart {
+                                kind: ProgramKind::Direct,
+                                block: slot.ppa.block,
+                                page: slot.ppa.page,
+                            },
+                        )
+                    });
                     self.pipeline.push_back(PipelineOp {
                         lba,
                         data: cmd.sector_content(idx),
@@ -846,7 +1021,30 @@ impl Ssd {
                 Ok(slot) => {
                     let duration = self.effective_program_duration(slot.ppa.page);
                     let end = self.now + duration;
-                    self.record_program_site(FaultSite::CacheFlushProgram, &slot, end);
+                    let span = self.record_program_site(FaultSite::CacheFlushProgram, &slot, end);
+                    let now = self.now;
+                    let dirty = self.cache.dirty_sectors();
+                    self.probes.emit_with(now, Layer::Cache, || {
+                        (
+                            None,
+                            span,
+                            ProbeEvent::CacheEvict {
+                                lba: lba.index(),
+                                dirty,
+                            },
+                        )
+                    });
+                    self.probes.emit_with(now, Layer::Flash, || {
+                        (
+                            None,
+                            span,
+                            ProbeEvent::ProgramStart {
+                                kind: ProgramKind::CacheFlush,
+                                block: slot.ppa.block,
+                                page: slot.ppa.page,
+                            },
+                        )
+                    });
                     self.pipeline.push_back(PipelineOp {
                         lba,
                         data,
@@ -871,7 +1069,9 @@ impl Ssd {
         });
         if let Some((lba, old_ppa)) = reloc {
             // Read the live data synchronously (array state lookup).
-            let data = match self.array.read(old_ppa, &mut self.rng) {
+            let outcome = self.array.read(old_ppa, &mut self.rng);
+            self.emit_ecc_probe(old_ppa, &outcome);
+            let data = match outcome {
                 ReadOutcome::Ok { data, .. } => data,
                 // Unreadable victim data: nothing to relocate.
                 _ => {
@@ -884,7 +1084,19 @@ impl Ssd {
             if let Ok(slot) = self.ftl.begin_user_write(lba) {
                 let duration = self.effective_program_duration(slot.ppa.page);
                 let end = self.now + duration;
-                self.record_program_site(FaultSite::GcRelocProgram, &slot, end);
+                let span = self.record_program_site(FaultSite::GcRelocProgram, &slot, end);
+                let now = self.now;
+                self.probes.emit_with(now, Layer::Flash, || {
+                    (
+                        None,
+                        span,
+                        ProbeEvent::ProgramStart {
+                            kind: ProgramKind::GcReloc,
+                            block: slot.ppa.block,
+                            page: slot.ppa.page,
+                        },
+                    )
+                });
                 self.pipeline.push_back(PipelineOp {
                     lba,
                     data,
@@ -941,12 +1153,24 @@ impl Ssd {
                     .timing()
                     .program_duration(self.config.cell_kind, op.page.page);
                 let end = self.now + duration;
-                self.site_log.record(
+                let span = self.site_log.record(
                     FaultSite::JournalCommitProgram,
                     self.now,
                     end,
                     Some(op.page),
                 );
+                let now = self.now;
+                self.probes.emit_with(now, Layer::Flash, || {
+                    (
+                        None,
+                        span,
+                        ProbeEvent::ProgramStart {
+                            kind: ProgramKind::Journal,
+                            block: op.page.block,
+                            page: op.page.page,
+                        },
+                    )
+                });
                 self.control = Some(ControlOp::Commit {
                     op,
                     start: self.now,
@@ -966,9 +1190,23 @@ impl Ssd {
                     .program_duration(self.config.cell_kind, op.page.page)
                     * 4;
                 let end = self.now + duration;
-                self.site_log
-                    .record(FaultSite::CheckpointProgram, self.now, end, Some(op.page));
-                self.control = Some(ControlOp::Checkpoint { op, end });
+                let span = self.site_log.record(
+                    FaultSite::CheckpointProgram,
+                    self.now,
+                    end,
+                    Some(op.page),
+                );
+                let now = self.now;
+                let entries = op.checkpoint.len() as u64;
+                let id = op.checkpoint.id;
+                self.probes.emit_with(now, Layer::Ftl, || {
+                    (None, span, ProbeEvent::CheckpointBegin { id, entries })
+                });
+                self.control = Some(ControlOp::Checkpoint {
+                    op,
+                    start: self.now,
+                    end,
+                });
                 return;
             }
         }
@@ -988,13 +1226,21 @@ impl Ssd {
                 let block = gc.plan.victim;
                 let duration = self.array.timing().erase;
                 let end = self.now + duration;
-                self.site_log.record(
+                let span = self.site_log.record(
                     FaultSite::GcErase,
                     self.now,
                     end,
                     Some(pfault_flash::Ppa::new(block, 0)),
                 );
-                self.control = Some(ControlOp::Erase { block, end });
+                let now = self.now;
+                self.probes.emit_with(now, Layer::Flash, || {
+                    (None, span, ProbeEvent::EraseStart { block })
+                });
+                self.control = Some(ControlOp::Erase {
+                    block,
+                    start: self.now,
+                    end,
+                });
             }
         }
     }
@@ -1014,6 +1260,8 @@ impl Ssd {
     /// Panics if the timeline starts in the device's past.
     pub fn power_fail(&mut self, timeline: &FaultTimeline) {
         self.advance_to(timeline.host_lost);
+        self.probes
+            .emit(timeline.host_lost, Layer::Power, timeline.probe_event());
         self.state = PowerState::Brownout;
         self.fail_host_side(timeline.host_lost);
 
@@ -1032,6 +1280,7 @@ impl Ssd {
     /// Errors out every host-visible command that has not been ACKed: the
     /// link is gone.
     fn fail_host_side(&mut self, at: SimTime) {
+        let errors_before = self.stats.device_errors;
         let error = |request_id: u64,
                      sub_id: u32,
                      completions: &mut Vec<Completion>,
@@ -1069,6 +1318,10 @@ impl Ssd {
         for (request_id, sub_id) in std::mem::take(&mut self.pending_flushes) {
             error(request_id, sub_id, &mut self.completions, &mut self.stats);
         }
+        let errored = self.stats.device_errors - errors_before;
+        self.probes.emit_with(at, Layer::Host, || {
+            (None, None, ProbeEvent::HostLinkLost { inflight: errored })
+        });
     }
 
     /// Applies a transient voltage sag and returns its classified
@@ -1117,7 +1370,11 @@ impl Ssd {
                     .expect("reset sag crosses the brownout detector");
                 self.advance_to(reset_at);
                 self.die_hard();
-                self.power_on_recover(event.end());
+                // Power returns by itself at the sag's end; a config with
+                // mount failures would panic here exactly as before the
+                // Result-first cleanup.
+                self.power_on_recover(event.end())
+                    .expect("sag recovery remounts");
             }
         }
         severity
@@ -1151,6 +1408,21 @@ impl Ssd {
                 .program(op.page, data, Oob::journal(op.batch.id, op.seq))
                 .is_ok()
             {
+                // Supercap commits burn stored energy, not simulated
+                // time: the whole panic flush is modelled as instant.
+                let (now, entries, coverage) =
+                    (self.now, op.batch.entries.len() as u64, op.batch.coverage());
+                self.probes.emit_with(now, Layer::Ftl, || {
+                    (
+                        None,
+                        None,
+                        ProbeEvent::JournalCommit {
+                            entries,
+                            coverage,
+                            us: 0,
+                        },
+                    )
+                });
                 self.ftl.finish_journal_commit(op, &mut self.durable);
                 self.stats.commits += 1;
             } else {
@@ -1162,6 +1434,14 @@ impl Ssd {
     fn die_cleanly(&mut self) {
         self.stats.last_fault_dirty_lost = self.cache.dirty_sectors();
         self.stats.last_fault_map_lost = self.ftl.volatile_mapped_sectors();
+        let (now, dirty, map) = (
+            self.now,
+            self.stats.last_fault_dirty_lost,
+            self.stats.last_fault_map_lost,
+        );
+        self.probes.emit_with(now, Layer::Power, || {
+            (None, None, ProbeEvent::VolatileLost { dirty, map })
+        });
         self.cache.clear();
         self.pipeline.clear();
         self.control = None;
@@ -1186,6 +1466,19 @@ impl Ssd {
             let total = (p.end - p.start).as_micros().max(1);
             let done = self.now.saturating_since(p.start).as_micros();
             let progress = (done as f64 / total as f64).clamp(0.0, 1.0);
+            let now = self.now;
+            self.probes.emit_with(now, Layer::Flash, || {
+                (
+                    Ssd::program_request(&p.source),
+                    None,
+                    ProbeEvent::ProgramInterrupted {
+                        kind: Ssd::program_kind(&p.source),
+                        block: p.slot.ppa.block,
+                        page: p.slot.ppa.page,
+                        progress_permille: (progress * 1000.0) as u64,
+                    },
+                )
+            });
             self.array
                 .interrupt_program(p.slot.ppa, progress, &mut self.rng);
         }
@@ -1209,12 +1502,16 @@ impl Ssd {
                         .program(op.page, data, Oob::journal(op.batch.id, op.seq))
                         .is_ok()
                     {
+                        let (now, full) = (self.now, op.batch.coverage());
+                        self.probes.emit_with(now, Layer::Ftl, || {
+                            (None, None, ProbeEvent::JournalTorn { kept: keep, full })
+                        });
                         self.durable.append_torn(op.page, &op.batch, keep);
                     }
                 }
                 // The rest of the batch never became durable.
             }
-            Some(ControlOp::Checkpoint { op, end }) => {
+            Some(ControlOp::Checkpoint { op, end, .. }) => {
                 // The snapshot never completed: garble what was written of
                 // its page; recovery falls back to the previous
                 // checkpoint plus a longer journal replay.
@@ -1227,16 +1524,32 @@ impl Ssd {
                             .as_micros()
                             .max(1) as f64)
                         .clamp(0.0, 1.0);
+                let (now, id) = (self.now, op.checkpoint.id);
+                self.probes.emit_with(now, Layer::Ftl, || {
+                    (None, None, ProbeEvent::CheckpointInterrupted { id })
+                });
                 self.array
                     .interrupt_program(op.page, progress, &mut self.rng);
             }
             Some(ControlOp::Erase { block, .. }) => {
+                let now = self.now;
+                self.probes.emit_with(now, Layer::Flash, || {
+                    (None, None, ProbeEvent::EraseInterrupted { block })
+                });
                 self.array.interrupt_erase(block);
             }
             None => {}
         }
         self.stats.last_fault_dirty_lost = self.cache.dirty_sectors();
         self.stats.last_fault_map_lost = self.ftl.volatile_mapped_sectors();
+        let (now, dirty, map) = (
+            self.now,
+            self.stats.last_fault_dirty_lost,
+            self.stats.last_fault_map_lost,
+        );
+        self.probes.emit_with(now, Layer::Power, || {
+            (None, None, ProbeEvent::VolatileLost { dirty, map })
+        });
         self.cache.clear();
         self.direct_queue.clear();
         self.direct_remaining.clear();
@@ -1245,25 +1558,11 @@ impl Ssd {
         self.state = PowerState::Dead;
     }
 
-    /// Restores power at `now` and runs the firmware's recovery: replay
-    /// the durable journal into a fresh mapping table.
-    ///
-    /// Infallible wrapper over [`Ssd::try_power_on_recover`] for
-    /// configurations with `mount_failure_rate == 0.0` (the default).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the device is not dead, or if the mount fails (possible
-    /// only with a nonzero `mount_failure_rate` — such configurations
-    /// must use [`Ssd::try_power_on_recover`]).
-    pub fn power_on_recover(&mut self, now: SimTime) {
-        if let Err(e) = self.try_power_on_recover(now) {
-            panic!("power_on_recover on a failing mount: {e}");
-        }
-    }
-
     /// Restores power at `now` and attempts the firmware's recovery
-    /// mount: replay the durable journal into a fresh mapping table.
+    /// mount: replay the durable journal into a fresh mapping table. On
+    /// success, the returned [`RecoveryReport`] says what the rebuild
+    /// did — journal batches/entries replayed, torn batches discarded,
+    /// map rebuild size, which mount attempt succeeded.
     ///
     /// With a nonzero `mount_failure_rate`, each attempt may fail with
     /// [`DeviceError::MountFailed`] (the host may power-cycle and call
@@ -1271,11 +1570,18 @@ impl Ssd {
     /// failures the device transitions to a permanent bricked state and
     /// every further call returns [`DeviceError::Bricked`].
     ///
+    /// # Errors
+    ///
+    /// [`DeviceError::MountFailed`] on a transient mount failure,
+    /// [`DeviceError::Bricked`] once retries are exhausted, and
+    /// [`DeviceError::RecoveryFailed`] when the FTL rebuild itself is
+    /// unusable (deterministic — the device bricks).
+    ///
     /// # Panics
     ///
     /// Panics if the device is operational or still browning out, or if
     /// `now` precedes the device clock.
-    pub fn try_power_on_recover(&mut self, now: SimTime) -> Result<(), DeviceError> {
+    pub fn power_on_recover(&mut self, now: SimTime) -> Result<RecoveryReport, DeviceError> {
         if self.state == PowerState::Bricked {
             return Err(DeviceError::Bricked {
                 attempts: self.mount_attempts,
@@ -1288,8 +1594,29 @@ impl Ssd {
         );
         assert!(now >= self.now);
         self.now = now;
+        let attempt = self.mount_attempts + 1;
+        self.probes.emit_with(now, Layer::Recovery, || {
+            (
+                None,
+                None,
+                ProbeEvent::RecoveryStep {
+                    step: RecoveryStepKind::MountAttempt,
+                    value: u64::from(attempt),
+                },
+            )
+        });
         if self.rng.chance(self.config.mount_failure_rate) {
             self.mount_attempts += 1;
+            self.probes.emit_with(now, Layer::Recovery, || {
+                (
+                    None,
+                    None,
+                    ProbeEvent::RecoveryStep {
+                        step: RecoveryStepKind::MountFailed,
+                        value: u64::from(attempt),
+                    },
+                )
+            });
             if self.mount_attempts >= self.config.mount_retry_limit {
                 self.state = PowerState::Bricked;
                 return Err(DeviceError::Bricked {
@@ -1306,16 +1633,17 @@ impl Ssd {
         // re-runs it from the same durable inputs (replay idempotence is
         // one of the sweep oracle's invariants). The mount is modelled as
         // instantaneous, so the span is zero-width at `now`.
-        self.site_log
+        let replay_span = self
+            .site_log
             .record(FaultSite::MappingReplay, now, now, None);
-        self.ftl = match Ftl::try_recover_with_checkpoints(
+        let (ftl, stats) = match Ftl::try_recover_with_stats(
             self.config.ftl,
             &mut self.array,
             &self.durable,
             &self.checkpoints,
             &mut self.rng,
         ) {
-            Ok(ftl) => ftl,
+            Ok(recovered) => recovered,
             Err(error) => {
                 // Deterministic: power-cycling cannot fix an exhausted
                 // array, so the device bricks immediately.
@@ -1323,11 +1651,71 @@ impl Ssd {
                 return Err(DeviceError::RecoveryFailed { error });
             }
         };
+        self.ftl = ftl;
+        self.emit_recovery_steps(now, replay_span, &stats);
         self.state = PowerState::Operational;
         self.next_commit_at = now + self.config.ftl.commit_interval;
         self.pending.clear();
         self.front = None;
-        Ok(())
+        Ok(RecoveryReport::from_stats(attempt, stats))
+    }
+
+    /// Narrates a successful FTL rebuild onto the probe bus, one
+    /// `RecoveryStep` per pipeline stage that actually did something.
+    fn emit_recovery_steps(&mut self, now: SimTime, span: Option<u64>, stats: &RecoveryStats) {
+        if !self.probes.is_enabled() {
+            return;
+        }
+        let mut step = |kind: RecoveryStepKind, value: u64| {
+            self.probes.emit_tagged(
+                now,
+                Layer::Recovery,
+                None,
+                span,
+                ProbeEvent::RecoveryStep { step: kind, value },
+            );
+        };
+        if stats.checkpoint_restored {
+            step(
+                RecoveryStepKind::CheckpointRestored,
+                stats.checkpoint_entries,
+            );
+        }
+        step(RecoveryStepKind::BatchReplayed, stats.batches_replayed);
+        if stats.batches_discarded_torn > 0 {
+            step(
+                RecoveryStepKind::BatchDiscardedTorn,
+                stats.batches_discarded_torn,
+            );
+        }
+        if stats.batches_truncated > 0 {
+            step(RecoveryStepKind::ReplayTruncated, stats.batches_truncated);
+        }
+        if stats.scan_adoptions > 0 {
+            step(RecoveryStepKind::ScanAdopted, stats.scan_adoptions);
+        }
+        step(RecoveryStepKind::MapRebuilt, stats.map_entries);
+    }
+
+    /// Deprecated spelling of [`Ssd::power_on_recover`] from before the
+    /// Result-first API cleanup; the primary entry point now returns
+    /// `Result<RecoveryReport, DeviceError>` directly.
+    #[deprecated(note = "use `power_on_recover`, which now returns Result<RecoveryReport, _>")]
+    pub fn try_power_on_recover(&mut self, now: SimTime) -> Result<(), DeviceError> {
+        self.power_on_recover(now).map(|_| ())
+    }
+
+    /// Deprecated infallible shim over [`Ssd::power_on_recover`] for
+    /// configurations with `mount_failure_rate == 0.0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mount fails.
+    #[deprecated(note = "use `power_on_recover` and handle the Result")]
+    pub fn power_on_recover_infallible(&mut self, now: SimTime) {
+        if let Err(e) = self.power_on_recover(now) {
+            panic!("power_on_recover on a failing mount: {e}");
+        }
     }
 
     /// Discards a range of sectors (TRIM / DISCARD). Applied immediately
@@ -1358,11 +1746,49 @@ impl Ssd {
         assert!(self.is_operational(), "verification needs a powered device");
         match self.ftl.lookup(lba) {
             None => VerifiedContent::Unwritten,
-            Some(ppa) => match self.array.read(ppa, &mut self.rng) {
-                ReadOutcome::Ok { data, .. } => VerifiedContent::Written(data),
-                ReadOutcome::Uncorrectable => VerifiedContent::Unreadable,
-                ReadOutcome::Erased => VerifiedContent::Unwritten,
-            },
+            Some(ppa) => {
+                let outcome = self.array.read(ppa, &mut self.rng);
+                self.emit_ecc_probe(ppa, &outcome);
+                match outcome {
+                    ReadOutcome::Ok { data, .. } => VerifiedContent::Written(data),
+                    ReadOutcome::Uncorrectable => VerifiedContent::Unreadable,
+                    ReadOutcome::Erased => VerifiedContent::Unwritten,
+                }
+            }
+        }
+    }
+
+    /// Emits the ECC outcome of a read the device just performed (repair
+    /// and failure events only; clean reads stay silent).
+    fn emit_ecc_probe(&mut self, ppa: pfault_flash::Ppa, outcome: &ReadOutcome) {
+        let now = self.now;
+        match *outcome {
+            ReadOutcome::Ok { repaired, .. } if repaired > 0 => {
+                self.probes.emit_with(now, Layer::Flash, || {
+                    (
+                        None,
+                        None,
+                        ProbeEvent::EccCorrected {
+                            block: ppa.block,
+                            page: ppa.page,
+                            bits: u64::from(repaired),
+                        },
+                    )
+                });
+            }
+            ReadOutcome::Uncorrectable => {
+                self.probes.emit_with(now, Layer::Flash, || {
+                    (
+                        None,
+                        None,
+                        ProbeEvent::EccUncorrectable {
+                            block: ppa.block,
+                            page: ppa.page,
+                        },
+                    )
+                });
+            }
+            _ => {}
         }
     }
 
@@ -1383,7 +1809,9 @@ impl Ssd {
         let mut report = ScrubReport::default();
         for (_, ppa) in mapped {
             report.scanned += 1;
-            match self.array.read(ppa, &mut self.rng) {
+            let outcome = self.array.read(ppa, &mut self.rng);
+            self.emit_ecc_probe(ppa, &outcome);
+            match outcome {
                 ReadOutcome::Ok { data, .. } => {
                     if !data.is_intact() {
                         report.garbled += 1;
@@ -1531,7 +1959,8 @@ mod tests {
         let timeline = FaultInjector::transistor().timeline(SimTime::from_millis(2));
         ssd.power_fail(&timeline);
         assert!(ssd.stats().last_fault_dirty_lost > 0, "dirty data died");
-        ssd.power_on_recover(timeline.discharged + SimDuration::from_secs(1));
+        ssd.power_on_recover(timeline.discharged + SimDuration::from_secs(1))
+            .expect("recovers");
         // The ACKed data is gone: FWA from the Analyzer's point of view.
         assert_eq!(ssd.verify_read(Lba::new(10)), VerifiedContent::Unwritten);
     }
@@ -1545,7 +1974,8 @@ mod tests {
         ssd.quiesce();
         let timeline = FaultInjector::arduino_atx_loaded().timeline(ssd.now());
         ssd.power_fail(&timeline);
-        ssd.power_on_recover(timeline.discharged + SimDuration::from_secs(1));
+        ssd.power_on_recover(timeline.discharged + SimDuration::from_secs(1))
+            .expect("recovers");
         for i in 0..4 {
             let lba = Lba::new(20 + i);
             match ssd.verify_read(lba) {
@@ -1570,7 +2000,8 @@ mod tests {
         assert!(ssd.dirty_cache_sectors() > 0);
         let timeline = FaultInjector::arduino_atx_loaded().timeline(SimTime::from_millis(2));
         ssd.power_fail(&timeline);
-        ssd.power_on_recover(timeline.discharged + SimDuration::from_secs(1));
+        ssd.power_on_recover(timeline.discharged + SimDuration::from_secs(1))
+            .expect("recovers");
         for i in 0..4 {
             match ssd.verify_read(Lba::new(30 + i)) {
                 VerifiedContent::Written(data) => assert_eq!(data, cmd.sector_content(i)),
@@ -1621,7 +2052,8 @@ mod tests {
         assert!(ssd.volatile_map_sectors() > 0, "mapping still volatile");
         let timeline = FaultInjector::arduino_atx_loaded().timeline(ssd.now());
         ssd.power_fail(&timeline);
-        ssd.power_on_recover(timeline.discharged + SimDuration::from_secs(1));
+        ssd.power_on_recover(timeline.discharged + SimDuration::from_secs(1))
+            .expect("recovers");
         // Mapping was never committed: data lost despite the ACK.
         assert_eq!(ssd.verify_read(Lba::new(40)), VerifiedContent::Unwritten);
     }
@@ -1705,7 +2137,8 @@ mod tests {
         assert!(ssd.stats().checkpoints > 0, "checkpoints must have fired");
         let timeline = FaultInjector::arduino_atx_loaded().timeline(ssd.now());
         ssd.power_fail(&timeline);
-        ssd.power_on_recover(timeline.discharged + SimDuration::from_secs(1));
+        ssd.power_on_recover(timeline.discharged + SimDuration::from_secs(1))
+            .expect("recovers");
         for cmd in &cmds {
             for i in 0..2 {
                 match ssd.verify_read(Lba::new(cmd.lba.index() + i)) {
@@ -1733,7 +2166,8 @@ mod tests {
         ssd.quiesce(); // commits the trim entries
         let timeline = FaultInjector::arduino_atx_loaded().timeline(ssd.now());
         ssd.power_fail(&timeline);
-        ssd.power_on_recover(timeline.discharged + SimDuration::from_secs(1));
+        ssd.power_on_recover(timeline.discharged + SimDuration::from_secs(1))
+            .expect("recovers");
         for i in 0..4 {
             assert_eq!(
                 ssd.verify_read(Lba::new(60 + i)),
@@ -1754,7 +2188,8 @@ mod tests {
         // Instant cut before the trim journal entry commits.
         let timeline = FaultInjector::transistor().timeline(ssd.now());
         ssd.power_fail(&timeline);
-        ssd.power_on_recover(timeline.discharged + SimDuration::from_secs(1));
+        ssd.power_on_recover(timeline.discharged + SimDuration::from_secs(1))
+            .expect("recovers");
         // The trim was volatile: the old data reappears.
         for i in 0..2 {
             match ssd.verify_read(Lba::new(70 + i)) {
@@ -1790,7 +2225,8 @@ mod tests {
         // Instant cut right after the flush ACK: everything must survive.
         let timeline = FaultInjector::transistor().timeline(ssd.now());
         ssd.power_fail(&timeline);
-        ssd.power_on_recover(timeline.discharged + SimDuration::from_secs(1));
+        ssd.power_on_recover(timeline.discharged + SimDuration::from_secs(1))
+            .expect("recovers");
         for i in 0..8 {
             match ssd.verify_read(Lba::new(10 + i)) {
                 VerifiedContent::Written(d) => assert_eq!(d, cmd.sector_content(i)),
@@ -1957,7 +2393,8 @@ mod tests {
         old.quiesce();
         let timeline = FaultInjector::transistor().timeline(old.now());
         old.power_fail(&timeline);
-        old.power_on_recover(timeline.discharged + SimDuration::from_secs(1));
+        old.power_on_recover(timeline.discharged + SimDuration::from_secs(1))
+            .expect("recovers");
         let report = old.scrub();
         assert!(
             report.unreadable > 0,
@@ -2096,9 +2533,10 @@ mod tests {
     }
 
     #[test]
-    fn recover_and_try_recover_produce_identical_state() {
-        // Satellite: the infallible path delegates to the checked one;
-        // both must rebuild the same device from the same seed.
+    #[allow(deprecated)]
+    fn recover_and_deprecated_shims_produce_identical_state() {
+        // Satellite: the deprecated shims delegate to the Result-first
+        // path; both must rebuild the same device from the same seed.
         let prepare = |_: u32| {
             let mut ssd = small_ssd();
             for i in 0..6u64 {
@@ -2118,7 +2556,7 @@ mod tests {
         let (mut a, tl) = prepare(0);
         let (mut b, _) = prepare(1);
         let at = tl.discharged + SimDuration::from_secs(1);
-        a.power_on_recover(at);
+        a.power_on_recover(at).expect("mount succeeds");
         b.try_power_on_recover(at).expect("mount succeeds");
         assert_eq!(a.now(), b.now());
         assert_eq!(a.stats(), b.stats());
@@ -2146,7 +2584,8 @@ mod tests {
         ssd.advance_to(SimTime::from_millis(10));
         let timeline = FaultInjector::transistor().timeline(ssd.now());
         ssd.power_fail(&timeline);
-        ssd.power_on_recover(timeline.discharged + SimDuration::from_secs(1));
+        ssd.power_on_recover(timeline.discharged + SimDuration::from_secs(1))
+            .expect("recovers");
         let replay: Vec<_> = ssd
             .site_spans()
             .iter()
@@ -2154,5 +2593,67 @@ mod tests {
             .collect();
         assert_eq!(replay.len(), 1);
         assert_eq!(replay[0].start, replay[0].end, "mount is instantaneous");
+    }
+
+    #[test]
+    fn probes_narrate_fault_and_recovery() {
+        let run = || {
+            let mut ssd = small_ssd();
+            ssd.enable_probes();
+            for i in 0..4u64 {
+                ssd.submit(HostCommand::write(
+                    i,
+                    0,
+                    Lba::new(i * 8),
+                    SectorCount::new(4),
+                    i + 1,
+                ));
+            }
+            ssd.advance_to(SimTime::from_millis(200));
+            let timeline = FaultInjector::transistor().timeline(ssd.now());
+            ssd.power_fail(&timeline);
+            let report = ssd
+                .power_on_recover(timeline.discharged + SimDuration::from_secs(1))
+                .expect("recovers");
+            (ssd, report)
+        };
+        let (ssd, report) = run();
+        let records = ssd.probe_records();
+        assert!(!records.is_empty(), "probes must capture the trial");
+        let count = |kind: &str| records.iter().filter(|r| r.event.kind() == kind).count();
+        assert!(count("cache.insert") >= 4, "one insert per host write");
+        assert_eq!(count("power.cut"), 1);
+        assert_eq!(count("power.volatile-lost"), 1);
+        assert!(
+            count("recovery.step") >= 3,
+            "mount attempt + replay + map rebuild at minimum"
+        );
+        assert_eq!(report.mount_attempt, 1);
+        assert!(report.map_rebuild_entries > 0, "replay rebuilt the map");
+        // Sequence numbers are dense and ordered — the JSONL contract.
+        for (i, r) in records.iter().enumerate() {
+            assert_eq!(r.seq, i as u64);
+        }
+        // Determinism: a second identical run produces the same stream.
+        let (ssd2, _) = run();
+        assert_eq!(records, ssd2.probe_records());
+    }
+
+    #[test]
+    fn disabled_probes_record_nothing() {
+        let mut ssd = small_ssd();
+        ssd.submit(HostCommand::write(
+            1,
+            0,
+            Lba::new(0),
+            SectorCount::new(4),
+            1,
+        ));
+        ssd.advance_to(SimTime::from_millis(10));
+        let timeline = FaultInjector::transistor().timeline(ssd.now());
+        ssd.power_fail(&timeline);
+        ssd.power_on_recover(timeline.discharged + SimDuration::from_secs(1))
+            .expect("recovers");
+        assert!(ssd.probe_records().is_empty());
     }
 }

@@ -47,6 +47,6 @@ pub mod vendor;
 
 pub use completion::{Completion, CompletionKind};
 pub use config::{CacheConfig, SsdConfig};
-pub use device::{DeviceError, HostCommand, Ssd, VerifiedContent};
+pub use device::{DeviceError, HostCommand, RecoveryReport, Ssd, VerifiedContent};
 pub use sites::{FaultSite, SiteLog, SiteSpan};
 pub use vendor::VendorPreset;

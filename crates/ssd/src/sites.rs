@@ -40,7 +40,7 @@ pub enum FaultSite {
     CheckpointProgram,
     /// GC victim-block erase.
     GcErase,
-    /// Journal/checkpoint replay during `try_power_on_recover` (a cut
+    /// Journal/checkpoint replay during `power_on_recover` (a cut
     /// here models a second outage mid-recovery).
     MappingReplay,
 }
@@ -121,12 +121,20 @@ impl SiteLog {
         self.enabled
     }
 
-    /// Records one occurrence of `site` spanning `[start, end]`. A no-op
-    /// while disabled (the occurrence counters do not advance either, so a
+    /// Records one occurrence of `site` spanning `[start, end]`,
+    /// returning the global span index it was stored at (the probe bus
+    /// tags its events with this id). A no-op returning `None` while
+    /// disabled (the occurrence counters do not advance either, so a
     /// later census starts from zero).
-    pub fn record(&mut self, site: FaultSite, start: SimTime, end: SimTime, ppa: Option<Ppa>) {
+    pub fn record(
+        &mut self,
+        site: FaultSite,
+        start: SimTime,
+        end: SimTime,
+        ppa: Option<Ppa>,
+    ) -> Option<u64> {
         if !self.enabled {
-            return;
+            return None;
         }
         let slot = site.slot();
         let index = self.counts[slot];
@@ -138,6 +146,7 @@ impl SiteLog {
             end,
             ppa,
         });
+        Some((self.spans.len() - 1) as u64)
     }
 
     /// All recorded spans, in the order they occurred.

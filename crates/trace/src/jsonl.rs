@@ -1,0 +1,156 @@
+//! Byte-stable JSONL export of block-layer trace events.
+//!
+//! `blkparse`'s column format ([`TraceEvent`]'s `Display`) is for eyes;
+//! downstream tooling (`blkdump --obs`, notebook ingestion) wants one
+//! self-describing JSON object per line. The renderer is hand-rolled with
+//! a fixed key order so two same-seed trials produce byte-identical
+//! files — the determinism contract the observability layer is built on.
+
+use pfault_sim::{Lba, SectorCount, SimTime};
+use serde_json::Value;
+
+use crate::event::{TraceAction, TraceEvent};
+
+/// Renders one trace event as a single JSON object (no trailing newline).
+///
+/// Key order is fixed: `t_us`, `action`, `rw`, `lba`, `sectors`, `req`,
+/// `sub`.
+pub fn render_trace_event(e: &TraceEvent) -> String {
+    format!(
+        "{{\"t_us\":{},\"action\":\"{}\",\"rw\":\"{}\",\"lba\":{},\"sectors\":{},\"req\":{},\"sub\":{}}}",
+        e.time.as_micros(),
+        e.action.code(),
+        if e.is_write { 'W' } else { 'R' },
+        e.lba.index(),
+        e.sectors.get(),
+        e.request_id,
+        e.sub_id,
+    )
+}
+
+/// Renders a whole trace as JSONL (one object per line, trailing newline
+/// after every line, empty string for an empty trace).
+pub fn render_trace_events(events: &[TraceEvent]) -> String {
+    let mut out = String::new();
+    for e in events {
+        out.push_str(&render_trace_event(e));
+        out.push('\n');
+    }
+    out
+}
+
+/// Error parsing a JSONL trace line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTraceJsonError {
+    /// What was wrong with the line.
+    pub reason: String,
+}
+
+impl core::fmt::Display for ParseTraceJsonError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "bad trace JSONL line: {}", self.reason)
+    }
+}
+
+impl std::error::Error for ParseTraceJsonError {}
+
+fn err(reason: &str) -> ParseTraceJsonError {
+    ParseTraceJsonError {
+        reason: reason.to_string(),
+    }
+}
+
+fn action_from_code(code: &str) -> Option<TraceAction> {
+    match code {
+        "Q" => Some(TraceAction::Queued),
+        "X" => Some(TraceAction::Split),
+        "D" => Some(TraceAction::Dispatched),
+        "C" => Some(TraceAction::Completed),
+        "E" => Some(TraceAction::Error),
+        _ => None,
+    }
+}
+
+/// Parses one line produced by [`render_trace_event`] back into a
+/// [`TraceEvent`] (round-trip contract for `blkdump --obs`).
+pub fn parse_trace_jsonl_line(line: &str) -> Result<TraceEvent, ParseTraceJsonError> {
+    let value: Value =
+        serde_json::parse_value_str(line).map_err(|e| err(&format!("not JSON: {e}")))?;
+    let object = value.as_object().ok_or_else(|| err("not an object"))?;
+    let field_u64 = |key: &str| {
+        object
+            .get(key)
+            .and_then(Value::as_u64)
+            .ok_or_else(|| err(&format!("missing integer field `{key}`")))
+    };
+    let field_str = |key: &str| {
+        object
+            .get(key)
+            .and_then(Value::as_str)
+            .ok_or_else(|| err(&format!("missing string field `{key}`")))
+    };
+    let action =
+        action_from_code(field_str("action")?).ok_or_else(|| err("unknown action code"))?;
+    let rw = field_str("rw")?;
+    Ok(TraceEvent {
+        time: SimTime::from_micros(field_u64("t_us")?),
+        action,
+        request_id: field_u64("req")?,
+        sub_id: u32::try_from(field_u64("sub")?).map_err(|_| err("sub id out of range"))?,
+        lba: Lba::new(field_u64("lba")?),
+        sectors: SectorCount::new(field_u64("sectors")?),
+        is_write: rw == "W",
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TraceEvent {
+        TraceEvent {
+            time: SimTime::from_micros(1_500_000),
+            action: TraceAction::Queued,
+            request_id: 3,
+            sub_id: 0,
+            lba: Lba::new(2048),
+            sectors: SectorCount::new(8),
+            is_write: true,
+        }
+    }
+
+    #[test]
+    fn render_has_fixed_shape() {
+        assert_eq!(
+            render_trace_event(&sample()),
+            "{\"t_us\":1500000,\"action\":\"Q\",\"rw\":\"W\",\"lba\":2048,\"sectors\":8,\"req\":3,\"sub\":0}"
+        );
+    }
+
+    #[test]
+    fn round_trip_preserves_event() {
+        let e = sample();
+        let parsed = parse_trace_jsonl_line(&render_trace_event(&e)).expect("round-trips");
+        assert_eq!(parsed, e);
+    }
+
+    #[test]
+    fn bad_lines_are_rejected() {
+        assert!(parse_trace_jsonl_line("not json").is_err());
+        assert!(parse_trace_jsonl_line("{\"t_us\":1}").is_err());
+        assert!(
+            parse_trace_jsonl_line(
+                "{\"t_us\":1,\"action\":\"Z\",\"rw\":\"W\",\"lba\":0,\"sectors\":1,\"req\":0,\"sub\":0}"
+            )
+            .is_err()
+        );
+    }
+
+    #[test]
+    fn multi_line_render_ends_each_line() {
+        let out = render_trace_events(&[sample(), sample()]);
+        assert_eq!(out.lines().count(), 2);
+        assert!(out.ends_with('\n'));
+        assert_eq!(render_trace_events(&[]), "");
+    }
+}

@@ -41,10 +41,14 @@
 
 pub mod btt;
 pub mod event;
+pub mod jsonl;
 pub mod parse;
 pub mod tracer;
 
 pub use btt::{analyze, BttReport, BttSummary, PerIo};
 pub use event::{TraceAction, TraceEvent};
+pub use jsonl::{
+    parse_trace_jsonl_line, render_trace_event, render_trace_events, ParseTraceJsonError,
+};
 pub use parse::{parse_event_line, parse_trace_text, ParseEventError};
 pub use tracer::{BlockTracer, SubRequest};

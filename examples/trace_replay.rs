@@ -47,7 +47,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ssd.advance_to(ssd.now() + SimDuration::from_millis(2));
     let timeline = FaultInjector::arduino_atx_loaded().timeline(ssd.now());
     ssd.power_fail(&timeline);
-    ssd.power_on_recover(timeline.discharged + SimDuration::from_secs(1));
+    ssd.power_on_recover(timeline.discharged + SimDuration::from_secs(1))
+        .expect("recovery remounts");
 
     // Expected content per sector = the *last* write that touched it.
     let mut expected = std::collections::HashMap::new();

@@ -110,7 +110,13 @@ fn checkpointed_device_still_reproduces_failures() {
     c.requests = 40;
     let platform = TestPlatform::new(c);
     let loss: u64 = (0..12)
-        .map(|s| platform.run_trial(s).counts.total_data_loss())
+        .map(|s| {
+            platform
+                .run_trial(s)
+                .expect("trial runs")
+                .counts
+                .total_data_loss()
+        })
         .sum();
     assert!(loss > 0);
 }
@@ -126,7 +132,7 @@ fn zipf_workload_runs_through_the_full_platform() {
     let platform = TestPlatform::new(c);
     let baseline = platform.run_fault_free(3);
     assert_eq!(baseline.counts.total_data_loss(), 0);
-    let faulted = platform.run_trial(3);
+    let faulted = platform.run_trial(3).expect("trial runs");
     assert!(faulted.requests_issued > 0);
     // Hot overwrites mean many sectors are superseded; the tally still
     // covers every request exactly once.
@@ -149,7 +155,8 @@ fn trim_then_fault_interacts_correctly_with_recovery() {
     ssd.quiesce();
     let timeline = FaultInjector::arduino_atx_loaded().timeline(ssd.now());
     ssd.power_fail(&timeline);
-    ssd.power_on_recover(timeline.discharged + SimDuration::from_secs(1));
+    ssd.power_on_recover(timeline.discharged + SimDuration::from_secs(1))
+        .expect("recovery remounts");
     for i in 0..4 {
         assert_eq!(
             ssd.verify_read(Lba::new(500 + i)),
@@ -176,7 +183,8 @@ fn replayed_trace_survives_clean_power_cycle() {
     ssd.quiesce();
     let timeline = FaultInjector::arduino_atx_loaded().timeline(ssd.now());
     ssd.power_fail(&timeline);
-    ssd.power_on_recover(timeline.discharged + SimDuration::from_secs(1));
+    ssd.power_on_recover(timeline.discharged + SimDuration::from_secs(1))
+        .expect("recovery remounts");
     for (lba, expected) in last_writes {
         match ssd.verify_read(lba) {
             VerifiedContent::Written(d) => assert_eq!(d, expected, "{lba}"),

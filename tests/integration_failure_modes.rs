@@ -17,7 +17,13 @@ fn base() -> TrialConfig {
 fn total_loss(config: TrialConfig, seeds: std::ops::Range<u64>) -> u64 {
     let platform = TestPlatform::new(config);
     seeds
-        .map(|s| platform.run_trial(s).counts.total_data_loss())
+        .map(|s| {
+            platform
+                .run_trial(s)
+                .expect("trial runs")
+                .counts
+                .total_data_loss()
+        })
         .sum()
 }
 
@@ -85,8 +91,8 @@ fn transistor_cut_and_discharge_ramp_both_lose_data() {
     let mut atx_interrupted = 0;
     let mut cut_interrupted = 0;
     for seed in 0..15 {
-        let a = platform_atx.run_trial(seed);
-        let c = platform_cut.run_trial(seed);
+        let a = platform_atx.run_trial(seed).expect("trial runs");
+        let c = platform_cut.run_trial(seed).expect("trial runs");
         atx_loss += a.counts.total_data_loss();
         cut_loss += c.counts.total_data_loss();
         atx_interrupted += a.interrupted_programs;
@@ -110,7 +116,12 @@ fn paired_page_damage_reaches_previously_written_data() {
     // data, it may corrupt the previously written data".
     let platform = TestPlatform::new(base());
     let paired: u64 = (0..15)
-        .map(|s| platform.run_trial(s).paired_corruptions)
+        .map(|s| {
+            platform
+                .run_trial(s)
+                .expect("trial runs")
+                .paired_corruptions
+        })
         .sum();
     assert!(paired > 0, "paired-page collateral damage must occur");
 }

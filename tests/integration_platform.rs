@@ -29,8 +29,8 @@ fn fault_free_baseline_verifies_everything_intact() {
 #[test]
 fn trials_replay_bit_exactly() {
     let platform = TestPlatform::new(small_trial());
-    let a = platform.run_trial(77);
-    let b = platform.run_trial(77);
+    let a = platform.run_trial(77).expect("trial runs");
+    let b = platform.run_trial(77).expect("trial runs");
     assert_eq!(a.counts, b.counts);
     assert_eq!(a.verdicts, b.verdicts);
     assert_eq!(a.fault_commanded_ms, b.fault_commanded_ms);
@@ -40,7 +40,7 @@ fn trials_replay_bit_exactly() {
 #[test]
 fn every_issued_request_gets_exactly_one_verdict() {
     let platform = TestPlatform::new(small_trial());
-    let o = platform.run_trial(13);
+    let o = platform.run_trial(13).expect("trial runs");
     assert_eq!(o.verdicts.len() as u64, o.requests_issued);
     let tallied = o.counts.data_failures + o.counts.fwa + o.counts.io_errors + o.counts.intact;
     assert_eq!(tallied, o.requests_issued);
@@ -50,7 +50,13 @@ fn every_issued_request_gets_exactly_one_verdict() {
 fn faults_on_write_workloads_lose_data() {
     let platform = TestPlatform::new(small_trial());
     let loss: u64 = (0..12)
-        .map(|seed| platform.run_trial(seed).counts.total_data_loss())
+        .map(|seed| {
+            platform
+                .run_trial(seed)
+                .expect("trial runs")
+                .counts
+                .total_data_loss()
+        })
         .sum();
     assert!(
         loss > 0,
@@ -63,7 +69,11 @@ fn io_errors_happen_at_the_fault_boundary() {
     let platform = TestPlatform::new(small_trial());
     let mut io_errors = 0;
     for seed in 0..12 {
-        io_errors += platform.run_trial(seed).counts.io_errors;
+        io_errors += platform
+            .run_trial(seed)
+            .expect("trial runs")
+            .counts
+            .io_errors;
     }
     assert!(io_errors > 0, "in-flight requests at host-loss must error");
 }
@@ -131,7 +141,7 @@ fn failed_requests_were_acked_before_the_fault() {
     // IoError must correspond to requests that never completed.
     let platform = TestPlatform::new(small_trial());
     for seed in 0..6 {
-        let o = platform.run_trial(seed);
+        let o = platform.run_trial(seed).expect("trial runs");
         for &interval in &o.failed_ack_intervals_ms {
             assert!(interval >= 0.0);
         }

@@ -31,7 +31,8 @@ fn write_and_wait(ssd: &mut Ssd, id: u64, lba: Lba, sectors: u64, tag: u64) -> H
 fn cycle_power(ssd: &mut Ssd) {
     let timeline = FaultInjector::arduino_atx_loaded().timeline(ssd.now());
     ssd.power_fail(&timeline);
-    ssd.power_on_recover(timeline.discharged + SimDuration::from_secs(1));
+    ssd.power_on_recover(timeline.discharged + SimDuration::from_secs(1))
+        .expect("recovery remounts");
 }
 
 #[test]
@@ -57,7 +58,8 @@ fn immediate_fault_after_ack_loses_the_write() {
     // Instant cut right at the ACK: data is still in the cache.
     let timeline = FaultInjector::transistor().timeline(ssd.now());
     ssd.power_fail(&timeline);
-    ssd.power_on_recover(timeline.discharged + SimDuration::from_secs(1));
+    ssd.power_on_recover(timeline.discharged + SimDuration::from_secs(1))
+        .expect("recovery remounts");
     let lost = (0..4).any(|i| {
         !matches!(
             ssd.verify_read(Lba::new(50 + i)),
@@ -79,7 +81,8 @@ fn overwrite_then_fault_reverts_to_committed_version() {
     // Fault before the new version's mapping commits (instant cut).
     let timeline = FaultInjector::transistor().timeline(ssd.now());
     ssd.power_fail(&timeline);
-    ssd.power_on_recover(timeline.discharged + SimDuration::from_secs(1));
+    ssd.power_on_recover(timeline.discharged + SimDuration::from_secs(1))
+        .expect("recovery remounts");
     for i in 0..2 {
         match ssd.verify_read(Lba::new(10 + i)) {
             VerifiedContent::Written(d) => {
@@ -123,7 +126,8 @@ fn repeated_faults_accumulate_flash_damage_counters() {
         ssd.advance_to(ssd.now() + SimDuration::from_millis(3));
         let timeline = FaultInjector::transistor().timeline(ssd.now());
         ssd.power_fail(&timeline);
-        ssd.power_on_recover(timeline.discharged + SimDuration::from_secs(1));
+        ssd.power_on_recover(timeline.discharged + SimDuration::from_secs(1))
+            .expect("recovery remounts");
     }
     assert!(
         ssd.flash_stats().interrupted_programs > 0,

@@ -318,7 +318,8 @@ proptest! {
         let timeline =
             FaultInjector::arduino_atx_loaded().timeline(SimTime::from_millis(fault_at_ms).max(ssd.now()));
         ssd.power_fail(&timeline);
-        ssd.power_on_recover(timeline.discharged + SimDuration::from_secs(1));
+        ssd.power_on_recover(timeline.discharged + SimDuration::from_secs(1))
+            .expect("recovery remounts");
         prop_assert!(ssd.is_operational());
         let report = ssd.scrub();
         prop_assert!(report.scanned >= report.unreadable + report.garbled);
@@ -356,7 +357,8 @@ proptest! {
         // Both rigs, immediately after the FLUSH ACK.
         let timeline = FaultInjector::transistor().timeline(ssd.now());
         ssd.power_fail(&timeline);
-        ssd.power_on_recover(timeline.discharged + SimDuration::from_secs(1));
+        ssd.power_on_recover(timeline.discharged + SimDuration::from_secs(1))
+            .expect("recovery remounts");
         for i in 0..sectors {
             match ssd.verify_read(Lba::new(7 + i)) {
                 VerifiedContent::Written(d) => prop_assert_eq!(d, cmd.sector_content(i)),
@@ -371,8 +373,8 @@ proptest! {
         let mut c = TrialConfig::paper_default();
         c.requests = 15;
         let platform = TestPlatform::new(c);
-        let a = platform.run_trial(seed);
-        let b = platform.run_trial(seed);
+        let a = platform.run_trial(seed).expect("trial runs");
+        let b = platform.run_trial(seed).expect("trial runs");
         prop_assert_eq!(a.counts, b.counts);
         prop_assert_eq!(a.fault_commanded_ms, b.fault_commanded_ms);
         prop_assert_eq!(a.requests_issued, b.requests_issued);
