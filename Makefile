@@ -11,11 +11,15 @@
 #   make obs-smoke — observability determinism gate: two same-seed
 #                  campaigns must write byte-identical metrics JSON and
 #                  probe-trace JSONL
+#   make recovery-smoke — mechanistic-recovery gate (<10 s): the storm
+#                  sweep must interrupt recovery stages, resume them,
+#                  and degrade at least one device to read-only, and
+#                  two same-seed runs must emit byte-identical reports
 #   make check   — everything CI runs
 
 CARGO ?= cargo
 
-.PHONY: all build test lint lint-core lint-workspace sweep-smoke obs-smoke check clean
+.PHONY: all build test lint lint-core lint-workspace sweep-smoke obs-smoke recovery-smoke check clean
 
 all: check
 
@@ -55,7 +59,16 @@ obs-smoke: build
 	cmp target/obs-a.jsonl target/obs-b.jsonl
 	./target/release/blkdump --obs target/obs-a.jsonl > /dev/null
 
-check: build lint test sweep-smoke obs-smoke
+# Self-checking: an explicit recovery-storm run exits non-zero unless
+# cuts landed inside recovery stages, interrupted sessions resumed, and
+# at least one device degraded to read-only instead of bricking (see
+# crates/bench/src/bin/repro.rs); cmp enforces determinism.
+recovery-smoke: build
+	./target/release/repro --exp recovery-storm --json target/storm-a.json
+	./target/release/repro --exp recovery-storm --json target/storm-b.json
+	cmp target/storm-a.json target/storm-b.json
+
+check: build lint test sweep-smoke obs-smoke recovery-smoke
 
 clean:
 	$(CARGO) clean

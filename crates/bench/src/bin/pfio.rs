@@ -7,12 +7,15 @@
 //! ```text
 //! pfio [--vendor a|b|c] [--requests N] [--size-kib N] [--write-pct P]
 //!      [--pattern random|sequential|zipf] [--qd N] [--seed N]
-//!      [--watchdog-ms N]
+//!      [--watchdog-ms N] [--wear CYCLES] [--read-retries N]
 //! ```
 //!
 //! `--watchdog-ms` caps the simulated runtime; if the device stalls and
 //! the workload cannot finish within the budget, pfio reports the stall
-//! and exits nonzero instead of spinning forever.
+//! and exits nonzero instead of spinning forever. `--wear` pre-ages
+//! every block to the given P/E cycle count and `--read-retries` arms
+//! the ECC read-retry ladder, so the retry/rescue behaviour of
+//! end-of-life media can be sanity-checked without fault injection.
 
 use std::env;
 use std::process::ExitCode;
@@ -35,6 +38,8 @@ struct Args {
     seed: u64,
     watchdog_ms: Option<u64>,
     obs: bool,
+    wear: u32,
+    read_retries: u32,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -48,6 +53,8 @@ fn parse_args() -> Result<Args, String> {
         seed: 1,
         watchdog_ms: None,
         obs: false,
+        wear: 0,
+        read_retries: 0,
     };
     let mut it = env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -94,11 +101,17 @@ fn parse_args() -> Result<Args, String> {
                 )
             }
             "--obs" => args.obs = true,
+            "--wear" => args.wear = value()?.parse().map_err(|_| "bad --wear".to_string())?,
+            "--read-retries" => {
+                args.read_retries = value()?
+                    .parse()
+                    .map_err(|_| "bad --read-retries".to_string())?
+            }
             "--help" | "-h" => {
                 return Err(
                     "pfio [--vendor a|b|c] [--requests N] [--size-kib N | --mixed-sizes] \
                      [--write-pct P] [--pattern random|sequential|zipf] [--qd N] [--seed N] \
-                     [--watchdog-ms N] [--obs]"
+                     [--watchdog-ms N] [--obs] [--wear CYCLES] [--read-retries N]"
                         .to_string(),
                 )
             }
@@ -131,7 +144,10 @@ fn main() -> ExitCode {
         .build();
 
     let root = DetRng::new(args.seed);
-    let mut ssd = Ssd::new(args.vendor.config(), root.fork("ssd"));
+    let mut config = args.vendor.config();
+    config.baseline_wear = args.wear;
+    config.read_retry_limit = args.read_retries;
+    let mut ssd = Ssd::new(config, root.fork("ssd"));
     if args.obs {
         ssd.enable_probes();
     }
@@ -218,6 +234,27 @@ fn main() -> ExitCode {
         ssd.stats().commits,
         ssd.stats().gc_collections
     );
+    if args.read_retries > 0 || args.wear > 0 {
+        // End-of-run scrub: reads every mapped page back through the
+        // read-retry ladder, so aged media shows its retry/rescue rates
+        // even when the workload itself never triggered GC.
+        let scrub = match ssd.scrub() {
+            Ok(report) => report,
+            Err(e) => {
+                eprintln!("scrub failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let fs = ssd.flash_stats();
+        println!(
+            "scrub:       {} scanned, {} unreadable, {} garbled",
+            scrub.scanned, scrub.unreadable, scrub.garbled
+        );
+        println!(
+            "read path:   {} uncorrectable, {} retry rungs, {} rescued",
+            fs.ecc_uncorrectable_reads, fs.read_retries, fs.retry_recovered_reads
+        );
+    }
     if args.obs {
         let metrics = Metrics::from_records(ssd.probe_records());
         println!("== probe metrics ==");

@@ -11,8 +11,12 @@
 //!
 //! Experiments: `fig4` `interval` `interval-nocache` `fig5` `fig6`
 //! `pattern` `fig7` `fig8` `fig9` `table1` `ablation-injector`
-//! `ablation-cache` `brownout`, or `all` (default). `--json FILE` also
-//! writes every produced report as machine-readable JSON.
+//! `ablation-cache` `brownout` `recovery-storm`, or `all` (default).
+//! `--json FILE` also writes every produced report as machine-readable
+//! JSON. An explicit `--exp recovery-storm` run is self-checking: it
+//! exits nonzero unless the storm interrupted at least one recovery
+//! stage, resumed at least one interrupted session, and degraded at
+//! least one device to read-only.
 //!
 //! `--exp campaign` (not part of `all`) runs one raw fault-injection
 //! campaign with the resilience controls: per-trial watchdog budgets,
@@ -34,7 +38,7 @@ use pfault_platform::campaign::{Campaign, CampaignConfig};
 use pfault_platform::experiments::wss;
 use pfault_platform::experiments::{
     access_pattern, brownout, cache_ablation, flush, injector_ablation, interval, iops, psu,
-    recovery, repeated, request_size, request_type, sequence, vendors, wear,
+    recovery, repeated, request_size, request_type, sequence, storm, vendors, wear,
 };
 use pfault_platform::platform::TestPlatform;
 use pfault_platform::{SweepConfig, Sweeper, ViolationKind, Watchdog};
@@ -115,7 +119,8 @@ fn main() -> ExitCode {
                      \x20     [--minimize] [--inject-crc-bug] [--metrics FILE] [--trace FILE]\n\
                      experiments: fig4 interval interval-nocache fig5 fig6 pattern \
                      fig7 fig8 fig9 table1 ablation-injector ablation-cache \
-                     brownout wear flush recovery repeated all campaign sweep\n\
+                     brownout wear flush recovery repeated recovery-storm all \
+                     campaign sweep\n\
                      campaign mode (--exp campaign, not part of 'all') runs one raw \
                      campaign with watchdog budgets,\n\
                      deterministic retries, and checkpoint/resume; the other flags \
@@ -376,6 +381,48 @@ fn main() -> ExitCode {
             report.mean_fresh_lost(),
             report.total_old_newly_lost()
         );
+    }
+
+    if all || exp == "recovery-storm" {
+        matched = true;
+        println!("== Extension J: power cuts during recovery itself ==");
+        let report = storm::run(s, seed);
+        record(
+            &mut json,
+            "recovery_storm",
+            serde_json::to_value(&report).expect("serializable"),
+        );
+        println!("{}", report.table().render());
+        println!(
+            "interrupted stages {}, resumed mounts {}, read-only devices {}\n",
+            report.total_interrupted(),
+            report.total_resumed(),
+            report.total_read_only()
+        );
+        if exp == "recovery-storm" {
+            // Self-checking smoke: an explicit storm run must actually
+            // exercise the mechanistic pipeline end to end — at least one
+            // recovery cut mid-stage, at least one mount that resumed the
+            // interrupted session, and at least one device that degraded
+            // to read-only instead of bricking.
+            if report.total_interrupted() == 0 {
+                eprintln!("recovery-storm smoke failed: no recovery stage was interrupted");
+                return ExitCode::FAILURE;
+            }
+            if report.total_resumed() == 0 {
+                eprintln!("recovery-storm smoke failed: no interrupted recovery resumed");
+                return ExitCode::FAILURE;
+            }
+            if report.total_read_only() == 0 {
+                eprintln!("recovery-storm smoke failed: no device degraded to read-only");
+                return ExitCode::FAILURE;
+            }
+            let calm = &report.rows[0];
+            if calm.interrupted_stages != 0 {
+                eprintln!("recovery-storm smoke failed: cut rate 0.0 must never interrupt");
+                return ExitCode::FAILURE;
+            }
+        }
     }
 
     if exp == "campaign" {

@@ -141,6 +141,11 @@ pub struct FailureCounts {
     /// per-request verdicts above do not exist for these, so the device
     /// loss itself is tallied as a first-class failure.
     pub bricked_devices: u64,
+    /// Trials whose device came back from recovery degraded to read-only
+    /// mode (spare blocks exhausted or late recovery stages kept dying).
+    /// The per-request verdicts exist — reads still serve — but the
+    /// write path is gone, so the degradation is tallied separately.
+    pub read_only_devices: u64,
 }
 
 impl FailureCounts {
@@ -167,6 +172,7 @@ impl FailureCounts {
         self.io_errors += other.io_errors;
         self.intact += other.intact;
         self.bricked_devices += other.bricked_devices;
+        self.read_only_devices += other.read_only_devices;
     }
 }
 

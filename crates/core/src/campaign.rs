@@ -100,8 +100,9 @@ pub struct ObsAggregate {
     pub totals: Metrics,
     /// Per-failure-class telemetry: a trial's metrics are merged into the
     /// bucket of every failure class it exhibited (`data-failure`,
-    /// `false-write-ack`, `io-error`) or into `clean` if it exhibited
-    /// none. Keys are stable strings so the JSON report is self-labelled.
+    /// `false-write-ack`, `io-error`, `read-only`) or into `clean` if it
+    /// exhibited none. Keys are stable strings so the JSON report is
+    /// self-labelled.
     pub by_class: BTreeMap<String, Metrics>,
 }
 
@@ -117,6 +118,9 @@ impl ObsAggregate {
         }
         if counts.io_errors > 0 {
             classes.push("io-error");
+        }
+        if counts.read_only_devices > 0 {
+            classes.push("read-only");
         }
         if classes.is_empty() {
             classes.push("clean");
@@ -301,7 +305,10 @@ struct CampaignCheckpoint {
     report: CampaignReport,
 }
 
-const CHECKPOINT_VERSION: u32 = 2;
+// v3: `FailureCounts` gained `read_only_devices` and `TrialConfig` the
+// recovery-storm knobs, so v2 snapshots no longer deserialize into the
+// same report shape.
+const CHECKPOINT_VERSION: u32 = 3;
 
 /// A campaign runner.
 #[derive(Debug, Clone)]
@@ -817,6 +824,30 @@ mod tests {
                 assert_eq!(field, "config_digest");
             }
             other => panic!("expected config mismatch, got {other:?}"),
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn resume_rejects_old_checkpoint_version() {
+        // Satellite: a v2-era snapshot (before `read_only_devices` and
+        // the recovery-storm knobs) must be refused, not misread.
+        let dir = std::env::temp_dir().join("pfault-checkpoint-test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("stale-version.json");
+        let _ = std::fs::remove_file(&path);
+
+        let campaign = Campaign::new(tiny_config(), 43).with_checkpoint(&path, 2);
+        campaign.run_checked().expect("run");
+        let text = std::fs::read_to_string(&path).expect("checkpoint written");
+        assert!(text.contains("\"version\":3"), "snapshot carries v3");
+        std::fs::write(&path, text.replace("\"version\":3", "\"version\":2")).expect("rewrite");
+
+        match campaign.resume_from(&path) {
+            Err(PlatformError::Checkpoint(CheckpointError::Mismatch { field, .. })) => {
+                assert_eq!(field, "version");
+            }
+            other => panic!("expected version mismatch, got {other:?}"),
         }
         let _ = std::fs::remove_file(&path);
     }

@@ -24,6 +24,7 @@
 //! | [`flush`] | ours — FLUSH barrier frequency vs residual loss |
 //! | [`recovery`] | ours — journal-replay vs full-scan recovery |
 //! | [`repeated`] | ours — consecutive outages on one device |
+//! | [`storm`] | ours — cuts during recovery; read-only degradation |
 
 pub mod access_pattern;
 pub mod brownout;
@@ -38,6 +39,7 @@ pub mod repeated;
 pub mod request_size;
 pub mod request_type;
 pub mod sequence;
+pub mod storm;
 pub mod vendors;
 pub mod wear;
 pub mod wss;

@@ -1,0 +1,202 @@
+//! Extension J — recovery storms: power cuts during recovery itself.
+//!
+//! The paper's harness power-cycles drives thousands of times, and some
+//! drives needed several cycles before they mounted again — which means
+//! real outages land while the firmware is still *recovering* from the
+//! previous one. This experiment sweeps the probability that another cut
+//! strikes mid-recovery. The device runs the mechanistic recovery
+//! pipeline (journal scan → mapping rebuild → dirty-page verify →
+//! bad-block retirement) on worn media with a nonzero transient
+//! mount-failure rate, so a storm exercises every terminal state:
+//! resumed mounts, read-only degradation (spares exhausted or late
+//! stages repeatedly dying after the map was rebuilt), and bricked
+//! devices (retries exhausted before any usable map existed).
+//!
+//! Expected shape: interruptions and resumed mounts grow with the cut
+//! rate, and read-only devices appear as a distinct terminal class
+//! alongside bricks — degraded-but-readable is the common outcome, a
+//! device that never returns the rare one.
+
+use serde::{Deserialize, Serialize};
+
+use crate::campaign::Campaign;
+use crate::experiments::{base_trial, campaign_at, ExperimentScale};
+use crate::report::Table;
+
+/// One swept point: a cut-during-recovery probability.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct StormRow {
+    /// Probability that a mount attempt is struck by another cut.
+    pub cut_rate: f64,
+    /// Faults injected at this point.
+    pub faults: u64,
+    /// Recovery stages interrupted mid-flight by storm cuts (probe
+    /// counter, over trials that eventually produced an outcome).
+    pub interrupted_stages: u64,
+    /// Mounts that resumed a previously interrupted recovery session.
+    pub resumed_mounts: u64,
+    /// Trials whose device came back degraded to read-only mode.
+    pub read_only_devices: u64,
+    /// Trials whose device never came back.
+    pub bricked_devices: u64,
+}
+
+/// Full recovery-storm report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StormReport {
+    /// One row per swept cut rate.
+    pub rows: Vec<StormRow>,
+}
+
+impl StormReport {
+    /// Total read-only degradations across all points.
+    pub fn total_read_only(&self) -> u64 {
+        self.rows.iter().map(|r| r.read_only_devices).sum()
+    }
+
+    /// Total resumed mounts across all points.
+    pub fn total_resumed(&self) -> u64 {
+        self.rows.iter().map(|r| r.resumed_mounts).sum()
+    }
+
+    /// Total mid-stage interruptions across all points.
+    pub fn total_interrupted(&self) -> u64 {
+        self.rows.iter().map(|r| r.interrupted_stages).sum()
+    }
+
+    /// Renders the table.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new([
+            "cut rate",
+            "faults",
+            "interrupted",
+            "resumed",
+            "read-only",
+            "bricked",
+        ]);
+        for r in &self.rows {
+            t.push_row([
+                format!("{:.2}", r.cut_rate),
+                r.faults.to_string(),
+                r.interrupted_stages.to_string(),
+                r.resumed_mounts.to_string(),
+                r.read_only_devices.to_string(),
+                r.bricked_devices.to_string(),
+            ]);
+        }
+        t
+    }
+}
+
+impl core::fmt::Display for StormReport {
+    /// Renders the report as its aligned table.
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(&self.table().render())
+    }
+}
+
+/// The storm device: end-of-life media (so the verify stage finds real
+/// suspects), the full four-stage pipeline, a transient mount-failure
+/// rate, and an empty spare pool for retirement to exhaust. The retry
+/// ladder stays off here on purpose: its final rung reads at a fully
+/// shifted reference (drift errors scaled to zero), so any ladder at all
+/// rescues every wear-marginal page and retirement would never trigger —
+/// the ladder-vs-retirement interplay is covered by the device tests.
+fn storm_trial(cut_rate: f64) -> crate::platform::TrialConfig {
+    let mut trial = base_trial();
+    trial.ssd.baseline_wear = 2_900;
+    trial.ssd.recovery_verify = true;
+    trial.ssd.ftl.retire_bad_blocks = true;
+    trial.ssd.ftl.spare_blocks = 0;
+    trial.ssd.mount_failure_rate = 0.25;
+    trial.ssd.mount_retry_limit = 3;
+    trial.obs = true;
+    trial.with_recovery_storm(cut_rate, 3)
+}
+
+/// Runs the storm sweep at the given scale.
+pub fn run(scale: ExperimentScale, seed: u64) -> StormReport {
+    let rates = [0.0, 0.5, 0.9];
+    let rows = rates
+        .iter()
+        .map(|&cut_rate| {
+            let campaign = Campaign::new(campaign_at(storm_trial(cut_rate), scale), seed);
+            let report = campaign.run_parallel(scale.threads);
+            StormRow {
+                cut_rate,
+                faults: report.faults,
+                interrupted_stages: report.obs.totals.counter("recovery.stage-interrupted"),
+                resumed_mounts: report.obs.totals.counter("recovery.resumed"),
+                read_only_devices: report.counts.read_only_devices,
+                bricked_devices: report.counts.bricked_devices,
+            }
+        })
+        .collect();
+    StormReport { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ExperimentScale {
+        ExperimentScale {
+            faults_per_point: 6,
+            requests_per_trial: 10,
+            threads: 2,
+        }
+    }
+
+    #[test]
+    fn same_seed_storm_campaigns_are_byte_identical() {
+        // Satellite: the whole storm — cuts during recovery, resumes,
+        // degradations — replays bit-exactly from the seed.
+        let a = run(tiny(), 4242);
+        let b = run(tiny(), 4242);
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap(),
+            "same-seed storm reports must be byte-identical"
+        );
+    }
+
+    #[test]
+    fn storm_produces_interruptions_and_degradations() {
+        let report = run(tiny(), 7);
+        let calm = &report.rows[0];
+        // Rate 0.0 never interrupts a stage mid-flight; it can still
+        // resume, because a *transiently failed* mount also checkpoints
+        // its session and the next attempt picks it up.
+        assert_eq!(calm.interrupted_stages, 0, "rate 0.0 never interrupts");
+        assert!(
+            report.total_interrupted() > 0,
+            "storm rates must interrupt at least one recovery: {report}"
+        );
+        assert!(
+            report.total_resumed() > 0,
+            "interrupted recoveries must resume: {report}"
+        );
+        assert!(
+            report.total_read_only() > 0,
+            "worn media with a tiny spare pool must degrade at least one device: {report}"
+        );
+    }
+
+    #[test]
+    fn report_helpers() {
+        let r = StormReport {
+            rows: vec![StormRow {
+                cut_rate: 0.5,
+                faults: 10,
+                interrupted_stages: 3,
+                resumed_mounts: 3,
+                read_only_devices: 2,
+                bricked_devices: 1,
+            }],
+        };
+        assert_eq!(r.total_read_only(), 2);
+        assert_eq!(r.total_resumed(), 3);
+        assert_eq!(r.total_interrupted(), 3);
+        assert!(r.to_string().contains("read-only"));
+    }
+}

@@ -88,6 +88,14 @@ pub struct TrialConfig {
     /// the full probe stream plus derived counters/histograms. Off by
     /// default — a disabled bus costs one branch per would-be event.
     pub obs: bool,
+    /// Recovery-storm knob: probability that another power cut strikes
+    /// while a recovery mount is still running (drawn per mount
+    /// attempt). `0.0` — the default — never cuts during recovery.
+    pub recovery_cut_rate: f64,
+    /// Recovery-storm knob: at most this many extra cuts land during the
+    /// recovery phase of one trial (bounds the storm so a trial always
+    /// terminates in Operational, ReadOnly, or Bricked).
+    pub max_recovery_cuts: u32,
 }
 
 impl TrialConfig {
@@ -104,6 +112,8 @@ impl TrialConfig {
             flush_every: None,
             watchdog: Watchdog::generous(),
             obs: false,
+            recovery_cut_rate: 0.0,
+            max_recovery_cuts: 0,
         }
     }
 
@@ -161,6 +171,16 @@ impl TrialConfig {
     #[must_use]
     pub fn with_obs(mut self, obs: bool) -> Self {
         self.obs = obs;
+        self
+    }
+
+    /// Arms the recovery storm: each mount attempt is hit by another
+    /// power cut with probability `rate`, up to `max_cuts` cuts per
+    /// trial (chainable builder).
+    #[must_use]
+    pub fn with_recovery_storm(mut self, rate: f64, max_cuts: u32) -> Self {
+        self.recovery_cut_rate = rate;
+        self.max_recovery_cuts = max_cuts;
         self
     }
 }
@@ -399,11 +419,35 @@ impl TestPlatform {
 
         // Power restore and firmware recovery, one second after full
         // discharge (the paper power-cycles between injections). A failed
-        // mount gets another power cycle a second later; a device that
-        // exhausts its retries is bricked — the trial's terminal outcome.
+        // or interrupted mount gets another power cycle after a
+        // deterministic exponential backoff (1 s, 2 s, 4 s, …); a device
+        // that exhausts its retries before rebuilding a mapping is
+        // bricked — a terminal trial outcome — while one that already
+        // rebuilt its map degrades to a read-only mount instead. With
+        // `recovery_cut_rate` armed, further cuts can land while the
+        // recovery pipeline itself runs (the recovery storm): the mount
+        // is interrupted mid-stage and the next attempt resumes it.
         let mut recovery_time = timeline.discharged + SimDuration::from_secs(1);
+        let mut backoff = SimDuration::from_secs(1);
+        let mut storm_cuts = 0u32;
         let recovery = loop {
-            match ssd.power_on_recover(recovery_time) {
+            let storm = self.config.recovery_cut_rate > 0.0
+                && storm_cuts < self.config.max_recovery_cuts
+                && sched_rng.chance(self.config.recovery_cut_rate);
+            let result = if storm {
+                // An idealised instantaneous cut (the sweeper's primitive)
+                // a short lead into the mount: the rig's discharge ramp
+                // would push `flash_unreliable` milliseconds out — past
+                // the whole pipeline — and every storm cut would fizzle.
+                let lead = SimDuration::from_micros(50 + sched_rng.below(500));
+                let cut = pfault_power::FaultTimeline::at_instant(recovery_time + lead);
+                ssd.power_on_recover_interruptible(recovery_time, &cut)
+            } else {
+                ssd.power_on_recover(recovery_time)
+            };
+            match result {
+                // A storm cut scheduled after the pipeline finished is a
+                // fizzle: the mount simply succeeded.
                 Ok(report) => break report,
                 Err(pfault_ssd::DeviceError::Bricked { attempts }) => {
                     return Err(TrialError::DeviceBricked { seed, attempts });
@@ -415,8 +459,20 @@ impl TestPlatform {
                     return Err(TrialError::DeviceBricked { seed, attempts: 1 });
                 }
                 Err(pfault_ssd::DeviceError::MountFailed { .. }) => {
-                    recovery_time += SimDuration::from_secs(1);
+                    recovery_time = ssd.now() + backoff;
+                    backoff = backoff * 2;
                 }
+                Err(pfault_ssd::DeviceError::RecoveryInterrupted { .. }) => {
+                    // The cut landed inside the pipeline: the session is
+                    // checkpointed on the device and the next mount
+                    // resumes it.
+                    storm_cuts += 1;
+                    recovery_time = ssd.now() + backoff;
+                    backoff = backoff * 2;
+                }
+                Err(
+                    e @ (pfault_ssd::DeviceError::NotMounted | pfault_ssd::DeviceError::ReadOnly),
+                ) => unreachable!("power_on_recover never returns {e}"),
             }
         };
 
@@ -428,8 +484,10 @@ impl TestPlatform {
                 .is_some_and(|io| io.completed == r.completed())
         }));
 
-        // Verification + classification.
-        let (verdicts, counts) = classify_all(&records, &oracle, &mut ssd);
+        // Verification + classification (reads still serve on a
+        // read-only-degraded device, so the verdicts exist either way).
+        let (verdicts, mut counts) = classify_all(&records, &oracle, &mut ssd);
+        counts.read_only_devices = u64::from(recovery.read_only);
 
         let failed_ack_intervals_ms = records
             .iter()
@@ -477,28 +535,6 @@ impl TestPlatform {
             telemetry,
             probe_records,
         })
-    }
-
-    /// Deprecated alias of [`TestPlatform::run_trial`] from before the
-    /// Result-first rename.
-    #[deprecated(note = "use `run_trial`, which now returns Result<TrialOutcome, TrialError>")]
-    pub fn run_trial_checked(&self, seed: u64) -> Result<TrialOutcome, TrialError> {
-        self.run_trial(seed)
-    }
-
-    /// Deprecated infallible shim over [`TestPlatform::run_trial`] for
-    /// configurations that cannot fail (generous watchdog, zero
-    /// mount-failure rate).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the trial fails.
-    #[deprecated(note = "use `run_trial` and handle the Result")]
-    pub fn run_trial_infallible(&self, seed: u64) -> TrialOutcome {
-        match self.run_trial(seed) {
-            Ok(outcome) => outcome,
-            Err(e) => panic!("run_trial on a failing configuration: {e}"),
-        }
     }
 
     /// Returns the number of sub-requests submitted.

@@ -457,6 +457,16 @@ impl Sweeper {
                     }
                     at += SimDuration::from_secs(1);
                 }
+                Err(
+                    e @ (pfault_ssd::DeviceError::RecoveryInterrupted { .. }
+                    | pfault_ssd::DeviceError::NotMounted
+                    | pfault_ssd::DeviceError::ReadOnly),
+                ) => {
+                    // Sweep mounts are never interrupted (no storm) and
+                    // never degrade (verify/retirement stay off under the
+                    // strict replay oracle).
+                    unreachable!("sweep recovery cannot return {e}")
+                }
             }
         }
         Ok(self.oracle(ssd, &driven.issued))

@@ -74,6 +74,12 @@ pub struct FlashStats {
     pub ecc_corrected_bits: u64,
     /// Reads the ECC could not correct.
     pub ecc_uncorrectable_reads: u64,
+    /// Read-retry ladder attempts issued after an uncorrectable nominal
+    /// read (each shifted-threshold re-read counts once).
+    pub read_retries: u64,
+    /// Reads rescued by the retry ladder: uncorrectable at the nominal
+    /// threshold but decoded at a shifted one.
+    pub retry_recovered_reads: u64,
 }
 
 /// A simulated NAND flash array.
@@ -280,6 +286,43 @@ impl FlashArray {
     /// data-level problems are reported in the [`ReadOutcome`], not as
     /// errors.
     pub fn read(&mut self, ppa: Ppa, rng: &mut DetRng) -> ReadOutcome {
+        self.read_once(ppa, rng, 1.0)
+    }
+
+    /// Reads a page, retrying with progressively shifted read-reference
+    /// voltages when the nominal read is uncorrectable — the retry ladder
+    /// real controllers walk before declaring a page lost.
+    ///
+    /// Attempt `k` of `retries` scales the wear/retention/disturb error
+    /// component by `(retries - k) / retries`: a shifted threshold tracks
+    /// the drifted cell distributions, so drift-induced errors shrink
+    /// while *intrinsic* damage (an interrupted program's garbled cells)
+    /// stays — the ladder rescues marginal pages, never torn ones.
+    ///
+    /// Each rung issues a real array read (counts toward read disturb and
+    /// [`FlashStats::reads`]); rungs are tallied in
+    /// [`FlashStats::read_retries`] and rescues in
+    /// [`FlashStats::retry_recovered_reads`].
+    pub fn read_with_retries(&mut self, ppa: Ppa, retries: u32, rng: &mut DetRng) -> ReadOutcome {
+        let first = self.read_once(ppa, rng, 1.0);
+        if first != ReadOutcome::Uncorrectable || retries == 0 {
+            return first;
+        }
+        for attempt in 1..=retries {
+            self.stats.read_retries += 1;
+            let scale = f64::from(retries - attempt) / f64::from(retries);
+            let outcome = self.read_once(ppa, rng, scale);
+            if outcome != ReadOutcome::Uncorrectable {
+                self.stats.retry_recovered_reads += 1;
+                return outcome;
+            }
+        }
+        ReadOutcome::Uncorrectable
+    }
+
+    /// One read through the ECC stage with the extra (drift-induced) error
+    /// component scaled by `extra_scale` (1.0 = nominal read reference).
+    fn read_once(&mut self, ppa: Ppa, rng: &mut DetRng, extra_scale: f64) -> ReadOutcome {
         assert!(self.powered, "read attempted while powered off");
         assert!(
             self.geometry.contains(ppa),
@@ -299,6 +342,11 @@ impl FlashArray {
             PageState::Erased => ReadOutcome::Erased,
             PageState::Programmed { data, oob, raw_ber } => {
                 let extra = self.reliability.sample_extra_ber(wear, disturb, rng);
+                let extra = if extra_scale >= 1.0 {
+                    extra
+                } else {
+                    (f64::from(extra) * extra_scale) as u32
+                };
                 let raw_ber = raw_ber.saturating_add(extra);
                 match ecc::decode(self.ecc, raw_ber, rng) {
                     EccOutcome::Corrected { repaired } => {
@@ -749,5 +797,86 @@ mod tests {
     fn program_duration_depends_on_page_parity() {
         let a = mlc_array();
         assert!(a.program_duration(Ppa::new(0, 1)) > a.program_duration(Ppa::new(0, 0)));
+    }
+
+    #[test]
+    fn retry_ladder_rescues_marginal_eol_pages() {
+        // Same end-of-life setup as the flicker test: wear-induced errors
+        // sit at the BCH boundary. The ladder's shifted thresholds cancel
+        // the drift component, so every uncorrectable nominal read must be
+        // rescued within the ladder.
+        let mut a = mlc_array();
+        let mut rng = DetRng::new(11);
+        a.pre_age_block(0, 2_999);
+        a.program(
+            Ppa::new(0, 0),
+            PageData::from_tag(1),
+            Oob::user(Lba::new(0), 1),
+        )
+        .unwrap();
+        for _ in 0..100 {
+            assert!(matches!(
+                a.read_with_retries(Ppa::new(0, 0), 4, &mut rng),
+                ReadOutcome::Ok { .. }
+            ));
+        }
+        let stats = a.stats();
+        assert!(stats.read_retries > 0, "EOL pages must hit the ladder");
+        assert!(stats.retry_recovered_reads > 0);
+        assert!(stats.retry_recovered_reads <= stats.read_retries);
+    }
+
+    #[test]
+    fn retry_ladder_is_free_on_clean_pages() {
+        let mut a = mlc_array();
+        let mut rng = DetRng::new(12);
+        a.program(
+            Ppa::new(0, 0),
+            PageData::from_tag(1),
+            Oob::user(Lba::new(0), 1),
+        )
+        .unwrap();
+        assert!(matches!(
+            a.read_with_retries(Ppa::new(0, 0), 4, &mut rng),
+            ReadOutcome::Ok { .. }
+        ));
+        assert_eq!(a.stats().read_retries, 0);
+        assert_eq!(a.stats().reads, 1, "clean read takes a single rung");
+    }
+
+    #[test]
+    fn retry_ladder_cannot_rescue_torn_programs() {
+        // An early-interrupted program leaves intrinsic raw errors far
+        // beyond ECC strength; shifting the read reference does not help.
+        let mut a = mlc_array();
+        let mut rng = DetRng::new(3);
+        let ppa = Ppa::new(0, 0);
+        a.interrupt_program(ppa, 0.1, &mut rng);
+        assert_eq!(
+            a.read_with_retries(ppa, 6, &mut rng),
+            ReadOutcome::Uncorrectable
+        );
+        assert_eq!(a.stats().read_retries, 6, "every rung must be walked");
+        assert_eq!(a.stats().retry_recovered_reads, 0);
+    }
+
+    #[test]
+    fn retry_ladder_is_deterministic() {
+        let run = |seed: u64| {
+            let mut a = mlc_array();
+            let mut rng = DetRng::new(seed);
+            a.pre_age_block(0, 2_999);
+            a.program(
+                Ppa::new(0, 0),
+                PageData::from_tag(1),
+                Oob::user(Lba::new(0), 1),
+            )
+            .unwrap();
+            let outcomes: Vec<ReadOutcome> = (0..50)
+                .map(|_| a.read_with_retries(Ppa::new(0, 0), 3, &mut rng))
+                .collect();
+            (outcomes, a.stats())
+        };
+        assert_eq!(run(21), run(21));
     }
 }

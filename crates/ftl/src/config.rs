@@ -60,6 +60,18 @@ pub struct FtlConfig {
     /// ([`crate::config`] consumers such as `SweepConfig::smoke`) — sets
     /// it to `true`.
     pub verify_batch_crc: bool,
+    /// Retire blocks that show uncorrectable pages during the post-fault
+    /// dirty-page-verify recovery stage: readable sectors are relocated
+    /// and journaled, the block never serves again. Off by default — the
+    /// consumer drives the paper studies show no evidence of it, and the
+    /// fault-space sweeper's strict mapping oracle assumes recovery never
+    /// rewrites data.
+    pub retire_bad_blocks: bool,
+    /// Blocks the firmware treats as a replacement pool for retirement.
+    /// Once more than this many blocks have been retired the device
+    /// degrades to read-only instead of bricking. Only meaningful with
+    /// [`FtlConfig::retire_bad_blocks`].
+    pub spare_blocks: u64,
 }
 
 impl FtlConfig {
@@ -82,6 +94,8 @@ impl FtlConfig {
             checkpoint_every_batches: 512,
             recovery_policy: RecoveryPolicy::JournalReplay,
             verify_batch_crc: false,
+            retire_bad_blocks: false,
+            spare_blocks: 0,
         }
     }
 
@@ -102,6 +116,10 @@ impl FtlConfig {
         assert!(
             self.gc_low_water_blocks < self.geometry.blocks(),
             "gc low-water mark exceeds geometry"
+        );
+        assert!(
+            self.spare_blocks < self.geometry.blocks(),
+            "spare pool exceeds geometry"
         );
     }
 }

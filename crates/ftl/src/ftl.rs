@@ -13,14 +13,14 @@
 
 use std::collections::HashSet;
 
-use pfault_flash::array::{FlashArray, ReadOutcome};
+use pfault_flash::array::FlashArray;
 use pfault_flash::geometry::Ppa;
 use pfault_sim::{DetRng, Lba};
 use serde::{Deserialize, Serialize};
 
 use crate::alloc::BlockAllocator;
 use crate::checkpoint::{Checkpoint, CheckpointStore};
-use crate::config::{FtlConfig, RecoveryPolicy};
+use crate::config::FtlConfig;
 use crate::error::FtlError;
 use crate::journal::{DurableLog, JournalBatch, JournalBuffer};
 use crate::mapping::MappingTable;
@@ -105,6 +105,7 @@ pub struct Ftl {
     active_user: Option<ActiveBlock>,
     active_journal: Option<ActiveBlock>,
     full_blocks: HashSet<u64>,
+    retired: HashSet<u64>,
     seq: u64,
     next_batch_id: u64,
     batches_since_checkpoint: u64,
@@ -134,6 +135,7 @@ impl Ftl {
             active_user: None,
             active_journal: None,
             full_blocks: HashSet::new(),
+            retired: HashSet::new(),
             seq: 0,
             next_batch_id: 0,
             batches_since_checkpoint: 0,
@@ -384,7 +386,9 @@ impl Ftl {
             "GC victim still has valid pages"
         );
         self.full_blocks.remove(&victim);
-        self.alloc.recycle(victim, erase_count);
+        if !self.retired.contains(&victim) {
+            self.alloc.recycle(victim, erase_count);
+        }
     }
 
     /// Free blocks currently available without GC.
@@ -469,98 +473,21 @@ impl Ftl {
         rng: &mut DetRng,
     ) -> (Ftl, RecoveryStats) {
         config.validate();
-        let mut stats = RecoveryStats::default();
-        let mut map = MappingTable::new();
-        let mut replay_after: Option<u64> = None;
-        for (page, checkpoint) in checkpoints.iter_newest_first() {
-            let readable =
-                matches!(array.read(page, rng), ReadOutcome::Ok { data, .. } if data.is_intact());
-            if readable {
-                map = checkpoint.restore();
-                replay_after = checkpoint.last_batch;
-                stats.checkpoint_restored = true;
-                stats.checkpoint_entries = map.len() as u64;
-                break;
-            }
-            stats.checkpoints_unreadable += 1;
-        }
-        let records: Vec<_> = durable.iter_records().collect();
-        for (i, record) in records.iter().enumerate() {
-            if replay_after.is_some_and(|last| record.batch.id <= last) {
-                continue; // already folded into the checkpoint base
-            }
-            let readable = matches!(
-                array.read(record.page, rng),
-                ReadOutcome::Ok { data, .. } if data.is_intact()
-            );
-            if !readable {
-                // Journal page destroyed by the fault: replay stops here.
-                stats.batches_truncated += (records.len() - i) as u64;
-                break;
-            }
-            if config.verify_batch_crc && !record.crc_ok() {
-                // Torn batch: the stored CRC covers the full committed
-                // batch, but only a prefix of its entries persisted.
-                // Discard it whole — never half-apply — and stop replay:
-                // every later batch was ordered after the tear.
-                stats.batches_discarded_torn += 1;
-                stats.batches_truncated += (records.len() - i - 1) as u64;
-                break;
-            }
-            record
-                .batch
-                .apply_to(&mut map, config.geometry.pages_per_block());
-            stats.batches_replayed += 1;
-            stats.entries_replayed += record.batch.entries.len() as u64;
-        }
-        if config.recovery_policy == RecoveryPolicy::FullScan {
-            // OOB scan: adopt the newest readable user page per sector.
-            // Pages must actually decode (the scan reads them back), so
-            // interrupted programs and paired-corrupted pages stay out.
-            let mut newest: std::collections::HashMap<Lba, (u64, Ppa)> =
-                std::collections::HashMap::new();
-            let candidates: Vec<(Ppa, u64, Lba)> = array
-                .scan()
-                .filter_map(|(ppa, data, oob, _)| {
-                    oob.lba()
-                        .filter(|_| data.is_intact())
-                        .map(|l| (ppa, oob.seq, l))
-                })
-                .collect();
-            for (ppa, seq, lba) in candidates {
-                let readable = matches!(
-                    array.read(ppa, rng),
-                    ReadOutcome::Ok { data, .. } if data.is_intact()
-                );
-                if !readable {
-                    continue;
-                }
-                let entry = newest.entry(lba).or_insert((seq, ppa));
-                if seq > entry.0 {
-                    *entry = (seq, ppa);
-                }
-            }
-            for (lba, (scan_seq, ppa)) in newest {
-                // Adopt the scan winner only if it is at least as new as
-                // whatever the journal base already maps (global seq
-                // ordering; the journal page itself may be newer when the
-                // scan's newest copy was destroyed).
-                let base_seq =
-                    map.lookup(lba)
-                        .and_then(|base_ppa| match array.read(base_ppa, rng) {
-                            ReadOutcome::Ok { oob, .. } => Some(oob.seq),
-                            _ => None,
-                        });
-                if base_seq.is_none_or(|b| scan_seq >= b) {
-                    map.update(lba, ppa);
-                    stats.scan_adoptions += 1;
-                }
-            }
-        }
-        stats.map_entries = map.len() as u64;
+        let scan = crate::recovery::journal_scan(&config, array, durable, checkpoints, rng);
+        crate::recovery::mapping_rebuild(config, array, durable, checkpoints, scan, rng)
+    }
 
-        // Allocation restarts on fresh blocks beyond anything touched, so
-        // post-recovery writes never collide with surviving data.
+    /// Assembles a ready FTL around a freshly rebuilt mapping: the final
+    /// step of [`crate::recovery::mapping_rebuild`]. Allocation restarts
+    /// on fresh blocks beyond anything touched, so post-recovery writes
+    /// never collide with surviving data.
+    pub(crate) fn from_rebuilt_map(
+        config: FtlConfig,
+        map: MappingTable,
+        durable_batches: u64,
+        checkpoint_count: u64,
+        array: &FlashArray,
+    ) -> Ftl {
         let mut alloc = BlockAllocator::new(config.geometry);
         let high_water = map
             .blocks_with_valid_pages()
@@ -572,7 +499,7 @@ impl Ftl {
             // Consume the low blocks; they may hold stale-but-referenced data.
             let _ = alloc.allocate();
         }
-        let ftl = Ftl {
+        Ftl {
             config,
             map,
             alloc,
@@ -580,18 +507,39 @@ impl Ftl {
             active_user: None,
             active_journal: None,
             full_blocks: HashSet::new(),
+            retired: HashSet::new(),
             seq: high_water * config.geometry.pages_per_block(),
-            next_batch_id: durable.len() as u64,
+            next_batch_id: durable_batches,
             batches_since_checkpoint: 0,
-            next_checkpoint_id: checkpoints.len() as u64,
-        };
-        (ftl, stats)
+            next_checkpoint_id: checkpoint_count,
+        }
+    }
+
+    /// Takes `block` permanently out of service: it is never offered as a
+    /// GC victim again and [`Ftl::finish_gc`] will refuse to recycle it.
+    /// Mapped sectors still pointing into the block keep their (now
+    /// marginal) mapping — relocating what is readable first is the
+    /// caller's job (the device's bad-block-retirement recovery stage).
+    pub fn retire_block(&mut self, block: u64) {
+        self.full_blocks.remove(&block);
+        self.retired.insert(block);
+    }
+
+    /// Whether `block` has been retired.
+    pub fn is_retired(&self, block: u64) -> bool {
+        self.retired.contains(&block)
+    }
+
+    /// Number of blocks retired so far.
+    pub fn retired_blocks(&self) -> u64 {
+        self.retired.len() as u64
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::RecoveryPolicy;
     use pfault_flash::array::PageData;
     use pfault_flash::geometry::FlashGeometry;
     use pfault_flash::oob::Oob;

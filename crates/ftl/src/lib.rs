@@ -49,9 +49,11 @@ pub mod error;
 pub mod ftl;
 pub mod journal;
 pub mod mapping;
+pub mod recovery;
 
 pub use checkpoint::{Checkpoint, CheckpointStore};
 pub use config::{FtlConfig, RecoveryPolicy};
 pub use error::FtlError;
 pub use ftl::{CheckpointOp, CommitOp, Ftl, GcPlan, RecoveryStats, WriteSlot};
 pub use journal::{DurableBatch, DurableLog, JournalBatch, JournalEntry};
+pub use recovery::{journal_scan, mapping_rebuild, JournalScanOutcome};

@@ -1,0 +1,309 @@
+//! Staged mapping recovery.
+//!
+//! The monolithic `Ftl::recover_with_stats` is decomposed into two
+//! explicit stages so the device layer can run them on simulated time and
+//! survive a power cut *between* them:
+//!
+//! 1. [`journal_scan`] — find the newest readable mapping checkpoint and
+//!    read back every durable journal page, deciding which batches are
+//!    applicable (readable and, when `verify_batch_crc` is set,
+//!    CRC-accepted). The result is a pure value: a device that holds on
+//!    to a [`JournalScanOutcome`] across a power cut models firmware that
+//!    checkpoints its recovery progress at a stage boundary.
+//! 2. [`mapping_rebuild`] — apply the accepted batches over the
+//!    checkpoint base, reconcile with the
+//!    [`RecoveryPolicy::FullScan`] OOB sweep when configured, and
+//!    rebuild the allocator high-water mark into a ready [`Ftl`].
+//!
+//! Running the two stages back to back performs exactly the same flash
+//! reads, in exactly the same order, as the old monolith — same rebuilt
+//! mapping, same RNG draw count. `Ftl::recover_with_stats` is now
+//! implemented on top of these stages, so the equivalence is structural,
+//! not merely tested.
+
+use pfault_flash::array::{FlashArray, ReadOutcome};
+use pfault_flash::geometry::Ppa;
+use pfault_sim::{DetRng, Lba};
+
+use crate::checkpoint::CheckpointStore;
+use crate::config::{FtlConfig, RecoveryPolicy};
+use crate::ftl::{Ftl, RecoveryStats};
+use crate::journal::{DurableLog, JournalBatch};
+use crate::mapping::MappingTable;
+
+/// What the journal-scan stage decided: the checkpoint base to rebuild
+/// over and the journal batches that survived readability + CRC triage.
+///
+/// This is the stage-boundary artifact the device persists (in modeled
+/// firmware scratch space) so a second mount after a mid-recovery power
+/// cut can *resume* at [`mapping_rebuild`] instead of re-scanning.
+#[derive(Debug, Clone)]
+pub struct JournalScanOutcome {
+    /// Mapping restored from the newest readable checkpoint (empty when
+    /// none was readable).
+    pub map: MappingTable,
+    /// Id of the last batch already folded into the checkpoint base.
+    pub replay_after: Option<u64>,
+    /// Batches to apply over the base, oldest first — already filtered
+    /// to the readable, untorn prefix of the durable log.
+    pub batches: Vec<JournalBatch>,
+    /// Checkpoint/triage counters filled so far ([`mapping_rebuild`]
+    /// completes the rest).
+    pub stats: RecoveryStats,
+}
+
+/// Stage 1: checkpoint selection and journal triage.
+///
+/// Reads checkpoint pages newest-first until one decodes intact, then
+/// reads every durable journal page in commit order. An unreadable page
+/// truncates the log there; with `verify_batch_crc`, a CRC-mismatching
+/// (torn) batch is discarded whole and also stops replay.
+pub fn journal_scan(
+    config: &FtlConfig,
+    array: &mut FlashArray,
+    durable: &DurableLog,
+    checkpoints: &CheckpointStore,
+    rng: &mut DetRng,
+) -> JournalScanOutcome {
+    let mut stats = RecoveryStats::default();
+    let mut map = MappingTable::new();
+    let mut replay_after: Option<u64> = None;
+    for (page, checkpoint) in checkpoints.iter_newest_first() {
+        let readable =
+            matches!(array.read(page, rng), ReadOutcome::Ok { data, .. } if data.is_intact());
+        if readable {
+            map = checkpoint.restore();
+            replay_after = checkpoint.last_batch;
+            stats.checkpoint_restored = true;
+            stats.checkpoint_entries = map.len() as u64;
+            break;
+        }
+        stats.checkpoints_unreadable += 1;
+    }
+    let records: Vec<_> = durable.iter_records().collect();
+    let mut batches = Vec::new();
+    for (i, record) in records.iter().enumerate() {
+        if replay_after.is_some_and(|last| record.batch.id <= last) {
+            continue; // already folded into the checkpoint base
+        }
+        let readable = matches!(
+            array.read(record.page, rng),
+            ReadOutcome::Ok { data, .. } if data.is_intact()
+        );
+        if !readable {
+            // Journal page destroyed by the fault: replay stops here.
+            stats.batches_truncated += (records.len() - i) as u64;
+            break;
+        }
+        if config.verify_batch_crc && !record.crc_ok() {
+            // Torn batch: the stored CRC covers the full committed
+            // batch, but only a prefix of its entries persisted.
+            // Discard it whole — never half-apply — and stop replay:
+            // every later batch was ordered after the tear.
+            stats.batches_discarded_torn += 1;
+            stats.batches_truncated += (records.len() - i - 1) as u64;
+            break;
+        }
+        batches.push(record.batch.clone());
+    }
+    JournalScanOutcome {
+        map,
+        replay_after,
+        batches,
+        stats,
+    }
+}
+
+/// Stage 2: apply the scan's accepted batches, reconcile via FullScan
+/// when configured, and assemble a ready [`Ftl`].
+pub fn mapping_rebuild(
+    config: FtlConfig,
+    array: &mut FlashArray,
+    durable: &DurableLog,
+    checkpoints: &CheckpointStore,
+    scan: JournalScanOutcome,
+    rng: &mut DetRng,
+) -> (Ftl, RecoveryStats) {
+    let JournalScanOutcome {
+        mut map,
+        batches,
+        mut stats,
+        ..
+    } = scan;
+    for batch in &batches {
+        batch.apply_to(&mut map, config.geometry.pages_per_block());
+        stats.batches_replayed += 1;
+        stats.entries_replayed += batch.entries.len() as u64;
+    }
+    if config.recovery_policy == RecoveryPolicy::FullScan {
+        // OOB scan: adopt the newest readable user page per sector.
+        // Pages must actually decode (the scan reads them back), so
+        // interrupted programs and paired-corrupted pages stay out.
+        let mut newest: std::collections::HashMap<Lba, (u64, Ppa)> =
+            std::collections::HashMap::new();
+        let candidates: Vec<(Ppa, u64, Lba)> = array
+            .scan()
+            .filter_map(|(ppa, data, oob, _)| {
+                oob.lba()
+                    .filter(|_| data.is_intact())
+                    .map(|l| (ppa, oob.seq, l))
+            })
+            .collect();
+        for (ppa, seq, lba) in candidates {
+            let readable = matches!(
+                array.read(ppa, rng),
+                ReadOutcome::Ok { data, .. } if data.is_intact()
+            );
+            if !readable {
+                continue;
+            }
+            let entry = newest.entry(lba).or_insert((seq, ppa));
+            if seq > entry.0 {
+                *entry = (seq, ppa);
+            }
+        }
+        for (lba, (scan_seq, ppa)) in newest {
+            // Adopt the scan winner only if it is at least as new as
+            // whatever the journal base already maps (global seq
+            // ordering; the journal page itself may be newer when the
+            // scan's newest copy was destroyed).
+            let base_seq = map
+                .lookup(lba)
+                .and_then(|base_ppa| match array.read(base_ppa, rng) {
+                    ReadOutcome::Ok { oob, .. } => Some(oob.seq),
+                    _ => None,
+                });
+            if base_seq.is_none_or(|b| scan_seq >= b) {
+                map.update(lba, ppa);
+                stats.scan_adoptions += 1;
+            }
+        }
+    }
+    stats.map_entries = map.len() as u64;
+    let ftl = Ftl::from_rebuilt_map(config, map, durable.len() as u64, checkpoints.len() as u64, array);
+    (ftl, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfault_flash::array::PageData;
+    use pfault_flash::geometry::FlashGeometry;
+    use pfault_flash::oob::Oob;
+    use pfault_flash::CellKind;
+
+    fn setup() -> (FlashArray, Ftl, DurableLog, DetRng) {
+        let geom = FlashGeometry::new(64, 16);
+        let array = FlashArray::new(geom, CellKind::Mlc);
+        let ftl = Ftl::new(FtlConfig::for_geometry(geom));
+        (array, ftl, DurableLog::new(), DetRng::new(42))
+    }
+
+    fn write_and_commit(
+        array: &mut FlashArray,
+        ftl: &mut Ftl,
+        durable: &mut DurableLog,
+        lba: u64,
+        tag: u64,
+    ) -> Ppa {
+        let slot = ftl.begin_user_write(Lba::new(lba)).unwrap();
+        array
+            .program(
+                slot.ppa,
+                PageData::from_tag(tag),
+                Oob::user(Lba::new(lba), slot.seq),
+            )
+            .unwrap();
+        ftl.finish_user_write(&slot);
+        ftl.close_open_extent();
+        if let Some(op) = ftl.begin_journal_commit().unwrap() {
+            array
+                .program(
+                    op.page,
+                    PageData::from_tag(op.batch.id),
+                    Oob::journal(op.batch.id, op.seq),
+                )
+                .unwrap();
+            ftl.finish_journal_commit(op, durable);
+        }
+        slot.ppa
+    }
+
+    #[test]
+    fn staged_recovery_equals_monolithic_recovery() {
+        // Byte-for-byte: the two-stage pipeline must rebuild the same
+        // mapping, report the same stats, and consume the same number of
+        // RNG draws as `Ftl::recover_with_stats` (which now delegates to
+        // it — this guards the delegation against drift).
+        let (mut array, mut ftl, mut durable, _) = setup();
+        for (lba, tag) in [(1u64, 1u64), (9, 2), (3, 3)] {
+            write_and_commit(&mut array, &mut ftl, &mut durable, lba, tag);
+        }
+        let store = CheckpointStore::new();
+        let config = *ftl.config();
+
+        let mut array_a = array.clone();
+        let mut rng_a = DetRng::new(77);
+        let (mono, mono_stats) =
+            Ftl::recover_with_stats(config, &mut array_a, &durable, &store, &mut rng_a);
+
+        let mut array_b = array.clone();
+        let mut rng_b = DetRng::new(77);
+        let scan = journal_scan(&config, &mut array_b, &durable, &store, &mut rng_b);
+        let (staged, staged_stats) =
+            mapping_rebuild(config, &mut array_b, &durable, &store, scan, &mut rng_b);
+
+        assert_eq!(mono_stats, staged_stats);
+        let a: Vec<_> = {
+            let mut v: Vec<_> = mono.iter_mapped().collect();
+            v.sort();
+            v
+        };
+        let b: Vec<_> = {
+            let mut v: Vec<_> = staged.iter_mapped().collect();
+            v.sort();
+            v
+        };
+        assert_eq!(a, b);
+        assert_eq!(rng_a.next_u64(), rng_b.next_u64(), "same RNG draw count");
+        assert_eq!(array_a.stats(), array_b.stats(), "same flash reads");
+    }
+
+    #[test]
+    fn scan_outcome_survives_a_simulated_cut_between_stages() {
+        // Model a power cut after stage 1: clone the outcome ("firmware
+        // scratch checkpoint"), rebuild later from the clone, and get the
+        // same mapping a straight-through recovery produces.
+        let (mut array, mut ftl, mut durable, mut rng) = setup();
+        let p1 = write_and_commit(&mut array, &mut ftl, &mut durable, 5, 1);
+        let config = *ftl.config();
+        let store = CheckpointStore::new();
+        let scan = journal_scan(&config, &mut array, &durable, &store, &mut rng);
+        let persisted = scan.clone();
+        drop(scan); // the cut: in-flight stage state is gone
+        let (rebuilt, stats) =
+            mapping_rebuild(config, &mut array, &durable, &store, persisted, &mut rng);
+        assert_eq!(rebuilt.lookup(Lba::new(5)), Some(p1));
+        assert_eq!(stats.batches_replayed, 1);
+    }
+
+    #[test]
+    fn scan_triage_filters_unreadable_tail() {
+        let (mut array, mut ftl, mut durable, mut rng) = setup();
+        for (lba, tag) in [(1u64, 1u64), (2, 2), (3, 3)] {
+            write_and_commit(&mut array, &mut ftl, &mut durable, lba, tag);
+        }
+        let third_page = durable.iter().nth(2).unwrap().0;
+        array.interrupt_program(third_page, 0.0, &mut rng);
+        let config = *ftl.config();
+        let scan = journal_scan(
+            &config,
+            &mut array,
+            &durable,
+            &CheckpointStore::new(),
+            &mut rng,
+        );
+        assert_eq!(scan.batches.len(), 2, "unreadable third batch dropped");
+        assert_eq!(scan.stats.batches_truncated, 1);
+    }
+}

@@ -89,6 +89,28 @@ pub enum RecoveryStepKind {
     /// Full-scan reconciliation adopted an OOB-tagged page
     /// (`value` = pages adopted so far).
     ScanAdopted,
+    /// A recovery pipeline stage began executing
+    /// (`value` = stage index, 1-based: 1 journal scan, 2 mapping
+    /// rebuild, 3 dirty-page verify, 4 bad-block retirement).
+    StageStarted,
+    /// A power cut landed inside a recovery stage; its in-flight work is
+    /// lost (`value` = stage index, 1-based).
+    StageInterrupted,
+    /// A recovery stage failed stochastically and the mount aborted
+    /// (`value` = stage index, 1-based).
+    StageFailed,
+    /// A mount resumed a previous interrupted recovery from its last
+    /// completed stage boundary (`value` = stages skipped).
+    Resumed,
+    /// Dirty-page verify found a mapped page unreadable even through the
+    /// read-retry ladder (`value` = unreadable pages so far).
+    VerifyUnreadable,
+    /// Bad-block retirement took a block out of service
+    /// (`value` = physical block id).
+    BlockRetired,
+    /// The device degraded to read-only instead of bricking
+    /// (`value` = blocks retired at that point).
+    ReadOnlyFallback,
 }
 
 impl RecoveryStepKind {
@@ -103,6 +125,13 @@ impl RecoveryStepKind {
             RecoveryStepKind::ReplayTruncated => "replay-truncated",
             RecoveryStepKind::MapRebuilt => "map-rebuilt",
             RecoveryStepKind::ScanAdopted => "scan-adopted",
+            RecoveryStepKind::StageStarted => "stage-started",
+            RecoveryStepKind::StageInterrupted => "stage-interrupted",
+            RecoveryStepKind::StageFailed => "stage-failed",
+            RecoveryStepKind::Resumed => "resumed",
+            RecoveryStepKind::VerifyUnreadable => "verify-unreadable",
+            RecoveryStepKind::BlockRetired => "block-retired",
+            RecoveryStepKind::ReadOnlyFallback => "read-only-fallback",
         }
     }
 }
@@ -258,6 +287,18 @@ pub enum ProbeEvent {
         /// Page within the block.
         page: u64,
     },
+    /// The read-retry ladder re-read a page at shifted thresholds after
+    /// an uncorrectable nominal read.
+    ReadRetry {
+        /// Physical block read.
+        block: u64,
+        /// Page within the block.
+        page: u64,
+        /// Ladder rungs walked for this read.
+        rungs: u64,
+        /// 1 when a rung decoded the page, 0 when the ladder ran dry.
+        recovered: u64,
+    },
     /// The host link dropped with requests still in flight.
     HostLinkLost {
         /// Requests in flight when the link died.
@@ -289,6 +330,7 @@ impl ProbeEvent {
             ProbeEvent::RecoveryStep { .. } => "recovery.step",
             ProbeEvent::EccCorrected { .. } => "ecc.corrected",
             ProbeEvent::EccUncorrectable { .. } => "ecc.uncorrectable",
+            ProbeEvent::ReadRetry { .. } => "flash.read-retry",
             ProbeEvent::HostLinkLost { .. } => "host.link-lost",
         }
     }
@@ -354,6 +396,12 @@ mod tests {
                 bits: 0,
             },
             ProbeEvent::EccUncorrectable { block: 0, page: 0 },
+            ProbeEvent::ReadRetry {
+                block: 0,
+                page: 0,
+                rungs: 0,
+                recovered: 0,
+            },
             ProbeEvent::HostLinkLost { inflight: 0 },
         ];
         let mut kinds: Vec<&str> = events.iter().map(|e| e.kind()).collect();

@@ -136,6 +136,17 @@ fn render_payload(s: &mut String, event: &ProbeEvent) {
         ProbeEvent::EccUncorrectable { block, page } => {
             let _ = write!(s, ",\"block\":{block},\"page\":{page}");
         }
+        ProbeEvent::ReadRetry {
+            block,
+            page,
+            rungs,
+            recovered,
+        } => {
+            let _ = write!(
+                s,
+                ",\"block\":{block},\"page\":{page},\"rungs\":{rungs},\"recovered\":{recovered}"
+            );
+        }
         ProbeEvent::HostLinkLost { inflight } => {
             let _ = write!(s, ",\"inflight\":{inflight}");
         }

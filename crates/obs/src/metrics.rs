@@ -189,14 +189,20 @@ impl Metrics {
                     m.incr("power.map-sectors-lost", map);
                 }
                 ProbeEvent::EccCorrected { bits, .. } => m.incr("ecc.corrected-bits", bits),
-                ProbeEvent::RecoveryStep { step, value }
-                    if !matches!(
-                        step,
-                        RecoveryStepKind::MountAttempt | RecoveryStepKind::MountFailed
-                    ) =>
-                {
-                    m.incr(&format!("recovery.{}", step.name()), value);
-                }
+                ProbeEvent::RecoveryStep { step, value } => match step {
+                    RecoveryStepKind::MountAttempt | RecoveryStepKind::MountFailed => {}
+                    // Steps whose payload is an identifier (stage index,
+                    // block id), not a magnitude: count occurrences.
+                    RecoveryStepKind::StageStarted
+                    | RecoveryStepKind::StageInterrupted
+                    | RecoveryStepKind::StageFailed
+                    | RecoveryStepKind::Resumed
+                    | RecoveryStepKind::BlockRetired
+                    | RecoveryStepKind::ReadOnlyFallback => {
+                        m.incr(&format!("recovery.{}", step.name()), 1);
+                    }
+                    _ => m.incr(&format!("recovery.{}", step.name()), value),
+                },
                 _ => {}
             }
         }

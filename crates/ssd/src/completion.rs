@@ -11,6 +11,10 @@ pub enum CompletionKind {
     Acked,
     /// The device vanished (power fault) before acknowledging.
     DeviceError,
+    /// The write was refused because recovery degraded the device to
+    /// read-only mode (the command was received; the write path is
+    /// permanently disabled).
+    ReadOnlyRejected,
 }
 
 /// One completion event for a sub-request.

@@ -90,8 +90,20 @@ pub struct SsdConfig {
     /// that needed several cycles — and one that never came back.
     pub mount_failure_rate: f64,
     /// Consecutive failed mounts after which the device is permanently
-    /// bricked.
+    /// bricked — unless the mapping was already rebuilt, in which case it
+    /// degrades to read-only mode instead.
     pub mount_retry_limit: u32,
+    /// Run the dirty-page-verify recovery stage: after the mapping
+    /// rebuild the firmware re-reads every mapped page (through the
+    /// read-retry ladder) and nominates unreadable ones for bad-block
+    /// retirement. Off by default — the fault-space sweeper's strict
+    /// mapping oracle assumes recovery performs no extra work.
+    pub recovery_verify: bool,
+    /// Shifted-threshold re-reads the controller attempts after an
+    /// uncorrectable nominal read before giving up (the ECC read-retry
+    /// ladder). `0` disables the ladder: every read costs exactly one
+    /// array access, as before.
+    pub read_retry_limit: u32,
 }
 
 impl SsdConfig {
@@ -113,6 +125,8 @@ impl SsdConfig {
             baseline_wear: 0,
             mount_failure_rate: 0.0,
             mount_retry_limit: 3,
+            recovery_verify: false,
+            read_retry_limit: 0,
         }
     }
 
@@ -153,6 +167,21 @@ impl SsdConfig {
     #[must_use]
     pub fn with_baseline_wear(mut self, cycles: u32) -> Self {
         self.baseline_wear = cycles;
+        self
+    }
+
+    /// Enables or disables the dirty-page-verify recovery stage
+    /// (chainable builder).
+    #[must_use]
+    pub fn with_recovery_verify(mut self, verify: bool) -> Self {
+        self.recovery_verify = verify;
+        self
+    }
+
+    /// Sets the depth of the ECC read-retry ladder (chainable builder).
+    #[must_use]
+    pub fn with_read_retries(mut self, retries: u32) -> Self {
+        self.read_retry_limit = retries;
         self
     }
 

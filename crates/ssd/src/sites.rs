@@ -41,13 +41,24 @@ pub enum FaultSite {
     /// GC victim-block erase.
     GcErase,
     /// Journal/checkpoint replay during `power_on_recover` (a cut
-    /// here models a second outage mid-recovery).
+    /// here models a second outage mid-recovery). This is stage 2 of the
+    /// recovery pipeline — the mapping rebuild.
     MappingReplay,
+    /// Stage 1 of the recovery pipeline: checkpoint selection and
+    /// journal-page triage. A cut here loses the scan; the next mount
+    /// restarts the stage from its boundary.
+    RecoveryJournalScan,
+    /// Stage 3 of the recovery pipeline: post-rebuild dirty-page
+    /// verification reads (only with `recovery_verify` enabled).
+    RecoveryVerify,
+    /// Stage 4 of the recovery pipeline: bad-block retirement and
+    /// relocation programs (only with `retire_bad_blocks` enabled).
+    RecoveryRetirement,
 }
 
 impl FaultSite {
     /// Every site, in a fixed order (indexes into per-site counters).
-    pub const ALL: [FaultSite; 8] = [
+    pub const ALL: [FaultSite; 11] = [
         FaultSite::CacheFlushProgram,
         FaultSite::DirectProgram,
         FaultSite::GcRelocProgram,
@@ -56,6 +67,9 @@ impl FaultSite {
         FaultSite::CheckpointProgram,
         FaultSite::GcErase,
         FaultSite::MappingReplay,
+        FaultSite::RecoveryJournalScan,
+        FaultSite::RecoveryVerify,
+        FaultSite::RecoveryRetirement,
     ];
 
     /// Stable human-readable name (used in reports and repro files).
@@ -69,6 +83,9 @@ impl FaultSite {
             FaultSite::CheckpointProgram => "checkpoint-program",
             FaultSite::GcErase => "gc-erase",
             FaultSite::MappingReplay => "mapping-replay",
+            FaultSite::RecoveryJournalScan => "recovery-journal-scan",
+            FaultSite::RecoveryVerify => "recovery-verify",
+            FaultSite::RecoveryRetirement => "recovery-retirement",
         }
     }
 

@@ -321,12 +321,118 @@ proptest! {
         ssd.power_on_recover(timeline.discharged + SimDuration::from_secs(1))
             .expect("recovery remounts");
         prop_assert!(ssd.is_operational());
-        let report = ssd.scrub();
+        let report = ssd.scrub().expect("operational device scrubs");
         prop_assert!(report.scanned >= report.unreadable + report.garbled);
         // Still usable for new IO.
         ssd.submit(HostCommand::write(9_999, 0, Lba::new(0), SectorCount::new(1), 1));
         ssd.advance_to(ssd.now() + SimDuration::from_millis(50));
         prop_assert!(ssd.drain_completions().iter().any(|c| c.acked()));
+    }
+
+    #[test]
+    fn recovery_survives_arbitrary_cut_storms(
+        seed: u64,
+        ops in proptest::collection::vec((0u64..4096, 1u64..64, any::<bool>()), 1..30),
+        cut_offsets in proptest::collection::vec(1u64..2_000, 0..6),
+        fail_tier in 0u32..3,
+        worn: bool,
+    ) {
+        // Tentpole invariant: an arbitrary workload, a power cut, and then
+        // an arbitrary storm of further cuts landing *inside* the recovery
+        // pipeline never panic, and the device always terminates in one of
+        // exactly three states — operational, read-only, or bricked.
+        let mut config = VendorPreset::SsdA.config();
+        config.geometry = pfault_flash::FlashGeometry::new(4096, 64);
+        config.ftl = pfault_ftl::FtlConfig::for_geometry(config.geometry);
+        config.ftl.retire_bad_blocks = true;
+        config.ftl.spare_blocks = 1;
+        config.recovery_verify = true;
+        config.read_retry_limit = fail_tier; // 0 = no ladder
+        config.mount_failure_rate = f64::from(fail_tier) * 0.3;
+        config.mount_retry_limit = 3;
+        if worn {
+            config.baseline_wear = 2_900;
+        }
+        let mut ssd = Ssd::new(config, DetRng::new(seed));
+        for (i, (lba, sectors, is_write)) in ops.iter().enumerate() {
+            let cmd = if *is_write {
+                HostCommand::write(
+                    i as u64,
+                    0,
+                    Lba::new(*lba),
+                    SectorCount::new(*sectors),
+                    seed ^ i as u64,
+                )
+            } else {
+                HostCommand::read(i as u64, 0, Lba::new(*lba), SectorCount::new(*sectors))
+            };
+            ssd.submit(cmd);
+            if i % 3 == 0 {
+                if let Some(t) = ssd.next_event() {
+                    ssd.advance_to(t.max(ssd.now() + SimDuration::from_micros(1)));
+                }
+            }
+        }
+        let timeline = FaultInjector::arduino_atx_loaded()
+            .timeline((ssd.now() + SimDuration::from_millis(1)).max(SimTime::from_millis(2)));
+        ssd.power_fail(&timeline);
+        let mut mount_at = timeline.discharged + SimDuration::from_secs(1);
+        let mut cuts = cut_offsets.iter();
+        let mut guard = 0;
+        let verdict = loop {
+            guard += 1;
+            prop_assert!(guard < 10_000, "recovery storm did not terminate");
+            let result = match cuts.next() {
+                Some(&offset_us) => {
+                    let cut = pfault_power::FaultTimeline::at_instant(
+                        mount_at + SimDuration::from_micros(offset_us),
+                    );
+                    ssd.power_on_recover_interruptible(mount_at, &cut)
+                }
+                None => ssd.power_on_recover(mount_at),
+            };
+            match result {
+                Ok(report) => break Ok(report),
+                Err(
+                    pfault_ssd::DeviceError::MountFailed { .. }
+                    | pfault_ssd::DeviceError::RecoveryInterrupted { .. },
+                ) => {
+                    mount_at = ssd.now() + SimDuration::from_secs(1);
+                }
+                Err(e) => break Err(e),
+            }
+        };
+        match verdict {
+            Ok(report) => {
+                if report.read_only {
+                    prop_assert!(ssd.is_read_only());
+                    // Reads still answer; writes are rejected, not lost.
+                    ssd.submit(HostCommand::read(90_000, 0, Lba::new(0), SectorCount::new(1)));
+                    ssd.submit(HostCommand::write(
+                        90_001,
+                        0,
+                        Lba::new(0),
+                        SectorCount::new(1),
+                        1,
+                    ));
+                    ssd.advance_to(ssd.now() + SimDuration::from_millis(50));
+                    let completions = ssd.drain_completions();
+                    prop_assert!(completions.iter().any(|c| c.request_id == 90_000 && c.acked()));
+                    prop_assert!(completions.iter().any(|c| c.request_id == 90_001 && !c.acked()));
+                } else {
+                    prop_assert!(ssd.is_operational());
+                    let scrub = ssd.scrub().expect("mounted device scrubs");
+                    prop_assert!(scrub.scanned >= scrub.unreadable + scrub.garbled);
+                }
+            }
+            Err(
+                pfault_ssd::DeviceError::Bricked { .. }
+                | pfault_ssd::DeviceError::RecoveryFailed { .. },
+            ) => {
+                prop_assert!(ssd.is_bricked());
+            }
+            Err(other) => prop_assert!(false, "unexpected terminal error: {other}"),
+        }
     }
 
     #[test]
