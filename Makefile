@@ -15,11 +15,14 @@
 #                  sweep must interrupt recovery stages, resume them,
 #                  and degrade at least one device to read-only, and
 #                  two same-seed runs must emit byte-identical reports
+#   make bench   — campaign engine benchmark; rewrites BENCH_campaign.json
+#   make bench-smoke — CI-sized campaign bench: snapshot cloning must be
+#                  ≥1.5x replay-from-cold and all engines byte-identical
 #   make check   — everything CI runs
 
 CARGO ?= cargo
 
-.PHONY: all build test lint lint-core lint-workspace sweep-smoke obs-smoke recovery-smoke check clean
+.PHONY: all build test lint lint-core lint-workspace sweep-smoke obs-smoke recovery-smoke bench bench-smoke check clean
 
 all: check
 
@@ -68,7 +71,19 @@ recovery-smoke: build
 	./target/release/repro --exp recovery-storm --json target/storm-b.json
 	cmp target/storm-a.json target/storm-b.json
 
-check: build lint test sweep-smoke obs-smoke recovery-smoke
+# Campaign engine v2 benchmark: snapshot-clone vs replay-from-cold
+# trials/sec, engine byte-equality, scheduler utilization. `bench`
+# regenerates the committed BENCH_campaign.json; `bench-smoke` is the
+# CI-sized self-checking variant (exits non-zero unless the snapshot
+# speedup reaches 1.5x and serial/striped/stealing reports are
+# byte-identical — see crates/bench/src/bin/campaignbench.rs).
+bench: build
+	./target/release/campaignbench --out BENCH_campaign.json
+
+bench-smoke: build
+	./target/release/campaignbench --smoke --out target/bench-smoke.json
+
+check: build lint test sweep-smoke obs-smoke recovery-smoke bench-smoke
 
 clean:
 	$(CARGO) clean

@@ -33,7 +33,7 @@ fn bench(c: &mut Criterion) {
             let mut seed = 0u64;
             b.iter(|| {
                 seed += 1;
-                black_box(Campaign::new(config, seed).run())
+                black_box(Campaign::builder(config).seed(seed).build().run())
             });
         });
     }

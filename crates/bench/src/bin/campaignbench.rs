@@ -1,0 +1,259 @@
+//! `campaignbench` — measures the campaign engine v2.
+//!
+//! Three questions, all against the fault-injection campaign on the
+//! paper's vendor-A preset with a deterministic warm-up prefix:
+//!
+//! 1. **Snapshot cloning speedup** — how much faster is a campaign when
+//!    the warm-up runs once and every trial clone-restores the
+//!    [`pfault_ssd::SsdSnapshot`], versus replaying the warm-up from a
+//!    cold device inside every trial?
+//! 2. **Engine equality** — serial, statically striped, and
+//!    work-stealing runs of the same seed must produce byte-identical
+//!    reports (the scheduler is an implementation detail, never a
+//!    result).
+//! 3. **Scheduler health** — per-worker utilization and steal counts
+//!    from the work-stealing engine, plus the snapshot cache hit rate.
+//!
+//! Writes `BENCH_campaign.json`. `--smoke` runs a small budget and
+//! exits nonzero unless the snapshot speedup reaches 1.5x and every
+//! engine/report pair is byte-identical — wired into `make bench-smoke`.
+//!
+//! Usage:
+//!
+//! ```text
+//! campaignbench [--smoke] [--trials N] [--warmup N] [--threads N]
+//!               [--seed N] [--out FILE]
+//! ```
+
+use std::env;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use pfault_bench::DEFAULT_SEED;
+use pfault_platform::campaign::{Campaign, CampaignConfig, CampaignReport};
+use pfault_platform::{snapcache, SchedulerStats};
+
+struct BenchArgs {
+    trials: usize,
+    warmup: usize,
+    threads: usize,
+    seed: u64,
+    out: String,
+    smoke: bool,
+}
+
+impl BenchArgs {
+    fn parse() -> Result<BenchArgs, ExitCode> {
+        let mut a = BenchArgs {
+            trials: 160,
+            warmup: 256,
+            threads: 4,
+            seed: DEFAULT_SEED,
+            out: String::from("BENCH_campaign.json"),
+            smoke: false,
+        };
+        let mut args = env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--smoke" => {
+                    a.smoke = true;
+                    a.trials = 24;
+                    a.warmup = 192;
+                }
+                "--trials" => a.trials = num(&mut args, "--trials")? as usize,
+                "--warmup" => a.warmup = num(&mut args, "--warmup")? as usize,
+                "--threads" => a.threads = (num(&mut args, "--threads")? as usize).max(1),
+                "--seed" => a.seed = num(&mut args, "--seed")?,
+                "--out" => a.out = args.next().unwrap_or_default(),
+                "--help" | "-h" => {
+                    println!(
+                        "campaignbench [--smoke] [--trials N] [--warmup N] [--threads N] \
+                         [--seed N] [--out FILE]"
+                    );
+                    return Err(ExitCode::SUCCESS);
+                }
+                other => {
+                    eprintln!("unknown argument '{other}'");
+                    return Err(ExitCode::FAILURE);
+                }
+            }
+        }
+        Ok(a)
+    }
+}
+
+fn num(args: &mut impl Iterator<Item = String>, name: &str) -> Result<u64, ExitCode> {
+    let v = args.next().unwrap_or_default();
+    v.parse().map_err(|_| {
+        eprintln!("bad {name} '{v}' (expected a number)");
+        ExitCode::FAILURE
+    })
+}
+
+/// The benchmark preset: the paper's vendor-A drive with a
+/// deterministic warm-up prefix ahead of every trial.
+fn bench_config(trials: usize, warmup: usize) -> CampaignConfig {
+    let mut config = CampaignConfig::paper_default();
+    config.trials = trials;
+    config.requests_per_trial = 40;
+    config.trial.warmup_requests = warmup;
+    config
+}
+
+fn campaign(config: &CampaignConfig, seed: u64, threads: usize, cache: bool) -> Campaign {
+    Campaign::builder(*config)
+        .seed(seed)
+        .threads(threads)
+        .snapshot_cache(cache)
+        .build()
+}
+
+fn timed(run: impl FnOnce() -> CampaignReport) -> (CampaignReport, f64) {
+    let start = Instant::now();
+    let report = run();
+    (report, start.elapsed().as_secs_f64())
+}
+
+fn report_bytes(report: &CampaignReport) -> String {
+    serde_json::to_string(report).expect("reports serialize")
+}
+
+fn main() -> ExitCode {
+    let a = match BenchArgs::parse() {
+        Ok(a) => a,
+        Err(code) => return code,
+    };
+    let config = bench_config(a.trials, a.warmup);
+    println!(
+        "campaignbench: {} trials, warm-up {} requests, {} threads, seed {}",
+        a.trials, a.warmup, a.threads, a.seed
+    );
+
+    // Phase 1 — replay-from-cold: snapshot cache off, so every trial
+    // replays the warm-up prefix against a cold device.
+    let cold_campaign = campaign(&config, a.seed, 1, false);
+    let (cold_report, cold_secs) = timed(|| cold_campaign.run());
+    let cold_tps = a.trials as f64 / cold_secs;
+    println!("replay-from-cold : {cold_secs:8.3} s  ({cold_tps:7.1} trials/s)");
+
+    // Phase 2 — snapshot cloning: the warm-up runs once (a cache miss),
+    // every trial clone-restores the snapshot.
+    snapcache::reset();
+    let snap_campaign = campaign(&config, a.seed, 1, true);
+    let (snap_report, snap_secs) = timed(|| snap_campaign.run());
+    let snap_tps = a.trials as f64 / snap_secs;
+    let cache = snapcache::stats();
+    let speedup = snap_tps / cold_tps;
+    println!(
+        "snapshot-clone   : {snap_secs:8.3} s  ({snap_tps:7.1} trials/s)  speedup {speedup:.2}x"
+    );
+    println!(
+        "snapshot cache   : {} hit(s), {} miss(es), hit rate {:.3}",
+        cache.hits,
+        cache.misses,
+        cache.hit_rate()
+    );
+
+    // Phase 3 — engine equality + scheduler stats. All three engines
+    // (and both warm-up strategies above) must agree byte-for-byte.
+    let striped_report = campaign(&config, a.seed, a.threads, true).run_parallel(a.threads);
+    let (stealing_report, sched): (CampaignReport, SchedulerStats) =
+        campaign(&config, a.seed, a.threads, true).run_stealing_with_stats(a.threads);
+    let baseline = report_bytes(&cold_report);
+    let snap_equal = report_bytes(&snap_report) == baseline;
+    let striped_equal = report_bytes(&striped_report) == baseline;
+    let stealing_equal = report_bytes(&stealing_report) == baseline;
+    println!(
+        "engine equality  : snapshot={snap_equal} striped={striped_equal} \
+         stealing={stealing_equal}"
+    );
+    for w in &sched.workers {
+        println!(
+            "worker {:>2}       : {:3} trial(s), {:2} steal(s) ({:3} stolen), \
+             utilization {:.2}",
+            w.worker,
+            w.trials_run,
+            w.steals,
+            w.stolen_trials,
+            w.utilization()
+        );
+    }
+    println!(
+        "scheduler        : {} thread(s), {} total steal(s), mean utilization {:.2}",
+        sched.threads,
+        sched.total_steals(),
+        sched.mean_utilization()
+    );
+    // Cumulative counters after all four campaigns: the one warm-up
+    // miss from phase 2, then one hit per later campaign.
+    let final_cache = snapcache::stats();
+    println!(
+        "cache cumulative : {} hit(s), {} miss(es), hit rate {:.3}",
+        final_cache.hits,
+        final_cache.misses,
+        final_cache.hit_rate()
+    );
+
+    let doc = serde_json::json!({
+        "bench": "campaignbench",
+        "preset": "vendor-A paper_default",
+        "trials": a.trials,
+        "requests_per_trial": 40,
+        "warmup_requests": a.warmup,
+        "threads": a.threads,
+        "seed": a.seed,
+        "replay_from_cold": serde_json::json!({
+            "seconds": cold_secs,
+            "trials_per_sec": cold_tps,
+        }),
+        "snapshot_clone": serde_json::json!({
+            "seconds": snap_secs,
+            "trials_per_sec": snap_tps,
+            "cache_hits": cache.hits,
+            "cache_misses": cache.misses,
+            "cache_hit_rate": cache.hit_rate(),
+        }),
+        "cache_after_all_engines": serde_json::json!({
+            "hits": final_cache.hits,
+            "misses": final_cache.misses,
+            "hit_rate": final_cache.hit_rate(),
+        }),
+        "speedup": speedup,
+        "reports_identical": serde_json::json!({
+            "snapshot_vs_cold": snap_equal,
+            "striped_vs_serial": striped_equal,
+            "stealing_vs_serial": stealing_equal,
+        }),
+        "scheduler": serde_json::to_value(&sched).expect("stats serialize"),
+    });
+    let body = serde_json::to_string_pretty(&doc).expect("doc serializes");
+    if let Err(e) = std::fs::write(&a.out, body) {
+        eprintln!("failed to write {}: {e}", a.out);
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {}", a.out);
+
+    // Self-checking exit: equality always, speedup under --smoke (the
+    // full run reports speedup but leaves judgement to the committed
+    // BENCH_campaign.json).
+    let mut failed = false;
+    if !(snap_equal && striped_equal && stealing_equal) {
+        eprintln!("campaignbench failed: engines/strategies disagree on the report");
+        failed = true;
+    }
+    if a.smoke && speedup < 1.5 {
+        eprintln!("campaignbench failed: snapshot speedup {speedup:.2}x < 1.5x");
+        failed = true;
+    }
+    if a.smoke && cache.misses != 1 {
+        eprintln!(
+            "campaignbench failed: expected exactly one warm-up miss, saw {}",
+            cache.misses
+        );
+        failed = true;
+    }
+    if failed {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

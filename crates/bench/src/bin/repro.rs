@@ -4,88 +4,102 @@
 //!
 //! ```text
 //! repro [--scale quick|paper] [--seed N] [--exp NAME] [--json FILE]
-//!       [--trials N] [--retries N] [--checkpoint FILE]
+//!       [--list-exps] [--trials N] [--retries N] [--checkpoint FILE]
 //!       [--checkpoint-every K] [--resume] [--watchdog-ms N]
-//!       [--watchdog-events N]
+//!       [--watchdog-events N] [--threads N]
+//!       [--engine auto|serial|striped|stealing] [--warmup N]
+//!       [--snapshot-cache on|off]
 //! ```
 //!
-//! Experiments: `fig4` `interval` `interval-nocache` `fig5` `fig6`
-//! `pattern` `fig7` `fig8` `fig9` `table1` `ablation-injector`
-//! `ablation-cache` `brownout` `recovery-storm`, or `all` (default).
-//! `--json FILE` also writes every produced report as machine-readable
-//! JSON. An explicit `--exp recovery-storm` run is self-checking: it
-//! exits nonzero unless the storm interrupted at least one recovery
-//! stage, resumed at least one interrupted session, and degraded at
-//! least one device to read-only.
+//! Every experiment lives in the `pfault-platform` experiment registry
+//! (`pfault_platform::experiments::registry`); this binary is a thin
+//! driver: parse flags, look the experiment up by name, run it, print
+//! its text, and collect its JSON. `--list-exps` walks the registry.
+//! `--exp all` (the default) runs every registered experiment except the
+//! operational modes (`campaign`, `sweep`), which must be named
+//! explicitly.
 //!
-//! `--exp campaign` (not part of `all`) runs one raw fault-injection
-//! campaign with the resilience controls: per-trial watchdog budgets,
-//! deterministic retries of failing trials, and checkpoint/resume.
+//! Explicitly selected experiments are self-checking: the driver exits
+//! nonzero if the experiment reports check failures (for example,
+//! `--exp recovery-storm` requires interrupted, resumed, and read-only
+//! outcomes; `--exp sweep` requires a clean baseline sweep and a caught
+//! seeded bug). Under `--exp all` the same checks are informational.
 //!
-//! `--exp sweep` (not part of `all`) runs the systematic fault-space
-//! sweep: a fault-free census enumerates every named fault site, then one
-//! trial per (site, occurrence, phase) cuts power at that exact instant
-//! and checks the recovery invariants. `--inject-crc-bug` disables the
-//! firmware's batch-CRC verification (the apply-before-verify bug) so the
-//! sweeper has something to find; `--minimize` shrinks the first
-//! violation's workload to a minimal reproducer.
+//! `--exp campaign` runs one raw fault-injection campaign with the
+//! resilience controls: per-trial watchdog budgets, deterministic
+//! retries, checkpoint/resume, engine selection (`--engine`,
+//! `--threads`), and warm-snapshot cloning (`--warmup`,
+//! `--snapshot-cache`).
 
 use std::env;
 use std::process::ExitCode;
 
 use pfault_bench::{ScaleArg, DEFAULT_SEED};
-use pfault_platform::campaign::{Campaign, CampaignConfig};
-use pfault_platform::experiments::wss;
-use pfault_platform::experiments::{
-    access_pattern, brownout, cache_ablation, flush, injector_ablation, interval, iops, psu,
-    recovery, repeated, request_size, request_type, sequence, storm, vendors, wear,
-};
-use pfault_platform::platform::TestPlatform;
-use pfault_platform::{SweepConfig, Sweeper, ViolationKind, Watchdog};
+use pfault_platform::experiments::{all, find, EngineArg, ExperimentCtx, ExperimentOpts};
 
 fn main() -> ExitCode {
     let mut scale = ScaleArg::Quick;
     let mut seed = DEFAULT_SEED;
     let mut exp = String::from("all");
     let mut json_path: Option<String> = None;
-    let mut trials: Option<usize> = None;
-    let mut retries: u32 = 0;
-    let mut checkpoint: Option<String> = None;
-    let mut checkpoint_every: u64 = 25;
-    let mut resume = false;
-    let mut watchdog_ms: Option<u64> = None;
-    let mut watchdog_events: Option<u64> = None;
-    let mut minimize = false;
-    let mut inject_crc_bug = false;
-    let mut metrics_path: Option<String> = None;
-    let mut trace_path: Option<String> = None;
+    let mut list_exps = false;
+    let mut opts = ExperimentOpts::default();
     let mut args = env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--trials" => match num_flag(&mut args, "--trials") {
-                Ok(n) => trials = Some(n as usize),
+                Ok(n) => opts.trials = Some(n as usize),
                 Err(code) => return code,
             },
             "--retries" => match num_flag(&mut args, "--retries") {
-                Ok(n) => retries = n as u32,
+                Ok(n) => opts.retries = n as u32,
                 Err(code) => return code,
             },
-            "--checkpoint" => checkpoint = args.next(),
+            "--checkpoint" => opts.checkpoint = args.next().map(Into::into),
             "--checkpoint-every" => match num_flag(&mut args, "--checkpoint-every") {
-                Ok(n) => checkpoint_every = n,
+                Ok(n) => opts.checkpoint_every = n,
                 Err(code) => return code,
             },
-            "--resume" => resume = true,
-            "--minimize" => minimize = true,
-            "--inject-crc-bug" => inject_crc_bug = true,
+            "--resume" => opts.resume = true,
+            "--minimize" => opts.minimize = true,
+            "--inject-crc-bug" => opts.inject_crc_bug = true,
             "--watchdog-ms" => match num_flag(&mut args, "--watchdog-ms") {
-                Ok(n) => watchdog_ms = Some(n),
+                Ok(n) => opts.watchdog_ms = Some(n),
                 Err(code) => return code,
             },
             "--watchdog-events" => match num_flag(&mut args, "--watchdog-events") {
-                Ok(n) => watchdog_events = Some(n),
+                Ok(n) => opts.watchdog_events = Some(n),
                 Err(code) => return code,
             },
+            "--threads" => match num_flag(&mut args, "--threads") {
+                Ok(n) => opts.threads = Some(n.max(1) as usize),
+                Err(code) => return code,
+            },
+            "--warmup" => match num_flag(&mut args, "--warmup") {
+                Ok(n) => opts.warmup = Some(n as usize),
+                Err(code) => return code,
+            },
+            "--engine" => {
+                let v = args.next().unwrap_or_default();
+                match EngineArg::parse(&v) {
+                    Some(e) => opts.engine = e,
+                    None => {
+                        eprintln!("unknown engine '{v}' (auto|serial|striped|stealing)");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--snapshot-cache" => {
+                let v = args.next().unwrap_or_default();
+                match v.as_str() {
+                    "on" => opts.snapshot_cache = true,
+                    "off" => opts.snapshot_cache = false,
+                    _ => {
+                        eprintln!("bad --snapshot-cache '{v}' (on|off)");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             "--scale" => {
                 let v = args.next().unwrap_or_default();
                 match ScaleArg::parse(&v) {
@@ -108,27 +122,33 @@ fn main() -> ExitCode {
             }
             "--exp" => exp = args.next().unwrap_or_default(),
             "--json" => json_path = args.next(),
-            "--metrics" => metrics_path = args.next(),
-            "--trace" => trace_path = args.next(),
+            "--metrics" => opts.metrics_path = args.next().map(Into::into),
+            "--trace" => opts.trace_path = args.next().map(Into::into),
+            "--list-exps" => list_exps = true,
             "--help" | "-h" => {
                 println!(
-                    "repro [--scale quick|paper] [--seed N] [--exp NAME] [--json FILE]\n\
+                    "repro [--scale quick|paper] [--seed N] [--exp NAME] [--json FILE] \
+                     [--list-exps]\n\
                      \x20     [--trials N] [--retries N] [--checkpoint FILE] \
                      [--checkpoint-every K]\n\
                      \x20     [--resume] [--watchdog-ms N] [--watchdog-events N]\n\
                      \x20     [--minimize] [--inject-crc-bug] [--metrics FILE] [--trace FILE]\n\
+                     \x20     [--threads N] [--engine auto|serial|striped|stealing] \
+                     [--warmup N] [--snapshot-cache on|off]\n\
                      experiments: fig4 interval interval-nocache fig5 fig6 pattern \
                      fig7 fig8 fig9 table1 ablation-injector ablation-cache \
                      brownout wear flush recovery repeated recovery-storm all \
                      campaign sweep\n\
                      campaign mode (--exp campaign, not part of 'all') runs one raw \
                      campaign with watchdog budgets,\n\
-                     deterministic retries, and checkpoint/resume; the other flags \
-                     only apply there\n\
+                     deterministic retries, checkpoint/resume, --engine/--threads \
+                     selection, and --warmup snapshot cloning\n\
                      sweep mode (--exp sweep, not part of 'all') cuts power at every \
                      recorded fault site and checks\n\
                      recovery invariants; --inject-crc-bug seeds the apply-before-\
-                     verify bug, --minimize shrinks the repro"
+                     verify bug, --minimize shrinks the repro\n\
+                     --list-exps prints every registered experiment with a one-line \
+                     description"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -138,538 +158,55 @@ fn main() -> ExitCode {
             }
         }
     }
-    let s = scale.scale();
-    let all = exp == "all";
-    let mut matched = false;
-    let mut json = serde_json::Map::new();
-    let record = |json: &mut serde_json::Map<String, serde_json::Value>,
-                  key: &str,
-                  value: serde_json::Value| {
-        json.insert(key.to_string(), value);
+    if list_exps {
+        for e in all() {
+            let suffix = if e.in_all() { "" } else { "  (not part of 'all')" };
+            println!("{:<18} {}{suffix}", e.name(), e.describe());
+        }
+        return ExitCode::SUCCESS;
+    }
+    let ctx = ExperimentCtx {
+        scale: scale.scale(),
+        seed,
+        opts,
     };
-
-    if all || exp == "fig4" {
-        matched = true;
-        let report = psu::run();
-        record(
-            &mut json,
-            "fig4",
-            serde_json::to_value(&report).expect("serializable"),
-        );
-        println!("== Fig 4: PSU discharge ==");
-        println!("{}", report.table().render());
-        println!("Fig 4a series (no load):");
-        println!("{}", psu::PsuReport::curve_table(&report.unloaded).render());
-        println!("Fig 4b series (one SSD):");
-        println!("{}", psu::PsuReport::curve_table(&report.loaded).render());
-    }
-    if all || exp == "interval" {
-        matched = true;
-        let report = interval::run(s, seed, true);
-        record(
-            &mut json,
-            "interval",
-            serde_json::to_value(&report).expect("serializable"),
-        );
-        println!("== §IV-A: interval after completion (cache enabled) ==");
-        println!("{}", report.table().render());
-        if let Some(max) = report.max_delay_with_failure_ms() {
-            println!("max delay with observed failure: {max} ms (paper: ~700 ms)\n");
-        }
-    }
-    if all || exp == "interval-nocache" {
-        matched = true;
-        let report = interval::run(s, seed ^ 1, false);
-        record(
-            &mut json,
-            "interval_nocache",
-            serde_json::to_value(&report).expect("serializable"),
-        );
-        println!("== §IV-A: interval after completion (cache DISABLED) ==");
-        println!("{}", report.table().render());
-        if let Some(max) = report.max_delay_with_failure_ms() {
-            println!(
-                "max delay with observed failure: {max} ms (failures persist without cache)\n"
-            );
-        }
-    }
-    if all || exp == "fig5" {
-        matched = true;
-        println!("== Fig 5: request type (read %) ==");
-        let report = request_type::run(s, seed);
-        record(
-            &mut json,
-            "fig5",
-            serde_json::to_value(&report).expect("serializable"),
-        );
-        println!("{}", report.table().render());
-        println!("{}", report.chart().render(50));
-    }
-    if all || exp == "fig6" {
-        matched = true;
-        println!("== Fig 6: working-set size ==");
-        let points: Option<&[u64]> = if scale == ScaleArg::Paper {
-            None
-        } else {
-            Some(&[1, 20, 50, 90])
-        };
-        let report = wss::run(s, seed, points);
-        record(
-            &mut json,
-            "fig6",
-            serde_json::to_value(&report).expect("serializable"),
-        );
-        println!("{}", report.table().render());
-        println!(
-            "max/min per-fault spread: {:.2} (paper: flat)\n",
-            report.spread_ratio()
-        );
-    }
-    if all || exp == "pattern" {
-        matched = true;
-        println!("== §IV-D: access pattern ==");
-        let report = access_pattern::run(s, seed);
-        record(
-            &mut json,
-            "pattern",
-            serde_json::to_value(&report).expect("serializable"),
-        );
-        println!("{}", report.table().render());
-        println!(
-            "sequential excess: {:+.1}% (paper: ~+14%)\n",
-            report.sequential_excess_pct()
-        );
-    }
-    if all || exp == "fig7" {
-        matched = true;
-        println!("== Fig 7: request size ==");
-        let report = request_size::run(s, seed);
-        record(
-            &mut json,
-            "fig7",
-            serde_json::to_value(&report).expect("serializable"),
-        );
-        println!("{}", report.table().render());
-        println!("{}", report.chart().render(50));
-    }
-    if all || exp == "fig8" {
-        matched = true;
-        println!("== Fig 8: requested IOPS ==");
-        let report = iops::run(s, seed);
-        record(
-            &mut json,
-            "fig8",
-            serde_json::to_value(&report).expect("serializable"),
-        );
-        println!("{}", report.table().render());
-        println!(
-            "saturation: {:.0} responded IOPS (paper: ~6900)\n",
-            report.saturation_iops()
-        );
-    }
-    if all || exp == "fig9" {
-        matched = true;
-        println!("== Fig 9: access sequences ==");
-        let report = sequence::run(s, seed);
-        record(
-            &mut json,
-            "fig9",
-            serde_json::to_value(&report).expect("serializable"),
-        );
-        println!("{}", report.table().render());
-        println!("{}", report.chart().render(50));
-    }
-    if all || exp == "table1" {
-        matched = true;
-        println!("== Table I: vendor drives ==");
-        let report = vendors::run(s, seed);
-        record(
-            &mut json,
-            "table1",
-            serde_json::to_value(&report).expect("serializable"),
-        );
-        println!("{}", report.table().render());
-    }
-    if all || exp == "ablation-injector" {
-        matched = true;
-        println!("== Ablation: discharge ramp vs transistor cut ==");
-        let report = injector_ablation::run(s, seed);
-        record(
-            &mut json,
-            "ablation_injector",
-            serde_json::to_value(&report).expect("serializable"),
-        );
-        println!("{}", report.table().render());
-    }
-    if all || exp == "ablation-cache" {
-        matched = true;
-        println!("== Ablation: cache on/off/supercap ==");
-        let report = cache_ablation::run(s, seed);
-        record(
-            &mut json,
-            "ablation_cache",
-            serde_json::to_value(&report).expect("serializable"),
-        );
-        println!("{}", report.table().render());
-    }
-
-    if all || exp == "brownout" {
-        matched = true;
-        println!("== Extension: transient sag (brownout) depth sweep ==");
-        let report = brownout::run(s, seed);
-        record(
-            &mut json,
-            "brownout",
-            serde_json::to_value(&report).expect("serializable"),
-        );
-        println!("{}", report.table().render());
-    }
-
-    if all || exp == "wear" {
-        matched = true;
-        println!("== Extension: device age (P/E cycles) vs fault damage ==");
-        let report = wear::run(s, seed);
-        record(
-            &mut json,
-            "wear",
-            serde_json::to_value(&report).expect("serializable"),
-        );
-        println!("{}", report.table().render());
-    }
-
-    if all || exp == "flush" {
-        matched = true;
-        println!("== Extension: FLUSH barrier frequency ==");
-        let report = flush::run(s, seed);
-        record(
-            &mut json,
-            "flush",
-            serde_json::to_value(&report).expect("serializable"),
-        );
-        println!("{}", report.table().render());
-    }
-
-    if all || exp == "recovery" {
-        matched = true;
-        println!("== Extension: recovery policy (journal replay vs full scan) ==");
-        let report = recovery::run(s, seed);
-        record(
-            &mut json,
-            "recovery",
-            serde_json::to_value(&report).expect("serializable"),
-        );
-        println!("{}", report.table().render());
-        println!(
-            "full-scan recovery reduces loss by {:.0}%\n",
-            report.scan_reduction_pct()
-        );
-    }
-
-    if all || exp == "repeated" {
-        matched = true;
-        println!("== Extension: consecutive outages on one device ==");
-        let report = repeated::run(s, seed);
-        record(
-            &mut json,
-            "repeated",
-            serde_json::to_value(&report).expect("serializable"),
-        );
-        println!("{}", report.table().render());
-        println!(
-            "mean fresh loss per cycle {:.1}; requests that had survived an \
-             earlier outage and were newly lost later: {}\n",
-            report.mean_fresh_lost(),
-            report.total_old_newly_lost()
-        );
-    }
-
-    if all || exp == "recovery-storm" {
-        matched = true;
-        println!("== Extension J: power cuts during recovery itself ==");
-        let report = storm::run(s, seed);
-        record(
-            &mut json,
-            "recovery_storm",
-            serde_json::to_value(&report).expect("serializable"),
-        );
-        println!("{}", report.table().render());
-        println!(
-            "interrupted stages {}, resumed mounts {}, read-only devices {}\n",
-            report.total_interrupted(),
-            report.total_resumed(),
-            report.total_read_only()
-        );
-        if exp == "recovery-storm" {
-            // Self-checking smoke: an explicit storm run must actually
-            // exercise the mechanistic pipeline end to end — at least one
-            // recovery cut mid-stage, at least one mount that resumed the
-            // interrupted session, and at least one device that degraded
-            // to read-only instead of bricking.
-            if report.total_interrupted() == 0 {
-                eprintln!("recovery-storm smoke failed: no recovery stage was interrupted");
-                return ExitCode::FAILURE;
-            }
-            if report.total_resumed() == 0 {
-                eprintln!("recovery-storm smoke failed: no interrupted recovery resumed");
-                return ExitCode::FAILURE;
-            }
-            if report.total_read_only() == 0 {
-                eprintln!("recovery-storm smoke failed: no device degraded to read-only");
-                return ExitCode::FAILURE;
-            }
-            let calm = &report.rows[0];
-            if calm.interrupted_stages != 0 {
-                eprintln!("recovery-storm smoke failed: cut rate 0.0 must never interrupt");
-                return ExitCode::FAILURE;
-            }
-        }
-    }
-
-    if exp == "campaign" {
-        matched = true;
-        let mut config = CampaignConfig::paper_default();
-        config.trials = trials.unwrap_or(s.faults_per_point);
-        config.requests_per_trial = s.requests_per_trial;
-        if metrics_path.is_some() || trace_path.is_some() {
-            config.trial.obs = true;
-        }
-        if watchdog_ms.is_some() || watchdog_events.is_some() {
-            config.trial.watchdog = Watchdog {
-                max_sim_time_us: watchdog_ms.map(|ms| ms * 1_000),
-                max_events: watchdog_events,
-            };
-        }
-        let mut campaign = Campaign::new(config, seed).with_retries(retries);
-        if let Some(path) = &checkpoint {
-            campaign = campaign.with_checkpoint(path, checkpoint_every);
-        }
-        let result = match (&checkpoint, resume) {
-            (Some(path), true) => campaign.resume_from(path),
-            (None, true) => {
-                eprintln!("--resume needs --checkpoint FILE to resume from");
-                return ExitCode::FAILURE;
-            }
-            _ => campaign.run_checked(),
-        };
-        let report = match result {
-            Ok(report) => report,
-            Err(e) => {
-                eprintln!("campaign failed: {e}");
-                return ExitCode::FAILURE;
-            }
-        };
-        record(
-            &mut json,
-            "campaign",
-            serde_json::to_value(&report).expect("serializable"),
-        );
-        println!("== Campaign: {} fault injections ==", report.faults);
-        println!(
-            "requests: {} issued, {} completed",
-            report.requests_issued, report.requests_completed
-        );
-        println!(
-            "failures: {} data, {} FWA, {} IO errors, {} bricked devices",
-            report.counts.data_failures,
-            report.counts.fwa,
-            report.counts.io_errors,
-            report.counts.bricked_devices
-        );
-        let f = &report.failures;
-        if f.total_failed() > 0 || f.retries > 0 {
-            println!(
-                "trials without an outcome: panicked {:?}, watchdog {:?}, bricked {:?} \
-                 ({} retry attempts spent)",
-                f.panicked, f.watchdog_expired, f.bricked, f.retries
-            );
-        } else {
-            println!("all trials produced an outcome (no retries needed)");
-        }
-        if let Some(path) = &metrics_path {
-            // Per-failure-class probe telemetry. Self-checking: an
-            // obs-enabled campaign that observed no trial, or produced an
-            // unclassified aggregate, is a bug worth a nonzero exit.
-            if report.obs.is_empty() || report.obs.by_class.is_empty() {
-                eprintln!("obs smoke failed: campaign produced no telemetry");
-                return ExitCode::FAILURE;
-            }
-            let doc = serde_json::to_value(&report.obs).expect("serializable");
-            if let Err(e) = std::fs::write(
-                path,
-                serde_json::to_string_pretty(&doc).expect("serializable"),
-            ) {
-                eprintln!("failed to write {path}: {e}");
-                return ExitCode::FAILURE;
-            }
-            println!(
-                "wrote metrics ({} observed trials, classes: {}) to {path}",
-                report.obs.trials_observed,
-                report
-                    .obs
-                    .by_class
-                    .keys()
-                    .cloned()
-                    .collect::<Vec<_>>()
-                    .join(", ")
-            );
-        }
-        if let Some(path) = &trace_path {
-            // One representative obs trial (the campaign seed itself)
-            // rendered as probe JSONL. Deterministic: same seed, same
-            // bytes.
-            let platform = TestPlatform::new(config.trial);
-            let outcome = match platform.run_trial(seed) {
-                Ok(o) => o,
-                Err(e) => {
-                    eprintln!("trace trial failed: {e}");
+    let mut json = serde_json::Map::new();
+    if exp == "all" {
+        for e in all().iter().filter(|e| e.in_all()) {
+            match e.run(&ctx) {
+                Ok(report) => {
+                    print!("{}", report.text);
+                    json.insert(report.json_key.to_string(), report.json);
+                    // Self-checks are informational under `all`; an
+                    // explicit `--exp NAME` run enforces them below.
+                }
+                Err(err) => {
+                    eprintln!("{} failed: {err}", e.name());
                     return ExitCode::FAILURE;
                 }
-            };
-            let jsonl = pfault_obs::render_records(&outcome.probe_records);
-            // Self-check: every rendered line must parse back, with dense
-            // sequence numbers.
-            for (i, line) in jsonl.lines().enumerate() {
-                match pfault_obs::parse_jsonl_line(line) {
-                    Ok(parsed) if parsed.seq == i as u64 => {}
-                    Ok(parsed) => {
-                        eprintln!(
-                            "obs smoke failed: line {i} has seq {} (expected {i})",
-                            parsed.seq
-                        );
-                        return ExitCode::FAILURE;
-                    }
-                    Err(e) => {
-                        eprintln!("obs smoke failed: line {i} does not parse back: {e}");
-                        return ExitCode::FAILURE;
-                    }
-                }
             }
-            if let Err(e) = std::fs::write(path, &jsonl) {
-                eprintln!("failed to write {path}: {e}");
-                return ExitCode::FAILURE;
-            }
-            println!(
-                "wrote probe trace ({} events) to {path}",
-                outcome.probe_records.len()
-            );
         }
-    }
-
-    if exp == "sweep" {
-        matched = true;
-        let mut config = SweepConfig::smoke(seed);
-        if inject_crc_bug {
-            config.ssd.ftl.verify_batch_crc = false;
-        }
-        let sweeper = Sweeper::new(config);
-        let report = match sweeper.run() {
-            Ok(report) => report,
-            Err(e) => {
-                eprintln!("sweep failed: {e}");
-                return ExitCode::FAILURE;
-            }
+    } else {
+        let Some(e) = find(&exp) else {
+            eprintln!("unknown experiment '{exp}'");
+            return ExitCode::FAILURE;
         };
-        println!(
-            "== Sweep: {} site spans, {} boundary trials ==",
-            report.sites_censused, report.trials
-        );
-        if report.violations.is_empty() {
-            println!("no invariant violations (recovery is torn-write safe)");
-        }
-        for v in &report.violations {
-            println!(
-                "violation: {} at {}#{} ({}) t={}us — {}",
-                v.kind.name(),
-                v.site.name(),
-                v.occurrence,
-                v.phase.name(),
-                v.cut_us,
-                v.detail
-            );
-        }
-        if report.failures.total_failed() > 0 {
-            println!(
-                "trials without a verdict: {} (ledger {:?})",
-                report.failures.total_failed(),
-                report.failures
-            );
-        }
-        record(
-            &mut json,
-            "sweep",
-            serde_json::json!({
-                "sites_censused": report.sites_censused,
-                "trials": report.trials,
-                "failed_trials": report.failures.total_failed(),
-                "violations": report.violations.iter().map(|v| serde_json::json!({
-                    "kind": v.kind.name(),
-                    "site": v.site.name(),
-                    "occurrence": v.occurrence,
-                    "phase": v.phase.name(),
-                    "cut_us": v.cut_us,
-                    "detail": v.detail,
-                })).collect::<Vec<_>>(),
-            }),
-        );
-        // Self-checking exit status: the clean sweep must BE clean, the
-        // seeded bug must be caught, and nothing may go unverified.
-        if report.failures.total_failed() > 0 {
-            eprintln!("sweep smoke failed: some boundary trials produced no verdict");
-            return ExitCode::FAILURE;
-        }
-        if inject_crc_bug {
-            let caught = report
-                .violations
-                .iter()
-                .any(|v| v.kind == ViolationKind::TornBatchHalfApplied);
-            if !caught {
-                eprintln!("sweep smoke failed: seeded CRC bug was not caught");
+        match e.run(&ctx) {
+            Ok(report) => {
+                print!("{}", report.text);
+                if !report.check_failures.is_empty() {
+                    for failure in &report.check_failures {
+                        eprintln!("{failure}");
+                    }
+                    return ExitCode::FAILURE;
+                }
+                json.insert(report.json_key.to_string(), report.json);
+            }
+            Err(err) => {
+                eprintln!("{} failed: {err}", e.name());
                 return ExitCode::FAILURE;
             }
-        } else if !report.violations.is_empty() {
-            eprintln!("sweep smoke failed: baseline firmware must sweep clean");
-            return ExitCode::FAILURE;
         }
-        if minimize {
-            if let Some(kind) = report.violations.first().map(|v| v.kind) {
-                match sweeper.minimize(kind) {
-                    Ok(Some(repro)) => {
-                        println!("minimal repro ({} ops):", repro.ops.len());
-                        for op in &repro.ops {
-                            println!("  {op:?}");
-                        }
-                        let v = &repro.violation;
-                        println!(
-                            "  fault: {} occurrence {} ({}) at t={}us -> {}",
-                            v.site.name(),
-                            v.occurrence,
-                            v.phase.name(),
-                            v.cut_us,
-                            v.kind.name()
-                        );
-                        if inject_crc_bug && repro.ops.len() > 3 {
-                            eprintln!("sweep smoke failed: repro did not shrink below 4 ops");
-                            return ExitCode::FAILURE;
-                        }
-                    }
-                    Ok(None) => {
-                        eprintln!("minimizer could not reproduce the violation");
-                        return ExitCode::FAILURE;
-                    }
-                    Err(e) => {
-                        eprintln!("minimize failed: {e}");
-                        return ExitCode::FAILURE;
-                    }
-                }
-            } else {
-                println!("nothing to minimize: sweep found no violations");
-            }
-        }
-    }
-
-    if !matched {
-        eprintln!("unknown experiment '{exp}'");
-        return ExitCode::FAILURE;
     }
     if let Some(path) = json_path {
         let doc = serde_json::json!({

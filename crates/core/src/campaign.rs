@@ -3,24 +3,36 @@
 //! The paper's experiments each inject hundreds of faults ("more than 300
 //! power faults … during 24,000 requests"). A [`Campaign`] runs one trial
 //! per fault with an independent derived seed and aggregates the
-//! [`FailureCounts`] into a [`CampaignReport`]. Trials are independent, so
-//! [`Campaign::run_parallel`] distributes them over threads with results
-//! identical to the serial runner.
+//! [`FailureCounts`] into a [`CampaignReport`]. Trials are independent,
+//! so the engine can distribute them: [`Campaign::run_parallel`] stripes
+//! trial indices over a fixed thread count, and [`Campaign::run_stealing`]
+//! schedules chunked batches over work-stealing workers
+//! ([`crate::scheduler`]). Every engine reduces results in canonical
+//! trial-index order, so serial, striped, and work-stealing runs of the
+//! same seed produce **byte-identical** reports.
+//!
+//! With [`TrialConfig::warmup_requests`] set, trials start from a shared
+//! warm device state. The warm-up is run once per configuration, captured
+//! as a [`pfault_ssd::SsdSnapshot`], memoized in the process-wide
+//! [`crate::snapcache`], and clone-restored per trial — byte-identical to
+//! replaying the warm-up inline, at a fraction of the cost.
 
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::panic::{self, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
-use std::sync::mpsc;
+use std::sync::{mpsc, Arc};
 
 use pfault_obs::Metrics;
 use pfault_sim::checksum::fnv64;
 use pfault_sim::stats::{Histogram, OnlineStats};
 use pfault_sim::DetRng;
+use pfault_ssd::SsdSnapshot;
 
 use crate::analyzer::FailureCounts;
 use crate::error::{CheckpointError, PlatformError, TrialError};
 use crate::platform::{TestPlatform, TrialConfig, TrialOutcome};
+use crate::scheduler::{self, SchedulerStats};
 
 /// Campaign configuration: a trial template plus the fault count.
 #[derive(Debug, Clone, Copy)]
@@ -72,19 +84,6 @@ impl TrialFailures {
             TrialError::WatchdogExpired { .. } => self.watchdog_expired.push(index),
             TrialError::DeviceBricked { .. } => self.bricked.push(index),
         }
-    }
-
-    fn merge(&mut self, other: &TrialFailures) {
-        self.panicked.extend_from_slice(&other.panicked);
-        self.watchdog_expired
-            .extend_from_slice(&other.watchdog_expired);
-        self.bricked.extend_from_slice(&other.bricked);
-        // Partial reports merge in worker-completion order; sorting keeps
-        // the merged ledger identical to the serial runner's.
-        self.panicked.sort_unstable();
-        self.watchdog_expired.sort_unstable();
-        self.bricked.sort_unstable();
-        self.retries += other.retries;
     }
 }
 
@@ -139,17 +138,6 @@ impl ObsAggregate {
                 .entry(class.to_string())
                 .or_default()
                 .merge(telemetry);
-        }
-    }
-
-    fn merge(&mut self, other: &ObsAggregate) {
-        self.trials_observed += other.trials_observed;
-        self.totals.merge(&other.totals);
-        for (class, metrics) in &other.by_class {
-            self.by_class
-                .entry(class.clone())
-                .or_default()
-                .merge(metrics);
         }
     }
 
@@ -239,30 +227,14 @@ impl CampaignReport {
         self.failures.record(index, error);
     }
 
-    fn merge(&mut self, other: &CampaignReport) {
-        self.faults += other.faults;
-        self.requests_issued += other.requests_issued;
-        self.requests_completed += other.requests_completed;
-        self.counts.merge(&other.counts);
-        self.responded_iops.merge(&other.responded_iops);
-        self.failed_ack_interval_ms
-            .merge(&other.failed_ack_interval_ms);
-        self.max_failed_ack_interval_ms = self
-            .max_failed_ack_interval_ms
-            .max(other.max_failed_ack_interval_ms);
-        for i in 0..other.failed_ack_interval_hist.len() {
-            for _ in 0..other.failed_ack_interval_hist.bucket_count(i) {
-                self.failed_ack_interval_hist
-                    .record(other.failed_ack_interval_hist.bucket_lo(i));
-            }
+    /// Absorbs one trial result exactly as the serial loop does; every
+    /// engine funnels results through this in canonical index order.
+    fn absorb_result(&mut self, index: u64, result: Result<TrialOutcome, TrialError>, retries: u64) {
+        self.failures.retries += retries;
+        match result {
+            Ok(outcome) => self.absorb(&outcome),
+            Err(error) => self.absorb_failure(index, &error),
         }
-        for _ in 0..other.failed_ack_interval_hist.overflow() {
-            self.failed_ack_interval_hist.record(1.0e9);
-        }
-        self.interrupted_programs += other.interrupted_programs;
-        self.paired_corruptions += other.paired_corruptions;
-        self.failures.merge(&other.failures);
-        self.obs.merge(&other.obs);
     }
 
     /// Data failures (excluding FWA) per injected fault — the paper's
@@ -310,13 +282,16 @@ struct CampaignCheckpoint {
 // same report shape.
 const CHECKPOINT_VERSION: u32 = 3;
 
-/// A campaign runner.
+/// A campaign runner. Construct via [`Campaign::builder`] (or the
+/// [`Campaign::new`] shorthand for a default single-threaded campaign).
 #[derive(Debug, Clone)]
 pub struct Campaign {
     config: CampaignConfig,
     seed: u64,
     retries: u32,
     checkpoint: Option<CheckpointSpec>,
+    threads: usize,
+    snapshot_cache: bool,
 }
 
 #[derive(Debug, Clone)]
@@ -325,15 +300,115 @@ struct CheckpointSpec {
     every: u64,
 }
 
-impl Campaign {
-    /// Creates a campaign; `seed` determines every trial.
-    pub fn new(config: CampaignConfig, seed: u64) -> Self {
+/// Builder for [`Campaign`]:
+///
+/// ```
+/// use pfault_platform::campaign::{Campaign, CampaignConfig};
+///
+/// let mut config = CampaignConfig::paper_default();
+/// config.trials = 2;
+/// config.requests_per_trial = 10;
+/// let campaign = Campaign::builder(config)
+///     .seed(42)
+///     .threads(2)
+///     .snapshot_cache(true)
+///     .build();
+/// let report = campaign.run_auto().expect("campaign runs");
+/// assert_eq!(report.faults, 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CampaignBuilder {
+    config: CampaignConfig,
+    seed: u64,
+    retries: u32,
+    checkpoint: Option<CheckpointSpec>,
+    threads: usize,
+    snapshot_cache: bool,
+}
+
+impl CampaignBuilder {
+    /// Seeds every trial (defaults to 0).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Worker threads for [`Campaign::run_auto`] (default 1 = serial;
+    /// clamped to ≥ 1). The thread count never changes the report — only
+    /// how fast it is produced.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Retries each failing trial up to `retries` extra attempts (see
+    /// [`Campaign::with_retries`]).
+    #[must_use]
+    pub fn retries(mut self, retries: u32) -> Self {
+        self.retries = retries;
+        self
+    }
+
+    /// Writes a resumable JSON checkpoint (see
+    /// [`Campaign::with_checkpoint`]).
+    #[must_use]
+    pub fn checkpoint(mut self, path: impl Into<PathBuf>, every: u64) -> Self {
+        self.checkpoint = Some(CheckpointSpec {
+            path: path.into(),
+            every: every.max(1),
+        });
+        self
+    }
+
+    /// Whether warm-up snapshots are served from the process-wide
+    /// memoized cache (default `true`). Only meaningful when the trial
+    /// configuration sets [`TrialConfig::warmup_requests`]; with the
+    /// cache off, every trial replays the warm-up inline — byte-identical
+    /// results, just slower.
+    #[must_use]
+    pub fn snapshot_cache(mut self, enabled: bool) -> Self {
+        self.snapshot_cache = enabled;
+        self
+    }
+
+    /// Finalizes the campaign.
+    pub fn build(self) -> Campaign {
         Campaign {
+            config: self.config,
+            seed: self.seed,
+            retries: self.retries,
+            checkpoint: self.checkpoint,
+            threads: self.threads,
+            snapshot_cache: self.snapshot_cache,
+        }
+    }
+}
+
+impl Campaign {
+    /// Starts a builder for `config` with the defaults: seed 0, serial,
+    /// no retries, no checkpointing, snapshot cache on.
+    pub fn builder(config: CampaignConfig) -> CampaignBuilder {
+        CampaignBuilder {
             config,
-            seed,
+            seed: 0,
             retries: 0,
             checkpoint: None,
+            threads: 1,
+            snapshot_cache: true,
         }
+    }
+
+    /// Creates a campaign; `seed` determines every trial. Shorthand for
+    /// `Campaign::builder(config).seed(seed).build()`.
+    pub fn new(config: CampaignConfig, seed: u64) -> Self {
+        Campaign::builder(config).seed(seed).build()
+    }
+
+    /// The configured worker-thread count ([`CampaignBuilder::threads`]).
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// Retries each failing trial up to `retries` extra attempts, each
@@ -386,18 +461,33 @@ impl Campaign {
         fnv64(format!("{:?}", self.config).as_bytes())
     }
 
+    /// The memoized warm snapshot for this campaign, if snapshot cloning
+    /// applies (cache enabled *and* the trial configuration has a
+    /// warm-up). `None` means trials build their device themselves —
+    /// cold, or with an inline warm-up replay.
+    fn campaign_snapshot(&self, platform: &TestPlatform) -> Option<Arc<SsdSnapshot>> {
+        (self.snapshot_cache && platform.config().warmup_requests > 0)
+            .then(|| crate::snapcache::warm_snapshot_for(platform))
+    }
+
     /// Runs one trial with panic isolation and deterministic retry.
     /// Returns the outcome (or the last attempt's error) plus the number
-    /// of extra attempts consumed.
+    /// of extra attempts consumed. With a snapshot, the trial restores
+    /// the shared warm state instead of replaying the warm-up — the two
+    /// paths are byte-identical (`TestPlatform` contract).
     fn run_one(
         &self,
         platform: &TestPlatform,
+        snapshot: Option<&SsdSnapshot>,
         index: u64,
     ) -> (Result<TrialOutcome, TrialError>, u64) {
         let mut attempt: u32 = 0;
         loop {
             let seed = self.attempt_seed(index, attempt);
-            let result = panic::catch_unwind(AssertUnwindSafe(|| platform.run_trial(seed)));
+            let result = panic::catch_unwind(AssertUnwindSafe(|| match snapshot {
+                Some(snap) => platform.run_trial_from_snapshot(snap, seed),
+                None => platform.run_trial(seed),
+            }));
             let error = match result {
                 Ok(Ok(outcome)) => return (Ok(outcome), u64::from(attempt)),
                 Ok(Err(e)) => e,
@@ -420,14 +510,11 @@ impl Campaign {
         start: u64,
     ) -> Result<CampaignReport, PlatformError> {
         let platform = TestPlatform::new(self.trial_config());
+        let snapshot = self.campaign_snapshot(&platform);
         let trials = self.config.trials as u64;
         for i in start..trials {
-            let (result, retries_used) = self.run_one(&platform, i);
-            report.failures.retries += retries_used;
-            match result {
-                Ok(outcome) => report.absorb(&outcome),
-                Err(error) => report.absorb_failure(i, &error),
-            }
+            let (result, retries_used) = self.run_one(&platform, snapshot.as_deref(), i);
+            report.absorb_result(i, result, retries_used);
             if let Some(spec) = &self.checkpoint {
                 let completed = i + 1;
                 if completed % spec.every == 0 && completed < trials {
@@ -506,42 +593,102 @@ impl Campaign {
         self.run_range(snapshot.report, snapshot.completed)
     }
 
-    /// Runs all trials across `threads` worker threads (`0` is treated as
-    /// `1`). The result is bit-identical to [`Campaign::run`] for all
-    /// order-insensitive aggregates (counts, means, extremes, and the
-    /// sorted failure ledger). Checkpointing is serial-only and ignored
-    /// here.
+    /// Runs all trials across `threads` worker threads with static
+    /// striping (worker *w* takes trials `w, w+T, w+2T, …`). `0` is
+    /// treated as `1` and the count is capped at the trial count — extra
+    /// threads would only spin. Results are reduced in canonical trial
+    /// order, so the report is **byte-identical** to [`Campaign::run`].
+    /// Checkpointing is serial-only and ignored here.
     pub fn run_parallel(&self, threads: usize) -> CampaignReport {
-        let threads = threads.max(1);
         let trials = self.config.trials as u64;
-        let (tx, rx) = mpsc::channel::<CampaignReport>();
+        let threads = (threads.max(1) as u64).min(trials.max(1)) as usize;
+        let platform = TestPlatform::new(self.trial_config());
+        let snapshot = self.campaign_snapshot(&platform);
+        let (tx, rx) = mpsc::channel::<(u64, Result<TrialOutcome, TrialError>, u64)>();
+        let mut report = CampaignReport::empty();
         std::thread::scope(|scope| {
             for worker in 0..threads as u64 {
                 let tx = tx.clone();
+                let platform = &platform;
+                let snapshot = snapshot.as_deref();
                 scope.spawn(move || {
-                    let platform = TestPlatform::new(self.trial_config());
-                    let mut partial = CampaignReport::empty();
                     let mut i = worker;
                     while i < trials {
-                        let (result, retries_used) = self.run_one(&platform, i);
-                        partial.failures.retries += retries_used;
-                        match result {
-                            Ok(outcome) => partial.absorb(&outcome),
-                            Err(error) => partial.absorb_failure(i, &error),
+                        let (result, retries_used) = self.run_one(platform, snapshot, i);
+                        if tx.send((i, result, retries_used)).is_err() {
+                            return; // receiver gone: run torn down
                         }
                         i += threads as u64;
                     }
-                    tx.send(partial).expect("receiver lives in this scope");
                 });
             }
+            drop(tx);
+            report = reduce_in_order(&rx);
         });
-        drop(tx);
-        let mut report = CampaignReport::empty();
-        for partial in rx.iter() {
-            report.merge(&partial);
-        }
         report
     }
+
+    /// Runs all trials over work-stealing workers ([`crate::scheduler`]):
+    /// trial batches start on a shared injector, idle workers steal half
+    /// of a victim's queue, so skewed trial costs (retries, recovery
+    /// storms) no longer leave threads idle at the tail. Byte-identical
+    /// to [`Campaign::run`] and [`Campaign::run_parallel`].
+    pub fn run_stealing(&self, threads: usize) -> CampaignReport {
+        self.run_stealing_with_stats(threads).0
+    }
+
+    /// [`Campaign::run_stealing`], also returning the scheduler's
+    /// per-worker telemetry (trials run, steals, utilization). The stats
+    /// are wall-clock-dependent and live outside the report so reports
+    /// stay engine-independent.
+    pub fn run_stealing_with_stats(&self, threads: usize) -> (CampaignReport, SchedulerStats) {
+        let trials = self.config.trials as u64;
+        let platform = TestPlatform::new(self.trial_config());
+        let snapshot = self.campaign_snapshot(&platform);
+        scheduler::run_work_stealing(
+            trials,
+            threads.max(1),
+            scheduler::DEFAULT_CHUNK,
+            |i| self.run_one(&platform, snapshot.as_deref(), i),
+            CampaignReport::empty(),
+            |report, i, (result, retries_used)| {
+                report.absorb_result(i, result, retries_used);
+            },
+        )
+    }
+
+    /// Runs with the configured thread count
+    /// ([`CampaignBuilder::threads`]): serial for 1 (honouring
+    /// checkpoints), work-stealing otherwise. Same report either way.
+    pub fn run_auto(&self) -> Result<CampaignReport, PlatformError> {
+        if self.threads <= 1 {
+            self.run_checked()
+        } else {
+            Ok(self.run_stealing(self.threads))
+        }
+    }
+}
+
+/// Absorbs `(index, result, retries)` triples in canonical index order:
+/// a reorder buffer holds early arrivals until the gap fills, so the
+/// accumulator sees exactly the serial absorb sequence.
+fn reduce_in_order(
+    rx: &mpsc::Receiver<(u64, Result<TrialOutcome, TrialError>, u64)>,
+) -> CampaignReport {
+    let mut report = CampaignReport::empty();
+    let mut buffer: BTreeMap<u64, (Result<TrialOutcome, TrialError>, u64)> = BTreeMap::new();
+    let mut next = 0u64;
+    for (index, result, retries) in rx.iter() {
+        buffer.insert(index, (result, retries));
+        while let Some((result, retries)) = buffer.remove(&next) {
+            report.absorb_result(next, result, retries);
+            next += 1;
+        }
+    }
+    for (index, (result, retries)) in buffer {
+        report.absorb_result(index, result, retries);
+    }
+    report
 }
 
 /// Renders a `catch_unwind` payload for [`TrialError::Panicked`].
@@ -596,19 +743,77 @@ mod tests {
         assert_eq!(report.responded_iops.count(), 6);
     }
 
+    fn report_bytes(report: &CampaignReport) -> String {
+        serde_json::to_string(report).expect("report serializes")
+    }
+
     #[test]
-    fn serial_and_parallel_agree() {
-        let campaign = Campaign::new(tiny_config(), 11);
+    fn all_engines_produce_byte_identical_reports() {
+        let campaign = Campaign::builder(tiny_config()).seed(11).build();
+        let serial = report_bytes(&campaign.run());
+        let striped = report_bytes(&campaign.run_parallel(3));
+        let stealing = report_bytes(&campaign.run_stealing(3));
+        assert_eq!(serial, striped, "striped engine must match serial");
+        assert_eq!(serial, stealing, "work-stealing engine must match serial");
+    }
+
+    #[test]
+    fn engines_agree_with_obs_enabled() {
+        let mut config = tiny_config();
+        config.trial.obs = true;
+        let campaign = Campaign::builder(config).seed(19).build();
         let serial = campaign.run();
-        let parallel = campaign.run_parallel(3);
-        assert_eq!(serial.faults, parallel.faults);
-        assert_eq!(serial.counts, parallel.counts);
-        assert_eq!(serial.requests_issued, parallel.requests_issued);
-        assert!((serial.responded_iops.mean() - parallel.responded_iops.mean()).abs() < 1e-9);
+        assert!(!serial.obs.is_empty(), "obs trials must contribute");
+        let serial = report_bytes(&serial);
+        assert_eq!(serial, report_bytes(&campaign.run_parallel(3)));
+        assert_eq!(serial, report_bytes(&campaign.run_stealing(4)));
+    }
+
+    #[test]
+    fn snapshot_cloning_matches_inline_warmup_byte_for_byte() {
+        let mut config = tiny_config();
+        config.trial.warmup_requests = 16;
+        let cached = Campaign::builder(config).seed(21).snapshot_cache(true);
+        let inline = cached.clone().snapshot_cache(false);
+        let with_cache = report_bytes(&cached.build().run());
+        let without_cache = report_bytes(&inline.build().run());
         assert_eq!(
-            serial.max_failed_ack_interval_ms,
-            parallel.max_failed_ack_interval_ms
+            with_cache, without_cache,
+            "snapshot restore must equal inline warm-up replay"
         );
+        let stealing = report_bytes(&Campaign::builder(config).seed(21).build().run_stealing(3));
+        assert_eq!(with_cache, stealing);
+    }
+
+    #[test]
+    fn run_auto_dispatches_on_thread_count() {
+        let serial = Campaign::builder(tiny_config()).seed(11).build();
+        let threaded = Campaign::builder(tiny_config()).seed(11).threads(3).build();
+        assert_eq!(serial.threads(), 1);
+        assert_eq!(threaded.threads(), 3);
+        let a = serial.run_auto().expect("serial auto run");
+        let b = threaded.run_auto().expect("threaded auto run");
+        assert_eq!(report_bytes(&a), report_bytes(&b));
+    }
+
+    #[test]
+    fn new_is_a_thin_builder_delegate() {
+        let a = Campaign::new(tiny_config(), 7).run();
+        let b = Campaign::builder(tiny_config()).seed(7).build().run();
+        assert_eq!(report_bytes(&a), report_bytes(&b));
+    }
+
+    #[test]
+    fn threads_are_capped_at_trial_count() {
+        // 6 trials over 64 requested threads: both engines must clamp
+        // rather than spawn idle workers, and still match serial.
+        let campaign = Campaign::builder(tiny_config()).seed(11).build();
+        let serial = report_bytes(&campaign.run());
+        assert_eq!(serial, report_bytes(&campaign.run_parallel(64)));
+        let (report, stats) = campaign.run_stealing_with_stats(64);
+        assert_eq!(serial, report_bytes(&report));
+        assert_eq!(stats.threads, 6, "64 threads over 6 trials is 6 workers");
+        assert_eq!(stats.workers.iter().map(|w| w.trials_run).sum::<u64>(), 6);
     }
 
     #[test]

@@ -13,7 +13,6 @@ use serde::{Deserialize, Serialize};
 use pfault_sim::storage::GIB;
 use pfault_workload::{AccessPattern, WorkloadSpec};
 
-use crate::campaign::Campaign;
 use crate::experiments::{base_trial, campaign_at, ExperimentScale};
 use crate::report::{fnum, Table};
 
@@ -70,7 +69,7 @@ fn run_pattern(pattern: AccessPattern, scale: ExperimentScale, seed: u64) -> Pat
         .write_fraction(1.0)
         .pattern(pattern)
         .build();
-    let report = Campaign::new(campaign_at(trial, scale), seed).run_parallel(scale.threads);
+    let report = super::run_point(campaign_at(trial, scale), seed, scale);
     PatternRow {
         sequential: pattern == AccessPattern::Sequential,
         faults: report.faults,

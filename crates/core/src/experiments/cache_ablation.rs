@@ -12,7 +12,6 @@ use pfault_sim::storage::GIB;
 use pfault_ssd::CacheConfig;
 use pfault_workload::WorkloadSpec;
 
-use crate::campaign::Campaign;
 use crate::experiments::{base_trial, campaign_at, ExperimentScale};
 use crate::report::{fnum, Table};
 
@@ -98,8 +97,8 @@ pub fn run(scale: ExperimentScale, seed: u64) -> CacheAblationReport {
             CacheVariant::Disabled => trial.ssd.cache = CacheConfig::disabled(),
             CacheVariant::Supercap => trial.ssd.supercap = true,
         }
-        let report = Campaign::new(campaign_at(trial, scale), seed ^ ((i as u64 + 3) << 20))
-            .run_parallel(scale.threads);
+        let report =
+            super::run_point(campaign_at(trial, scale), seed ^ ((i as u64 + 3) << 20), scale);
         CacheRow {
             variant,
             faults: report.faults,

@@ -12,7 +12,6 @@ use serde::{Deserialize, Serialize};
 use pfault_sim::storage::GIB;
 use pfault_workload::WorkloadSpec;
 
-use crate::campaign::Campaign;
 use crate::experiments::{base_trial, campaign_at, ExperimentScale};
 use crate::report::{fnum, Table};
 
@@ -85,8 +84,7 @@ pub fn run(scale: ExperimentScale, seed: u64) -> FlushReport {
                 .write_fraction(1.0)
                 .build();
             let salt = flush_every.unwrap_or(0) + 1;
-            let report = Campaign::new(campaign_at(trial, scale), seed ^ (salt << 9))
-                .run_parallel(scale.threads);
+            let report = super::run_point(campaign_at(trial, scale), seed ^ (salt << 9), scale);
             FlushRow {
                 flush_every,
                 faults: report.faults,

@@ -15,7 +15,6 @@ use pfault_power::FaultInjector;
 use pfault_sim::storage::GIB;
 use pfault_workload::WorkloadSpec;
 
-use crate::campaign::Campaign;
 use crate::experiments::{base_trial, campaign_at, ExperimentScale};
 use crate::report::{fnum, Table};
 
@@ -87,7 +86,7 @@ fn run_rig(
         .wss_bytes(64 * GIB)
         .write_fraction(1.0)
         .build();
-    let report = Campaign::new(campaign_at(trial, scale), seed).run_parallel(scale.threads);
+    let report = super::run_point(campaign_at(trial, scale), seed, scale);
     InjectorRow {
         discharge_ramp,
         faults: report.faults,

@@ -18,7 +18,6 @@ use serde::{Deserialize, Serialize};
 use pfault_sim::storage::{GIB, KIB};
 use pfault_workload::{ArrivalModel, SizeSpec, WorkloadSpec};
 
-use crate::campaign::Campaign;
 use crate::experiments::{base_trial, campaign_at, ExperimentScale};
 use crate::report::{fnum, Table};
 
@@ -91,7 +90,7 @@ pub fn run(scale: ExperimentScale, seed: u64) -> IopsReport {
             // at 30 k requested.
             let mut config = campaign_at(trial, scale);
             config.requests_per_trial = (scale.requests_per_trial * 4).max(120);
-            let report = Campaign::new(config, seed ^ requested_iops).run_parallel(scale.threads);
+            let report = super::run_point(config, seed ^ requested_iops, scale);
             IopsRow {
                 requested_iops,
                 responded_iops: report.responded_iops.mean(),

@@ -35,6 +35,7 @@ pub mod interval;
 pub mod iops;
 pub mod psu;
 pub mod recovery;
+pub mod registry;
 pub mod repeated;
 pub mod request_size;
 pub mod request_type;
@@ -43,6 +44,10 @@ pub mod storm;
 pub mod vendors;
 pub mod wear;
 pub mod wss;
+
+pub use registry::{
+    find, registry as all, EngineArg, Experiment, ExperimentCtx, ExperimentOpts, ExperimentReport,
+};
 
 use crate::campaign::CampaignConfig;
 use crate::platform::TrialConfig;
@@ -85,6 +90,22 @@ pub(crate) fn campaign_at(trial: TrialConfig, scale: ExperimentScale) -> Campaig
         trials: scale.faults_per_point,
         requests_per_trial: scale.requests_per_trial,
     }
+}
+
+/// Runs one swept point: a builder-first campaign on the scale's thread
+/// count over the work-stealing engine. Every engine reduces in
+/// canonical trial order, so this is byte-identical to a serial run of
+/// the same seed.
+pub(crate) fn run_point(
+    config: CampaignConfig,
+    seed: u64,
+    scale: ExperimentScale,
+) -> crate::campaign::CampaignReport {
+    crate::campaign::Campaign::builder(config)
+        .seed(seed)
+        .threads(scale.threads)
+        .build()
+        .run_stealing(scale.threads)
 }
 
 /// The common trial template all experiments start from (SSD A, ATX rig),

@@ -13,7 +13,6 @@ use pfault_ftl::RecoveryPolicy;
 use pfault_sim::storage::GIB;
 use pfault_workload::WorkloadSpec;
 
-use crate::campaign::Campaign;
 use crate::experiments::{base_trial, campaign_at, ExperimentScale};
 use crate::report::{fnum, Table};
 
@@ -73,7 +72,7 @@ fn run_policy(policy: RecoveryPolicy, scale: ExperimentScale, seed: u64) -> Reco
         .wss_bytes(64 * GIB)
         .write_fraction(1.0)
         .build();
-    let report = Campaign::new(campaign_at(trial, scale), seed).run_parallel(scale.threads);
+    let report = super::run_point(campaign_at(trial, scale), seed, scale);
     RecoveryRow {
         policy,
         faults: report.faults,

@@ -11,7 +11,6 @@ use serde::{Deserialize, Serialize};
 use pfault_sim::storage::{GIB, KIB};
 use pfault_workload::{SizeSpec, WorkloadSpec};
 
-use crate::campaign::Campaign;
 use crate::experiments::{base_trial, campaign_at, ExperimentScale};
 use crate::report::{fnum, Table};
 
@@ -100,8 +99,7 @@ pub fn run(scale: ExperimentScale, seed: u64) -> RequestSizeReport {
                 .write_fraction(1.0)
                 .size(SizeSpec::FixedBytes(size_kib * KIB))
                 .build();
-            let report = Campaign::new(campaign_at(trial, scale), seed ^ (size_kib << 4))
-                .run_parallel(scale.threads);
+            let report = super::run_point(campaign_at(trial, scale), seed ^ (size_kib << 4), scale);
             RequestSizeRow {
                 size_kib,
                 faults: report.faults,

@@ -12,7 +12,6 @@ use serde::{Deserialize, Serialize};
 use pfault_sim::storage::GIB;
 use pfault_workload::WorkloadSpec;
 
-use crate::campaign::Campaign;
 use crate::experiments::{base_trial, campaign_at, ExperimentScale};
 use crate::report::{fnum, Table};
 
@@ -104,8 +103,8 @@ pub fn run(scale: ExperimentScale, seed: u64) -> RequestTypeReport {
                 .wss_bytes(64 * GIB)
                 .write_fraction(1.0 - f64::from(read_pct) / 100.0)
                 .build();
-            let report = Campaign::new(campaign_at(trial, scale), seed ^ u64::from(read_pct))
-                .run_parallel(scale.threads);
+            let report =
+                super::run_point(campaign_at(trial, scale), seed ^ u64::from(read_pct), scale);
             RequestTypeRow {
                 read_pct,
                 faults: report.faults,

@@ -11,7 +11,6 @@ use serde::{Deserialize, Serialize};
 use pfault_sim::storage::GIB;
 use pfault_workload::{SequenceMode, WorkloadSpec};
 
-use crate::campaign::Campaign;
 use crate::experiments::{base_trial, campaign_at, ExperimentScale};
 use crate::report::{fnum, Table};
 
@@ -104,8 +103,8 @@ pub fn run(scale: ExperimentScale, seed: u64) -> SequenceReport {
                 .wss_bytes(64 * GIB)
                 .sequence(mode)
                 .build();
-            let report = Campaign::new(campaign_at(trial, scale), seed ^ ((i as u64 + 1) << 16))
-                .run_parallel(scale.threads);
+            let report =
+                super::run_point(campaign_at(trial, scale), seed ^ ((i as u64 + 1) << 16), scale);
             SequenceRow {
                 mode,
                 faults: report.faults,

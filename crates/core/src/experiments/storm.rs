@@ -19,7 +19,6 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::campaign::Campaign;
 use crate::experiments::{base_trial, campaign_at, ExperimentScale};
 use crate::report::Table;
 
@@ -120,8 +119,7 @@ pub fn run(scale: ExperimentScale, seed: u64) -> StormReport {
     let rows = rates
         .iter()
         .map(|&cut_rate| {
-            let campaign = Campaign::new(campaign_at(storm_trial(cut_rate), scale), seed);
-            let report = campaign.run_parallel(scale.threads);
+            let report = super::run_point(campaign_at(storm_trial(cut_rate), scale), seed, scale);
             StormRow {
                 cut_rate,
                 faults: report.faults,

@@ -12,7 +12,6 @@ use pfault_sim::storage::GIB;
 use pfault_ssd::VendorPreset;
 use pfault_workload::WorkloadSpec;
 
-use crate::campaign::Campaign;
 use crate::experiments::{campaign_at, ExperimentScale};
 use crate::platform::TrialConfig;
 use crate::report::{fnum, Table};
@@ -92,8 +91,8 @@ pub fn run(scale: ExperimentScale, seed: u64) -> VendorReport {
                 .wss_bytes(64 * GIB)
                 .write_fraction(1.0)
                 .build();
-            let report = Campaign::new(campaign_at(trial, scale), seed ^ ((i as u64 + 11) << 24))
-                .run_parallel(scale.threads);
+            let report =
+                super::run_point(campaign_at(trial, scale), seed ^ ((i as u64 + 11) << 24), scale);
             VendorRow {
                 preset,
                 label: preset.label().to_string(),

@@ -13,7 +13,6 @@ use serde::{Deserialize, Serialize};
 use pfault_sim::storage::GIB;
 use pfault_workload::WorkloadSpec;
 
-use crate::campaign::Campaign;
 use crate::experiments::{base_trial, campaign_at, ExperimentScale};
 use crate::report::{fnum, Table};
 
@@ -76,8 +75,8 @@ pub fn run(scale: ExperimentScale, seed: u64) -> WearReport {
                 .wss_bytes(64 * GIB)
                 .write_fraction(1.0)
                 .build();
-            let report = Campaign::new(campaign_at(trial, scale), seed ^ (u64::from(cycles) << 5))
-                .run_parallel(scale.threads);
+            let report =
+                super::run_point(campaign_at(trial, scale), seed ^ (u64::from(cycles) << 5), scale);
             WearRow {
                 cycles,
                 faults: report.faults,

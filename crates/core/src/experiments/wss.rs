@@ -10,7 +10,6 @@ use serde::{Deserialize, Serialize};
 use pfault_sim::storage::GIB;
 use pfault_workload::WorkloadSpec;
 
-use crate::campaign::Campaign;
 use crate::experiments::{base_trial, campaign_at, ExperimentScale};
 use crate::report::{fnum, Table};
 
@@ -86,8 +85,7 @@ pub fn run(scale: ExperimentScale, seed: u64, points: Option<&[u64]>) -> WssRepo
                 .wss_bytes(wss_gib * GIB)
                 .write_fraction(1.0)
                 .build();
-            let report = Campaign::new(campaign_at(trial, scale), seed ^ (wss_gib << 8))
-                .run_parallel(scale.threads);
+            let report = super::run_point(campaign_at(trial, scale), seed ^ (wss_gib << 8), scale);
             WssRow {
                 wss_gib,
                 faults: report.faults,

@@ -40,7 +40,7 @@
 //! let mut config = CampaignConfig::paper_default();
 //! config.trials = 3;            // 3 fault injections
 //! config.requests_per_trial = 20;
-//! let report = Campaign::new(config, 42).run();
+//! let report = Campaign::builder(config).seed(42).build().run();
 //! assert_eq!(report.faults, 3);
 //! assert!(report.requests_issued > 0);
 //! ```
@@ -60,12 +60,19 @@ pub mod oracle;
 pub mod platform;
 pub mod record;
 pub mod report;
+pub mod scheduler;
+pub mod snapcache;
 pub mod sweep;
 
 pub use analyzer::{FailureKind, RequestVerdict};
-pub use campaign::{Campaign, CampaignConfig, CampaignReport, ObsAggregate, TrialFailures};
+pub use campaign::{
+    Campaign, CampaignBuilder, CampaignConfig, CampaignReport, ObsAggregate, TrialFailures,
+};
 pub use error::{CheckpointError, PlatformError, TrialError};
+pub use experiments::{EngineArg, Experiment, ExperimentCtx, ExperimentOpts, ExperimentReport};
 pub use platform::{TestPlatform, TrialConfig, TrialOutcome, Watchdog};
+pub use scheduler::{SchedulerStats, WorkerStats};
+pub use snapcache::SnapshotCacheStats;
 pub use sweep::{
     IoOp, MinimalRepro, Phase, SweepConfig, SweepReport, Sweeper, Violation, ViolationKind,
 };

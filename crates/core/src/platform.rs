@@ -11,6 +11,7 @@ use serde::{Deserialize, Serialize};
 use pfault_flash::array::PageData;
 use pfault_obs::{Metrics, ProbeRecord};
 use pfault_power::{FaultInjector, FaultTimeline};
+use pfault_sim::checksum::fnv64;
 use pfault_sim::{DetRng, Lba, SectorCount, SimDuration, SimTime};
 use pfault_ssd::device::{HostCommand, Ssd};
 use pfault_ssd::{Completion, RecoveryReport, SsdConfig, VendorPreset};
@@ -96,6 +97,14 @@ pub struct TrialConfig {
     /// recovery phase of one trial (bounds the storm so a trial always
     /// terminates in Operational, ReadOnly, or Bricked).
     pub max_recovery_cuts: u32,
+    /// Deterministic warm-up: run this many requests of the workload
+    /// against the device *before* the trial proper starts. The warm-up
+    /// stream is derived from the configuration (not the trial seed), so
+    /// every trial under one configuration shares the same warm state —
+    /// which is what lets the campaign engine run it once, snapshot the
+    /// device, and clone the snapshot per trial. `0` (the default) keeps
+    /// the historical cold-start behaviour.
+    pub warmup_requests: usize,
 }
 
 impl TrialConfig {
@@ -114,6 +123,7 @@ impl TrialConfig {
             obs: false,
             recovery_cut_rate: 0.0,
             max_recovery_cuts: 0,
+            warmup_requests: 0,
         }
     }
 
@@ -183,6 +193,14 @@ impl TrialConfig {
         self.max_recovery_cuts = max_cuts;
         self
     }
+
+    /// Sets the deterministic warm-up length (chainable builder). See
+    /// [`TrialConfig::warmup_requests`].
+    #[must_use]
+    pub fn with_warmup_requests(mut self, warmup_requests: usize) -> Self {
+        self.warmup_requests = warmup_requests;
+        self
+    }
 }
 
 /// Everything measured in one trial.
@@ -242,13 +260,108 @@ impl TestPlatform {
         &self.config
     }
 
+    /// A stable digest of the trial configuration (FNV-1a over its debug
+    /// rendering). Two platforms with equal digests produce identical
+    /// warm snapshots, so the campaign engine keys its snapshot cache on
+    /// this value.
+    pub fn config_digest(&self) -> u64 {
+        fnv64(format!("{:?}", self.config).as_bytes())
+    }
+
     /// Runs one complete trial with the given seed, reporting watchdog
     /// expiry and unrecoverable (bricked) devices as errors instead of
     /// hanging or panicking.
+    ///
+    /// With [`TrialConfig::warmup_requests`] > 0 the trial starts from
+    /// the configuration-derived warm state (built inline here; see
+    /// [`TestPlatform::warm_snapshot`] for the memoizable variant). The
+    /// two paths are byte-identical by construction: both end with the
+    /// same warm device and the same
+    /// [`reseed_for_trial`](Ssd::reseed_for_trial) fork.
     pub fn run_trial(&self, seed: u64) -> Result<TrialOutcome, TrialError> {
+        let ssd = if self.config.warmup_requests == 0 {
+            Ssd::new(self.config.ssd, DetRng::new(seed).fork("ssd"))
+        } else {
+            let mut ssd = self.warm_ssd();
+            ssd.reseed_for_trial(seed);
+            ssd
+        };
+        self.run_trial_on(ssd, seed)
+    }
+
+    /// Runs one complete trial starting from a previously captured warm
+    /// snapshot instead of replaying the warm-up. The snapshot must come
+    /// from a platform with the same [`TestPlatform::config_digest`];
+    /// handing over a mismatched snapshot is a logic error (debug builds
+    /// assert, release builds run the trial on the foreign state).
+    pub fn run_trial_from_snapshot(
+        &self,
+        snapshot: &pfault_ssd::SsdSnapshot,
+        seed: u64,
+    ) -> Result<TrialOutcome, TrialError> {
+        debug_assert_eq!(
+            snapshot.config_digest(),
+            self.config_digest(),
+            "snapshot captured under a different trial configuration"
+        );
+        let mut ssd = snapshot.restore();
+        ssd.reseed_for_trial(seed);
+        self.run_trial_on(ssd, seed)
+    }
+
+    /// Builds the configuration-derived warm device: the same
+    /// [`TrialConfig::warmup_requests`]-long workload prefix for every
+    /// call, independent of any trial seed. Quiesces before returning so
+    /// the warm state is an idle device (empty pipeline, clean cache).
+    fn warm_ssd(&self) -> Ssd {
+        let root = DetRng::new(self.config_digest()).fork("warmup");
+        let mut ssd = Ssd::new(self.config.ssd, root.fork("ssd"));
+        let mut generator = WorkloadGenerator::new(self.config.workload, root.fork("workload"));
+        let mut tracer = BlockTracer::new(SectorCount::new(self.config.ssd.max_segment_sectors));
+        let oracle = Oracle::new();
+        let mut records: Vec<RequestRecord> = Vec::new();
+        let queue_depth = match self.config.workload.arrival {
+            ArrivalModel::ClosedLoop { queue_depth } => queue_depth as usize,
+            ArrivalModel::OpenLoop { .. } | ArrivalModel::OpenLoopPoisson { .. } => 64,
+        };
+        let total = self.config.warmup_requests;
+        let mut issued = 0usize;
+        let mut outstanding = 0usize;
+        while issued < total || outstanding > 0 {
+            while outstanding < queue_depth && issued < total {
+                let packet = generator.next_packet();
+                let subs =
+                    Self::submit_packet(&mut ssd, &mut tracer, &oracle, &mut records, packet);
+                issued += 1;
+                outstanding += subs;
+            }
+            for _c in ssd.drain_completions() {
+                outstanding = outstanding.saturating_sub(1);
+            }
+            if let Some(t) = ssd.next_event() {
+                ssd.advance_to(t.max(ssd.now() + SimDuration::from_micros(1)));
+            } else if outstanding > 0 {
+                ssd.advance_to(ssd.now() + SimDuration::from_millis(1));
+            }
+        }
+        ssd.quiesce();
+        ssd.drain_completions();
+        ssd
+    }
+
+    /// Runs the warm-up once and captures the result as a snapshot that
+    /// [`TestPlatform::run_trial_from_snapshot`] can restore per trial.
+    /// Meaningful only with [`TrialConfig::warmup_requests`] > 0 (a
+    /// zero-warm-up snapshot is just a cold device).
+    pub fn warm_snapshot(&self) -> pfault_ssd::SsdSnapshot {
+        pfault_ssd::SsdSnapshot::capture(&self.warm_ssd(), self.config_digest())
+    }
+
+    /// The trial main loop, starting from a pre-built device (cold,
+    /// warmed inline, or restored from a snapshot).
+    fn run_trial_on(&self, mut ssd: Ssd, seed: u64) -> Result<TrialOutcome, TrialError> {
         let root = DetRng::new(seed);
         let mut sched_rng = root.fork("scheduler");
-        let mut ssd = Ssd::new(self.config.ssd, root.fork("ssd"));
         if self.config.obs {
             ssd.enable_probes();
         }
@@ -769,6 +882,40 @@ mod tests {
             .filter(|v| v.kind == FailureKind::DataFailure)
             .count() as u64;
         assert_eq!(df, o.counts.data_failures);
+    }
+
+    #[test]
+    fn warm_snapshot_is_deterministic() {
+        let platform = TestPlatform::new(small_config().with_warmup_requests(24));
+        let a = platform.warm_snapshot();
+        let b = platform.warm_snapshot();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.config_digest(), platform.config_digest());
+        assert!(a.warm_now() > SimTime::from_micros(0), "warm-up must run");
+    }
+
+    #[test]
+    fn snapshot_trials_match_inline_warmup_byte_for_byte() {
+        let platform = TestPlatform::new(small_config().with_warmup_requests(24));
+        let snap = platform.warm_snapshot();
+        for seed in [3u64, 17, 99] {
+            let inline = platform.run_trial(seed).expect("trial runs");
+            let restored = platform
+                .run_trial_from_snapshot(&snap, seed)
+                .expect("trial runs");
+            assert_eq!(
+                format!("{inline:?}"),
+                format!("{restored:?}"),
+                "seed {seed}: snapshot-restore must replay the warm-up exactly"
+            );
+        }
+    }
+
+    #[test]
+    fn warmup_changes_the_config_digest() {
+        let cold = TestPlatform::new(small_config());
+        let warm = TestPlatform::new(small_config().with_warmup_requests(24));
+        assert_ne!(cold.config_digest(), warm.config_digest());
     }
 
     #[test]

@@ -1,0 +1,142 @@
+//! Process-wide memoized warm snapshots.
+//!
+//! Every trial under one `(TrialConfig, vendor)` pair shares the same
+//! configuration-derived warm-up, so its [`pfault_ssd::SsdSnapshot`] is a
+//! pure function of [`crate::platform::TestPlatform::config_digest`].
+//! This cache runs the warm-up once per digest and hands every
+//! subsequent caller — including workers on other threads, and later
+//! campaigns in the same process — a shared `Arc` of the snapshot.
+//!
+//! Restoring never mutates the snapshot, so shared access is safe; the
+//! cache itself is a mutex around a digest-keyed map. Capture happens
+//! *while holding the lock* on purpose: concurrent workers asking for
+//! the same configuration then wait for the one warm-up instead of each
+//! replaying it.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use serde::{Deserialize, Serialize};
+
+use pfault_ssd::SsdSnapshot;
+
+use crate::platform::TestPlatform;
+
+static CACHE: OnceLock<Mutex<HashMap<u64, Arc<SsdSnapshot>>>> = OnceLock::new();
+static HITS: AtomicU64 = AtomicU64::new(0);
+static MISSES: AtomicU64 = AtomicU64::new(0);
+
+/// Hit/miss counters for the process-wide snapshot cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SnapshotCacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to run the warm-up.
+    pub misses: u64,
+    /// Distinct configurations currently cached.
+    pub entries: u64,
+}
+
+impl SnapshotCacheStats {
+    /// Hits over total lookups (0.0 when nothing was looked up).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / total as f64
+    }
+}
+
+fn cache() -> &'static Mutex<HashMap<u64, Arc<SsdSnapshot>>> {
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// The warm snapshot for this platform's configuration, running the
+/// warm-up on first request and memoizing it for every later caller.
+/// Callers gate on `warmup_requests > 0` themselves — a zero-warm-up
+/// snapshot is legal but pointless (it is just a cold device).
+pub fn warm_snapshot_for(platform: &TestPlatform) -> Arc<SsdSnapshot> {
+    let digest = platform.config_digest();
+    let mut map = cache().lock().expect("snapshot cache lock");
+    if let Some(snapshot) = map.get(&digest) {
+        HITS.fetch_add(1, Ordering::Relaxed);
+        return Arc::clone(snapshot);
+    }
+    MISSES.fetch_add(1, Ordering::Relaxed);
+    let snapshot = Arc::new(platform.warm_snapshot());
+    map.insert(digest, Arc::clone(&snapshot));
+    snapshot
+}
+
+/// Current cache counters. Counters are process-global and monotonic
+/// (except across [`reset`]), so benchmarks measure deltas.
+pub fn stats() -> SnapshotCacheStats {
+    let entries = cache().lock().expect("snapshot cache lock").len() as u64;
+    SnapshotCacheStats {
+        hits: HITS.load(Ordering::Relaxed),
+        misses: MISSES.load(Ordering::Relaxed),
+        entries,
+    }
+}
+
+/// Drops every cached snapshot and zeroes the counters (benchmark
+/// harnesses use this to isolate phases).
+pub fn reset() {
+    let mut map = cache().lock().expect("snapshot cache lock");
+    map.clear();
+    HITS.store(0, Ordering::Relaxed);
+    MISSES.store(0, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::TrialConfig;
+
+    fn warm_platform(warmup: usize) -> TestPlatform {
+        let mut c = TrialConfig::paper_default();
+        c.ssd.geometry = pfault_flash::FlashGeometry::new(1 << 14, 256);
+        c.ssd.ftl = pfault_ftl::FtlConfig::for_geometry(c.ssd.geometry);
+        c.workload = pfault_workload::WorkloadSpec::builder()
+            .wss_bytes(4 * pfault_sim::storage::GIB)
+            .build();
+        TestPlatform::new(c.with_warmup_requests(warmup))
+    }
+
+    #[test]
+    fn same_config_shares_one_snapshot() {
+        let platform = warm_platform(16);
+        let a = warm_snapshot_for(&platform);
+        let b = warm_snapshot_for(&platform);
+        assert!(Arc::ptr_eq(&a, &b), "second lookup must hit the cache");
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn different_configs_get_different_snapshots() {
+        let a = warm_snapshot_for(&warm_platform(16));
+        let b = warm_snapshot_for(&warm_platform(17));
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_ne!(a.config_digest(), b.config_digest());
+    }
+
+    #[test]
+    fn cached_snapshot_matches_a_fresh_capture() {
+        let platform = warm_platform(18);
+        let cached = warm_snapshot_for(&platform);
+        assert_eq!(cached.fingerprint(), platform.warm_snapshot().fingerprint());
+    }
+
+    #[test]
+    fn hit_rate_is_a_fraction() {
+        let platform = warm_platform(19);
+        let _ = warm_snapshot_for(&platform);
+        let _ = warm_snapshot_for(&platform);
+        let s = stats();
+        assert!(s.hits >= 1, "second lookup counted as a hit: {s:?}");
+        assert!(s.entries >= 1);
+        assert!((0.0..=1.0).contains(&s.hit_rate()));
+    }
+}

@@ -534,6 +534,48 @@ impl Ftl {
     pub fn retired_blocks(&self) -> u64 {
         self.retired.len() as u64
     }
+
+    /// Order-independent digest of the FTL's state: the full
+    /// logical-to-physical mapping, journal-buffer depth, allocator
+    /// cursors, and the retired/full block sets. Combined with
+    /// `FlashArray::state_digest` this pins a warm-snapshot's firmware
+    /// state precisely enough that capture/restore mismatches surface as
+    /// digest inequalities instead of silently divergent campaigns.
+    pub fn state_digest(&self) -> u64 {
+        use pfault_sim::checksum::mix64;
+        let mut entries: Vec<(u64, u64, u64)> = self
+            .iter_mapped()
+            .map(|(lba, ppa)| (lba.index(), ppa.block, ppa.page))
+            .collect();
+        entries.sort_unstable();
+        let mut h: u64 = 0xF71C_57A7_ED16_0E57;
+        for (lba, block, page) in entries {
+            h = mix64(h, lba);
+            h = mix64(h, block);
+            h = mix64(h, page);
+        }
+        let mut full: Vec<u64> = self.full_blocks.iter().copied().collect();
+        full.sort_unstable();
+        let mut retired: Vec<u64> = self.retired.iter().copied().collect();
+        retired.sort_unstable();
+        for b in full.into_iter().chain(retired) {
+            h = mix64(h, b);
+        }
+        for active in [&self.active_user, &self.active_journal] {
+            match active {
+                Some(a) => {
+                    h = mix64(h, a.block);
+                    h = mix64(h, a.next_page);
+                }
+                None => h = mix64(h, u64::MAX),
+            }
+        }
+        h = mix64(h, self.buffer.committable_len() as u64);
+        h = mix64(h, self.seq);
+        h = mix64(h, self.next_batch_id);
+        h = mix64(h, self.batches_since_checkpoint);
+        mix64(h, self.next_checkpoint_id)
+    }
 }
 
 #[cfg(test)]

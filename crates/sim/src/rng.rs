@@ -107,6 +107,20 @@ impl DetRng {
         self.step()
     }
 
+    /// A digest of the generator's current stream position, without
+    /// advancing it. Two generators with equal fingerprints produce the
+    /// same future sequence — warm-state snapshots include this so that a
+    /// restored device resumes the *exact* randomness a replayed-from-cold
+    /// device would see.
+    pub fn state_fingerprint(&self) -> u64 {
+        self.state[0]
+            .rotate_left(7)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ self.state[1].rotate_left(21)
+            ^ self.state[2].rotate_left(37)
+            ^ self.state[3].rotate_left(51)
+    }
+
     fn step(&mut self) -> u64 {
         let result = self.state[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.state[1] << 17;

@@ -352,7 +352,7 @@ impl RecoveryStage {
 /// next mount *resumes* after the last completed stage instead of
 /// silently restarting the pipeline. A stage interrupted mid-flight
 /// restarts from its own boundary; completed stages never re-run.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 struct RecoverySession {
     /// Stage-1 output: checkpoint base + triaged batches.
     scan: Option<JournalScanOutcome>,
@@ -448,7 +448,13 @@ struct GcState {
 }
 
 /// The simulated SSD. See the crate-level docs for an example.
-#[derive(Debug)]
+///
+/// `Clone` performs a deep copy of the entire device — NAND array, FTL,
+/// journal, cache, queues, and the RNG stream position — and is the
+/// primitive behind warm-state snapshots ([`crate::snapshot::SsdSnapshot`]):
+/// a cloned device is indistinguishable from the original under every
+/// future operation.
+#[derive(Debug, Clone)]
 pub struct Ssd {
     config: SsdConfig,
     now: SimTime,
@@ -549,6 +555,59 @@ impl Ssd {
     /// Drains the probe records accumulated so far (recording stays on).
     pub fn take_probe_records(&mut self) -> Vec<ProbeRecord> {
         self.probes.take_records()
+    }
+
+    /// Forks the device's RNG stream with a trial-specific seed.
+    ///
+    /// Warm-snapshot trials restore a shared device image and then call
+    /// this with the trial seed: the derived stream depends on *both* the
+    /// warm stream position (captured in the snapshot) and the seed, so
+    /// every trial sees fresh but reproducible device randomness, and a
+    /// replayed-from-cold trial that performs the same warm-up and fork
+    /// sees the identical stream.
+    pub fn reseed_for_trial(&mut self, seed: u64) {
+        self.rng = self.rng.fork_index(seed);
+    }
+
+    /// Digest of the device's observable state: simulated clock, power
+    /// state, NAND array, FTL, durable journal/checkpoint counters, cache
+    /// contents, queue depths, and the RNG stream position. Equal digests
+    /// mean equal future behaviour; snapshot capture/restore is validated
+    /// against this.
+    pub fn state_digest(&self) -> u64 {
+        use pfault_sim::checksum::mix64;
+        let mut h = mix64(0x55D_D16E57, self.now.as_micros());
+        h = mix64(h, self.rng.state_fingerprint());
+        h = mix64(h, self.array.state_digest());
+        h = mix64(h, self.ftl.state_digest());
+        h = mix64(h, self.durable.len() as u64);
+        h = mix64(h, self.checkpoints.len() as u64);
+        let mut dirty: Vec<(u64, u64, u64)> = self
+            .cache
+            .dirty_entries()
+            .into_iter()
+            .map(|(lba, data)| (lba.index(), data.tag, data.checksum))
+            .collect();
+        dirty.sort_unstable();
+        for (lba, tag, checksum) in dirty {
+            h = mix64(h, lba);
+            h = mix64(h, tag);
+            h = mix64(h, checksum);
+        }
+        h = mix64(h, self.cache.resident_sectors());
+        h = mix64(h, self.pending.len() as u64);
+        h = mix64(h, self.pipeline.len() as u64);
+        h = mix64(h, self.completions.len() as u64);
+        h = mix64(h, self.next_commit_at.as_micros());
+        h = mix64(h, u64::from(self.mount_attempts));
+        let state_tag = match self.state {
+            PowerState::Operational => 0u64,
+            PowerState::ReadOnly => 1,
+            PowerState::Brownout => 2,
+            PowerState::Dead => 3,
+            PowerState::Bricked => 4,
+        };
+        mix64(h, state_tag)
     }
 
     /// Turns on fault-site recording: every subsequent occurrence of a

@@ -43,10 +43,12 @@ pub mod completion;
 pub mod config;
 pub mod device;
 pub mod sites;
+pub mod snapshot;
 pub mod vendor;
 
 pub use completion::{Completion, CompletionKind};
 pub use config::{CacheConfig, SsdConfig};
 pub use device::{DeviceError, HostCommand, RecoveryReport, Ssd, VerifiedContent};
 pub use sites::{FaultSite, SiteLog, SiteSpan};
+pub use snapshot::SsdSnapshot;
 pub use vendor::VendorPreset;

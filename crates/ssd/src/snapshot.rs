@@ -1,0 +1,169 @@
+//! Warm-state device snapshots.
+//!
+//! Campaign trials share a deterministic *warm-up*: the same workload
+//! prefix on the same device configuration, byte-for-byte. Replaying that
+//! prefix from a cold device for every trial dominates campaign cost, so
+//! the engine runs it once, captures the warm device as an
+//! [`SsdSnapshot`], and every trial [`SsdSnapshot::restore`]s a private
+//! deep copy instead.
+//!
+//! # Determinism contract
+//!
+//! A snapshot captures *everything* that shapes future behaviour:
+//!
+//! * the NAND array (page contents, OOB records, raw bit-error counts,
+//!   wear and read-disturb counters);
+//! * the FTL (logical-to-physical map, journal buffer, allocator cursors,
+//!   retired/full block sets) plus the durable journal and checkpoints;
+//! * the volatile write cache, queues, in-flight pipeline, and the
+//!   simulated clock;
+//! * the device RNG **stream position** — not just the seed. The warm-up
+//!   consumes device randomness (commit-phase draw, read-error draws);
+//!   restoring the seed alone would replay the warm-up's draws a second
+//!   time and diverge from a replayed-from-cold trial.
+//!
+//! Trials then call [`crate::device::Ssd::reseed_for_trial`] to fork the
+//! restored stream with their trial seed, which keeps per-trial
+//! randomness independent while preserving equality with the cold path
+//! (which performs the same warm-up and the same fork).
+
+use pfault_sim::SimTime;
+
+use crate::device::Ssd;
+
+/// A deep copy of a warmed-up device, cheap to restore per trial.
+///
+/// Produced by `TestPlatform::warm_snapshot` in `pfault-platform` and
+/// memoized in its snapshot cache keyed by `config_digest`.
+#[derive(Debug, Clone)]
+pub struct SsdSnapshot {
+    ssd: Ssd,
+    config_digest: u64,
+    fingerprint: u64,
+}
+
+impl SsdSnapshot {
+    /// Captures the device's current state. `config_digest` identifies
+    /// the (trial configuration, vendor) pair that produced it, so a
+    /// memoizing cache can never hand a snapshot to a mismatched trial.
+    pub fn capture(ssd: &Ssd, config_digest: u64) -> Self {
+        SsdSnapshot {
+            fingerprint: ssd.state_digest(),
+            ssd: ssd.clone(),
+            config_digest,
+        }
+    }
+
+    /// A fresh deep copy of the captured device. Restoring never mutates
+    /// the snapshot, so any number of trials can restore concurrently
+    /// from a shared snapshot.
+    pub fn restore(&self) -> Ssd {
+        self.ssd.clone()
+    }
+
+    /// The configuration digest the snapshot was captured under.
+    pub fn config_digest(&self) -> u64 {
+        self.config_digest
+    }
+
+    /// State digest taken at capture time; `restore().state_digest()`
+    /// always equals this.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// The simulated time at which the warm-up finished.
+    pub fn warm_now(&self) -> SimTime {
+        self.ssd.now()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::HostCommand;
+    use crate::vendor::VendorPreset;
+    use pfault_sim::{DetRng, Lba, SectorCount, SimTime};
+
+    fn warmed_ssd() -> Ssd {
+        let mut ssd = Ssd::new(VendorPreset::SsdA.config(), DetRng::new(9));
+        for i in 0..32 {
+            ssd.submit(HostCommand::write(
+                i,
+                0,
+                Lba::new(i * 8),
+                SectorCount::new(8),
+                0xBEEF + i,
+            ));
+            ssd.advance_to(SimTime::from_millis(2 * (i + 1)));
+            ssd.drain_completions();
+        }
+        ssd.quiesce();
+        ssd
+    }
+
+    #[test]
+    fn restore_preserves_state_digest() {
+        let ssd = warmed_ssd();
+        let snap = SsdSnapshot::capture(&ssd, 42);
+        assert_eq!(snap.fingerprint(), ssd.state_digest());
+        assert_eq!(snap.restore().state_digest(), snap.fingerprint());
+        assert_eq!(snap.config_digest(), 42);
+        assert_eq!(snap.warm_now(), ssd.now());
+    }
+
+    #[test]
+    fn restored_devices_evolve_identically() {
+        let snap = SsdSnapshot::capture(&warmed_ssd(), 1);
+        let mut a = snap.restore();
+        let mut b = snap.restore();
+        for (ssd, label) in [(&mut a, "a"), (&mut b, "b")] {
+            let _ = label;
+            ssd.submit(HostCommand::write(
+                100,
+                0,
+                Lba::new(64),
+                SectorCount::new(8),
+                0xD00D,
+            ));
+            ssd.advance_to(ssd.now() + pfault_sim::SimDuration::from_millis(5));
+        }
+        assert_eq!(a.state_digest(), b.state_digest());
+        assert_eq!(a.drain_completions(), b.drain_completions());
+    }
+
+    #[test]
+    fn trial_fork_depends_on_stream_position_and_seed() {
+        let ssd = warmed_ssd();
+        let snap = SsdSnapshot::capture(&ssd, 1);
+        let mut a = snap.restore();
+        let mut b = snap.restore();
+        a.reseed_for_trial(7);
+        b.reseed_for_trial(8);
+        assert_ne!(
+            a.state_digest(),
+            b.state_digest(),
+            "different trial seeds must fork different device streams"
+        );
+        let mut c = snap.restore();
+        c.reseed_for_trial(7);
+        assert_eq!(a.state_digest(), c.state_digest());
+    }
+
+    #[test]
+    fn mutating_a_restored_device_leaves_the_snapshot_intact() {
+        let snap = SsdSnapshot::capture(&warmed_ssd(), 1);
+        let before = snap.fingerprint();
+        let mut restored = snap.restore();
+        restored.submit(HostCommand::write(
+            200,
+            0,
+            Lba::new(0),
+            SectorCount::new(8),
+            0xFACE,
+        ));
+        restored.advance_to(restored.now() + pfault_sim::SimDuration::from_millis(10));
+        assert_ne!(restored.state_digest(), before);
+        assert_eq!(snap.restore().state_digest(), before);
+    }
+}

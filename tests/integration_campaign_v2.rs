@@ -1,0 +1,134 @@
+//! Campaign engine v2 integration: warm-snapshot cloning and every
+//! execution engine must be invisible in the results.
+//!
+//! The contract under test (DESIGN.md §11): for one `(TrialConfig,
+//! vendor)` configuration, a trial that clone-restores the shared warm
+//! snapshot classifies **identically** to a trial that replays the
+//! warm-up prefix from a cold device — for *arbitrary* seeds and
+//! vendors, not just the presets the unit tests happen to pick. And the
+//! serial, striped-parallel, and work-stealing engines must emit
+//! byte-identical `CampaignReport`s (including the order-sensitive
+//! Welford `obs` aggregates), with the snapshot cache on or off.
+
+use proptest::prelude::*;
+
+use pfault_platform::campaign::{Campaign, CampaignConfig, CampaignReport};
+use pfault_platform::platform::{TestPlatform, TrialConfig};
+use pfault_ssd::VendorPreset;
+
+/// A small-geometry trial template on the given vendor with a warm-up
+/// prefix — cheap enough to run many property cases.
+fn warm_trial(vendor: VendorPreset, warmup: usize) -> TrialConfig {
+    let mut trial = TrialConfig::paper_default();
+    trial.ssd = vendor.config();
+    trial.ssd.geometry = pfault_flash::FlashGeometry::new(1 << 14, 256);
+    trial.ssd.ftl = pfault_ftl::FtlConfig::for_geometry(trial.ssd.geometry);
+    trial.requests = 20;
+    trial.warmup_requests = warmup;
+    trial
+}
+
+fn campaign_config(vendor: VendorPreset, warmup: usize, obs: bool) -> CampaignConfig {
+    let mut config = CampaignConfig::paper_default();
+    config.trial = warm_trial(vendor, warmup);
+    config.trial.obs = obs;
+    config.trials = 6;
+    config.requests_per_trial = 20;
+    config
+}
+
+fn bytes(report: &CampaignReport) -> String {
+    serde_json::to_string(report).expect("reports serialize")
+}
+
+proptest! {
+    /// Snapshot-restore is replay-from-cold, for any seed, any vendor,
+    /// any warm-up length: same outcome, field for field.
+    #[test]
+    fn snapshot_restore_classifies_like_cold_replay(
+        seed in 0u64..u64::MAX / 2,
+        vendor_idx in 0usize..3,
+        warmup in 1usize..12,
+    ) {
+        let vendor = VendorPreset::all()[vendor_idx];
+        let platform = TestPlatform::new(warm_trial(vendor, warmup));
+        let cold = platform.run_trial(seed);
+        let snapshot = platform.warm_snapshot();
+        let restored = platform.run_trial_from_snapshot(&snapshot, seed);
+        prop_assert_eq!(format!("{cold:?}"), format!("{restored:?}"));
+    }
+
+    /// The snapshot itself is a pure function of the configuration:
+    /// capturing twice yields the same fingerprint, and a different
+    /// vendor yields a different one.
+    #[test]
+    fn warm_snapshots_are_config_pure(warmup in 1usize..8) {
+        let a = TestPlatform::new(warm_trial(VendorPreset::SsdA, warmup));
+        let b = TestPlatform::new(warm_trial(VendorPreset::SsdB, warmup));
+        let first = a.warm_snapshot().fingerprint();
+        prop_assert_eq!(first, a.warm_snapshot().fingerprint());
+        prop_assert!(first != b.warm_snapshot().fingerprint());
+    }
+}
+
+/// Serial, striped, and work-stealing engines, with the snapshot cache
+/// on or off, all produce byte-identical reports — per vendor, with the
+/// probe bus on so the order-sensitive `obs` aggregates are covered too.
+#[test]
+fn engines_and_snapshotting_agree_byte_for_byte() {
+    for (i, vendor) in VendorPreset::all().into_iter().enumerate() {
+        let config = campaign_config(vendor, 16, true);
+        let seed = 0xC0FFEE ^ (i as u64) << 17;
+        let baseline = bytes(
+            &Campaign::builder(config)
+                .seed(seed)
+                .snapshot_cache(false)
+                .build()
+                .run(),
+        );
+        let cached = Campaign::builder(config).seed(seed).build();
+        assert_eq!(
+            bytes(&cached.run()),
+            baseline,
+            "{vendor:?}: snapshot cloning changed the serial report"
+        );
+        assert_eq!(
+            bytes(&cached.run_parallel(3)),
+            baseline,
+            "{vendor:?}: striped engine changed the report"
+        );
+        assert_eq!(
+            bytes(&cached.run_stealing(3)),
+            baseline,
+            "{vendor:?}: work-stealing engine changed the report"
+        );
+        let auto = Campaign::builder(config)
+            .seed(seed)
+            .threads(3)
+            .build()
+            .run_auto()
+            .expect("auto run");
+        assert_eq!(
+            bytes(&auto),
+            baseline,
+            "{vendor:?}: run_auto changed the report"
+        );
+    }
+}
+
+/// `run_parallel` and the work-stealing scheduler both cap their thread
+/// pool at the trial count — oversubscription must not change results.
+#[test]
+fn oversubscribed_threads_are_harmless() {
+    let config = campaign_config(VendorPreset::SsdC, 8, false);
+    let campaign = Campaign::builder(config).seed(99).build();
+    let baseline = bytes(&campaign.run());
+    assert_eq!(bytes(&campaign.run_parallel(64)), baseline);
+    let (report, stats) = campaign.run_stealing_with_stats(64);
+    assert_eq!(bytes(&report), baseline);
+    assert_eq!(stats.threads, config.trials, "threads clamp to trial count");
+    assert_eq!(
+        stats.workers.iter().map(|w| w.trials_run).sum::<u64>(),
+        config.trials as u64
+    );
+}
