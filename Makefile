@@ -15,6 +15,10 @@
 #                  sweep must interrupt recovery stages, resume them,
 #                  and degrade at least one device to read-only, and
 #                  two same-seed runs must emit byte-identical reports
+#   make fleet-smoke — fleet gate: correlated rack-level cuts must
+#                  degrade MTTDL below the independent baseline with
+#                  byte-identical same-seed reports, and the forced-loss
+#                  config must lose data iff more than k chunks are gone
 #   make bench   — campaign engine benchmark; rewrites BENCH_campaign.json
 #   make bench-smoke — CI-sized campaign bench: snapshot cloning must be
 #                  ≥1.5x replay-from-cold and all engines byte-identical
@@ -22,7 +26,7 @@
 
 CARGO ?= cargo
 
-.PHONY: all build test lint lint-core lint-workspace sweep-smoke obs-smoke recovery-smoke bench bench-smoke check clean
+.PHONY: all build test lint lint-core lint-workspace sweep-smoke obs-smoke recovery-smoke fleet-smoke bench bench-smoke check clean
 
 all: check
 
@@ -71,6 +75,19 @@ recovery-smoke: build
 	./target/release/repro --exp recovery-storm --json target/storm-b.json
 	cmp target/storm-a.json target/storm-b.json
 
+# Self-checking: an explicit fleet run exits non-zero unless correlated
+# cuts lose strictly more stripes (and MTTDL) than the same victim count
+# applied independently, degraded reads and rebuild interruptions
+# happened, every loss is cause-attributed, and the serial/stealing
+# reductions agree bit-for-bit (see crates/core/src/experiments/fleet.rs).
+# cmp enforces byte-identical same-seed reports; the targeted proptest run
+# asserts data loss occurs iff more than k chunks of a stripe are wiped.
+fleet-smoke: build
+	./target/release/repro --exp fleet --seed 13 --json target/fleet-a.json
+	./target/release/repro --exp fleet --seed 13 --json target/fleet-b.json
+	cmp target/fleet-a.json target/fleet-b.json
+	$(CARGO) test -q -p pfault-fleet --lib forced_wipes_cause_loss_iff_beyond_parity
+
 # Campaign engine v2 benchmark: snapshot-clone vs replay-from-cold
 # trials/sec, engine byte-equality, scheduler utilization. `bench`
 # regenerates the committed BENCH_campaign.json; `bench-smoke` is the
@@ -83,7 +100,7 @@ bench: build
 bench-smoke: build
 	./target/release/campaignbench --smoke --out target/bench-smoke.json
 
-check: build lint test sweep-smoke obs-smoke recovery-smoke bench-smoke
+check: build lint test sweep-smoke obs-smoke recovery-smoke fleet-smoke bench-smoke
 
 clean:
 	$(CARGO) clean

@@ -22,8 +22,10 @@
 //! Explicitly selected experiments are self-checking: the driver exits
 //! nonzero if the experiment reports check failures (for example,
 //! `--exp recovery-storm` requires interrupted, resumed, and read-only
-//! outcomes; `--exp sweep` requires a clean baseline sweep and a caught
-//! seeded bug). Under `--exp all` the same checks are informational.
+//! outcomes; `--exp fleet` requires correlated cuts to degrade MTTDL
+//! below the independent baseline with bit-identical engine reductions;
+//! `--exp sweep` requires a clean baseline sweep and a caught seeded
+//! bug). Under `--exp all` the same checks are informational.
 //!
 //! `--exp campaign` runs one raw fault-injection campaign with the
 //! resilience controls: per-trial watchdog budgets, deterministic
@@ -137,8 +139,12 @@ fn main() -> ExitCode {
                      [--warmup N] [--snapshot-cache on|off]\n\
                      experiments: fig4 interval interval-nocache fig5 fig6 pattern \
                      fig7 fig8 fig9 table1 ablation-injector ablation-cache \
-                     brownout wear flush recovery repeated recovery-storm all \
+                     brownout wear flush recovery repeated recovery-storm fleet all \
                      campaign sweep\n\
+                     fleet mode (--exp fleet, part of 'all') sweeps PSU-group size, \
+                     parity depth, and outage\n\
+                     correlation over an erasure-coded fleet, reporting availability, \
+                     durability, and MTTDL\n\
                      campaign mode (--exp campaign, not part of 'all') runs one raw \
                      campaign with watchdog budgets,\n\
                      deterministic retries, checkpoint/resume, --engine/--threads \

@@ -146,6 +146,15 @@ pub struct FailureCounts {
     /// The per-request verdicts exist — reads still serve — but the
     /// write path is gone, so the degradation is tallied separately.
     pub read_only_devices: u64,
+    /// Fleet-layer stripes declared unrecoverable (more than k chunks
+    /// down after per-device mechanistic recovery). Zero for
+    /// single-device campaigns.
+    pub stripes_lost: u64,
+    /// Fleet-layer reads that needed erasure-coded reconstruction.
+    pub degraded_reads: u64,
+    /// Fleet-layer rebuild passes interrupted by an exhausted bandwidth
+    /// budget (a second outage arriving before repair finished).
+    pub rebuilds_interrupted: u64,
 }
 
 impl FailureCounts {
@@ -173,6 +182,9 @@ impl FailureCounts {
         self.intact += other.intact;
         self.bricked_devices += other.bricked_devices;
         self.read_only_devices += other.read_only_devices;
+        self.stripes_lost += other.stripes_lost;
+        self.degraded_reads += other.degraded_reads;
+        self.rebuilds_interrupted += other.rebuilds_interrupted;
     }
 }
 

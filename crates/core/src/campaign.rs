@@ -280,7 +280,10 @@ struct CampaignCheckpoint {
 // v3: `FailureCounts` gained `read_only_devices` and `TrialConfig` the
 // recovery-storm knobs, so v2 snapshots no longer deserialize into the
 // same report shape.
-const CHECKPOINT_VERSION: u32 = 3;
+// v4: `FailureCounts` gained the fleet-layer tallies (`stripes_lost`,
+// `degraded_reads`, `rebuilds_interrupted`), so v3 snapshots
+// deserialize into a different report shape again.
+const CHECKPOINT_VERSION: u32 = 4;
 
 /// A campaign runner. Construct via [`Campaign::builder`] (or the
 /// [`Campaign::new`] shorthand for a default single-threaded campaign).
@@ -1035,8 +1038,9 @@ mod tests {
 
     #[test]
     fn resume_rejects_old_checkpoint_version() {
-        // Satellite: a v2-era snapshot (before `read_only_devices` and
-        // the recovery-storm knobs) must be refused, not misread.
+        // Satellite: a v3-era snapshot (before the fleet-layer failure
+        // tallies) must be refused loudly, not misread — and older
+        // versions likewise.
         let dir = std::env::temp_dir().join("pfault-checkpoint-test");
         std::fs::create_dir_all(&dir).expect("temp dir");
         let path = dir.join("stale-version.json");
@@ -1045,14 +1049,16 @@ mod tests {
         let campaign = Campaign::new(tiny_config(), 43).with_checkpoint(&path, 2);
         campaign.run_checked().expect("run");
         let text = std::fs::read_to_string(&path).expect("checkpoint written");
-        assert!(text.contains("\"version\":3"), "snapshot carries v3");
-        std::fs::write(&path, text.replace("\"version\":3", "\"version\":2")).expect("rewrite");
+        assert!(text.contains("\"version\":4"), "snapshot carries v4");
 
-        match campaign.resume_from(&path) {
-            Err(PlatformError::Checkpoint(CheckpointError::Mismatch { field, .. })) => {
-                assert_eq!(field, "version");
+        for stale in ["\"version\":3", "\"version\":2"] {
+            std::fs::write(&path, text.replace("\"version\":4", stale)).expect("rewrite");
+            match campaign.resume_from(&path) {
+                Err(PlatformError::Checkpoint(CheckpointError::Mismatch { field, .. })) => {
+                    assert_eq!(field, "version");
+                }
+                other => panic!("expected version mismatch for {stale}, got {other:?}"),
             }
-            other => panic!("expected version mismatch, got {other:?}"),
         }
         let _ = std::fs::remove_file(&path);
     }

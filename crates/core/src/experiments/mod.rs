@@ -25,10 +25,12 @@
 //! | [`recovery`] | ours — journal-replay vs full-scan recovery |
 //! | [`repeated`] | ours — consecutive outages on one device |
 //! | [`storm`] | ours — cuts during recovery; read-only degradation |
+//! | [`fleet`] | ours — correlated outages vs erasure-coded fleets |
 
 pub mod access_pattern;
 pub mod brownout;
 pub mod cache_ablation;
+pub mod fleet;
 pub mod flush;
 pub mod injector_ablation;
 pub mod interval;

@@ -25,8 +25,8 @@ use crate::platform::{TestPlatform, Watchdog};
 use crate::sweep::{SweepConfig, Sweeper, ViolationKind};
 
 use super::{
-    access_pattern, brownout, cache_ablation, flush, injector_ablation, interval, iops, psu,
-    recovery, repeated, request_size, request_type, sequence, storm, vendors, wear, wss,
+    access_pattern, brownout, cache_ablation, fleet, flush, injector_ablation, interval, iops,
+    psu, recovery, repeated, request_size, request_type, sequence, storm, vendors, wear, wss,
     ExperimentScale,
 };
 
@@ -436,6 +436,31 @@ impl Experiment for StormExperiment {
     }
 }
 
+/// Extension L with its fleet self-checks: an explicit run must prove
+/// that correlated cuts degrade MTTDL versus the independent baseline,
+/// that degraded reads and rebuild interruptions actually happened, and
+/// that the engines agree bit-for-bit.
+struct FleetExperiment;
+
+impl Experiment for FleetExperiment {
+    fn name(&self) -> &'static str {
+        "fleet"
+    }
+    fn describe(&self) -> &'static str {
+        "Extension L — correlated outages vs erasure-coded fleets (self-checking; honours --engine)"
+    }
+    fn run(&self, ctx: &ExperimentCtx) -> Result<ExperimentReport, PlatformError> {
+        let report = fleet::run(ctx.scale, ctx.seed, ctx.opts.engine);
+        let checks = fleet::check(&report, ctx.scale, ctx.seed);
+        Ok(ExperimentReport {
+            text: fleet::render(&report),
+            json_key: "fleet",
+            json: json_of(&report),
+            check_failures: checks,
+        })
+    }
+}
+
 /// One raw fault-injection campaign with the resilience controls:
 /// watchdog budgets, deterministic retries, checkpoint/resume, engine
 /// selection, warm-up snapshots, and obs export.
@@ -818,6 +843,7 @@ static REGISTRY: &[&dyn Experiment] = &[
         run: run_repeated,
     },
     &StormExperiment,
+    &FleetExperiment,
     &CampaignExperiment,
     &SweepExperiment,
 ];

@@ -12,10 +12,17 @@
 //! *while holding the lock* on purpose: concurrent workers asking for
 //! the same configuration then wait for the one warm-up instead of each
 //! replaying it.
+//!
+//! Because capture runs under the lock, a panicking trial (the campaign
+//! engine runs each trial under `catch_unwind`) can poison the mutex.
+//! Cache contents stay valid across such a panic — entries are only
+//! ever inserted whole — so every lock site *recovers* from poisoning
+//! instead of propagating it; [`SnapshotCacheStats::poison_recoveries`]
+//! counts how often that happened.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 
 use serde::{Deserialize, Serialize};
 
@@ -26,6 +33,7 @@ use crate::platform::TestPlatform;
 static CACHE: OnceLock<Mutex<HashMap<u64, Arc<SsdSnapshot>>>> = OnceLock::new();
 static HITS: AtomicU64 = AtomicU64::new(0);
 static MISSES: AtomicU64 = AtomicU64::new(0);
+static POISON_RECOVERIES: AtomicU64 = AtomicU64::new(0);
 
 /// Hit/miss counters for the process-wide snapshot cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -36,6 +44,9 @@ pub struct SnapshotCacheStats {
     pub misses: u64,
     /// Distinct configurations currently cached.
     pub entries: u64,
+    /// Times a lock acquisition found the mutex poisoned by a panicked
+    /// trial and recovered it.
+    pub poison_recoveries: u64,
 }
 
 impl SnapshotCacheStats {
@@ -53,13 +64,24 @@ fn cache() -> &'static Mutex<HashMap<u64, Arc<SsdSnapshot>>> {
     CACHE.get_or_init(|| Mutex::new(HashMap::new()))
 }
 
+/// Locks the cache, recovering from a mutex poisoned by a panicked
+/// trial: snapshots are inserted whole under the lock, so the map is
+/// structurally sound even when the panic interrupted a warm-up — at
+/// worst the interrupted digest is simply absent and will re-warm.
+fn lock_cache() -> MutexGuard<'static, HashMap<u64, Arc<SsdSnapshot>>> {
+    cache().lock().unwrap_or_else(|poisoned| {
+        POISON_RECOVERIES.fetch_add(1, Ordering::Relaxed);
+        poisoned.into_inner()
+    })
+}
+
 /// The warm snapshot for this platform's configuration, running the
 /// warm-up on first request and memoizing it for every later caller.
 /// Callers gate on `warmup_requests > 0` themselves — a zero-warm-up
 /// snapshot is legal but pointless (it is just a cold device).
 pub fn warm_snapshot_for(platform: &TestPlatform) -> Arc<SsdSnapshot> {
     let digest = platform.config_digest();
-    let mut map = cache().lock().expect("snapshot cache lock");
+    let mut map = lock_cache();
     if let Some(snapshot) = map.get(&digest) {
         HITS.fetch_add(1, Ordering::Relaxed);
         return Arc::clone(snapshot);
@@ -73,21 +95,23 @@ pub fn warm_snapshot_for(platform: &TestPlatform) -> Arc<SsdSnapshot> {
 /// Current cache counters. Counters are process-global and monotonic
 /// (except across [`reset`]), so benchmarks measure deltas.
 pub fn stats() -> SnapshotCacheStats {
-    let entries = cache().lock().expect("snapshot cache lock").len() as u64;
+    let entries = lock_cache().len() as u64;
     SnapshotCacheStats {
         hits: HITS.load(Ordering::Relaxed),
         misses: MISSES.load(Ordering::Relaxed),
         entries,
+        poison_recoveries: POISON_RECOVERIES.load(Ordering::Relaxed),
     }
 }
 
 /// Drops every cached snapshot and zeroes the counters (benchmark
 /// harnesses use this to isolate phases).
 pub fn reset() {
-    let mut map = cache().lock().expect("snapshot cache lock");
+    let mut map = lock_cache();
     map.clear();
     HITS.store(0, Ordering::Relaxed);
     MISSES.store(0, Ordering::Relaxed);
+    POISON_RECOVERIES.store(0, Ordering::Relaxed);
 }
 
 #[cfg(test)]
@@ -127,6 +151,57 @@ mod tests {
         let platform = warm_platform(18);
         let cached = warm_snapshot_for(&platform);
         assert_eq!(cached.fingerprint(), platform.warm_snapshot().fingerprint());
+    }
+
+    #[test]
+    fn poisoned_lock_recovers_and_later_campaigns_complete() {
+        use crate::campaign::{Campaign, CampaignConfig};
+
+        // An active cache with a live entry…
+        let platform = warm_platform(21);
+        let first = warm_snapshot_for(&platform);
+
+        // …poisoned by a panic while the lock is held — what a trial
+        // dying mid-capture under the campaign's catch_unwind does.
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = cache().lock().unwrap_or_else(|e| e.into_inner());
+            panic!("trial died while capturing a warm snapshot");
+        }));
+
+        // Every lock site must recover instead of propagating: lookups
+        // still serve the intact entry, stats still read, and the
+        // recovery is counted.
+        let again = warm_snapshot_for(&platform);
+        assert!(
+            Arc::ptr_eq(&first, &again),
+            "poison recovery must keep serving the cached snapshot"
+        );
+        assert!(
+            stats().poison_recoveries >= 1,
+            "recoveries must be counted: {:?}",
+            stats()
+        );
+
+        // And a snapshot-cached campaign run after the poisoning — the
+        // "rest of the campaign" from the cache's point of view — still
+        // completes with every trial accounted for.
+        let mut config = CampaignConfig::paper_default();
+        config.trial.ssd.geometry = pfault_flash::FlashGeometry::new(1 << 14, 256);
+        config.trial.ssd.ftl = pfault_ftl::FtlConfig::for_geometry(config.trial.ssd.geometry);
+        config.trial.workload = pfault_workload::WorkloadSpec::builder()
+            .wss_bytes(4 * pfault_sim::storage::GIB)
+            .build();
+        config.trial = config.trial.with_warmup_requests(8);
+        config.trials = 3;
+        config.requests_per_trial = 20;
+        let report = Campaign::new(config, 31).run();
+        assert_eq!(report.faults, 3);
+        assert_eq!(
+            report.failures.total_failed(),
+            0,
+            "campaign after a poisoned cache must still complete: {:?}",
+            report.failures
+        );
     }
 
     #[test]

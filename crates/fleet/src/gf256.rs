@@ -1,0 +1,133 @@
+//! GF(2⁸) arithmetic over the AES polynomial x⁸+x⁴+x³+x+1 (0x11B).
+//!
+//! The Reed-Solomon codec in [`crate::rs`] needs a field where addition
+//! is XOR and every nonzero element has an inverse. Log/antilog tables
+//! over the generator 3 make multiply/divide two lookups; the tables are
+//! built at first use from the polynomial, so there is no 768-entry
+//! constant to audit by eye.
+
+/// Log/antilog tables for GF(2⁸).
+struct Tables {
+    /// `exp[i]` = generator³ⁱ… i.e. 3^i; doubled to 512 entries so
+    /// `exp[log a + log b]` needs no modular reduction.
+    exp: [u8; 512],
+    /// `log[a]` for a ≠ 0.
+    log: [u16; 256],
+}
+
+fn tables() -> &'static Tables {
+    use std::sync::OnceLock;
+    static TABLES: OnceLock<Tables> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut exp = [0u8; 512];
+        let mut log = [0u16; 256];
+        let mut x: u16 = 1;
+        for (i, e) in exp.iter_mut().enumerate().take(255) {
+            *e = x as u8;
+            log[x as usize] = i as u16;
+            // Multiply by the generator 3 = x + 1: shift + conditional
+            // reduction by 0x11B.
+            x = (x << 1) ^ x;
+            if x & 0x100 != 0 {
+                x ^= 0x11B;
+            }
+        }
+        for i in 255..512 {
+            exp[i] = exp[i - 255];
+        }
+        Tables { exp, log }
+    })
+}
+
+/// Field addition (= subtraction): XOR.
+pub fn add(a: u8, b: u8) -> u8 {
+    a ^ b
+}
+
+/// Field multiplication.
+pub fn mul(a: u8, b: u8) -> u8 {
+    if a == 0 || b == 0 {
+        return 0;
+    }
+    let t = tables();
+    t.exp[t.log[a as usize] as usize + t.log[b as usize] as usize]
+}
+
+/// Multiplicative inverse.
+///
+/// # Panics
+///
+/// Panics on 0, which has no inverse.
+pub fn inv(a: u8) -> u8 {
+    assert!(a != 0, "0 has no inverse in GF(256)");
+    let t = tables();
+    t.exp[255 - t.log[a as usize] as usize]
+}
+
+/// Field division `a / b`.
+///
+/// # Panics
+///
+/// Panics when `b` is 0.
+pub fn div(a: u8, b: u8) -> u8 {
+    mul(a, inv(b))
+}
+
+/// `base` raised to `power` (power taken mod 255, the group order).
+pub fn pow(base: u8, power: u64) -> u8 {
+    if base == 0 {
+        return if power == 0 { 1 } else { 0 };
+    }
+    let t = tables();
+    let l = u64::from(t.log[base as usize]);
+    t.exp[((l * (power % 255)) % 255) as usize]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mul_is_commutative_with_identity() {
+        for a in 0..=255u8 {
+            assert_eq!(mul(a, 1), a);
+            assert_eq!(mul(1, a), a);
+            assert_eq!(mul(a, 0), 0);
+            for b in [2u8, 3, 29, 128, 255] {
+                assert_eq!(mul(a, b), mul(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn every_nonzero_element_inverts() {
+        for a in 1..=255u8 {
+            assert_eq!(mul(a, inv(a)), 1, "a = {a}");
+            assert_eq!(div(a, a), 1);
+        }
+    }
+
+    #[test]
+    fn mul_distributes_over_add() {
+        for a in [1u8, 7, 90, 200] {
+            for b in [3u8, 50, 130] {
+                for c in [9u8, 77, 255] {
+                    assert_eq!(mul(a, add(b, c)), add(mul(a, b), mul(a, c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pow_matches_repeated_mul() {
+        for base in [2u8, 3, 19, 200] {
+            let mut acc = 1u8;
+            for p in 0..520u64 {
+                assert_eq!(pow(base, p), acc, "base {base} power {p}");
+                acc = mul(acc, base);
+            }
+        }
+        assert_eq!(pow(0, 0), 1);
+        assert_eq!(pow(0, 5), 0);
+    }
+}

@@ -1,0 +1,39 @@
+//! Fleet-scale correlated-outage simulation.
+//!
+//! The paper ("Investigating power outage effects on reliability of
+//! solid-state drives", DATE 2018) characterises what one power cut does
+//! to one SSD: false write ACKs, torn journals, unserialisable writes,
+//! bricked mounts. This crate asks the operator's follow-up question:
+//! *what do those per-device pathologies do to a fleet that erasure-codes
+//! its data across many such devices and shares power domains between
+//! them?*
+//!
+//! It layers, bottom-up:
+//!
+//! * [`gf256`] — GF(2⁸) arithmetic (tables built from the polynomial);
+//! * [`rs`] — a systematic Vandermonde Reed-Solomon code: any m of the
+//!   m+k chunks reconstruct a stripe byte-identically;
+//! * [`placement`] — declustered stripe placement: each stripe lands on
+//!   a pseudo-random device subset, a pure function of `(seed, stripe)`;
+//! * [`sim`] — the fleet simulator proper: real [`pfault_ssd::Ssd`]
+//!   devices, PSU-group-correlated power cuts with per-device RC
+//!   discharge timelines, the platform recovery loop per victim, a
+//!   generation-witness stripe oracle that distinguishes FWA-stale
+//!   chunks from torn and missing ones, and a bandwidth-budgeted
+//!   rebuild engine that a second outage can interrupt.
+//!
+//! The crate is deliberately dependency-light (sim/flash/ftl/ssd/power/
+//! obs only): the campaign and experiment plumbing in `pfault-platform`
+//! builds *on top of* this crate, not the other way around.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gf256;
+pub mod placement;
+pub mod rs;
+pub mod sim;
+
+pub use placement::Placement;
+pub use rs::{RsCode, RsError};
+pub use sim::{ChunkState, FleetConfig, FleetSim, FleetTally, FleetTrialResult};

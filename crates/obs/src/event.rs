@@ -22,6 +22,8 @@ pub enum Layer {
     Power,
     /// Power-on recovery path.
     Recovery,
+    /// Fleet layer: erasure-coded stripes across many devices.
+    Fleet,
 }
 
 impl Layer {
@@ -34,6 +36,7 @@ impl Layer {
             Layer::Ftl => "ftl",
             Layer::Power => "power",
             Layer::Recovery => "recovery",
+            Layer::Fleet => "fleet",
         }
     }
 }
@@ -304,6 +307,36 @@ pub enum ProbeEvent {
         /// Requests in flight when the link died.
         inflight: u64,
     },
+    /// A fleet-level outage event cut one or more devices.
+    FleetOutage {
+        /// Devices cut by this event.
+        devices: u64,
+        /// 1 when the cut was a correlated PSU-group (rack) event,
+        /// 0 when it was an independent single-device cut.
+        correlated: u64,
+    },
+    /// A stripe read was served degraded: reconstruction from parity
+    /// stood in for chunks that were unavailable or stale.
+    FleetDegradedRead {
+        /// Stripe identifier.
+        stripe: u64,
+        /// Chunks that had to be reconstructed.
+        missing: u64,
+    },
+    /// A stripe lost more chunks than parity can cover, *after*
+    /// per-device mechanistic recovery ran: a data-loss event.
+    FleetStripeLost {
+        /// Stripe identifier.
+        stripe: u64,
+        /// Unrecoverable chunks (strictly more than the parity count).
+        unrecoverable: u64,
+    },
+    /// A rebuild pass was interrupted by a further outage before the
+    /// queue drained; remaining stripes stay degraded.
+    FleetRebuildInterrupted {
+        /// Stripes still waiting for rebuild when the outage landed.
+        pending_stripes: u64,
+    },
 }
 
 impl ProbeEvent {
@@ -332,6 +365,10 @@ impl ProbeEvent {
             ProbeEvent::EccUncorrectable { .. } => "ecc.uncorrectable",
             ProbeEvent::ReadRetry { .. } => "flash.read-retry",
             ProbeEvent::HostLinkLost { .. } => "host.link-lost",
+            ProbeEvent::FleetOutage { .. } => "fleet.outage",
+            ProbeEvent::FleetDegradedRead { .. } => "fleet.degraded-read",
+            ProbeEvent::FleetStripeLost { .. } => "fleet.stripe-lost",
+            ProbeEvent::FleetRebuildInterrupted { .. } => "fleet.rebuild-interrupted",
         }
     }
 }
@@ -403,6 +440,19 @@ mod tests {
                 recovered: 0,
             },
             ProbeEvent::HostLinkLost { inflight: 0 },
+            ProbeEvent::FleetOutage {
+                devices: 0,
+                correlated: 0,
+            },
+            ProbeEvent::FleetDegradedRead {
+                stripe: 0,
+                missing: 0,
+            },
+            ProbeEvent::FleetStripeLost {
+                stripe: 0,
+                unrecoverable: 0,
+            },
+            ProbeEvent::FleetRebuildInterrupted { pending_stripes: 0 },
         ];
         let mut kinds: Vec<&str> = events.iter().map(|e| e.kind()).collect();
         kinds.sort_unstable();
@@ -419,6 +469,7 @@ mod tests {
             Layer::Ftl,
             Layer::Power,
             Layer::Recovery,
+            Layer::Fleet,
         ];
         let mut names: Vec<&str> = layers.iter().map(|l| l.name()).collect();
         names.sort_unstable();

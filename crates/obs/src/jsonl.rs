@@ -150,6 +150,24 @@ fn render_payload(s: &mut String, event: &ProbeEvent) {
         ProbeEvent::HostLinkLost { inflight } => {
             let _ = write!(s, ",\"inflight\":{inflight}");
         }
+        ProbeEvent::FleetOutage {
+            devices,
+            correlated,
+        } => {
+            let _ = write!(s, ",\"devices\":{devices},\"correlated\":{correlated}");
+        }
+        ProbeEvent::FleetDegradedRead { stripe, missing } => {
+            let _ = write!(s, ",\"stripe\":{stripe},\"missing\":{missing}");
+        }
+        ProbeEvent::FleetStripeLost {
+            stripe,
+            unrecoverable,
+        } => {
+            let _ = write!(s, ",\"stripe\":{stripe},\"unrecoverable\":{unrecoverable}");
+        }
+        ProbeEvent::FleetRebuildInterrupted { pending_stripes } => {
+            let _ = write!(s, ",\"pending_stripes\":{pending_stripes}");
+        }
     }
 }
 

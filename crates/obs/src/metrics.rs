@@ -189,6 +189,15 @@ impl Metrics {
                     m.incr("power.map-sectors-lost", map);
                 }
                 ProbeEvent::EccCorrected { bits, .. } => m.incr("ecc.corrected-bits", bits),
+                ProbeEvent::FleetOutage { devices, .. } => {
+                    m.incr("fleet.devices-cut", devices);
+                }
+                ProbeEvent::FleetDegradedRead { missing, .. } => {
+                    m.incr("fleet.chunks-reconstructed", missing);
+                }
+                ProbeEvent::FleetStripeLost { unrecoverable, .. } => {
+                    m.incr("fleet.chunks-unrecoverable", unrecoverable);
+                }
                 ProbeEvent::RecoveryStep { step, value } => match step {
                     RecoveryStepKind::MountAttempt | RecoveryStepKind::MountFailed => {}
                     // Steps whose payload is an identifier (stage index,

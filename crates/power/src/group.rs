@@ -1,0 +1,119 @@
+//! Grouped / correlated fault timelines for fleet-scale outages.
+//!
+//! A rack-level outage is not one fault: every device behind the failed
+//! PSU group sees *its own* RC discharge curve. The supplies are
+//! nominally identical, but bulk capacitance, load, and the exact
+//! instant each rail starts to fall differ by a few milliseconds — so a
+//! correlated cut is a burst of per-device [`FaultTimeline`]s whose
+//! commanded instants jitter around the rack event, not one shared
+//! timeline. [`PsuGroupCut`] models exactly that: one base injector
+//! (the discharge physics every supply in the group shares) plus a
+//! bounded per-device jitter drawn deterministically from the caller's
+//! RNG stream.
+
+use pfault_sim::{DetRng, SimDuration, SimTime};
+
+use crate::injector::{FaultInjector, FaultTimeline};
+
+/// One correlated outage against a PSU group: a shared commanded
+/// instant with bounded per-device jitter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PsuGroupCut {
+    injector: FaultInjector,
+    jitter_us: u64,
+}
+
+impl PsuGroupCut {
+    /// A correlated cut built from the group's shared supply physics and
+    /// the maximum per-device jitter (inclusive), in microseconds.
+    pub fn new(injector: FaultInjector, jitter_us: u64) -> Self {
+        PsuGroupCut {
+            injector,
+            jitter_us,
+        }
+    }
+
+    /// The base injector every device in the group shares.
+    pub fn injector(&self) -> &FaultInjector {
+        &self.injector
+    }
+
+    /// Maximum per-device jitter in microseconds.
+    pub fn jitter_us(&self) -> u64 {
+        self.jitter_us
+    }
+
+    /// Per-device timelines for a rack event commanded at `commanded`:
+    /// `count` timelines, each offset by an independent uniform draw in
+    /// `[0, jitter_us]` from `rng`. The draws come in device-index order,
+    /// so the same RNG stream always yields the same burst.
+    pub fn timelines(
+        &self,
+        commanded: SimTime,
+        count: usize,
+        rng: &mut DetRng,
+    ) -> Vec<FaultTimeline> {
+        (0..count)
+            .map(|_| {
+                let jitter = if self.jitter_us == 0 {
+                    0
+                } else {
+                    rng.between(0, self.jitter_us)
+                };
+                self.injector
+                    .timeline(commanded + SimDuration::from_micros(jitter))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_stream_same_burst() {
+        let cut = PsuGroupCut::new(FaultInjector::arduino_atx_loaded(), 5_000);
+        let mut a = DetRng::new(99).fork("rack");
+        let mut b = DetRng::new(99).fork("rack");
+        let ta = cut.timelines(SimTime::from_millis(10), 6, &mut a);
+        let tb = cut.timelines(SimTime::from_millis(10), 6, &mut b);
+        assert_eq!(ta, tb, "same seed must produce the same burst");
+    }
+
+    #[test]
+    fn jitter_stays_bounded_and_varies() {
+        let base = SimTime::from_millis(50);
+        let cut = PsuGroupCut::new(FaultInjector::arduino_atx_loaded(), 3_000);
+        let mut rng = DetRng::new(7);
+        let burst = cut.timelines(base, 16, &mut rng);
+        for t in &burst {
+            let offset = t.commanded - base;
+            assert!(offset.as_micros() <= 3_000, "jitter exceeds bound: {t:?}");
+        }
+        let distinct: std::collections::HashSet<u64> =
+            burst.iter().map(|t| t.commanded.as_micros()).collect();
+        assert!(distinct.len() > 1, "per-device jitter must actually vary");
+    }
+
+    #[test]
+    fn zero_jitter_collapses_to_one_shared_instant() {
+        let base = SimTime::from_millis(20);
+        let cut = PsuGroupCut::new(FaultInjector::transistor(), 0);
+        let mut rng = DetRng::new(1);
+        let burst = cut.timelines(base, 4, &mut rng);
+        assert!(burst.iter().all(|t| t.commanded == base));
+        assert!(burst.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn each_device_keeps_its_own_discharge_curve() {
+        let cut = PsuGroupCut::new(FaultInjector::arduino_atx_loaded(), 2_000);
+        let mut rng = DetRng::new(3);
+        for t in cut.timelines(SimTime::ZERO, 8, &mut rng) {
+            assert!(t.host_lost > t.cut);
+            assert!(t.core_dead > t.host_lost);
+            assert!(t.brownout_window() > SimDuration::ZERO);
+        }
+    }
+}

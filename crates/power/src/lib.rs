@@ -45,11 +45,13 @@ pub mod arduino;
 pub mod atx;
 pub mod brownout;
 pub mod cutter;
+pub mod group;
 pub mod injector;
 pub mod psu;
 pub mod volts;
 
 pub use brownout::{BrownoutEvent, BrownoutSeverity};
+pub use group::PsuGroupCut;
 pub use injector::{FaultInjector, FaultTimeline};
 pub use psu::PsuModel;
 pub use volts::Millivolts;
