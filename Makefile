@@ -19,6 +19,11 @@
 #                  degrade MTTDL below the independent baseline with
 #                  byte-identical same-seed reports, and the forced-loss
 #                  config must lose data iff more than k chunks are gone
+#   make kv-smoke — application-consistency gate: the KV sweep must
+#                  produce surfaced, masked, and silent-poison outcomes,
+#                  half-apply must poison strictly more than
+#                  discard-whole, and same-seed reports must be
+#                  byte-identical
 #   make bench   — campaign engine benchmark; rewrites BENCH_campaign.json
 #   make bench-smoke — CI-sized campaign bench: snapshot cloning must be
 #                  ≥1.5x replay-from-cold and all engines byte-identical
@@ -26,7 +31,7 @@
 
 CARGO ?= cargo
 
-.PHONY: all build test lint lint-core lint-workspace sweep-smoke obs-smoke recovery-smoke fleet-smoke bench bench-smoke check clean
+.PHONY: all build test lint lint-core lint-workspace sweep-smoke obs-smoke recovery-smoke fleet-smoke kv-smoke bench bench-smoke check clean
 
 all: check
 
@@ -43,11 +48,11 @@ sweep-smoke: build
 	./target/release/repro --exp sweep --seed 7
 	./target/release/repro --exp sweep --seed 7 --inject-crc-bug --minimize
 
-# The platform crate is the resilience boundary: trial failures must be
-# values, never process aborts, so unwrap() is denied in its library and
-# binaries outright.
+# The platform, fleet, and KV crates are the resilience boundary: trial
+# failures must be values, never process aborts, so unwrap() is denied
+# in their libraries and binaries outright.
 lint-core:
-	$(CARGO) clippy -p pfault-platform --all-targets -- -D warnings -D clippy::unwrap_used
+	$(CARGO) clippy -p pfault-platform -p pfault-fleet -p pfault-kv --all-targets -- -D warnings -D clippy::unwrap_used
 
 lint-workspace:
 	$(CARGO) clippy --workspace --all-targets -- -D warnings
@@ -88,6 +93,20 @@ fleet-smoke: build
 	cmp target/fleet-a.json target/fleet-b.json
 	$(CARGO) test -q -p pfault-fleet --lib forced_wipes_cause_loss_iff_beyond_parity
 
+# Self-checking: an explicit kv run exits non-zero unless every
+# divergence class occurred somewhere in the sweep, the half-applying
+# firmware silently poisoned strictly more than the CRC-verifying
+# firmware at equal seeds, journal batches actually tore, and the
+# serial/stealing reductions agree bit-for-bit (see
+# crates/core/src/experiments/kv.rs). cmp enforces byte-identical
+# same-seed reports; the targeted test pins the seeded silent-poison
+# reproduction in the store crate itself.
+kv-smoke: build
+	./target/release/repro --exp kv --seed 11 --json target/kv-a.json
+	./target/release/repro --exp kv --seed 11 --json target/kv-b.json
+	cmp target/kv-a.json target/kv-b.json
+	$(CARGO) test -q -p pfault-kv --lib seeded_silent_poison_reproduces
+
 # Campaign engine v2 benchmark: snapshot-clone vs replay-from-cold
 # trials/sec, engine byte-equality, scheduler utilization. `bench`
 # regenerates the committed BENCH_campaign.json; `bench-smoke` is the
@@ -100,7 +119,7 @@ bench: build
 bench-smoke: build
 	./target/release/campaignbench --smoke --out target/bench-smoke.json
 
-check: build lint test sweep-smoke obs-smoke recovery-smoke fleet-smoke bench-smoke
+check: build lint test sweep-smoke obs-smoke recovery-smoke fleet-smoke kv-smoke bench-smoke
 
 clean:
 	$(CARGO) clean

@@ -139,12 +139,18 @@ fn main() -> ExitCode {
                      [--warmup N] [--snapshot-cache on|off]\n\
                      experiments: fig4 interval interval-nocache fig5 fig6 pattern \
                      fig7 fig8 fig9 table1 ablation-injector ablation-cache \
-                     brownout wear flush recovery repeated recovery-storm fleet all \
-                     campaign sweep\n\
+                     brownout wear flush recovery repeated recovery-storm fleet kv \
+                     all campaign sweep\n\
                      fleet mode (--exp fleet, part of 'all') sweeps PSU-group size, \
                      parity depth, and outage\n\
                      correlation over an erasure-coded fleet, reporting availability, \
                      durability, and MTTDL\n\
+                     kv mode (--exp kv, part of 'all') stacks a WAL'd KV store on \
+                     the device and classifies every\n\
+                     post-outage divergence as surfaced, masked, or silent poison, \
+                     pairing CRC-verifying and\n\
+                     half-applying firmware at equal seeds; the run self-checks its \
+                     own class coverage\n\
                      campaign mode (--exp campaign, not part of 'all') runs one raw \
                      campaign with watchdog budgets,\n\
                      deterministic retries, checkpoint/resume, --engine/--threads \

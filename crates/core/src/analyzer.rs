@@ -155,6 +155,17 @@ pub struct FailureCounts {
     /// Fleet-layer rebuild passes interrupted by an exhausted bandwidth
     /// budget (a second outage arriving before repair finished).
     pub rebuilds_interrupted: u64,
+    /// Application-layer divergences the KV oracle saw *surfaced* as
+    /// errors (failed reads, detectably corrupt keys, lost stores).
+    /// Zero for campaigns without an application layer.
+    pub app_surfaced: u64,
+    /// Application-layer outages fully *masked* by WAL replay and
+    /// checkpoint rollback: every acknowledged operation intact.
+    pub app_masked: u64,
+    /// Application-layer *silent poison*: acknowledged data served wrong
+    /// after recovery with no error anywhere — the app-level analogue of
+    /// the paper's false write acknowledgment.
+    pub app_silent_poison: u64,
 }
 
 impl FailureCounts {
@@ -185,6 +196,9 @@ impl FailureCounts {
         self.stripes_lost += other.stripes_lost;
         self.degraded_reads += other.degraded_reads;
         self.rebuilds_interrupted += other.rebuilds_interrupted;
+        self.app_surfaced += other.app_surfaced;
+        self.app_masked += other.app_masked;
+        self.app_silent_poison += other.app_silent_poison;
     }
 }
 

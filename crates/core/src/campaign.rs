@@ -283,7 +283,11 @@ struct CampaignCheckpoint {
 // v4: `FailureCounts` gained the fleet-layer tallies (`stripes_lost`,
 // `degraded_reads`, `rebuilds_interrupted`), so v3 snapshots
 // deserialize into a different report shape again.
-const CHECKPOINT_VERSION: u32 = 4;
+// v5: `FailureCounts` gained the application-layer oracle tallies
+// (`app_surfaced`, `app_masked`, `app_silent_poison`); a v4 snapshot
+// resumed into a v5 campaign would silently zero-fill them, so stale
+// versions are rejected loudly instead.
+const CHECKPOINT_VERSION: u32 = 5;
 
 /// A campaign runner. Construct via [`Campaign::builder`] (or the
 /// [`Campaign::new`] shorthand for a default single-threaded campaign).
@@ -1038,9 +1042,9 @@ mod tests {
 
     #[test]
     fn resume_rejects_old_checkpoint_version() {
-        // Satellite: a v3-era snapshot (before the fleet-layer failure
-        // tallies) must be refused loudly, not misread — and older
-        // versions likewise.
+        // Satellite: a v4-era snapshot (before the application-layer
+        // oracle tallies) must be refused loudly, not misread — and
+        // every older version likewise.
         let dir = std::env::temp_dir().join("pfault-checkpoint-test");
         std::fs::create_dir_all(&dir).expect("temp dir");
         let path = dir.join("stale-version.json");
@@ -1049,10 +1053,10 @@ mod tests {
         let campaign = Campaign::new(tiny_config(), 43).with_checkpoint(&path, 2);
         campaign.run_checked().expect("run");
         let text = std::fs::read_to_string(&path).expect("checkpoint written");
-        assert!(text.contains("\"version\":4"), "snapshot carries v4");
+        assert!(text.contains("\"version\":5"), "snapshot carries v5");
 
-        for stale in ["\"version\":3", "\"version\":2"] {
-            std::fs::write(&path, text.replace("\"version\":4", stale)).expect("rewrite");
+        for stale in ["\"version\":4", "\"version\":3", "\"version\":2"] {
+            std::fs::write(&path, text.replace("\"version\":5", stale)).expect("rewrite");
             match campaign.resume_from(&path) {
                 Err(PlatformError::Checkpoint(CheckpointError::Mismatch { field, .. })) => {
                     assert_eq!(field, "version");

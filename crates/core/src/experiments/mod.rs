@@ -26,6 +26,7 @@
 //! | [`repeated`] | ours — consecutive outages on one device |
 //! | [`storm`] | ours — cuts during recovery; read-only degradation |
 //! | [`fleet`] | ours — correlated outages vs erasure-coded fleets |
+//! | [`kv`] | ours — app-level masking vs silent poison above the device |
 
 pub mod access_pattern;
 pub mod brownout;
@@ -35,6 +36,7 @@ pub mod flush;
 pub mod injector_ablation;
 pub mod interval;
 pub mod iops;
+pub mod kv;
 pub mod psu;
 pub mod recovery;
 pub mod registry;

@@ -26,7 +26,7 @@ use crate::sweep::{SweepConfig, Sweeper, ViolationKind};
 
 use super::{
     access_pattern, brownout, cache_ablation, fleet, flush, injector_ablation, interval, iops,
-    psu, recovery, repeated, request_size, request_type, sequence, storm, vendors, wear, wss,
+    kv, psu, recovery, repeated, request_size, request_type, sequence, storm, vendors, wear, wss,
     ExperimentScale,
 };
 
@@ -461,6 +461,32 @@ impl Experiment for FleetExperiment {
     }
 }
 
+/// Extension M with its application-layer self-checks: an explicit run
+/// must prove that every divergence class (surfaced, masked, silent
+/// poison) occurred, that the half-applying firmware poisoned strictly
+/// more than the CRC-verifying firmware at equal seeds, that journal
+/// batches actually tore, and that the engines agree bit-for-bit.
+struct KvExperiment;
+
+impl Experiment for KvExperiment {
+    fn name(&self) -> &'static str {
+        "kv"
+    }
+    fn describe(&self) -> &'static str {
+        "Extension M — WAL'd KV store above the device: masking vs silent poison (self-checking)"
+    }
+    fn run(&self, ctx: &ExperimentCtx) -> Result<ExperimentReport, PlatformError> {
+        let report = kv::run(ctx.scale, ctx.seed, ctx.opts.engine);
+        let checks = kv::check(&report, ctx.scale, ctx.seed);
+        Ok(ExperimentReport {
+            text: kv::render(&report),
+            json_key: "kv",
+            json: json_of(&report),
+            check_failures: checks,
+        })
+    }
+}
+
 /// One raw fault-injection campaign with the resilience controls:
 /// watchdog budgets, deterministic retries, checkpoint/resume, engine
 /// selection, warm-up snapshots, and obs export.
@@ -844,6 +870,7 @@ static REGISTRY: &[&dyn Experiment] = &[
     },
     &StormExperiment,
     &FleetExperiment,
+    &KvExperiment,
     &CampaignExperiment,
     &SweepExperiment,
 ];

@@ -1,0 +1,40 @@
+//! Application-consistency layer above the device model.
+//!
+//! The paper's oracle stops at request-level checksums; this crate asks
+//! the question users actually face — does a device-level false write
+//! acknowledgment or torn FTL journal *surface* as application
+//! corruption, get *masked* by application journaling, or *silently
+//! poison* a later recovery?
+//!
+//! * [`store::KvStore`] — a minimal write-ahead-logged KV store
+//!   (put/get/delete/scan) running on [`pfault_ssd::Ssd`]: group-commit
+//!   WAL with per-record CRC framing, alternating checkpoint regions
+//!   compacted behind a *single* flush barrier, and a resumable
+//!   crash-recovery path with bounded retry/backoff that degrades to
+//!   read-only when the device does.
+//! * [`oracle::KvOracle`] — tracks the linearized history of
+//!   acknowledged operations and classifies every post-outage
+//!   divergence as **surfaced**, **masked**, or **silent poison**.
+//! * [`workload`] — production-shaped trace presets (WAL burst,
+//!   checkpoint storm, multi-tenant mix) driven through
+//!   `pfault-workload`.
+//! * [`trial`] — one end-to-end fault-injection trial, deterministic in
+//!   `(config, seed)`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
+pub mod config;
+pub mod frame;
+pub mod oracle;
+pub mod store;
+pub mod trial;
+pub mod workload;
+
+pub use config::KvConfig;
+pub use frame::{Frame, FrameCodec, KvOp};
+pub use oracle::{KvOracle, KvVerdict};
+pub use store::{KvError, KvHealth, KvRecoveryReport, KvReplayStats, KvStats, KvStore};
+pub use trial::{run_kv_trial, KvTrialConfig, KvTrialOutcome};
+pub use workload::{AppOp, KvOpStream, KvWorkloadKind};

@@ -1,0 +1,160 @@
+//! Application-level divergence oracle.
+//!
+//! Tracks the linearized history of *acknowledged* operations alongside
+//! the set of operations that were issued but never acknowledged when
+//! the power failed (whose effects are legitimately indeterminate — a
+//! WAL record may or may not have become durable). After recovery it
+//! audits the store and classifies the outcome with the taxonomy of
+//! Fang et al.'s storage-fault study:
+//!
+//! * **surfaced** — the application *sees* the fault: a key reads back
+//!   an error, the store is read-only, or the store is lost wholesale;
+//! * **masked** — a fault was injected but WAL replay absorbed it: every
+//!   acknowledged datum reads back correct with no error;
+//! * **silent poison** — an acknowledged datum is wrong or missing with
+//!   *no* error, or a never-written ghost value appears: the
+//!   application-level false write acknowledgment.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use serde::{Deserialize, Serialize};
+
+use crate::frame::KvOp;
+use crate::store::{KvHealth, KvStore};
+
+/// The oracle's classification of one post-outage audit.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KvVerdict {
+    /// App-visible fault consequences: per-key read errors, read-only
+    /// degradation (counted once), or total store loss (counted as every
+    /// trusted key).
+    pub surfaced: u64,
+    /// 1 if a fault was injected and the audit found zero divergences.
+    pub masked: u64,
+    /// Acknowledged data wrong/lost with no error, or ghost values.
+    pub silent_poison: u64,
+}
+
+/// Linearized-history oracle for one store.
+#[derive(Debug)]
+pub struct KvOracle {
+    key_space: u64,
+    /// Issued, not yet acknowledged, in issue order.
+    staged: VecDeque<KvOp>,
+    /// Expected value per key from acknowledged history.
+    committed: BTreeMap<u64, u64>,
+    /// Keys with at least one acknowledged operation.
+    touched: BTreeSet<u64>,
+    /// Acceptable alternative states per key from operations in flight
+    /// at the crash (`None` = acceptably absent).
+    unacked: BTreeMap<u64, Vec<Option<u64>>>,
+    /// Total acknowledged operations.
+    pub acked_ops: u64,
+}
+
+impl KvOracle {
+    /// An oracle for a store over `0..key_space`.
+    pub fn new(key_space: u64) -> Self {
+        KvOracle {
+            key_space,
+            staged: VecDeque::new(),
+            committed: BTreeMap::new(),
+            touched: BTreeSet::new(),
+            unacked: BTreeMap::new(),
+            acked_ops: 0,
+        }
+    }
+
+    /// Records an operation the moment it is issued to the store.
+    pub fn stage(&mut self, op: KvOp) {
+        self.staged.push_back(op);
+    }
+
+    /// Moves the oldest `n` staged operations into acknowledged history
+    /// (the store acknowledges in issue order — group commit drains the
+    /// pending queue FIFO).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the store acknowledged more operations than were
+    /// staged, which would be a harness bug.
+    pub fn ack(&mut self, n: u64) {
+        for _ in 0..n {
+            let op = self
+                .staged
+                .pop_front()
+                .expect("store acknowledged more operations than were staged");
+            match op {
+                KvOp::Put { key, value } => {
+                    self.committed.insert(key, value);
+                }
+                KvOp::Delete { key } => {
+                    self.committed.remove(&key);
+                }
+            }
+            self.touched.insert(op.key());
+            self.acked_ops += 1;
+        }
+    }
+
+    /// Marks every still-staged operation as in-flight at the crash: its
+    /// effect (applied or not) is acceptable either way.
+    pub fn crash(&mut self) {
+        while let Some(op) = self.staged.pop_front() {
+            let candidate = match op {
+                KvOp::Put { value, .. } => Some(value),
+                KvOp::Delete { .. } => None,
+            };
+            self.unacked.entry(op.key()).or_default().push(candidate);
+        }
+    }
+
+    /// Audits the recovered store against acknowledged history.
+    /// `damaged` says whether a fault was actually injected (gates the
+    /// `masked` classification).
+    pub fn judge(&self, store: &KvStore, damaged: bool) -> KvVerdict {
+        let mut v = KvVerdict::default();
+        match store.health() {
+            KvHealth::Failed | KvHealth::Crashed => {
+                // The store is lost wholesale. Every key the application
+                // trusted is gone — but it *knows*: surfaced, not silent.
+                v.surfaced = (self.touched.len() as u64).max(1);
+            }
+            health => {
+                if matches!(health, KvHealth::ReadOnly) {
+                    // Availability loss is app-visible.
+                    v.surfaced += 1;
+                }
+                for &key in &self.touched {
+                    let expected = self.committed.get(&key).copied();
+                    match store.get(key) {
+                        Err(_) => v.surfaced += 1,
+                        Ok(observed) => {
+                            let acceptable = observed == expected
+                                || self
+                                    .unacked
+                                    .get(&key)
+                                    .is_some_and(|c| c.contains(&observed));
+                            if !acceptable {
+                                v.silent_poison += 1;
+                            }
+                        }
+                    }
+                }
+                // Ghost values: keys the application never successfully
+                // nor tentatively wrote must not exist.
+                if let Ok(entries) = store.scan(0, self.key_space.saturating_sub(1)) {
+                    for (key, _) in entries {
+                        if !self.touched.contains(&key) && !self.unacked.contains_key(&key) {
+                            v.silent_poison += 1;
+                        }
+                    }
+                }
+            }
+        }
+        if damaged && v.surfaced == 0 && v.silent_poison == 0 {
+            v.masked = 1;
+        }
+        v
+    }
+}

@@ -1,0 +1,201 @@
+//! Production-shaped KV workloads, driven through `pfault-workload`.
+//!
+//! Each preset is an ordinary [`WorkloadSpec`] (so arrival pacing,
+//! working-set skew and read/write mix reuse the paper's §IV machinery)
+//! plus a mapping from generated [`DataPacket`]s to KV operations and a
+//! per-preset store tuning (group-commit size and checkpoint cadence).
+
+use pfault_sim::{DetRng, SimTime};
+use pfault_workload::{
+    AccessPattern, ArrivalModel, DataPacket, SizeSpec, WorkloadGenerator, WorkloadSpec,
+};
+
+use crate::config::KvConfig;
+use crate::frame::KvOp;
+
+/// One application-level operation from the workload stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AppOp {
+    /// A mutation (logged through the WAL).
+    Op(KvOp),
+    /// A point lookup (served from the memtable).
+    Get {
+        /// Target key.
+        key: u64,
+    },
+}
+
+/// The three production-shaped trace presets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KvWorkloadKind {
+    /// Write-only burst: Poisson arrivals, uniform keys — long WAL runs
+    /// between compactions, so cuts land in group-commit windows.
+    WalBurst,
+    /// Small commit groups and an aggressive compaction cadence —
+    /// maximizes time inside the single-barrier checkpoint window.
+    CheckpointStorm,
+    /// Four tenants in partitioned key ranges, Zipf-hot within each,
+    /// mixed reads and writes.
+    MultiTenant,
+}
+
+impl KvWorkloadKind {
+    /// All presets, in sweep order.
+    pub fn all() -> [KvWorkloadKind; 3] {
+        [
+            KvWorkloadKind::WalBurst,
+            KvWorkloadKind::CheckpointStorm,
+            KvWorkloadKind::MultiTenant,
+        ]
+    }
+
+    /// Stable label for reports and JSON keys.
+    pub fn label(&self) -> &'static str {
+        match self {
+            KvWorkloadKind::WalBurst => "wal-burst",
+            KvWorkloadKind::CheckpointStorm => "ckpt-storm",
+            KvWorkloadKind::MultiTenant => "multi-tenant",
+        }
+    }
+
+    /// Tenant partitions of the key space.
+    fn tenants(&self) -> u64 {
+        match self {
+            KvWorkloadKind::MultiTenant => 4,
+            _ => 1,
+        }
+    }
+
+    /// The underlying block-workload shape.
+    pub fn spec(&self) -> WorkloadSpec {
+        match self {
+            KvWorkloadKind::WalBurst => WorkloadSpec::builder()
+                .wss_bytes(2 << 20)
+                .write_fraction(1.0)
+                .size(SizeSpec::FixedBytes(4096))
+                .pattern(AccessPattern::UniformRandom)
+                .arrival(ArrivalModel::OpenLoopPoisson { iops: 4000.0 })
+                .build(),
+            KvWorkloadKind::CheckpointStorm => WorkloadSpec::builder()
+                .wss_bytes(1 << 20)
+                .write_fraction(0.9)
+                .size(SizeSpec::FixedBytes(4096))
+                .pattern(AccessPattern::Zipf { theta: 0.9 })
+                .arrival(ArrivalModel::OpenLoop { iops: 2500.0 })
+                .build(),
+            KvWorkloadKind::MultiTenant => WorkloadSpec::builder()
+                .wss_bytes(8 << 20)
+                .write_fraction(0.6)
+                .size(SizeSpec::FixedBytes(4096))
+                .pattern(AccessPattern::Zipf { theta: 0.8 })
+                .arrival(ArrivalModel::OpenLoopPoisson { iops: 1500.0 })
+                .build(),
+        }
+    }
+
+    /// Store tuning that gives the preset its name. The key space is
+    /// deliberately left at the base width for every preset: a wide
+    /// checkpoint region takes many milliseconds to drain, which is
+    /// what keeps the eager-seal commit window open long enough for a
+    /// cut to land inside it.
+    pub fn tune(&self, base: KvConfig) -> KvConfig {
+        match self {
+            KvWorkloadKind::WalBurst => KvConfig {
+                group_commit_ops: 12,
+                checkpoint_every_ops: 96,
+                ..base
+            },
+            KvWorkloadKind::CheckpointStorm => KvConfig {
+                group_commit_ops: 4,
+                checkpoint_every_ops: 8,
+                ..base
+            },
+            KvWorkloadKind::MultiTenant => KvConfig {
+                group_commit_ops: 8,
+                checkpoint_every_ops: 32,
+                ..base
+            },
+        }
+    }
+}
+
+/// Adapts a [`WorkloadGenerator`] packet stream into timed KV
+/// operations.
+pub struct KvOpStream {
+    generator: WorkloadGenerator,
+    key_space: u64,
+    tenants: u64,
+}
+
+impl KvOpStream {
+    /// A stream of `kind`-shaped operations over `0..key_space`.
+    pub fn new(kind: KvWorkloadKind, key_space: u64, rng: DetRng) -> Self {
+        KvOpStream {
+            generator: WorkloadGenerator::new(kind.spec(), rng),
+            key_space,
+            tenants: kind.tenants().min(key_space.max(1)),
+        }
+    }
+
+    fn key_of(&self, packet: &DataPacket) -> u64 {
+        let per_tenant = (self.key_space / self.tenants).max(1);
+        let tenant = packet.id % self.tenants;
+        let base = packet.lba.index() % per_tenant;
+        (tenant * per_tenant + base) % self.key_space
+    }
+
+    /// The next operation and its arrival instant.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> (SimTime, AppOp) {
+        let packet = self.generator.next_packet();
+        let key = self.key_of(&packet);
+        let op = if !packet.is_write {
+            AppOp::Get { key }
+        } else if packet.payload_tag.is_multiple_of(13) {
+            AppOp::Op(KvOp::Delete { key })
+        } else {
+            AppOp::Op(KvOp::Put {
+                key,
+                value: packet.payload_tag,
+            })
+        };
+        (packet.arrival, op)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic_and_in_range() {
+        for kind in KvWorkloadKind::all() {
+            let mut a = KvOpStream::new(kind, 48, DetRng::new(7));
+            let mut b = KvOpStream::new(kind, 48, DetRng::new(7));
+            for _ in 0..200 {
+                let (ta, oa) = a.next();
+                let (tb, ob) = b.next();
+                assert_eq!((ta, oa), (tb, ob));
+                let key = match oa {
+                    AppOp::Get { key } => key,
+                    AppOp::Op(op) => op.key(),
+                };
+                assert!(key < 48);
+            }
+        }
+    }
+
+    #[test]
+    fn wal_burst_is_write_only_and_multi_tenant_mixes() {
+        let mut burst = KvOpStream::new(KvWorkloadKind::WalBurst, 48, DetRng::new(3));
+        assert!((0..200).all(|_| matches!(burst.next().1, AppOp::Op(_))));
+        let mut mixed = KvOpStream::new(KvWorkloadKind::MultiTenant, 48, DetRng::new(3));
+        let mut reads = 0;
+        for _ in 0..200 {
+            if matches!(mixed.next().1, AppOp::Get { .. }) {
+                reads += 1;
+            }
+        }
+        assert!(reads > 0, "multi-tenant mix must include reads");
+    }
+}

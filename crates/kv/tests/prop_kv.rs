@@ -1,0 +1,125 @@
+//! Property tests for the application-consistency layer: recovery
+//! replay idempotence and fault-free cleanliness, across vendor
+//! presets, workload shapes, cut phases, and seeds.
+
+use proptest::prelude::*;
+
+use pfault_power::FaultInjector;
+use pfault_sim::{DetRng, SimDuration};
+use pfault_ssd::{Ssd, VendorPreset};
+
+use pfault_kv::{run_kv_trial, AppOp, KvOpStream, KvStore, KvTrialConfig, KvWorkloadKind};
+
+fn preset_of(idx: usize) -> VendorPreset {
+    [VendorPreset::SsdA, VendorPreset::SsdB, VendorPreset::SsdC][idx % 3]
+}
+
+fn kind_of(idx: usize) -> KvWorkloadKind {
+    KvWorkloadKind::all()[idx % 3]
+}
+
+proptest! {
+    // ------------- replay twice must equal replay once -------------
+
+    /// After a power cut and a successful recovery, rebuilding again
+    /// from the same durable image must land on the identical memtable
+    /// and the identical replay tally: WAL replay keys off durable
+    /// sequence numbers, so it has no one-shot side effects to lose.
+    #[test]
+    fn recovery_replay_is_idempotent(
+        seed: u64,
+        preset_idx in 0usize..3,
+        kind_idx in 0usize..3,
+        verify_crc: bool,
+        phase in 100u64..900,
+    ) {
+        let cfg = KvTrialConfig::standard(
+            preset_of(preset_idx),
+            true,
+            verify_crc,
+            kind_of(kind_idx),
+            phase,
+        );
+        let rng = DetRng::new(seed);
+        let ssd = Ssd::new(cfg.ssd, rng.fork("device"));
+        let mut store = KvStore::new(ssd, cfg.kv);
+        let mut stream = KvOpStream::new(cfg.workload, cfg.kv.key_space, rng.fork("workload"));
+        let injector = FaultInjector::transistor();
+
+        let cut_at = cfg.ops * cfg.cut_phase_permille / 1000;
+        let mut timeline = None;
+        for i in 0..cfg.ops {
+            if store.crashed() {
+                break;
+            }
+            let (arrival, op) = stream.next();
+            store.advance_to(arrival);
+            if store.crashed() {
+                break;
+            }
+            if timeline.is_none() && i >= cut_at {
+                let tl = injector.timeline(store.now() + SimDuration::from_micros(500));
+                store.arm_cut(tl);
+                timeline = Some(tl);
+            }
+            match op {
+                AppOp::Get { key } => {
+                    let _ = store.get(key);
+                }
+                AppOp::Op(op) => {
+                    if store.apply_op(op).is_err() {
+                        break;
+                    }
+                }
+            }
+        }
+        let tl = timeline.unwrap_or_else(|| {
+            let tl = injector.timeline(store.now() + SimDuration::from_micros(1));
+            store.arm_cut(tl);
+            tl
+        });
+        if !store.crashed() {
+            store.advance_to(tl.discharged + SimDuration::from_micros(1));
+        }
+
+        // A failed recovery (retry budget exhausted on transient mount
+        // faults) has no state to replay — the property is vacuous.
+        if let Ok(report) = store.recover(tl.discharged + SimDuration::from_secs(1)) {
+            let once = store.memtable().clone();
+            let again = store.reload().expect("reload after successful recovery");
+            prop_assert_eq!(&once, store.memtable(), "second replay changed the memtable");
+            prop_assert_eq!(report.replay, again, "second replay changed the tally");
+            let third = store.reload().expect("reload is repeatable");
+            prop_assert_eq!(&once, store.memtable());
+            prop_assert_eq!(again, third);
+        }
+    }
+
+    // ------------- no fault in, no divergence out -------------
+
+    /// With no injected outage and no transient mount faults, the
+    /// oracle must see a byte-perfect store: zero surfaced errors and
+    /// zero silent poison for every preset, workload, and seed.
+    #[test]
+    fn zero_faults_mean_zero_divergences(
+        seed: u64,
+        preset_idx in 0usize..3,
+        kind_idx in 0usize..3,
+        verify_crc: bool,
+    ) {
+        let mut cfg = KvTrialConfig::standard(
+            preset_of(preset_idx),
+            true,
+            verify_crc,
+            kind_of(kind_idx),
+            500,
+        );
+        cfg.inject_fault = false;
+        cfg.ssd = cfg.ssd.with_mount_failures(0.0, 3);
+        let outcome = run_kv_trial(&cfg, seed);
+        prop_assert_eq!(outcome.surfaced, 0, "clean trial surfaced an error");
+        prop_assert_eq!(outcome.silent_poison, 0, "clean trial poisoned state");
+        prop_assert!(!outcome.failed, "clean trial failed outright");
+        prop_assert_eq!(outcome.journal_torn.len(), 0, "clean trial tore a batch");
+    }
+}

@@ -24,6 +24,8 @@ pub enum Layer {
     Recovery,
     /// Fleet layer: erasure-coded stripes across many devices.
     Fleet,
+    /// Application layer: the WAL'd KV store running above the device.
+    App,
 }
 
 impl Layer {
@@ -37,6 +39,7 @@ impl Layer {
             Layer::Power => "power",
             Layer::Recovery => "recovery",
             Layer::Fleet => "fleet",
+            Layer::App => "app",
         }
     }
 }
@@ -337,6 +340,59 @@ pub enum ProbeEvent {
         /// Stripes still waiting for rebuild when the outage landed.
         pending_stripes: u64,
     },
+    /// The KV store appended one CRC-framed record to its WAL.
+    AppWalAppend {
+        /// WAL slot (physical ring position) the record landed in.
+        slot: u64,
+        /// Monotonic record sequence number.
+        seq: u64,
+    },
+    /// A group commit completed: the FLUSH barrier returned and the
+    /// batched operations were acknowledged to the application.
+    AppCommit {
+        /// Operations acknowledged by this commit.
+        ops: u64,
+        /// Commit latency (append of first record to FLUSH ACK) in
+        /// simulated microseconds.
+        us: u64,
+    },
+    /// A checkpoint compaction sealed: the memtable was rewritten into
+    /// the checkpoint region and the WAL logically truncated.
+    AppCheckpoint {
+        /// Monotonic checkpoint generation.
+        generation: u64,
+        /// Live entries captured by the checkpoint.
+        entries: u64,
+    },
+    /// Crash recovery finished replaying the WAL.
+    AppWalReplay {
+        /// Records replayed cleanly (CRC and sequence both good).
+        replayed: u64,
+        /// Records discarded because their frame failed the CRC check
+        /// (torn, garbled, or unreadable).
+        discarded: u64,
+        /// Records rejected as stale (an earlier ring generation read
+        /// back where a newer record was expected).
+        stale: u64,
+    },
+    /// The KV store degraded to read-only because the device did.
+    AppReadOnly {
+        /// Mount attempts spent before the device settled read-only.
+        retries: u64,
+    },
+    /// Post-outage oracle verdict for one trial: how the device fault
+    /// surfaced at the application boundary.
+    AppOutcome {
+        /// Acknowledged keys whose damage was visible to the app
+        /// (error or detected corruption).
+        surfaced: u64,
+        /// 1 when device-level damage occurred but every acknowledged
+        /// key verified correct (the WAL absorbed the fault).
+        masked: u64,
+        /// Acknowledged keys wrong or missing with no error raised —
+        /// the application-level false write acknowledgment.
+        silent_poison: u64,
+    },
 }
 
 impl ProbeEvent {
@@ -369,6 +425,12 @@ impl ProbeEvent {
             ProbeEvent::FleetDegradedRead { .. } => "fleet.degraded-read",
             ProbeEvent::FleetStripeLost { .. } => "fleet.stripe-lost",
             ProbeEvent::FleetRebuildInterrupted { .. } => "fleet.rebuild-interrupted",
+            ProbeEvent::AppWalAppend { .. } => "app.wal-append",
+            ProbeEvent::AppCommit { .. } => "app.commit",
+            ProbeEvent::AppCheckpoint { .. } => "app.checkpoint",
+            ProbeEvent::AppWalReplay { .. } => "app.wal-replay",
+            ProbeEvent::AppReadOnly { .. } => "app.read-only",
+            ProbeEvent::AppOutcome { .. } => "app.outcome",
         }
     }
 }
@@ -453,6 +515,23 @@ mod tests {
                 unrecoverable: 0,
             },
             ProbeEvent::FleetRebuildInterrupted { pending_stripes: 0 },
+            ProbeEvent::AppWalAppend { slot: 0, seq: 0 },
+            ProbeEvent::AppCommit { ops: 0, us: 0 },
+            ProbeEvent::AppCheckpoint {
+                generation: 0,
+                entries: 0,
+            },
+            ProbeEvent::AppWalReplay {
+                replayed: 0,
+                discarded: 0,
+                stale: 0,
+            },
+            ProbeEvent::AppReadOnly { retries: 0 },
+            ProbeEvent::AppOutcome {
+                surfaced: 0,
+                masked: 0,
+                silent_poison: 0,
+            },
         ];
         let mut kinds: Vec<&str> = events.iter().map(|e| e.kind()).collect();
         kinds.sort_unstable();
@@ -470,6 +549,7 @@ mod tests {
             Layer::Power,
             Layer::Recovery,
             Layer::Fleet,
+            Layer::App,
         ];
         let mut names: Vec<&str> = layers.iter().map(|l| l.name()).collect();
         names.sort_unstable();

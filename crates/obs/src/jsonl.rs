@@ -168,6 +168,41 @@ fn render_payload(s: &mut String, event: &ProbeEvent) {
         ProbeEvent::FleetRebuildInterrupted { pending_stripes } => {
             let _ = write!(s, ",\"pending_stripes\":{pending_stripes}");
         }
+        ProbeEvent::AppWalAppend { slot, seq } => {
+            let _ = write!(s, ",\"slot\":{slot},\"seq\":{seq}");
+        }
+        ProbeEvent::AppCommit { ops, us } => {
+            let _ = write!(s, ",\"ops\":{ops},\"us\":{us}");
+        }
+        ProbeEvent::AppCheckpoint {
+            generation,
+            entries,
+        } => {
+            let _ = write!(s, ",\"generation\":{generation},\"entries\":{entries}");
+        }
+        ProbeEvent::AppWalReplay {
+            replayed,
+            discarded,
+            stale,
+        } => {
+            let _ = write!(
+                s,
+                ",\"replayed\":{replayed},\"discarded\":{discarded},\"stale\":{stale}"
+            );
+        }
+        ProbeEvent::AppReadOnly { retries } => {
+            let _ = write!(s, ",\"retries\":{retries}");
+        }
+        ProbeEvent::AppOutcome {
+            surfaced,
+            masked,
+            silent_poison,
+        } => {
+            let _ = write!(
+                s,
+                ",\"surfaced\":{surfaced},\"masked\":{masked},\"silent_poison\":{silent_poison}"
+            );
+        }
     }
 }
 
