@@ -25,8 +25,10 @@
 #                  discard-whole, and same-seed reports must be
 #                  byte-identical
 #   make bench   — campaign engine benchmark; rewrites BENCH_campaign.json
-#   make bench-smoke — CI-sized campaign bench: snapshot cloning must be
-#                  ≥1.5x replay-from-cold and all engines byte-identical
+#   make bench-smoke — CI-sized campaign bench: copy-on-write cloning
+#                  must be ≥2x replay-from-cold (both paths sped up
+#                  together — see campaignbench.rs) and all engines
+#                  byte-identical
 #   make check   — everything CI runs
 
 CARGO ?= cargo
@@ -50,9 +52,11 @@ sweep-smoke: build
 
 # The platform, fleet, and KV crates are the resilience boundary: trial
 # failures must be values, never process aborts, so unwrap() is denied
-# in their libraries and binaries outright.
+# in their libraries and binaries outright. The flash arena and the
+# device/image layer joined the gate with Snapshot v3: every campaign
+# trial clones through them, so a panic there kills whole campaigns.
 lint-core:
-	$(CARGO) clippy -p pfault-platform -p pfault-fleet -p pfault-kv --all-targets -- -D warnings -D clippy::unwrap_used
+	$(CARGO) clippy -p pfault-platform -p pfault-fleet -p pfault-kv -p pfault-flash -p pfault-ssd --all-targets -- -D warnings -D clippy::unwrap_used
 
 lint-workspace:
 	$(CARGO) clippy --workspace --all-targets -- -D warnings
@@ -107,11 +111,11 @@ kv-smoke: build
 	cmp target/kv-a.json target/kv-b.json
 	$(CARGO) test -q -p pfault-kv --lib seeded_silent_poison_reproduces
 
-# Campaign engine v2 benchmark: snapshot-clone vs replay-from-cold
+# Campaign engine v2 benchmark: image-clone vs replay-from-cold
 # trials/sec, engine byte-equality, scheduler utilization. `bench`
 # regenerates the committed BENCH_campaign.json; `bench-smoke` is the
-# CI-sized self-checking variant (exits non-zero unless the snapshot
-# speedup reaches 1.5x and serial/striped/stealing reports are
+# CI-sized self-checking variant (exits non-zero unless the CoW-clone
+# speedup reaches 2x and serial/striped/stealing reports are
 # byte-identical — see crates/bench/src/bin/campaignbench.rs).
 bench: build
 	./target/release/campaignbench --out BENCH_campaign.json

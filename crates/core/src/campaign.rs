@@ -12,10 +12,12 @@
 //! same seed produce **byte-identical** reports.
 //!
 //! With [`TrialConfig::warmup_requests`] set, trials start from a shared
-//! warm device state. The warm-up is run once per configuration, captured
-//! as a [`pfault_ssd::SsdSnapshot`], memoized in the process-wide
-//! [`crate::snapcache`], and clone-restored per trial — byte-identical to
-//! replaying the warm-up inline, at a fraction of the cost.
+//! warm device state. The warm-up is run once per configuration, frozen
+//! as a [`pfault_ssd::DeviceImage`], memoized in the process-wide
+//! [`crate::snapcache`], and copy-on-write-cloned per trial —
+//! byte-identical to replaying the warm-up inline, at a fraction of the
+//! cost (the clone shares the flash arena and materialises only the
+//! blocks the trial touches).
 
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -27,7 +29,7 @@ use pfault_obs::Metrics;
 use pfault_sim::checksum::fnv64;
 use pfault_sim::stats::{Histogram, OnlineStats};
 use pfault_sim::DetRng;
-use pfault_ssd::SsdSnapshot;
+use pfault_ssd::DeviceImage;
 
 use crate::analyzer::FailureCounts;
 use crate::error::{CheckpointError, PlatformError, TrialError};
@@ -369,7 +371,7 @@ impl CampaignBuilder {
         self
     }
 
-    /// Whether warm-up snapshots are served from the process-wide
+    /// Whether warm-up device images are served from the process-wide
     /// memoized cache (default `true`). Only meaningful when the trial
     /// configuration sets [`TrialConfig::warmup_requests`]; with the
     /// cache off, every trial replays the warm-up inline — byte-identical
@@ -468,31 +470,32 @@ impl Campaign {
         fnv64(format!("{:?}", self.config).as_bytes())
     }
 
-    /// The memoized warm snapshot for this campaign, if snapshot cloning
+    /// The memoized warm image for this campaign, if image cloning
     /// applies (cache enabled *and* the trial configuration has a
     /// warm-up). `None` means trials build their device themselves —
     /// cold, or with an inline warm-up replay.
-    fn campaign_snapshot(&self, platform: &TestPlatform) -> Option<Arc<SsdSnapshot>> {
+    fn campaign_image(&self, platform: &TestPlatform) -> Option<Arc<DeviceImage>> {
         (self.snapshot_cache && platform.config().warmup_requests > 0)
-            .then(|| crate::snapcache::warm_snapshot_for(platform))
+            .then(|| crate::snapcache::warm_image_for(platform))
     }
 
     /// Runs one trial with panic isolation and deterministic retry.
     /// Returns the outcome (or the last attempt's error) plus the number
-    /// of extra attempts consumed. With a snapshot, the trial restores
-    /// the shared warm state instead of replaying the warm-up — the two
-    /// paths are byte-identical (`TestPlatform` contract).
+    /// of extra attempts consumed. With a warm image, the trial clones
+    /// the shared warm state copy-on-write instead of replaying the
+    /// warm-up — the two paths are byte-identical (`TestPlatform`
+    /// contract).
     fn run_one(
         &self,
         platform: &TestPlatform,
-        snapshot: Option<&SsdSnapshot>,
+        image: Option<&DeviceImage>,
         index: u64,
     ) -> (Result<TrialOutcome, TrialError>, u64) {
         let mut attempt: u32 = 0;
         loop {
             let seed = self.attempt_seed(index, attempt);
-            let result = panic::catch_unwind(AssertUnwindSafe(|| match snapshot {
-                Some(snap) => platform.run_trial_from_snapshot(snap, seed),
+            let result = panic::catch_unwind(AssertUnwindSafe(|| match image {
+                Some(image) => platform.run_trial_from_image(image, seed),
                 None => platform.run_trial(seed),
             }));
             let error = match result {
@@ -517,10 +520,10 @@ impl Campaign {
         start: u64,
     ) -> Result<CampaignReport, PlatformError> {
         let platform = TestPlatform::new(self.trial_config());
-        let snapshot = self.campaign_snapshot(&platform);
+        let image = self.campaign_image(&platform);
         let trials = self.config.trials as u64;
         for i in start..trials {
-            let (result, retries_used) = self.run_one(&platform, snapshot.as_deref(), i);
+            let (result, retries_used) = self.run_one(&platform, image.as_deref(), i);
             report.absorb_result(i, result, retries_used);
             if let Some(spec) = &self.checkpoint {
                 let completed = i + 1;
@@ -610,18 +613,18 @@ impl Campaign {
         let trials = self.config.trials as u64;
         let threads = (threads.max(1) as u64).min(trials.max(1)) as usize;
         let platform = TestPlatform::new(self.trial_config());
-        let snapshot = self.campaign_snapshot(&platform);
+        let image = self.campaign_image(&platform);
         let (tx, rx) = mpsc::channel::<(u64, Result<TrialOutcome, TrialError>, u64)>();
         let mut report = CampaignReport::empty();
         std::thread::scope(|scope| {
             for worker in 0..threads as u64 {
                 let tx = tx.clone();
                 let platform = &platform;
-                let snapshot = snapshot.as_deref();
+                let image = image.as_deref();
                 scope.spawn(move || {
                     let mut i = worker;
                     while i < trials {
-                        let (result, retries_used) = self.run_one(platform, snapshot, i);
+                        let (result, retries_used) = self.run_one(platform, image, i);
                         if tx.send((i, result, retries_used)).is_err() {
                             return; // receiver gone: run torn down
                         }
@@ -651,12 +654,12 @@ impl Campaign {
     pub fn run_stealing_with_stats(&self, threads: usize) -> (CampaignReport, SchedulerStats) {
         let trials = self.config.trials as u64;
         let platform = TestPlatform::new(self.trial_config());
-        let snapshot = self.campaign_snapshot(&platform);
+        let image = self.campaign_image(&platform);
         scheduler::run_work_stealing(
             trials,
             threads.max(1),
             scheduler::DEFAULT_CHUNK,
-            |i| self.run_one(&platform, snapshot.as_deref(), i),
+            |i| self.run_one(&platform, image.as_deref(), i),
             CampaignReport::empty(),
             |report, i, (result, retries_used)| {
                 report.absorb_result(i, result, retries_used);

@@ -72,7 +72,7 @@ pub use error::{CheckpointError, PlatformError, TrialError};
 pub use experiments::{EngineArg, Experiment, ExperimentCtx, ExperimentOpts, ExperimentReport};
 pub use platform::{TestPlatform, TrialConfig, TrialOutcome, Watchdog};
 pub use scheduler::{SchedulerStats, WorkerStats};
-pub use snapcache::SnapshotCacheStats;
+pub use snapcache::{SnapshotCache, SnapshotCacheBuilder, SnapshotCacheStats};
 pub use sweep::{
     IoOp, MinimalRepro, Phase, SweepConfig, SweepReport, Sweeper, Violation, ViolationKind,
 };

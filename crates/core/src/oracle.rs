@@ -6,10 +6,8 @@
 //! expectation — the in-simulation equivalent of the paper's checksum
 //! bookkeeping (initial / data / final checksums of Fig 2).
 
-use std::collections::HashMap;
-
 use pfault_flash::array::PageData;
-use pfault_sim::Lba;
+use pfault_sim::{DetHashMap, Lba};
 
 /// Last acknowledged content of one sector.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -23,7 +21,7 @@ pub struct SectorVersion {
 /// Expected contents of the device, from the host's point of view.
 #[derive(Debug, Clone, Default)]
 pub struct Oracle {
-    acked: HashMap<Lba, SectorVersion>,
+    acked: DetHashMap<Lba, SectorVersion>,
 }
 
 impl Oracle {

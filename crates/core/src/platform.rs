@@ -274,7 +274,7 @@ impl TestPlatform {
     ///
     /// With [`TrialConfig::warmup_requests`] > 0 the trial starts from
     /// the configuration-derived warm state (built inline here; see
-    /// [`TestPlatform::warm_snapshot`] for the memoizable variant). The
+    /// [`TestPlatform::warm_image`] for the memoizable variant). The
     /// two paths are byte-identical by construction: both end with the
     /// same warm device and the same
     /// [`reseed_for_trial`](Ssd::reseed_for_trial) fork.
@@ -290,21 +290,25 @@ impl TestPlatform {
     }
 
     /// Runs one complete trial starting from a previously captured warm
-    /// snapshot instead of replaying the warm-up. The snapshot must come
-    /// from a platform with the same [`TestPlatform::config_digest`];
-    /// handing over a mismatched snapshot is a logic error (debug builds
-    /// assert, release builds run the trial on the foreign state).
-    pub fn run_trial_from_snapshot(
+    /// device image instead of replaying the warm-up: the trial device
+    /// is a copy-on-write clone of the image
+    /// ([`pfault_ssd::DeviceImage::clone_cow`]), so per-trial setup
+    /// costs the trial's working set, not the whole device. The image
+    /// must come from a platform with the same
+    /// [`TestPlatform::config_digest`]; handing over a mismatched image
+    /// is a logic error (debug builds assert, release builds run the
+    /// trial on the foreign state).
+    pub fn run_trial_from_image(
         &self,
-        snapshot: &pfault_ssd::SsdSnapshot,
+        image: &pfault_ssd::DeviceImage,
         seed: u64,
     ) -> Result<TrialOutcome, TrialError> {
         debug_assert_eq!(
-            snapshot.config_digest(),
+            image.config_digest(),
             self.config_digest(),
-            "snapshot captured under a different trial configuration"
+            "image captured under a different trial configuration"
         );
-        let mut ssd = snapshot.restore();
+        let mut ssd = image.clone_cow();
         ssd.reseed_for_trial(seed);
         self.run_trial_on(ssd, seed)
     }
@@ -349,16 +353,17 @@ impl TestPlatform {
         ssd
     }
 
-    /// Runs the warm-up once and captures the result as a snapshot that
-    /// [`TestPlatform::run_trial_from_snapshot`] can restore per trial.
+    /// Runs the warm-up once and captures the result as a frozen
+    /// [`pfault_ssd::DeviceImage`] that
+    /// [`TestPlatform::run_trial_from_image`] can clone per trial.
     /// Meaningful only with [`TrialConfig::warmup_requests`] > 0 (a
-    /// zero-warm-up snapshot is just a cold device).
-    pub fn warm_snapshot(&self) -> pfault_ssd::SsdSnapshot {
-        pfault_ssd::SsdSnapshot::capture(&self.warm_ssd(), self.config_digest())
+    /// zero-warm-up image is just a cold device).
+    pub fn warm_image(&self) -> pfault_ssd::DeviceImage {
+        self.warm_ssd().capture(self.config_digest())
     }
 
     /// The trial main loop, starting from a pre-built device (cold,
-    /// warmed inline, or restored from a snapshot).
+    /// warmed inline, or cloned from a warm image).
     fn run_trial_on(&self, mut ssd: Ssd, seed: u64) -> Result<TrialOutcome, TrialError> {
         let root = DetRng::new(seed);
         let mut sched_rng = root.fork("scheduler");
@@ -885,28 +890,28 @@ mod tests {
     }
 
     #[test]
-    fn warm_snapshot_is_deterministic() {
+    fn warm_image_is_deterministic() {
         let platform = TestPlatform::new(small_config().with_warmup_requests(24));
-        let a = platform.warm_snapshot();
-        let b = platform.warm_snapshot();
+        let a = platform.warm_image();
+        let b = platform.warm_image();
         assert_eq!(a.fingerprint(), b.fingerprint());
         assert_eq!(a.config_digest(), platform.config_digest());
         assert!(a.warm_now() > SimTime::from_micros(0), "warm-up must run");
     }
 
     #[test]
-    fn snapshot_trials_match_inline_warmup_byte_for_byte() {
+    fn image_trials_match_inline_warmup_byte_for_byte() {
         let platform = TestPlatform::new(small_config().with_warmup_requests(24));
-        let snap = platform.warm_snapshot();
+        let image = platform.warm_image();
         for seed in [3u64, 17, 99] {
             let inline = platform.run_trial(seed).expect("trial runs");
-            let restored = platform
-                .run_trial_from_snapshot(&snap, seed)
+            let cloned = platform
+                .run_trial_from_image(&image, seed)
                 .expect("trial runs");
             assert_eq!(
                 format!("{inline:?}"),
-                format!("{restored:?}"),
-                "seed {seed}: snapshot-restore must replay the warm-up exactly"
+                format!("{cloned:?}"),
+                "seed {seed}: a CoW clone must replay the warm-up exactly"
             );
         }
     }

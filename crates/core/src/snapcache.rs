@@ -1,24 +1,44 @@
-//! Process-wide memoized warm snapshots.
+//! Memoized warm device images, instance-scoped or process-wide.
 //!
 //! Every trial under one `(TrialConfig, vendor)` pair shares the same
-//! configuration-derived warm-up, so its [`pfault_ssd::SsdSnapshot`] is a
-//! pure function of [`crate::platform::TestPlatform::config_digest`].
-//! This cache runs the warm-up once per digest and hands every
+//! configuration-derived warm-up, so its [`pfault_ssd::DeviceImage`] is
+//! a pure function of
+//! [`crate::platform::TestPlatform::config_digest`]. A
+//! [`SnapshotCache`] runs the warm-up once per digest and hands every
 //! subsequent caller — including workers on other threads, and later
-//! campaigns in the same process — a shared `Arc` of the snapshot.
+//! campaigns in the same process — a shared `Arc` of the frozen image;
+//! trials [`pfault_ssd::DeviceImage::clone_cow`] it, which shares the
+//! flash arena instead of deep-copying the device.
 //!
-//! Restoring never mutates the snapshot, so shared access is safe; the
-//! cache itself is a mutex around a digest-keyed map. Capture happens
-//! *while holding the lock* on purpose: concurrent workers asking for
-//! the same configuration then wait for the one warm-up instead of each
-//! replaying it.
+//! The campaign engines use the [`global`] instance so separate
+//! campaigns in one process share warm-ups. Harnesses that need
+//! different retention policy build their own:
 //!
-//! Because capture runs under the lock, a panicking trial (the campaign
-//! engine runs each trial under `catch_unwind`) can poison the mutex.
-//! Cache contents stay valid across such a panic — entries are only
-//! ever inserted whole — so every lock site *recovers* from poisoning
-//! instead of propagating it; [`SnapshotCacheStats::poison_recoveries`]
-//! counts how often that happened.
+//! ```
+//! use pfault_platform::snapcache::SnapshotCache;
+//!
+//! let cache = SnapshotCache::builder()
+//!     .capacity(4)          // keep at most 4 configurations (FIFO)
+//!     .delta_chaining(true) // store derived images as deltas
+//!     .build();
+//! # let _ = cache;
+//! ```
+//!
+//! With `delta_chaining` on, an inserted image that *evolved from* an
+//! already-cached one (sweep points sharing a warm prefix) is stored as
+//! [`pfault_ssd::DeviceImage::delta_from`] — one shared arena plus a
+//! small overlay of differing blocks — instead of a second flattened
+//! copy.
+//!
+//! Capture happens *while holding the lock* on purpose: concurrent
+//! workers asking for the same configuration then wait for the one
+//! warm-up instead of each replaying it. Because of that, a panicking
+//! trial (the campaign engine runs each trial under `catch_unwind`) can
+//! poison the mutex. Cache contents stay valid across such a panic —
+//! entries are only ever inserted whole — so every lock site *recovers*
+//! from poisoning instead of propagating it;
+//! [`SnapshotCacheStats::poison_recoveries`] counts how often that
+//! happened.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -26,16 +46,12 @@ use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 
 use serde::{Deserialize, Serialize};
 
-use pfault_ssd::SsdSnapshot;
+use pfault_ssd::DeviceImage;
 
 use crate::platform::TestPlatform;
 
-static CACHE: OnceLock<Mutex<HashMap<u64, Arc<SsdSnapshot>>>> = OnceLock::new();
-static HITS: AtomicU64 = AtomicU64::new(0);
-static MISSES: AtomicU64 = AtomicU64::new(0);
-static POISON_RECOVERIES: AtomicU64 = AtomicU64::new(0);
-
-/// Hit/miss counters for the process-wide snapshot cache.
+/// Counters for one [`SnapshotCache`]. Monotonic (except across
+/// [`SnapshotCache::reset`]), so benchmarks measure deltas.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SnapshotCacheStats {
     /// Lookups served from the cache.
@@ -44,6 +60,11 @@ pub struct SnapshotCacheStats {
     pub misses: u64,
     /// Distinct configurations currently cached.
     pub entries: u64,
+    /// Entries dropped by the FIFO capacity bound.
+    pub evictions: u64,
+    /// Entries stored as deltas over an earlier image
+    /// (`delta_chaining` only).
+    pub delta_images: u64,
     /// Times a lock acquisition found the mutex poisoned by a panicked
     /// trial and recovered it.
     pub poison_recoveries: u64,
@@ -60,58 +81,208 @@ impl SnapshotCacheStats {
     }
 }
 
-fn cache() -> &'static Mutex<HashMap<u64, Arc<SsdSnapshot>>> {
-    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+/// Configures a [`SnapshotCache`]. Obtained from
+/// [`SnapshotCache::builder`]; every knob is optional.
+#[derive(Debug, Clone)]
+pub struct SnapshotCacheBuilder {
+    capacity: Option<usize>,
+    delta_chaining: bool,
 }
 
-/// Locks the cache, recovering from a mutex poisoned by a panicked
-/// trial: snapshots are inserted whole under the lock, so the map is
-/// structurally sound even when the panic interrupted a warm-up — at
-/// worst the interrupted digest is simply absent and will re-warm.
-fn lock_cache() -> MutexGuard<'static, HashMap<u64, Arc<SsdSnapshot>>> {
-    cache().lock().unwrap_or_else(|poisoned| {
-        POISON_RECOVERIES.fetch_add(1, Ordering::Relaxed);
-        poisoned.into_inner()
-    })
-}
-
-/// The warm snapshot for this platform's configuration, running the
-/// warm-up on first request and memoizing it for every later caller.
-/// Callers gate on `warmup_requests > 0` themselves — a zero-warm-up
-/// snapshot is legal but pointless (it is just a cold device).
-pub fn warm_snapshot_for(platform: &TestPlatform) -> Arc<SsdSnapshot> {
-    let digest = platform.config_digest();
-    let mut map = lock_cache();
-    if let Some(snapshot) = map.get(&digest) {
-        HITS.fetch_add(1, Ordering::Relaxed);
-        return Arc::clone(snapshot);
+impl SnapshotCacheBuilder {
+    /// Retain at most `n` configurations, evicting the oldest insertion
+    /// first. Unbounded by default.
+    #[must_use]
+    pub fn capacity(mut self, n: usize) -> Self {
+        self.capacity = Some(n.max(1));
+        self
     }
-    MISSES.fetch_add(1, Ordering::Relaxed);
-    let snapshot = Arc::new(platform.warm_snapshot());
-    map.insert(digest, Arc::clone(&snapshot));
-    snapshot
+
+    /// Store an inserted image as a delta over an already-cached image
+    /// it evolved from, sharing one flash arena across the chain. Off
+    /// by default: campaign trials restore fastest from a flattened
+    /// image (empty overlay), so chaining is a memory-for-speed trade
+    /// meant for wide sweeps.
+    #[must_use]
+    pub fn delta_chaining(mut self, enabled: bool) -> Self {
+        self.delta_chaining = enabled;
+        self
+    }
+
+    /// Builds the cache.
+    pub fn build(self) -> SnapshotCache {
+        SnapshotCache {
+            state: Mutex::new(CacheState::default()),
+            capacity: self.capacity,
+            delta_chaining: self.delta_chaining,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            delta_images: AtomicU64::new(0),
+            poison_recoveries: AtomicU64::new(0),
+        }
+    }
 }
 
-/// Current cache counters. Counters are process-global and monotonic
-/// (except across [`reset`]), so benchmarks measure deltas.
+#[derive(Default)]
+struct CacheState {
+    entries: HashMap<u64, Arc<DeviceImage>>,
+    /// Insertion order: FIFO eviction victims and delta-base candidates.
+    order: Vec<u64>,
+}
+
+/// A digest-keyed memo of warm [`DeviceImage`]s. See the module docs.
+pub struct SnapshotCache {
+    state: Mutex<CacheState>,
+    capacity: Option<usize>,
+    delta_chaining: bool,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    delta_images: AtomicU64,
+    poison_recoveries: AtomicU64,
+}
+
+impl std::fmt::Debug for SnapshotCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SnapshotCache")
+            .field("capacity", &self.capacity)
+            .field("delta_chaining", &self.delta_chaining)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl Default for SnapshotCache {
+    fn default() -> Self {
+        SnapshotCache::builder().build()
+    }
+}
+
+impl SnapshotCache {
+    /// Starts configuring a cache: unbounded, no delta chaining.
+    pub fn builder() -> SnapshotCacheBuilder {
+        SnapshotCacheBuilder {
+            capacity: None,
+            delta_chaining: false,
+        }
+    }
+
+    /// Locks the state, recovering from a mutex poisoned by a panicked
+    /// trial: images are inserted whole under the lock, so the map is
+    /// structurally sound even when the panic interrupted a warm-up —
+    /// at worst the interrupted digest is simply absent and re-warms.
+    fn lock(&self) -> MutexGuard<'_, CacheState> {
+        self.state.lock().unwrap_or_else(|poisoned| {
+            self.poison_recoveries.fetch_add(1, Ordering::Relaxed);
+            poisoned.into_inner()
+        })
+    }
+
+    /// The image for `digest`, running `build` (under the lock) on the
+    /// first request and memoizing the result for every later caller.
+    /// The core primitive behind [`SnapshotCache::warm_image_for`];
+    /// exposed for harnesses that derive images some other way (e.g. a
+    /// sweep extending one warm prefix).
+    pub fn image_for(&self, digest: u64, build: impl FnOnce() -> DeviceImage) -> Arc<DeviceImage> {
+        let mut state = self.lock();
+        if let Some(image) = state.entries.get(&digest) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(image);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let image = build();
+        let stored = match self.delta_base_for(&state, &image) {
+            Some(delta) => {
+                self.delta_images.fetch_add(1, Ordering::Relaxed);
+                Arc::new(delta)
+            }
+            None => Arc::new(image),
+        };
+        state.entries.insert(digest, Arc::clone(&stored));
+        state.order.push(digest);
+        if let Some(cap) = self.capacity {
+            while state.order.len() > cap {
+                let oldest = state.order.remove(0);
+                state.entries.remove(&oldest);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        stored
+    }
+
+    /// With `delta_chaining` on, finds the newest cached image `image`
+    /// can be re-expressed against and returns the delta (images that
+    /// share no history reject the rebase, so probing an unrelated
+    /// candidate costs one prefix comparison).
+    fn delta_base_for(&self, state: &CacheState, image: &DeviceImage) -> Option<DeviceImage> {
+        if !self.delta_chaining {
+            return None;
+        }
+        state
+            .order
+            .iter()
+            .rev()
+            .filter_map(|d| state.entries.get(d))
+            .find_map(|base| image.delta_from(base))
+    }
+
+    /// The warm image for this platform's configuration, running the
+    /// warm-up on first request. Callers gate on `warmup_requests > 0`
+    /// themselves — a zero-warm-up image is legal but pointless (it is
+    /// just a cold device).
+    pub fn warm_image_for(&self, platform: &TestPlatform) -> Arc<DeviceImage> {
+        self.image_for(platform.config_digest(), || platform.warm_image())
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> SnapshotCacheStats {
+        let entries = self.lock().entries.len() as u64;
+        SnapshotCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries,
+            evictions: self.evictions.load(Ordering::Relaxed),
+            delta_images: self.delta_images.load(Ordering::Relaxed),
+            poison_recoveries: self.poison_recoveries.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Drops every cached image and zeroes the counters (benchmark
+    /// harnesses use this to isolate phases).
+    pub fn reset(&self) {
+        let mut state = self.lock();
+        state.entries.clear();
+        state.order.clear();
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
+        self.delta_images.store(0, Ordering::Relaxed);
+        self.poison_recoveries.store(0, Ordering::Relaxed);
+    }
+}
+
+static GLOBAL: OnceLock<SnapshotCache> = OnceLock::new();
+
+/// The process-wide cache the campaign engines share: unbounded, no
+/// delta chaining (flattened images restore fastest).
+pub fn global() -> &'static SnapshotCache {
+    GLOBAL.get_or_init(SnapshotCache::default)
+}
+
+/// [`SnapshotCache::warm_image_for`] on the [`global`] cache.
+pub fn warm_image_for(platform: &TestPlatform) -> Arc<DeviceImage> {
+    global().warm_image_for(platform)
+}
+
+/// [`SnapshotCache::stats`] of the [`global`] cache.
 pub fn stats() -> SnapshotCacheStats {
-    let entries = lock_cache().len() as u64;
-    SnapshotCacheStats {
-        hits: HITS.load(Ordering::Relaxed),
-        misses: MISSES.load(Ordering::Relaxed),
-        entries,
-        poison_recoveries: POISON_RECOVERIES.load(Ordering::Relaxed),
-    }
+    global().stats()
 }
 
-/// Drops every cached snapshot and zeroes the counters (benchmark
-/// harnesses use this to isolate phases).
+/// [`SnapshotCache::reset`] on the [`global`] cache.
 pub fn reset() {
-    let mut map = lock_cache();
-    map.clear();
-    HITS.store(0, Ordering::Relaxed);
-    MISSES.store(0, Ordering::Relaxed);
-    POISON_RECOVERIES.store(0, Ordering::Relaxed);
+    global().reset()
 }
 
 #[cfg(test)]
@@ -130,27 +301,88 @@ mod tests {
     }
 
     #[test]
-    fn same_config_shares_one_snapshot() {
+    fn same_config_shares_one_image() {
         let platform = warm_platform(16);
-        let a = warm_snapshot_for(&platform);
-        let b = warm_snapshot_for(&platform);
+        let a = warm_image_for(&platform);
+        let b = warm_image_for(&platform);
         assert!(Arc::ptr_eq(&a, &b), "second lookup must hit the cache");
         assert_eq!(a.fingerprint(), b.fingerprint());
     }
 
     #[test]
-    fn different_configs_get_different_snapshots() {
-        let a = warm_snapshot_for(&warm_platform(16));
-        let b = warm_snapshot_for(&warm_platform(17));
+    fn different_configs_get_different_images() {
+        let a = warm_image_for(&warm_platform(16));
+        let b = warm_image_for(&warm_platform(17));
         assert!(!Arc::ptr_eq(&a, &b));
         assert_ne!(a.config_digest(), b.config_digest());
     }
 
     #[test]
-    fn cached_snapshot_matches_a_fresh_capture() {
+    fn cached_image_matches_a_fresh_capture() {
         let platform = warm_platform(18);
-        let cached = warm_snapshot_for(&platform);
-        assert_eq!(cached.fingerprint(), platform.warm_snapshot().fingerprint());
+        let cached = warm_image_for(&platform);
+        assert_eq!(cached.fingerprint(), platform.warm_image().fingerprint());
+    }
+
+    #[test]
+    fn capacity_bound_evicts_oldest_first() {
+        let cache = SnapshotCache::builder().capacity(2).build();
+        let old = warm_platform(11);
+        let mid = warm_platform(12);
+        let new = warm_platform(13);
+        let _ = cache.warm_image_for(&old);
+        let _ = cache.warm_image_for(&mid);
+        let _ = cache.warm_image_for(&new); // evicts `old`
+        let before = cache.stats();
+        assert_eq!(before.entries, 2);
+        assert_eq!(before.evictions, 1);
+        let _ = cache.warm_image_for(&mid); // still cached
+        let _ = cache.warm_image_for(&old); // re-warms
+        let after = cache.stats();
+        assert_eq!(after.hits, before.hits + 1);
+        assert_eq!(after.misses, before.misses + 1);
+    }
+
+    #[test]
+    fn delta_chaining_stores_derived_images_as_deltas() {
+        use pfault_ssd::device::HostCommand;
+        use pfault_sim::{Lba, SectorCount, SimDuration};
+
+        let cache = SnapshotCache::builder().delta_chaining(true).build();
+        let platform = warm_platform(20);
+        let base = cache.warm_image_for(&platform);
+
+        // A "later sweep point": more work on a clone of the base.
+        let derived = cache.image_for(base.config_digest() ^ 1, || {
+            let mut ssd = base.clone_cow();
+            for i in 0..4 {
+                ssd.submit(HostCommand::write(
+                    500 + i,
+                    0,
+                    Lba::new(4096 + i * 8),
+                    SectorCount::new(8),
+                    0x5EED + i,
+                ));
+                ssd.advance_to(ssd.now() + SimDuration::from_millis(2));
+                ssd.drain_completions();
+            }
+            ssd.quiesce();
+            let digest = ssd.state_digest();
+            let image = ssd.capture(base.config_digest() ^ 1);
+            assert_eq!(image.fingerprint(), digest);
+            image
+        });
+        assert!(
+            derived.shares_base_with(&base),
+            "a derived image must be chained onto the base arena"
+        );
+        assert!(derived.overlay_blocks() > 0);
+        assert_eq!(cache.stats().delta_images, 1);
+
+        // An unrelated config cannot chain and stays flattened.
+        let other = cache.warm_image_for(&warm_platform(21));
+        assert_eq!(other.overlay_blocks(), 0);
+        assert_eq!(cache.stats().delta_images, 1);
     }
 
     #[test]
@@ -159,22 +391,22 @@ mod tests {
 
         // An active cache with a live entry…
         let platform = warm_platform(21);
-        let first = warm_snapshot_for(&platform);
+        let first = warm_image_for(&platform);
 
         // …poisoned by a panic while the lock is held — what a trial
         // dying mid-capture under the campaign's catch_unwind does.
         let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let _guard = cache().lock().unwrap_or_else(|e| e.into_inner());
-            panic!("trial died while capturing a warm snapshot");
+            let _guard = global().state.lock().unwrap_or_else(|e| e.into_inner());
+            panic!("trial died while capturing a warm image");
         }));
 
         // Every lock site must recover instead of propagating: lookups
         // still serve the intact entry, stats still read, and the
         // recovery is counted.
-        let again = warm_snapshot_for(&platform);
+        let again = warm_image_for(&platform);
         assert!(
             Arc::ptr_eq(&first, &again),
-            "poison recovery must keep serving the cached snapshot"
+            "poison recovery must keep serving the cached image"
         );
         assert!(
             stats().poison_recoveries >= 1,
@@ -182,7 +414,7 @@ mod tests {
             stats()
         );
 
-        // And a snapshot-cached campaign run after the poisoning — the
+        // And an image-cached campaign run after the poisoning — the
         // "rest of the campaign" from the cache's point of view — still
         // completes with every trial accounted for.
         let mut config = CampaignConfig::paper_default();
@@ -207,8 +439,8 @@ mod tests {
     #[test]
     fn hit_rate_is_a_fraction() {
         let platform = warm_platform(19);
-        let _ = warm_snapshot_for(&platform);
-        let _ = warm_snapshot_for(&platform);
+        let _ = warm_image_for(&platform);
+        let _ = warm_image_for(&platform);
         let s = stats();
         assert!(s.hits >= 1, "second lookup counted as a hit: {s:?}");
         assert!(s.entries >= 1);

@@ -1,20 +1,43 @@
 //! The flash array: device-scale chip operations, including power-loss
 //! interruption.
 //!
-//! [`FlashArray`] owns sparse block state (blocks materialise on first
-//! touch), enforces NAND constraints via [`crate::block::Block`], passes
-//! reads through the ECC model, and — centrally for this project — exposes
+//! [`FlashArray`] stores sparse block state in arena form (blocks
+//! materialise on first touch into contiguous buffers — see
+//! [`crate::arena::BlockArena`]), enforces NAND constraints via the shared
+//! block-op logic in [`crate::block`], passes reads through the ECC model,
+//! and — centrally for this project — exposes
 //! [`FlashArray::interrupt_program`] and [`FlashArray::interrupt_erase`],
 //! which model what a supply-voltage collapse does to an operation in
 //! flight.
+//!
+//! # Copy-on-write images
+//!
+//! An array is either *live* (all state in its private overlay arena) or
+//! layered over a **frozen base image**: [`FlashArray::flatten`] merges
+//! the current state into an immutable [`Arc`]-shared arena and empties
+//! the overlay. Cloning a flattened array is a reference-count bump plus
+//! an empty overlay — this is what makes warm-snapshot trial cloning
+//! cheap. Each clone then materialises only the blocks it actually
+//! touches (writes *and* reads — reads advance the disturb counter) by
+//! copying them up from the base; blocks never touched before stay
+//! virtual. Restore = drop the clone.
+//!
+//! Determinism: block *materialisation order* is observable (scan order
+//! drives RNG draws in FTL full-scan recovery), so the overlay scheme
+//! preserves it exactly — [`FlashArray::scan`] walks base slots first
+//! (overlay content substituted where a block was copied up), then
+//! overlay-only blocks in their own materialisation order, which is the
+//! order a cold-built array touching the same blocks in the same sequence
+//! would produce.
 
-use std::collections::HashMap;
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
 use pfault_sim::{DetRng, Lba};
 
-use crate::block::{Block, BlockState, PageState};
+use crate::arena::BlockArena;
+use crate::block::{self, Block, BlockMeta, BlockState, PageState};
 use crate::cell::CellKind;
 use crate::ecc::{self, EccOutcome, EccScheme};
 use crate::error::FlashError;
@@ -94,7 +117,12 @@ pub struct FlashArray {
     wear_budget: u32,
     baseline_wear: u32,
     reliability: ReliabilityModel,
-    blocks: HashMap<u64, Block>,
+    /// Frozen shared image this array is layered over, if any.
+    base: Option<Arc<BlockArena>>,
+    /// Private overlay: blocks materialised (or copied up) by this array.
+    local: BlockArena,
+    /// Overlay blocks that do **not** shadow a base block.
+    overlay_new: usize,
     powered: bool,
     stats: FlashStats,
 }
@@ -139,7 +167,9 @@ impl FlashArray {
             wear_budget: Block::DEFAULT_WEAR_BUDGET,
             baseline_wear: 0,
             reliability: ReliabilityModel::for_kind(kind),
-            blocks: HashMap::new(),
+            base: None,
+            local: BlockArena::new(geometry.pages_per_block()),
+            overlay_new: 0,
             powered: true,
             stats: FlashStats::default(),
         }
@@ -198,9 +228,10 @@ impl FlashArray {
     pub fn pre_age_block(&mut self, block: u64, erase_count: u32) {
         assert!(block < self.geometry.blocks(), "block outside geometry");
         let budget = self.wear_budget;
-        let entry = self.block_entry(block);
-        for _ in entry.erase_count()..erase_count.min(budget) {
-            let _ = entry.erase(block, budget);
+        let slot = self.materialise(block);
+        let (meta, pages) = self.local.block_mut(slot);
+        for _ in meta.erase_count..erase_count.min(budget) {
+            let _ = block::erase_block(meta, pages, block, budget);
         }
     }
 
@@ -220,35 +251,52 @@ impl FlashArray {
         self.powered = true;
     }
 
-    fn block_entry(&mut self, block: u64) -> &mut Block {
-        let ppb = self.geometry.pages_per_block();
-        let wear = self.baseline_wear;
-        self.blocks
-            .entry(block)
-            .or_insert_with(|| Block::with_wear(ppb, wear))
+    /// Overlay slot for `block`, copying it up from the base image or
+    /// materialising it fresh as needed.
+    fn materialise(&mut self, block: u64) -> usize {
+        if let Some(slot) = self.local.slot_of(block) {
+            return slot;
+        }
+        if let Some(base) = self.base.as_deref() {
+            if let Some(bs) = base.slot_of(block) {
+                return self.local.push_copy(block, *base.meta(bs), base.pages(bs));
+            }
+        }
+        self.overlay_new += 1;
+        self.local.push_erased(block, self.baseline_wear)
+    }
+
+    /// Read-only view of `block`'s effective state (overlay wins over
+    /// base), without materialising anything.
+    fn peek(&self, block: u64) -> Option<(&BlockMeta, &[PageState])> {
+        if let Some(slot) = self.local.slot_of(block) {
+            return Some((self.local.meta(slot), self.local.pages(slot)));
+        }
+        let base = self.base.as_deref()?;
+        let slot = base.slot_of(block)?;
+        Some((base.meta(slot), base.pages(slot)))
     }
 
     /// Next page the given block expects to program (0 for untouched
     /// blocks).
     pub fn next_page_of(&self, block: u64) -> u64 {
-        self.blocks.get(&block).map_or(0, Block::next_page)
+        self.peek(block).map_or(0, |(m, _)| m.next_page)
     }
 
     /// Whether `block` is fully programmed.
     pub fn block_full(&self, block: u64) -> bool {
-        self.blocks.get(&block).is_some_and(Block::is_full)
+        self.peek(block)
+            .is_some_and(|(m, _)| m.next_page as usize >= self.geometry.pages_per_block() as usize)
     }
 
     /// Lifecycle state of `block`.
     pub fn block_state(&self, block: u64) -> BlockState {
-        self.blocks
-            .get(&block)
-            .map_or(BlockState::Open, Block::state)
+        self.peek(block).map_or(BlockState::Open, |(m, _)| m.state)
     }
 
     /// Erase count of `block`.
     pub fn erase_count(&self, block: u64) -> u32 {
-        self.blocks.get(&block).map_or(0, Block::erase_count)
+        self.peek(block).map_or(0, |(m, _)| m.erase_count)
     }
 
     /// Programs a page to completion.
@@ -267,8 +315,9 @@ impl FlashArray {
                 page: ppa.page,
             });
         }
-        self.block_entry(ppa.block)
-            .program(ppa.block, ppa.page, data, oob)?;
+        let slot = self.materialise(ppa.block);
+        let (meta, pages) = self.local.block_mut(slot);
+        block::program_page(meta, pages, ppa.block, ppa.page, data, oob)?;
         self.stats.programs += 1;
         Ok(())
     }
@@ -322,6 +371,10 @@ impl FlashArray {
 
     /// One read through the ECC stage with the extra (drift-induced) error
     /// component scaled by `extra_scale` (1.0 = nominal read reference).
+    ///
+    /// A read of a block present only in the base image copies the block
+    /// up into the overlay (the disturb counter advances); a read of a
+    /// block no layer has touched stays virtual and reports `Erased`.
     fn read_once(&mut self, ppa: Ppa, rng: &mut DetRng, extra_scale: f64) -> ReadOutcome {
         assert!(self.powered, "read attempted while powered off");
         assert!(
@@ -329,16 +382,18 @@ impl FlashArray {
             "read of {ppa} outside geometry"
         );
         self.stats.reads += 1;
-        let Some(block) = self.blocks.get_mut(&ppa.block) else {
+        if self.peek(ppa.block).is_none() {
             return ReadOutcome::Erased;
-        };
-        block.note_read();
-        if block.state() == BlockState::NeedsErase {
+        }
+        let slot = self.materialise(ppa.block);
+        let (meta, pages) = self.local.block_mut(slot);
+        meta.reads_since_erase += 1;
+        if meta.state == BlockState::NeedsErase {
             return ReadOutcome::Uncorrectable;
         }
-        let wear = block.erase_count();
-        let disturb = block.reads_since_erase();
-        match *block.page(ppa.page) {
+        let wear = meta.erase_count;
+        let disturb = meta.reads_since_erase;
+        match pages[ppa.page as usize] {
             PageState::Erased => ReadOutcome::Erased,
             PageState::Programmed { data, oob, raw_ber } => {
                 let extra = self.reliability.sample_extra_ber(wear, disturb, rng);
@@ -385,7 +440,9 @@ impl FlashArray {
             return Err(FlashError::BadAddress { block, page: 0 });
         }
         let budget = self.wear_budget;
-        self.block_entry(block).erase(block, budget)?;
+        let slot = self.materialise(block);
+        let (meta, pages) = self.local.block_mut(slot);
+        block::erase_block(meta, pages, block, budget)?;
         self.stats.erases += 1;
         Ok(())
     }
@@ -427,16 +484,24 @@ impl FlashArray {
         let mut report = InterruptReport::default();
         let ber = interrupted_ber(kind, progress, rng);
         let noise = rng.next_u64();
-        let block = self.block_entry(ppa.block);
+        let slot = self.materialise(ppa.block);
+        let (meta, pages) = self.local.block_mut(slot);
 
         // The target page: record it as programmed-but-garbled so the block
         // ordering stays consistent, with the interruption BER.
-        if block.next_page() == ppa.page {
+        if meta.next_page == ppa.page {
             // Force the program through the normal path, then garble.
             let placeholder = PageData::from_tag(noise);
-            let _ = block.program(ppa.block, ppa.page, placeholder, Oob::user(Lba::new(0), 0));
+            let _ = block::program_page(
+                meta,
+                pages,
+                ppa.block,
+                ppa.page,
+                placeholder,
+                Oob::user(Lba::new(0), 0),
+            );
         }
-        if let PageState::Programmed { data, raw_ber, .. } = block.page_mut(ppa.page) {
+        if let PageState::Programmed { data, raw_ber, .. } = &mut pages[ppa.page as usize] {
             *data = data.garbled(noise);
             *raw_ber = raw_ber.saturating_add(ber);
             if *raw_ber > 0 {
@@ -456,7 +521,7 @@ impl FlashArray {
                 }
                 let disturb_ber = interrupted_ber(kind, 0.3 + progress * 0.5, rng);
                 let sib_noise = rng.next_u64();
-                if let PageState::Programmed { data, raw_ber, .. } = block.page_mut(sib) {
+                if let PageState::Programmed { data, raw_ber, .. } = &mut pages[sib as usize] {
                     *raw_ber = raw_ber.saturating_add(disturb_ber);
                     if *raw_ber > ecc_limit {
                         // Beyond ECC: content effectively destroyed.
@@ -483,21 +548,150 @@ impl FlashArray {
             "block {block} outside geometry"
         );
         self.stats.interrupted_erases += 1;
-        self.block_entry(block).mark_needs_erase();
+        let slot = self.materialise(block);
+        self.local.meta_mut(slot).state = BlockState::NeedsErase;
     }
 
-    /// Iterates all programmed pages in the array (used by FTL recovery).
+    /// Iterates all programmed pages in the array (used by FTL recovery),
+    /// in materialisation order: base-image blocks first (overlay content
+    /// substituted where a block was copied up), then overlay-only blocks.
     pub fn scan(&self) -> impl Iterator<Item = (Ppa, PageData, Oob, u32)> + '_ {
-        self.blocks.iter().flat_map(|(&b, block)| {
-            block
-                .programmed_pages()
-                .map(move |(p, data, oob, ber)| (Ppa::new(b, p), data, oob, ber))
+        let base = self.base.as_deref();
+        let base_blocks = base.into_iter().flat_map(move |b| {
+            (0..b.len()).map(move |s| {
+                let id = b.id_at(s);
+                match self.local.slot_of(id) {
+                    Some(ls) => (id, self.local.pages(ls)),
+                    None => (id, b.pages(s)),
+                }
+            })
+        });
+        let overlay_only = self.local.iter().filter_map(move |(id, _, pages)| {
+            if base.is_some_and(|b| b.slot_of(id).is_some()) {
+                None
+            } else {
+                Some((id, pages))
+            }
+        });
+        base_blocks.chain(overlay_only).flat_map(|(id, pages)| {
+            block::programmed_pages(pages)
+                .map(move |(p, data, oob, ber)| (Ppa::new(id, p), data, oob, ber))
         })
     }
 
-    /// Number of blocks that have been touched (materialised).
+    /// Number of distinct blocks that have been touched (materialised in
+    /// either layer).
     pub fn touched_blocks(&self) -> usize {
-        self.blocks.len()
+        self.base.as_deref().map_or(0, BlockArena::len) + self.overlay_new
+    }
+
+    /// Number of blocks in this array's private overlay (copied up or
+    /// freshly materialised). Zero right after [`FlashArray::flatten`] or
+    /// for a clone that has not been touched yet.
+    pub fn overlay_blocks(&self) -> usize {
+        self.local.len()
+    }
+
+    /// Whether this array is layered over the same frozen base image as
+    /// `other` (shared-memory diagnostics for snapshot bookkeeping).
+    pub fn shares_base_with(&self, other: &FlashArray) -> bool {
+        match (&self.base, &other.base) {
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+
+    /// Freezes the array's current state into an immutable shared base
+    /// image and empties the overlay. Afterwards `clone()` is cheap (the
+    /// base is reference-counted) and every clone copies up only the
+    /// blocks it touches. Behaviour is unchanged: digest, scan order and
+    /// all future operations are identical to the un-flattened array.
+    pub fn flatten(&mut self) {
+        let ppb = self.geometry.pages_per_block();
+        if self.local.is_empty() {
+            if self.base.is_none() {
+                self.base = Some(Arc::new(BlockArena::new(ppb)));
+            }
+            return;
+        }
+        if self.base.as_deref().is_none_or(BlockArena::is_empty) {
+            // Cold array: the overlay IS the image; freeze it wholesale.
+            let local = std::mem::replace(&mut self.local, BlockArena::new(ppb));
+            self.base = Some(Arc::new(local));
+            self.overlay_new = 0;
+            return;
+        }
+        let old_base = self.base.take().expect("checked non-empty above");
+        let mut merged = BlockArena::new(ppb);
+        for s in 0..old_base.len() {
+            let id = old_base.id_at(s);
+            match self.local.slot_of(id) {
+                Some(ls) => merged.push_copy(id, *self.local.meta(ls), self.local.pages(ls)),
+                None => merged.push_copy(id, *old_base.meta(s), old_base.pages(s)),
+            };
+        }
+        for (id, meta, pages) in self.local.iter() {
+            if old_base.slot_of(id).is_none() {
+                merged.push_copy(id, *meta, pages);
+            }
+        }
+        self.base = Some(Arc::new(merged));
+        self.local = BlockArena::new(ppb);
+        self.overlay_new = 0;
+    }
+
+    /// Whether the array's whole state lives in a frozen base image (its
+    /// overlay is empty), i.e. cloning it is copy-on-write cheap.
+    pub fn is_flattened(&self) -> bool {
+        self.base.is_some() && self.local.is_empty()
+    }
+
+    /// Re-expresses this **flattened** array as `base`'s frozen image plus
+    /// an overlay holding only the blocks that differ — the delta-snapshot
+    /// representation for sweep points sharing a warm prefix.
+    ///
+    /// Requires both arrays flattened and this array to be a *descendant*
+    /// of `base`: `base`'s materialisation order must be a prefix of this
+    /// array's (true whenever this state was evolved from `base` by
+    /// running more work, since blocks only ever append). That condition
+    /// keeps scan order — and hence recovery RNG draws — bit-identical.
+    /// Returns `false` and leaves the array untouched when it does not
+    /// hold; callers then simply keep the full image.
+    pub fn rebase_onto(&mut self, base: &FlashArray) -> bool {
+        if self.geometry != base.geometry {
+            return false; // slot indexing would not line up
+        }
+        if !self.is_flattened() || !base.is_flattened() {
+            return false;
+        }
+        let mine = self.base.clone().expect("flattened");
+        let theirs = base.base.clone().expect("flattened");
+        if theirs.len() > mine.len() {
+            return false;
+        }
+        for s in 0..theirs.len() {
+            if mine.id_at(s) != theirs.id_at(s) {
+                return false;
+            }
+        }
+        let mut overlay = BlockArena::new(self.geometry.pages_per_block());
+        let mut fresh = 0usize;
+        for s in 0..mine.len() {
+            let id = mine.id_at(s);
+            if s < theirs.len() {
+                if theirs.block_equals(s, mine.meta(s), mine.pages(s)) {
+                    continue;
+                }
+                overlay.push_copy(id, *mine.meta(s), mine.pages(s));
+            } else {
+                overlay.push_copy(id, *mine.meta(s), mine.pages(s));
+                fresh += 1;
+            }
+        }
+        self.base = Some(theirs);
+        self.local = overlay;
+        self.overlay_new = fresh;
+        true
     }
 
     /// Order-independent digest of the array's durable state: every
@@ -509,16 +703,26 @@ impl FlashArray {
     /// page-by-page comparison.
     pub fn state_digest(&self) -> u64 {
         use pfault_sim::checksum::mix64;
-        let mut ids: Vec<u64> = self.blocks.keys().copied().collect();
+        let mut ids: Vec<u64> = Vec::with_capacity(self.touched_blocks());
+        if let Some(b) = self.base.as_deref() {
+            ids.extend(b.iter().map(|(id, ..)| id));
+        }
+        ids.extend(self.local.iter().filter_map(|(id, ..)| {
+            let shadowed = self
+                .base
+                .as_deref()
+                .is_some_and(|b| b.slot_of(id).is_some());
+            (!shadowed).then_some(id)
+        }));
         ids.sort_unstable();
         let mut h: u64 = 0x5EED_F1A5_4A88_11D7;
-        for b in ids {
-            let block = &self.blocks[&b];
-            h = mix64(h, b);
-            h = mix64(h, u64::from(block.erase_count()));
-            h = mix64(h, block.reads_since_erase());
-            h = mix64(h, block.next_page());
-            for (page, data, oob, raw_ber) in block.programmed_pages() {
+        for id in ids {
+            let (meta, pages) = self.peek(id).expect("id came from a layer");
+            h = mix64(h, id);
+            h = mix64(h, u64::from(meta.erase_count));
+            h = mix64(h, meta.reads_since_erase);
+            h = mix64(h, meta.next_page);
+            for (page, data, oob, raw_ber) in block::programmed_pages(pages) {
                 h = mix64(h, page);
                 h = mix64(h, data.tag);
                 h = mix64(h, data.checksum);
@@ -533,7 +737,7 @@ impl FlashArray {
                 h = mix64(h, u64::from(raw_ber));
             }
         }
-        mix64(h, self.blocks.len() as u64)
+        mix64(h, self.touched_blocks() as u64)
     }
 }
 
@@ -914,5 +1118,184 @@ mod tests {
             (outcomes, a.stats())
         };
         assert_eq!(run(21), run(21));
+    }
+
+    // ---- copy-on-write image tests -------------------------------------
+
+    /// Builds a warm array: a few programmed blocks, one erase cycle, some
+    /// reads for disturb state.
+    fn warm_array() -> (FlashArray, DetRng) {
+        let mut a = mlc_array();
+        let mut rng = DetRng::new(77);
+        for blk in 0..3u64 {
+            for page in 0..4u64 {
+                a.program(
+                    Ppa::new(blk, page),
+                    PageData::from_tag(blk * 100 + page),
+                    Oob::user(Lba::new(blk * 10 + page), blk * 10 + page + 1),
+                )
+                .unwrap();
+            }
+        }
+        a.erase(1).unwrap();
+        for _ in 0..5 {
+            let _ = a.read(Ppa::new(0, 0), &mut rng);
+        }
+        (a, rng)
+    }
+
+    /// Drives identical post-snapshot work on two arrays and asserts every
+    /// observable matches.
+    fn drive_identically(a: &mut FlashArray, b: &mut FlashArray, rng_a: &mut DetRng, rng_b: &mut DetRng) {
+        for (arr, rng) in [(&mut *a, rng_a), (&mut *b, rng_b)] {
+            arr.program(
+                Ppa::new(1, 0),
+                PageData::from_tag(9),
+                Oob::user(Lba::new(5), 40),
+            )
+            .unwrap();
+            arr.program(
+                Ppa::new(7, 0),
+                PageData::from_tag(10),
+                Oob::user(Lba::new(6), 41),
+            )
+            .unwrap();
+            let _ = arr.interrupt_program(Ppa::new(2, 4), 0.4, rng);
+            let _ = arr.read(Ppa::new(0, 1), rng);
+        }
+        assert_eq!(a.state_digest(), b.state_digest());
+        assert_eq!(a.stats(), b.stats());
+        assert_eq!(
+            a.scan().collect::<Vec<_>>(),
+            b.scan().collect::<Vec<_>>(),
+            "scan order must match between cold and CoW arrays"
+        );
+    }
+
+    #[test]
+    fn flatten_preserves_digest_scan_and_queries() {
+        let (mut a, _) = warm_array();
+        let digest = a.state_digest();
+        let scan: Vec<_> = a.scan().collect();
+        let touched = a.touched_blocks();
+        a.flatten();
+        assert!(a.is_flattened());
+        assert_eq!(a.state_digest(), digest);
+        assert_eq!(a.scan().collect::<Vec<_>>(), scan);
+        assert_eq!(a.touched_blocks(), touched);
+        assert_eq!(a.overlay_blocks(), 0);
+        assert_eq!(a.erase_count(1), 1);
+        assert_eq!(a.next_page_of(0), 4);
+    }
+
+    #[test]
+    fn cow_clone_evolves_like_cold_copy() {
+        // The byte-identity gate in miniature: a CoW clone of a flattened
+        // array and a plain deep copy must be indistinguishable under
+        // identical operations, including RNG consumption.
+        let (mut warm, rng) = warm_array();
+        let mut cold = warm.clone(); // deep copy before flatten
+        warm.flatten();
+        let mut cow = warm.clone(); // CoW clone of frozen image
+        assert!(cow.shares_base_with(&warm));
+        let mut rng_a = rng.clone();
+        let mut rng_b = rng.clone();
+        drive_identically(&mut cow, &mut cold, &mut rng_a, &mut rng_b);
+        assert_eq!(rng_a, rng_b, "identical RNG stream positions");
+    }
+
+    #[test]
+    fn cow_clone_mutation_leaves_the_image_intact() {
+        let (mut warm, _) = warm_array();
+        warm.flatten();
+        let image_digest = warm.state_digest();
+        let mut clone = warm.clone();
+        let mut rng = DetRng::new(3);
+        clone
+            .program(
+                Ppa::new(0, 4),
+                PageData::from_tag(1234),
+                Oob::user(Lba::new(99), 99),
+            )
+            .unwrap();
+        let _ = clone.interrupt_program(Ppa::new(6, 0), 0.1, &mut rng);
+        clone.erase(2).unwrap();
+        assert_ne!(clone.state_digest(), image_digest);
+        assert_eq!(warm.state_digest(), image_digest, "image must not move");
+        assert_eq!(warm.overlay_blocks(), 0);
+        // Only touched blocks were copied up.
+        assert_eq!(clone.overlay_blocks(), 3);
+    }
+
+    #[test]
+    fn reads_copy_up_because_disturb_state_moves() {
+        let (mut warm, _) = warm_array();
+        warm.flatten();
+        let mut clone = warm.clone();
+        let mut rng = DetRng::new(4);
+        let _ = clone.read(Ppa::new(0, 0), &mut rng);
+        assert_eq!(clone.overlay_blocks(), 1, "read must materialise");
+        // A read of a block no layer ever touched stays virtual.
+        let _ = clone.read(Ppa::new(6, 0), &mut rng);
+        assert_eq!(clone.overlay_blocks(), 1);
+        assert_eq!(clone.touched_blocks(), warm.touched_blocks());
+    }
+
+    #[test]
+    fn rebase_onto_builds_a_minimal_overlay() {
+        let (mut base, mut rng) = warm_array();
+        base.flatten();
+        // Evolve a descendant: touch one old block, add one new block.
+        let mut evolved = base.clone();
+        evolved
+            .program(
+                Ppa::new(2, 4),
+                PageData::from_tag(55),
+                Oob::user(Lba::new(20), 50),
+            )
+            .unwrap();
+        evolved
+            .program(
+                Ppa::new(5, 0),
+                PageData::from_tag(56),
+                Oob::user(Lba::new(21), 51),
+            )
+            .unwrap();
+        evolved.flatten();
+        let digest = evolved.state_digest();
+        let scan: Vec<_> = evolved.scan().collect();
+
+        let mut delta = evolved.clone();
+        assert!(delta.rebase_onto(&base));
+        assert!(delta.shares_base_with(&base));
+        // Only the changed block and the new block sit in the overlay.
+        assert_eq!(delta.overlay_blocks(), 2);
+        assert_eq!(delta.state_digest(), digest);
+        assert_eq!(delta.scan().collect::<Vec<_>>(), scan);
+        assert_eq!(delta.touched_blocks(), evolved.touched_blocks());
+        // And the delta keeps behaving identically.
+        let mut rng_b = rng.clone();
+        let mut full = evolved.clone();
+        drive_identically(&mut delta, &mut full, &mut rng, &mut rng_b);
+    }
+
+    #[test]
+    fn rebase_onto_rejects_non_descendants() {
+        let (mut base, _) = warm_array();
+        base.flatten();
+        // A stranger array with a different materialisation order.
+        let mut stranger = mlc_array();
+        stranger
+            .program(
+                Ppa::new(5, 0),
+                PageData::from_tag(1),
+                Oob::user(Lba::new(0), 1),
+            )
+            .unwrap();
+        stranger.flatten();
+        let digest = stranger.state_digest();
+        let mut s = stranger.clone();
+        assert!(!s.rebase_onto(&base));
+        assert_eq!(s.state_digest(), digest, "failed rebase must not mutate");
     }
 }

@@ -4,6 +4,15 @@
 //! constraints the FTL must respect: pages program in ascending order, only
 //! onto erased pages, and erases are whole-block. Each block also tracks its
 //! program/erase cycle count against a wear budget.
+//!
+//! Two representations share the constraint logic in this module:
+//!
+//! * [`Block`] — a standalone block owning its page vector, used by
+//!   small-scale tests and examples;
+//! * [`BlockMeta`] plus a page slice — the arena representation
+//!   ([`crate::arena::BlockArena`]) the device-scale [`crate::FlashArray`]
+//!   stores, where all materialised blocks' pages live in one contiguous
+//!   buffer so snapshot capture and copy-on-write cloning are cheap.
 
 use serde::{Deserialize, Serialize};
 
@@ -86,14 +95,108 @@ pub enum BlockState {
     NeedsErase,
 }
 
-/// One flash block.
+/// Per-block bookkeeping, separated from the page contents so the arena
+/// can store all blocks' metadata in one contiguous buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlockMeta {
+    /// Next page the block expects to program.
+    pub next_page: u64,
+    /// Program/erase cycles absorbed.
+    pub erase_count: u32,
+    /// Reads since the last erase (read-disturb stress).
+    pub reads_since_erase: u64,
+    /// Lifecycle state.
+    pub state: BlockState,
+}
+
+impl BlockMeta {
+    /// Metadata of a freshly erased block that has already absorbed
+    /// `erase_count` program/erase cycles (end-of-life studies).
+    pub fn erased_with_wear(erase_count: u32) -> Self {
+        BlockMeta {
+            next_page: 0,
+            erase_count,
+            reads_since_erase: 0,
+            state: BlockState::Open,
+        }
+    }
+}
+
+/// Programs the next-in-order page of a block given as `(meta, pages)`.
+/// Shared by [`Block::program`] and the arena-backed array.
+pub(crate) fn program_page(
+    meta: &mut BlockMeta,
+    pages: &mut [PageState],
+    block_index: u64,
+    page: u64,
+    data: PageData,
+    oob: Oob,
+) -> Result<(), FlashError> {
+    if meta.state == BlockState::NeedsErase {
+        return Err(FlashError::ProgramToDirtyPage {
+            block: block_index,
+            page,
+        });
+    }
+    if page != meta.next_page {
+        return Err(FlashError::ProgramOutOfOrder {
+            block: block_index,
+            attempted: page,
+            expected: meta.next_page,
+        });
+    }
+    if !matches!(pages[page as usize], PageState::Erased) {
+        return Err(FlashError::ProgramToDirtyPage {
+            block: block_index,
+            page,
+        });
+    }
+    pages[page as usize] = PageState::Programmed {
+        data,
+        oob,
+        raw_ber: 0,
+    };
+    meta.next_page += 1;
+    Ok(())
+}
+
+/// Erases a whole block given as `(meta, pages)`. Shared by
+/// [`Block::erase`] and the arena-backed array.
+pub(crate) fn erase_block(
+    meta: &mut BlockMeta,
+    pages: &mut [PageState],
+    block_index: u64,
+    wear_budget: u32,
+) -> Result<(), FlashError> {
+    if meta.erase_count >= wear_budget {
+        return Err(FlashError::BlockWornOut { block: block_index });
+    }
+    for p in pages.iter_mut() {
+        *p = PageState::Erased;
+    }
+    meta.next_page = 0;
+    meta.erase_count += 1;
+    meta.reads_since_erase = 0;
+    meta.state = BlockState::Open;
+    Ok(())
+}
+
+/// Iterates a page slice's programmed pages as
+/// `(page_index, data, oob, raw_ber)`.
+pub(crate) fn programmed_pages(
+    pages: &[PageState],
+) -> impl Iterator<Item = (u64, PageData, Oob, u32)> + '_ {
+    pages.iter().enumerate().filter_map(|(i, p)| match p {
+        PageState::Programmed { data, oob, raw_ber } => Some((i as u64, *data, *oob, *raw_ber)),
+        PageState::Erased => None,
+    })
+}
+
+/// One standalone flash block.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Block {
+    meta: BlockMeta,
     pages: Vec<PageState>,
-    next_page: u64,
-    erase_count: u32,
-    reads_since_erase: u64,
-    state: BlockState,
 }
 
 impl Block {
@@ -109,11 +212,8 @@ impl Block {
     /// program/erase cycles (end-of-life studies).
     pub fn with_wear(pages_per_block: u64, erase_count: u32) -> Self {
         Block {
+            meta: BlockMeta::erased_with_wear(erase_count),
             pages: vec![PageState::Erased; pages_per_block as usize],
-            next_page: 0,
-            erase_count,
-            reads_since_erase: 0,
-            state: BlockState::Open,
         }
     }
 
@@ -128,38 +228,40 @@ impl Block {
 
     /// Mutable state of page `page` (used by the array's corruption
     /// injection).
+    #[allow(dead_code)]
     pub(crate) fn page_mut(&mut self, page: u64) -> &mut PageState {
         &mut self.pages[page as usize]
     }
 
     /// Next page this block expects to program.
     pub fn next_page(&self) -> u64 {
-        self.next_page
+        self.meta.next_page
     }
 
     /// How many erases this block has absorbed.
     pub fn erase_count(&self) -> u32 {
-        self.erase_count
+        self.meta.erase_count
     }
 
     /// Reads of this block since its last erase (read-disturb stress).
     pub fn reads_since_erase(&self) -> u64 {
-        self.reads_since_erase
+        self.meta.reads_since_erase
     }
 
     /// Registers one read against the block's disturb counter.
+    #[allow(dead_code)]
     pub(crate) fn note_read(&mut self) {
-        self.reads_since_erase += 1;
+        self.meta.reads_since_erase += 1;
     }
 
     /// Lifecycle state.
     pub fn state(&self) -> BlockState {
-        self.state
+        self.meta.state
     }
 
     /// Whether every page is programmed.
     pub fn is_full(&self) -> bool {
-        self.next_page as usize >= self.pages.len()
+        self.meta.next_page as usize >= self.pages.len()
     }
 
     /// Programs the next-in-order page.
@@ -177,32 +279,7 @@ impl Block {
         data: PageData,
         oob: Oob,
     ) -> Result<(), FlashError> {
-        if self.state == BlockState::NeedsErase {
-            return Err(FlashError::ProgramToDirtyPage {
-                block: block_index,
-                page,
-            });
-        }
-        if page != self.next_page {
-            return Err(FlashError::ProgramOutOfOrder {
-                block: block_index,
-                attempted: page,
-                expected: self.next_page,
-            });
-        }
-        if !matches!(self.pages[page as usize], PageState::Erased) {
-            return Err(FlashError::ProgramToDirtyPage {
-                block: block_index,
-                page,
-            });
-        }
-        self.pages[page as usize] = PageState::Programmed {
-            data,
-            oob,
-            raw_ber: 0,
-        };
-        self.next_page += 1;
-        Ok(())
+        program_page(&mut self.meta, &mut self.pages, block_index, page, data, oob)
     }
 
     /// Erases the whole block.
@@ -211,30 +288,18 @@ impl Block {
     ///
     /// Returns [`FlashError::BlockWornOut`] once the wear budget is spent.
     pub fn erase(&mut self, block_index: u64, wear_budget: u32) -> Result<(), FlashError> {
-        if self.erase_count >= wear_budget {
-            return Err(FlashError::BlockWornOut { block: block_index });
-        }
-        for p in &mut self.pages {
-            *p = PageState::Erased;
-        }
-        self.next_page = 0;
-        self.erase_count += 1;
-        self.reads_since_erase = 0;
-        self.state = BlockState::Open;
-        Ok(())
+        erase_block(&mut self.meta, &mut self.pages, block_index, wear_budget)
     }
 
     /// Marks the block as requiring an erase (interrupted erase).
+    #[allow(dead_code)]
     pub(crate) fn mark_needs_erase(&mut self) {
-        self.state = BlockState::NeedsErase;
+        self.meta.state = BlockState::NeedsErase;
     }
 
     /// Iterates over programmed pages as `(page_index, data, oob, raw_ber)`.
     pub fn programmed_pages(&self) -> impl Iterator<Item = (u64, PageData, Oob, u32)> + '_ {
-        self.pages.iter().enumerate().filter_map(|(i, p)| match p {
-            PageState::Programmed { data, oob, raw_ber } => Some((i as u64, *data, *oob, *raw_ber)),
-            PageState::Erased => None,
-        })
+        programmed_pages(&self.pages)
     }
 }
 

@@ -50,7 +50,11 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// The lint gate (`make lint-core`) denies unwrap() in library code;
+// tests may unwrap freely.
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 
+pub mod arena;
 pub mod array;
 pub mod block;
 pub mod cell;

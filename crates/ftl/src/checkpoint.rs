@@ -13,6 +13,8 @@
 //! recovery base, and recovery falls back to the previous one plus a
 //! longer journal replay.
 
+use std::sync::Arc;
+
 use serde::{Deserialize, Serialize};
 
 use pfault_flash::geometry::Ppa;
@@ -46,7 +48,7 @@ impl Checkpoint {
 
     /// Rebuilds a mapping table from this snapshot.
     pub fn restore(&self) -> MappingTable {
-        let mut map = MappingTable::new();
+        let mut map = MappingTable::with_capacity(self.entries.len());
         for &(lba, ppa) in &self.entries {
             map.update(lba, ppa);
         }
@@ -65,9 +67,14 @@ impl Checkpoint {
 }
 
 /// Flash-resident checkpoint area: snapshots keyed by their backing page.
+///
+/// Checkpoints are immutable once appended, so the store holds them
+/// behind [`Arc`]s: cloning a store (every copy-on-write trial clone
+/// carries one) shares the snapshot payloads instead of deep-copying
+/// mapping-table-sized entry vectors.
 #[derive(Debug, Clone, Default)]
 pub struct CheckpointStore {
-    checkpoints: Vec<(Ppa, Checkpoint)>,
+    checkpoints: Vec<(Ppa, Arc<Checkpoint>)>,
 }
 
 impl CheckpointStore {
@@ -88,18 +95,18 @@ impl CheckpointStore {
                 .is_none_or(|(_, c)| c.id < checkpoint.id),
             "checkpoint ids must be monotonic"
         );
-        self.checkpoints.push((page, checkpoint));
+        self.checkpoints.push((page, Arc::new(checkpoint)));
     }
 
     /// The newest checkpoint and its backing page, if any.
     pub fn latest(&self) -> Option<(Ppa, &Checkpoint)> {
-        self.checkpoints.last().map(|(p, c)| (*p, c))
+        self.checkpoints.last().map(|(p, c)| (*p, c.as_ref()))
     }
 
     /// Iterates checkpoints newest-first (recovery tries them in this
     /// order, falling back when a backing page is unreadable).
     pub fn iter_newest_first(&self) -> impl Iterator<Item = (Ppa, &Checkpoint)> + '_ {
-        self.checkpoints.iter().rev().map(|(p, c)| (*p, c))
+        self.checkpoints.iter().rev().map(|(p, c)| (*p, c.as_ref()))
     }
 
     /// Number of checkpoints retained.

@@ -11,11 +11,9 @@
 //! schedules when programs, commits, and GC happen; the FTL provides the
 //! state transitions.
 
-use std::collections::HashSet;
-
 use pfault_flash::array::FlashArray;
 use pfault_flash::geometry::Ppa;
-use pfault_sim::{DetRng, Lba};
+use pfault_sim::{DetHashSet, DetRng, Lba};
 use serde::{Deserialize, Serialize};
 
 use crate::alloc::BlockAllocator;
@@ -104,8 +102,8 @@ pub struct Ftl {
     buffer: JournalBuffer,
     active_user: Option<ActiveBlock>,
     active_journal: Option<ActiveBlock>,
-    full_blocks: HashSet<u64>,
-    retired: HashSet<u64>,
+    full_blocks: DetHashSet<u64>,
+    retired: DetHashSet<u64>,
     seq: u64,
     next_batch_id: u64,
     batches_since_checkpoint: u64,
@@ -134,8 +132,8 @@ impl Ftl {
             buffer: JournalBuffer::new(),
             active_user: None,
             active_journal: None,
-            full_blocks: HashSet::new(),
-            retired: HashSet::new(),
+            full_blocks: DetHashSet::default(),
+            retired: DetHashSet::default(),
             seq: 0,
             next_batch_id: 0,
             batches_since_checkpoint: 0,
@@ -187,7 +185,7 @@ impl Ftl {
 
     fn reserve_page(
         alloc: &mut BlockAllocator,
-        full_blocks: &mut HashSet<u64>,
+        full_blocks: &mut DetHashSet<u64>,
         active: &mut Option<ActiveBlock>,
         pages_per_block: u64,
     ) -> Result<Ppa, FtlError> {
@@ -474,7 +472,7 @@ impl Ftl {
     ) -> (Ftl, RecoveryStats) {
         config.validate();
         let scan = crate::recovery::journal_scan(&config, array, durable, checkpoints, rng);
-        crate::recovery::mapping_rebuild(config, array, durable, checkpoints, scan, rng)
+        crate::recovery::mapping_rebuild(config, array, durable, checkpoints, &scan, rng)
     }
 
     /// Assembles a ready FTL around a freshly rebuilt mapping: the final
@@ -506,8 +504,8 @@ impl Ftl {
             buffer: JournalBuffer::new(),
             active_user: None,
             active_journal: None,
-            full_blocks: HashSet::new(),
-            retired: HashSet::new(),
+            full_blocks: DetHashSet::default(),
+            retired: DetHashSet::default(),
             seq: high_water * config.geometry.pages_per_block(),
             next_batch_id: durable_batches,
             batches_since_checkpoint: 0,

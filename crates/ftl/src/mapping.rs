@@ -4,10 +4,8 @@
 //! exists only while the controller has power. [`MappingTable`] also tracks
 //! per-block valid-page counts so garbage collection can pick victims.
 
-use std::collections::HashMap;
-
 use pfault_flash::geometry::Ppa;
-use pfault_sim::Lba;
+use pfault_sim::{DetHashMap, Lba};
 
 /// Volatile L2P map plus per-block valid-page accounting.
 ///
@@ -26,14 +24,25 @@ use pfault_sim::Lba;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct MappingTable {
-    l2p: HashMap<Lba, Ppa>,
-    valid_per_block: HashMap<u64, u64>,
+    l2p: DetHashMap<Lba, Ppa>,
+    valid_per_block: DetHashMap<u64, u64>,
 }
 
 impl MappingTable {
     /// Creates an empty table.
     pub fn new() -> Self {
         MappingTable::default()
+    }
+
+    /// Creates an empty table pre-sized for `sectors` mapped sectors.
+    /// Bulk rebuilds (checkpoint restore, recovery) know their size up
+    /// front; pre-sizing skips the incremental rehash ladder. Contents
+    /// are what matter — no caller may depend on iteration order.
+    pub fn with_capacity(sectors: usize) -> Self {
+        MappingTable {
+            l2p: DetHashMap::with_capacity_and_hasher(sectors, Default::default()),
+            valid_per_block: DetHashMap::default(),
+        }
     }
 
     /// Current physical location of `lba`, if mapped.

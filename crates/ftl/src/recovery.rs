@@ -116,21 +116,22 @@ pub fn journal_scan(
 
 /// Stage 2: apply the scan's accepted batches, reconcile via FullScan
 /// when configured, and assemble a ready [`Ftl`].
+///
+/// Borrows the scan outcome: an interrupted rebuild retries against the
+/// same checkpointed scan, so the caller keeps ownership and the rebuild
+/// copies only the mapping base it mutates.
 pub fn mapping_rebuild(
     config: FtlConfig,
     array: &mut FlashArray,
     durable: &DurableLog,
     checkpoints: &CheckpointStore,
-    scan: JournalScanOutcome,
+    scan: &JournalScanOutcome,
     rng: &mut DetRng,
 ) -> (Ftl, RecoveryStats) {
-    let JournalScanOutcome {
-        mut map,
-        batches,
-        mut stats,
-        ..
-    } = scan;
-    for batch in &batches {
+    let mut map = scan.map.clone();
+    let batches = &scan.batches;
+    let mut stats = scan.stats;
+    for batch in batches {
         batch.apply_to(&mut map, config.geometry.pages_per_block());
         stats.batches_replayed += 1;
         stats.entries_replayed += batch.entries.len() as u64;
@@ -139,8 +140,8 @@ pub fn mapping_rebuild(
         // OOB scan: adopt the newest readable user page per sector.
         // Pages must actually decode (the scan reads them back), so
         // interrupted programs and paired-corrupted pages stay out.
-        let mut newest: std::collections::HashMap<Lba, (u64, Ppa)> =
-            std::collections::HashMap::new();
+        let mut newest: pfault_sim::DetHashMap<Lba, (u64, Ppa)> =
+            pfault_sim::DetHashMap::default();
         let candidates: Vec<(Ppa, u64, Lba)> = array
             .scan()
             .filter_map(|(ppa, data, oob, _)| {
@@ -251,7 +252,7 @@ mod tests {
         let mut rng_b = DetRng::new(77);
         let scan = journal_scan(&config, &mut array_b, &durable, &store, &mut rng_b);
         let (staged, staged_stats) =
-            mapping_rebuild(config, &mut array_b, &durable, &store, scan, &mut rng_b);
+            mapping_rebuild(config, &mut array_b, &durable, &store, &scan, &mut rng_b);
 
         assert_eq!(mono_stats, staged_stats);
         let a: Vec<_> = {
@@ -282,7 +283,7 @@ mod tests {
         let persisted = scan.clone();
         drop(scan); // the cut: in-flight stage state is gone
         let (rebuilt, stats) =
-            mapping_rebuild(config, &mut array, &durable, &store, persisted, &mut rng);
+            mapping_rebuild(config, &mut array, &durable, &store, &persisted, &mut rng);
         assert_eq!(rebuilt.lookup(Lba::new(5)), Some(p1));
         assert_eq!(stats.batches_replayed, 1);
     }

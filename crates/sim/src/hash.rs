@@ -1,0 +1,149 @@
+//! Deterministic fast hashing for hot simulator maps.
+//!
+//! The standard library's `HashMap` defaults to SipHash with a
+//! per-instance random seed. That is the wrong trade for the simulator
+//! twice over: the random seed makes iteration order differ between
+//! process runs (so nothing behavioral may ever depend on it), and
+//! SipHash costs tens of nanoseconds per lookup on the 8-byte keys that
+//! dominate the hot paths (LBAs, block ids, physical page addresses).
+//! Campaign trials perform millions of such lookups — the mapping table
+//! alone does two or three per programmed sector.
+//!
+//! [`DetHashMap`]/[`DetHashSet`] swap in a fixed-seed multiply-xor
+//! hasher (splitmix64 finalization) that is an order of magnitude
+//! cheaper on integer keys and — being seed-free — gives the *same*
+//! iteration order for the same insertion history in every run. Code
+//! must still not let iteration order leak into results (the collision
+//! structure is arbitrary), but determinism bugs become reproducible
+//! instead of run-dependent.
+//!
+//! These tables hold simulated device state and are never exposed to
+//! untrusted keys, so HashDoS resistance is irrelevant here.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasher, Hasher};
+
+/// `HashMap` with the deterministic fast hasher.
+pub type DetHashMap<K, V> = HashMap<K, V, DetHashState>;
+
+/// `HashSet` with the deterministic fast hasher.
+pub type DetHashSet<K> = HashSet<K, DetHashState>;
+
+/// Fixed-seed `BuildHasher` for [`DetHasher`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DetHashState;
+
+impl BuildHasher for DetHashState {
+    type Hasher = DetHasher;
+
+    fn build_hasher(&self) -> DetHasher {
+        DetHasher {
+            h: 0x243F_6A88_85A3_08D3, // pi fraction, fixed for all runs
+        }
+    }
+}
+
+/// Multiply-xor hasher with splitmix64 finalization. Quality is ample
+/// for hashbrown's 7-bit control tags plus bucket index; speed on
+/// integer keys is what it is built for.
+#[derive(Debug, Clone)]
+pub struct DetHasher {
+    h: u64,
+}
+
+impl DetHasher {
+    #[inline]
+    fn mix_in(&mut self, v: u64) {
+        self.h = (self.h ^ v).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+}
+
+impl Hasher for DetHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        // splitmix64 finalizer: full avalanche so both the control tag
+        // (top bits) and the bucket index (low bits) are well mixed.
+        let mut z = self.h;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.mix_in(u64::from_le_bytes(buf) ^ chunk.len() as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.mix_in(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.mix_in(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.mix_in(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.mix_in(v as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hash_u64(v: u64) -> u64 {
+        let mut h = DetHashState.build_hasher();
+        h.write_u64(v);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        assert_eq!(hash_u64(42), hash_u64(42));
+        let mut a = DetHashState.build_hasher();
+        a.write(b"same bytes");
+        let mut b = DetHashState.build_hasher();
+        b.write(b"same bytes");
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn distinguishes_nearby_keys() {
+        // Sequential LBAs are the common key pattern; they must spread.
+        let hashes: DetHashSet<u64> = (0..10_000u64).map(hash_u64).collect();
+        assert_eq!(hashes.len(), 10_000, "no collisions on sequential keys");
+    }
+
+    #[test]
+    fn iteration_order_is_reproducible() {
+        let build = || {
+            let mut m: DetHashMap<u64, u64> = DetHashMap::default();
+            for i in 0..1000 {
+                m.insert(i * 7, i);
+            }
+            m.into_iter().collect::<Vec<_>>()
+        };
+        assert_eq!(build(), build(), "same insertions, same order");
+    }
+
+    #[test]
+    fn length_breaks_byte_extension_ambiguity() {
+        let mut a = DetHashState.build_hasher();
+        a.write(b"ab");
+        let mut b = DetHashState.build_hasher();
+        b.write(b"ab\0\0");
+        assert_ne!(a.finish(), b.finish());
+    }
+}

@@ -33,12 +33,14 @@
 
 pub mod checksum;
 pub mod event;
+pub mod hash;
 pub mod rng;
 pub mod stats;
 pub mod storage;
 pub mod time;
 
 pub use event::EventQueue;
+pub use hash::{DetHashMap, DetHashSet};
 pub use rng::DetRng;
 pub use storage::{Lba, SectorCount, SECTOR_BYTES};
 pub use time::{SimDuration, SimTime};

@@ -14,10 +14,10 @@
 //! can cut power at the start, middle, and end of every eviction it
 //! schedules.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeSet, VecDeque};
 
 use pfault_flash::array::PageData;
-use pfault_sim::{Lba, SimTime};
+use pfault_sim::{DetHashMap, Lba, SimTime};
 
 /// State of one cached sector.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -49,8 +49,17 @@ pub struct CacheEntry {
 #[derive(Debug, Clone)]
 pub struct WriteCache {
     capacity: u64,
-    entries: HashMap<Lba, CacheEntry>,
+    entries: DetHashMap<Lba, CacheEntry>,
     dirty_fifo: VecDeque<Lba>,
+    /// Maintained count of dirty entries so pressure checks on the event
+    /// path are O(1) instead of a scan over every resident sector.
+    dirty_count: u64,
+    /// Clean entries ordered by `(inserted_at, lba)` — the eviction
+    /// order — maintained at the dirty/clean transition points so a full
+    /// cache does not pay a collect-and-sort over every resident sector
+    /// on each eviction (that scan dominated the trial hot path once
+    /// warm-ups started filling the cache to capacity).
+    clean_index: BTreeSet<(SimTime, Lba)>,
 }
 
 impl WriteCache {
@@ -63,8 +72,10 @@ impl WriteCache {
         assert!(capacity_sectors > 0, "cache capacity must be positive");
         WriteCache {
             capacity: capacity_sectors,
-            entries: HashMap::new(),
+            entries: DetHashMap::default(),
             dirty_fifo: VecDeque::new(),
+            dirty_count: 0,
+            clean_index: BTreeSet::new(),
         }
     }
 
@@ -80,7 +91,7 @@ impl WriteCache {
 
     /// Sectors that still owe a NAND program.
     pub fn dirty_sectors(&self) -> u64 {
-        self.entries.values().filter(|e| e.dirty).count() as u64
+        self.dirty_count
     }
 
     /// Whether `n` more sectors fit (counting only resident sectors).
@@ -106,12 +117,30 @@ impl WriteCache {
             flushing: false,
         };
         let prior = self.entries.insert(lba, entry);
+        if let Some(p) = prior {
+            if !p.dirty {
+                self.clean_index.remove(&(p.inserted_at, lba));
+            }
+        }
+        if !prior.is_some_and(|p| p.dirty) {
+            self.dirty_count += 1;
+        }
         match prior {
             Some(p) if p.dirty && !p.flushing => {
                 // Was already queued dirty: keep its FIFO position.
             }
             _ => self.dirty_fifo.push_back(lba),
         }
+    }
+
+    /// Read-only probe for the event scheduler: insertion time of the
+    /// oldest dirty, not-yet-flushing sector, skipping (but not
+    /// consuming) stale FIFO slots. `None` when nothing dirty is queued.
+    pub fn peek_flushable_inserted_at(&self) -> Option<SimTime> {
+        self.dirty_fifo.iter().find_map(|lba| {
+            let e = self.entries.get(lba)?;
+            (e.dirty && !e.flushing).then_some(e.inserted_at)
+        })
     }
 
     /// The oldest dirty, not-yet-flushing sector whose age qualifies it
@@ -152,6 +181,10 @@ impl WriteCache {
     pub fn flush_complete(&mut self, lba: Lba, flushed: PageData) {
         if let Some(entry) = self.entries.get_mut(&lba) {
             if entry.data == flushed {
+                if entry.dirty {
+                    self.dirty_count -= 1;
+                }
+                self.clean_index.insert((entry.inserted_at, lba));
                 entry.dirty = false;
                 entry.flushing = false;
             } else {
@@ -178,28 +211,29 @@ impl WriteCache {
     /// Drops a sector entirely (TRIM): dirty or clean, it no longer
     /// exists from the host's point of view.
     pub fn invalidate(&mut self, lba: Lba) {
-        self.entries.remove(&lba);
+        if let Some(e) = self.entries.remove(&lba) {
+            if e.dirty {
+                self.dirty_count -= 1;
+            } else {
+                self.clean_index.remove(&(e.inserted_at, lba));
+            }
+        }
         // A stale FIFO slot is skipped lazily by next_flushable.
     }
 
     /// Evicts clean sectors to make room, oldest first. Returns how many
     /// were evicted (dirty sectors are never evicted).
     pub fn evict_clean(&mut self, want_room_for: u64) -> u64 {
-        if self.has_room_for(want_room_for) {
-            return 0;
-        }
-        let mut clean: Vec<(SimTime, Lba)> = self
-            .entries
-            .iter()
-            .filter(|(_, e)| !e.dirty && !e.flushing)
-            .map(|(&l, e)| (e.inserted_at, l))
-            .collect();
-        clean.sort();
         let mut evicted = 0;
-        for (_, lba) in clean {
-            if self.has_room_for(want_room_for) {
+        while !self.has_room_for(want_room_for) {
+            let Some(&(at, lba)) = self.clean_index.first() else {
                 break;
-            }
+            };
+            self.clean_index.remove(&(at, lba));
+            debug_assert!(
+                self.entries.get(&lba).is_some_and(|e| !e.dirty && !e.flushing),
+                "clean index out of sync at {lba:?}"
+            );
             self.entries.remove(&lba);
             evicted += 1;
         }
@@ -222,6 +256,8 @@ impl WriteCache {
     pub fn clear(&mut self) {
         self.entries.clear();
         self.dirty_fifo.clear();
+        self.dirty_count = 0;
+        self.clean_index.clear();
     }
 }
 

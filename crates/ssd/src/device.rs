@@ -449,11 +449,13 @@ struct GcState {
 
 /// The simulated SSD. See the crate-level docs for an example.
 ///
-/// `Clone` performs a deep copy of the entire device — NAND array, FTL,
-/// journal, cache, queues, and the RNG stream position — and is the
-/// primitive behind warm-state snapshots ([`crate::snapshot::SsdSnapshot`]):
-/// a cloned device is indistinguishable from the original under every
-/// future operation.
+/// `Clone` copies the entire device — NAND array, FTL, journal, cache,
+/// queues, and the RNG stream position — and is the primitive behind
+/// warm-state device images ([`crate::snapshot::DeviceImage`]): a cloned
+/// device is indistinguishable from the original under every future
+/// operation. After [`Ssd::capture`] freezes the flash arena, the NAND
+/// part of the copy is a reference-count bump (copy-on-write overlay);
+/// cloning an unfrozen device deep-copies its private overlay.
 #[derive(Debug, Clone)]
 pub struct Ssd {
     config: SsdConfig,
@@ -608,6 +610,34 @@ impl Ssd {
             PowerState::Bricked => 4,
         };
         mix64(h, state_tag)
+    }
+
+    /// Freezes the flash arena into a shared immutable base
+    /// ([`pfault_flash::array::FlashArray::flatten`]), after which
+    /// cloning this device shares the NAND state copy-on-write.
+    pub(crate) fn freeze_flash(&mut self) {
+        self.array.flatten();
+    }
+
+    /// Re-expresses this device's (frozen) flash state as a delta over
+    /// `base`'s arena. See
+    /// [`pfault_flash::array::FlashArray::rebase_onto`].
+    pub(crate) fn rebase_flash_onto(&mut self, base: &Ssd) -> bool {
+        self.array.rebase_onto(&base.array)
+    }
+
+    /// Blocks materialised in this device's private copy-on-write
+    /// overlay: `0` right after a clone of a frozen device, growing as
+    /// the trial touches blocks. Diagnostic — campaign engines report it
+    /// to size per-trial working sets.
+    pub fn flash_overlay_blocks(&self) -> usize {
+        self.array.overlay_blocks()
+    }
+
+    /// Whether two devices share the same frozen flash base (`Arc`
+    /// identity, not content equality).
+    pub fn shares_flash_base_with(&self, other: &Ssd) -> bool {
+        self.array.shares_base_with(&other.array)
     }
 
     /// Turns on fault-site recording: every subsequent occurrence of a
@@ -837,7 +867,7 @@ impl Ssd {
             consider(self.next_commit_at.max(self.now));
         }
         // A dirty entry becomes flushable when it ages past the delay.
-        if self.executing_programs() < self.config.program_lanes
+        if self.has_free_lane()
             && !self.powered_down()
             && self.ftl.available_blocks() > 0
         {
@@ -855,21 +885,15 @@ impl Ssd {
         if self.cache.dirty_sectors() == 0 {
             return None;
         }
-        let mut probe = self.cache.clone();
-        probe
-            .next_flushable(SimTime::MAX, self.config.cache.flush_delay, 2.0)
-            .map(|_| ())?;
-        // Cheap bound: ready now if pressured, else "now + small step".
-        // We recompute exactly by probing at `now`.
-        let mut probe2 = self.cache.clone();
-        if probe2
-            .next_flushable(
-                self.now,
-                self.config.cache.flush_delay,
-                self.config.cache.pressure_watermark,
-            )
-            .is_some()
-        {
+        // Cheap bound: ready now if the FIFO head qualifies (aged past
+        // the delay, or cache under pressure), else "now + small step".
+        // The event loop re-checks exactly via next_flushable.
+        let inserted_at = self.cache.peek_flushable_inserted_at()?;
+        let under_pressure = self.cache.dirty_sectors() as f64
+            >= self.cache.capacity() as f64 * self.config.cache.pressure_watermark;
+        let old_enough =
+            self.now.saturating_since(inserted_at) >= self.config.cache.flush_delay;
+        if old_enough || under_pressure {
             Some(self.now)
         } else {
             Some(self.now + SimDuration::from_millis(5))
@@ -1171,11 +1195,22 @@ impl Ssd {
         self.pipeline.iter().filter(|p| p.end > now).count() as u32
     }
 
+    /// Whether a program lane is open. Executing ops never outnumber
+    /// queued ops, so a short queue skips the per-op scan entirely.
+    fn has_free_lane(&self) -> bool {
+        self.pipeline.len() < self.config.program_lanes as usize
+            || self.executing_programs() < self.config.program_lanes
+    }
+
     fn start_pipeline(&mut self) {
-        while self.executing_programs() < self.config.program_lanes {
+        // Count once and track increments: every started program ends
+        // strictly in the future, so it joins the executing set.
+        let mut executing = self.executing_programs();
+        while executing < self.config.program_lanes {
             if !self.start_one_program() {
                 break;
             }
+            executing += 1;
         }
     }
 
@@ -2158,7 +2193,7 @@ impl Ssd {
                 StageRun::Completed { span }
             }
             RecoveryStage::MappingRebuild => {
-                let scan = session.scan.clone().expect("journal scan completed");
+                let scan = session.scan.as_ref().expect("journal scan completed");
                 let reads_before = self.array.stats().reads;
                 let (ftl, stats) = pfault_ftl::mapping_rebuild(
                     self.config.ftl,

@@ -37,6 +37,9 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// The lint gate (`make lint-core`) denies unwrap() in library code;
+// tests may unwrap freely.
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 
 pub mod cache;
 pub mod completion;
@@ -50,5 +53,5 @@ pub use completion::{Completion, CompletionKind};
 pub use config::{CacheConfig, SsdConfig};
 pub use device::{DeviceError, HostCommand, RecoveryReport, Ssd, VerifiedContent};
 pub use sites::{FaultSite, SiteLog, SiteSpan};
-pub use snapshot::SsdSnapshot;
+pub use snapshot::DeviceImage;
 pub use vendor::VendorPreset;

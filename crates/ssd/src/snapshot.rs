@@ -1,73 +1,137 @@
-//! Warm-state device snapshots.
+//! Warm-state device images with copy-on-write trial clones.
 //!
 //! Campaign trials share a deterministic *warm-up*: the same workload
-//! prefix on the same device configuration, byte-for-byte. Replaying that
-//! prefix from a cold device for every trial dominates campaign cost, so
-//! the engine runs it once, captures the warm device as an
-//! [`SsdSnapshot`], and every trial [`SsdSnapshot::restore`]s a private
-//! deep copy instead.
+//! prefix on the same device configuration, byte-for-byte. Replaying
+//! that prefix from a cold device for every trial dominates campaign
+//! cost, so the engine runs it once, captures the warm device as a
+//! [`DeviceImage`], and every trial [`DeviceImage::clone_cow`]s it.
+//!
+//! # Image anatomy
+//!
+//! [`Ssd::capture`] *freezes* the device's flash arena
+//! ([`pfault_flash::array::FlashArray::flatten`]): every materialised
+//! block moves into one shared, immutable, `Arc`-refcounted slab.
+//! `clone_cow` then copies the (small) FTL/cache/queue state and bumps
+//! the arena refcount — no NAND bytes move. The clone starts with an
+//! empty *overlay*; the first write (or disturb-counting read) to a
+//! block copies just that block up into the clone's private overlay.
+//! Restoring a trial is therefore "drop the overlay, clone again",
+//! and its cost scales with the trial's working set, not the device.
+//!
+//! [`DeviceImage::delta_from`] goes one step further for sweeps whose
+//! points share a warm prefix: an image that *evolved from* another
+//! image is re-expressed as that base plus an overlay holding only the
+//! blocks that differ, so a family of sweep-point images shares one
+//! arena instead of `N` flattened copies.
 //!
 //! # Determinism contract
 //!
-//! A snapshot captures *everything* that shapes future behaviour:
+//! An image captures *everything* that shapes future behaviour:
 //!
 //! * the NAND array (page contents, OOB records, raw bit-error counts,
-//!   wear and read-disturb counters);
-//! * the FTL (logical-to-physical map, journal buffer, allocator cursors,
-//!   retired/full block sets) plus the durable journal and checkpoints;
+//!   wear and read-disturb counters) — including the arena's block
+//!   *materialisation order*, which fixes full-scan recovery's read
+//!   order and hence its RNG draw sequence;
+//! * the FTL (logical-to-physical map, journal buffer, allocator
+//!   cursors, retired/full block sets) plus the durable journal and
+//!   checkpoints;
 //! * the volatile write cache, queues, in-flight pipeline, and the
 //!   simulated clock;
-//! * the device RNG **stream position** — not just the seed. The warm-up
-//!   consumes device randomness (commit-phase draw, read-error draws);
-//!   restoring the seed alone would replay the warm-up's draws a second
-//!   time and diverge from a replayed-from-cold trial.
+//! * the device RNG **stream position** — not just the seed. The
+//!   warm-up consumes device randomness (commit-phase draw, read-error
+//!   draws); restoring the seed alone would replay the warm-up's draws
+//!   a second time and diverge from a replayed-from-cold trial.
 //!
-//! Trials then call [`crate::device::Ssd::reseed_for_trial`] to fork the
-//! restored stream with their trial seed, which keeps per-trial
-//! randomness independent while preserving equality with the cold path
-//! (which performs the same warm-up and the same fork).
+//! Trials then call [`Ssd::reseed_for_trial`] to fork the restored
+//! stream with their trial seed, which keeps per-trial randomness
+//! independent while preserving equality with the cold path (which
+//! performs the same warm-up and the same fork).
 
 use pfault_sim::SimTime;
 
 use crate::device::Ssd;
 
-/// A deep copy of a warmed-up device, cheap to restore per trial.
+/// A frozen warm device, cheap to clone per trial (copy-on-write).
 ///
-/// Produced by `TestPlatform::warm_snapshot` in `pfault-platform` and
-/// memoized in its snapshot cache keyed by `config_digest`.
+/// Produced by [`Ssd::capture`]; memoized by `pfault-platform`'s
+/// snapshot cache keyed by `config_digest`.
 #[derive(Debug, Clone)]
-pub struct SsdSnapshot {
+pub struct DeviceImage {
     ssd: Ssd,
     config_digest: u64,
     fingerprint: u64,
 }
 
-impl SsdSnapshot {
-    /// Captures the device's current state. `config_digest` identifies
-    /// the (trial configuration, vendor) pair that produced it, so a
-    /// memoizing cache can never hand a snapshot to a mismatched trial.
-    pub fn capture(ssd: &Ssd, config_digest: u64) -> Self {
-        SsdSnapshot {
-            fingerprint: ssd.state_digest(),
-            ssd: ssd.clone(),
+impl Ssd {
+    /// Freezes this device into a [`DeviceImage`]. `config_digest`
+    /// identifies the (trial configuration, vendor) pair that produced
+    /// it, so a memoizing cache can never hand an image to a mismatched
+    /// trial.
+    ///
+    /// Capture consumes the device: the flash arena is flattened into
+    /// the shared immutable base the image's clones will reference.
+    /// Flattening is content-preserving — the image's
+    /// [`fingerprint`](DeviceImage::fingerprint) equals the device's
+    /// [`state_digest`](Ssd::state_digest) at the call.
+    pub fn capture(mut self, config_digest: u64) -> DeviceImage {
+        let fingerprint = self.state_digest();
+        self.freeze_flash();
+        debug_assert_eq!(
+            self.state_digest(),
+            fingerprint,
+            "flatten must preserve observable state"
+        );
+        DeviceImage {
+            ssd: self,
             config_digest,
+            fingerprint,
         }
     }
+}
 
-    /// A fresh deep copy of the captured device. Restoring never mutates
-    /// the snapshot, so any number of trials can restore concurrently
-    /// from a shared snapshot.
-    pub fn restore(&self) -> Ssd {
+impl DeviceImage {
+    /// A private copy-on-write clone of the captured device. The clone
+    /// shares the image's flash arena and materialises only the blocks
+    /// it touches; cloning never mutates the image, so any number of
+    /// trials can clone concurrently from a shared image.
+    pub fn clone_cow(&self) -> Ssd {
         self.ssd.clone()
     }
 
-    /// The configuration digest the snapshot was captured under.
+    /// Re-expresses this image as a delta over `base`: the returned
+    /// image is behaviourally identical to `self` but shares `base`'s
+    /// arena, holding only the blocks that differ (plus blocks `self`
+    /// touched that `base` never did) in a private overlay.
+    ///
+    /// Returns `None` when `self` cannot ride `base`'s arena: the flash
+    /// geometries differ, `base` materialised more blocks than `self`,
+    /// or the arenas' materialisation orders disagree on their common
+    /// prefix. The prefix agrees exactly when `self` was built by
+    /// running more work on a clone of `base` (sweep points sharing a
+    /// warm prefix) — though same-geometry devices whose deterministic
+    /// allocators happened to materialise the same block-id prefix also
+    /// rebase, safely: any content difference lands in the overlay.
+    /// Delta images cannot be re-deltaed; use the original flattened
+    /// image as the rebase source.
+    pub fn delta_from(&self, base: &DeviceImage) -> Option<DeviceImage> {
+        let mut ssd = self.ssd.clone();
+        if !ssd.rebase_flash_onto(&base.ssd) {
+            return None;
+        }
+        Some(DeviceImage {
+            ssd,
+            config_digest: self.config_digest,
+            fingerprint: self.fingerprint,
+        })
+    }
+
+    /// The configuration digest the image was captured under.
     pub fn config_digest(&self) -> u64 {
         self.config_digest
     }
 
-    /// State digest taken at capture time; `restore().state_digest()`
-    /// always equals this.
+    /// State digest taken at capture time;
+    /// `clone_cow().state_digest()` always equals this.
     pub fn fingerprint(&self) -> u64 {
         self.fingerprint
     }
@@ -75,6 +139,19 @@ impl SsdSnapshot {
     /// The simulated time at which the warm-up finished.
     pub fn warm_now(&self) -> SimTime {
         self.ssd.now()
+    }
+
+    /// Blocks this image holds privately on top of its shared arena:
+    /// `0` for a freshly captured (flattened) image, the delta size for
+    /// an image produced by [`DeviceImage::delta_from`].
+    pub fn overlay_blocks(&self) -> usize {
+        self.ssd.flash_overlay_blocks()
+    }
+
+    /// Whether two images share one flash arena (`Arc` identity).
+    /// `true` for an image and its [`DeviceImage::delta_from`] result.
+    pub fn shares_base_with(&self, other: &DeviceImage) -> bool {
+        self.ssd.shares_flash_base_with(&other.ssd)
     }
 }
 
@@ -103,22 +180,23 @@ mod tests {
     }
 
     #[test]
-    fn restore_preserves_state_digest() {
+    fn capture_preserves_state_digest() {
         let ssd = warmed_ssd();
-        let snap = SsdSnapshot::capture(&ssd, 42);
-        assert_eq!(snap.fingerprint(), ssd.state_digest());
-        assert_eq!(snap.restore().state_digest(), snap.fingerprint());
-        assert_eq!(snap.config_digest(), 42);
-        assert_eq!(snap.warm_now(), ssd.now());
+        let digest = ssd.state_digest();
+        let image = ssd.capture(42);
+        assert_eq!(image.fingerprint(), digest);
+        assert_eq!(image.clone_cow().state_digest(), digest);
+        assert_eq!(image.config_digest(), 42);
+        assert_eq!(image.overlay_blocks(), 0, "fresh images are flattened");
     }
 
     #[test]
-    fn restored_devices_evolve_identically() {
-        let snap = SsdSnapshot::capture(&warmed_ssd(), 1);
-        let mut a = snap.restore();
-        let mut b = snap.restore();
-        for (ssd, label) in [(&mut a, "a"), (&mut b, "b")] {
-            let _ = label;
+    fn cow_clones_evolve_identically() {
+        let image = warmed_ssd().capture(1);
+        let mut a = image.clone_cow();
+        let mut b = image.clone_cow();
+        assert!(a.shares_flash_base_with(&b), "clones share the arena");
+        for ssd in [&mut a, &mut b] {
             ssd.submit(HostCommand::write(
                 100,
                 0,
@@ -134,10 +212,9 @@ mod tests {
 
     #[test]
     fn trial_fork_depends_on_stream_position_and_seed() {
-        let ssd = warmed_ssd();
-        let snap = SsdSnapshot::capture(&ssd, 1);
-        let mut a = snap.restore();
-        let mut b = snap.restore();
+        let image = warmed_ssd().capture(1);
+        let mut a = image.clone_cow();
+        let mut b = image.clone_cow();
         a.reseed_for_trial(7);
         b.reseed_for_trial(8);
         assert_ne!(
@@ -145,25 +222,114 @@ mod tests {
             b.state_digest(),
             "different trial seeds must fork different device streams"
         );
-        let mut c = snap.restore();
+        let mut c = image.clone_cow();
         c.reseed_for_trial(7);
         assert_eq!(a.state_digest(), c.state_digest());
     }
 
     #[test]
-    fn mutating_a_restored_device_leaves_the_snapshot_intact() {
-        let snap = SsdSnapshot::capture(&warmed_ssd(), 1);
-        let before = snap.fingerprint();
-        let mut restored = snap.restore();
-        restored.submit(HostCommand::write(
+    fn mutating_a_clone_leaves_the_image_intact() {
+        let image = warmed_ssd().capture(1);
+        let before = image.fingerprint();
+        let mut clone = image.clone_cow();
+        clone.submit(HostCommand::write(
             200,
             0,
             Lba::new(0),
             SectorCount::new(8),
             0xFACE,
         ));
-        restored.advance_to(restored.now() + pfault_sim::SimDuration::from_millis(10));
-        assert_ne!(restored.state_digest(), before);
-        assert_eq!(snap.restore().state_digest(), before);
+        clone.advance_to(clone.now() + pfault_sim::SimDuration::from_millis(10));
+        assert_ne!(clone.state_digest(), before);
+        assert!(
+            clone.flash_overlay_blocks() > 0,
+            "the write must land in the clone's private overlay"
+        );
+        assert_eq!(image.clone_cow().state_digest(), before);
+    }
+
+    #[test]
+    fn delta_from_shares_the_base_arena() {
+        let base = warmed_ssd().capture(7);
+        // Evolve a clone into a "later sweep point" and capture it.
+        let mut later = base.clone_cow();
+        for i in 0..8 {
+            later.submit(HostCommand::write(
+                300 + i,
+                0,
+                Lba::new(1024 + i * 8),
+                SectorCount::new(8),
+                0xA5A5 + i,
+            ));
+            later.advance_to(later.now() + pfault_sim::SimDuration::from_millis(2));
+            later.drain_completions();
+        }
+        later.quiesce();
+        let digest = later.state_digest();
+        let full = later.capture(7);
+        assert!(!full.shares_base_with(&base), "capture reflattens");
+
+        let delta = full.delta_from(&base).expect("evolved from base");
+        assert!(delta.shares_base_with(&base), "delta rides the base arena");
+        assert!(
+            delta.overlay_blocks() > 0 && delta.overlay_blocks() < 40,
+            "delta holds only the touched blocks: {}",
+            delta.overlay_blocks()
+        );
+        assert_eq!(delta.fingerprint(), full.fingerprint());
+        assert_eq!(delta.clone_cow().state_digest(), digest);
+
+        // Clones of the delta and of the full image are byte-equivalent.
+        let mut from_full = full.clone_cow();
+        let mut from_delta = delta.clone_cow();
+        for ssd in [&mut from_full, &mut from_delta] {
+            ssd.reseed_for_trial(5);
+            ssd.submit(HostCommand::write(
+                400,
+                0,
+                Lba::new(0),
+                SectorCount::new(16),
+                0xC0DE,
+            ));
+            ssd.advance_to(ssd.now() + pfault_sim::SimDuration::from_millis(5));
+        }
+        assert_eq!(from_full.state_digest(), from_delta.state_digest());
+        assert_eq!(from_full.drain_completions(), from_delta.drain_completions());
+    }
+
+    #[test]
+    fn delta_from_rejects_incompatible_images() {
+        let a = warmed_ssd().capture(1);
+
+        // A different flash geometry can never share an arena: slot
+        // indexing would not line up.
+        let mut config = VendorPreset::SsdB.config();
+        config.geometry = pfault_flash::FlashGeometry::new(512, 64);
+        config.ftl = pfault_ftl::FtlConfig::for_geometry(config.geometry);
+        let mut other = Ssd::new(config, DetRng::new(10));
+        other.submit(HostCommand::write(
+            0,
+            0,
+            Lba::new(9000),
+            SectorCount::new(8),
+            0x1111,
+        ));
+        other.advance_to(SimTime::from_millis(50));
+        other.quiesce();
+        let b = other.capture(2);
+        assert!(b.delta_from(&a).is_none(), "geometry mismatch must not rebase");
+        assert!(a.delta_from(&b).is_none(), "rejection is symmetric");
+
+        // A delta image is not flattened, so it cannot serve as a rebase
+        // source or target a second time.
+        let mut later = a.clone_cow();
+        later.submit(HostCommand::write(1, 0, Lba::new(0), SectorCount::new(8), 0x2222));
+        later.advance_to(later.now() + pfault_sim::SimDuration::from_millis(5));
+        later.quiesce();
+        let delta = later.capture(1).delta_from(&a).expect("evolved from a");
+        assert!(
+            delta.delta_from(&a).is_none(),
+            "delta images cannot be re-deltaed"
+        );
     }
 }

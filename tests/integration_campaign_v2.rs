@@ -1,11 +1,13 @@
-//! Campaign engine v2 integration: warm-snapshot cloning and every
+//! Campaign engine v2 integration: warm-image cloning and every
 //! execution engine must be invisible in the results.
 //!
-//! The contract under test (DESIGN.md §11): for one `(TrialConfig,
-//! vendor)` configuration, a trial that clone-restores the shared warm
-//! snapshot classifies **identically** to a trial that replays the
-//! warm-up prefix from a cold device — for *arbitrary* seeds and
-//! vendors, not just the presets the unit tests happen to pick. And the
+//! The contract under test (DESIGN.md §11, §14): for one `(TrialConfig,
+//! vendor)` configuration, a trial that copy-on-write-clones the shared
+//! warm [`pfault_ssd::DeviceImage`] classifies **identically** to a
+//! trial that replays the warm-up prefix from a cold device — for
+//! *arbitrary* seeds and vendors, not just the presets the unit tests
+//! happen to pick, and regardless of how many blocks the trial dirties
+//! in its private overlay (zero-dirty through all-dirty). And the
 //! serial, striped-parallel, and work-stealing engines must emit
 //! byte-identical `CampaignReport`s (including the order-sensitive
 //! Welford `obs` aggregates), with the snapshot cache on or off.
@@ -14,6 +16,8 @@ use proptest::prelude::*;
 
 use pfault_platform::campaign::{Campaign, CampaignConfig, CampaignReport};
 use pfault_platform::platform::{TestPlatform, TrialConfig};
+use pfault_sim::{DetRng, Lba, SectorCount, SimDuration};
+use pfault_ssd::device::{HostCommand, Ssd};
 use pfault_ssd::VendorPreset;
 
 /// A small-geometry trial template on the given vendor with a warm-up
@@ -41,11 +45,37 @@ fn bytes(report: &CampaignReport) -> String {
     serde_json::to_string(report).expect("reports serialize")
 }
 
+/// Drives `ssd` through a reproducible IO pattern of `writes` random
+/// 8-sector writes: `0` leaves the copy-on-write overlay empty (no
+/// block is ever touched), larger counts overwrite warm blocks and
+/// materialise brand-new ones until the whole warm working set is
+/// dirty.
+fn drive_pattern(ssd: &mut Ssd, seed: u64, writes: u64) {
+    let mut rng = DetRng::new(seed).fork("pattern");
+    for i in 0..writes {
+        // Spread over a wide LBA range so high fractions overwrite warm
+        // blocks *and* materialise brand-new ones.
+        let lba = Lba::new(rng.below(1 << 16) * 8);
+        ssd.submit(HostCommand::write(
+            1000 + i,
+            0,
+            lba,
+            SectorCount::new(8),
+            0xD1A7 ^ i,
+        ));
+        ssd.advance_to(ssd.now() + SimDuration::from_millis(1));
+        ssd.drain_completions();
+    }
+    ssd.quiesce();
+    ssd.drain_completions();
+}
+
 proptest! {
-    /// Snapshot-restore is replay-from-cold, for any seed, any vendor,
-    /// any warm-up length: same outcome, field for field.
+    /// Image-clone is replay-from-cold, for any seed, any vendor, any
+    /// warm-up length: same outcome, field for field (classification,
+    /// obs counters — everything `TrialOutcome` carries).
     #[test]
-    fn snapshot_restore_classifies_like_cold_replay(
+    fn cow_clone_classifies_like_cold_replay(
         seed in 0u64..u64::MAX / 2,
         vendor_idx in 0usize..3,
         warmup in 1usize..12,
@@ -53,21 +83,77 @@ proptest! {
         let vendor = VendorPreset::all()[vendor_idx];
         let platform = TestPlatform::new(warm_trial(vendor, warmup));
         let cold = platform.run_trial(seed);
-        let snapshot = platform.warm_snapshot();
-        let restored = platform.run_trial_from_snapshot(&snapshot, seed);
-        prop_assert_eq!(format!("{cold:?}"), format!("{restored:?}"));
+        let image = platform.warm_image();
+        let cloned = platform.run_trial_from_image(&image, seed);
+        prop_assert_eq!(format!("{cold:?}"), format!("{cloned:?}"));
     }
 
-    /// The snapshot itself is a pure function of the configuration:
+    /// The image itself is a pure function of the configuration:
     /// capturing twice yields the same fingerprint, and a different
     /// vendor yields a different one.
     #[test]
-    fn warm_snapshots_are_config_pure(warmup in 1usize..8) {
+    fn warm_images_are_config_pure(warmup in 1usize..8) {
         let a = TestPlatform::new(warm_trial(VendorPreset::SsdA, warmup));
         let b = TestPlatform::new(warm_trial(VendorPreset::SsdB, warmup));
-        let first = a.warm_snapshot().fingerprint();
-        prop_assert_eq!(first, a.warm_snapshot().fingerprint());
-        prop_assert!(first != b.warm_snapshot().fingerprint());
+        let first = a.warm_image().fingerprint();
+        prop_assert_eq!(first, a.warm_image().fingerprint());
+        prop_assert!(first != b.warm_image().fingerprint());
+    }
+
+    /// Two CoW clones of one image evolve byte-identically across the
+    /// dirty-page spectrum: `writes = 0` never materialises an overlay
+    /// block, larger counts overwrite warm blocks and allocate fresh
+    /// ones. State digests (which fold in the RNG stream position) must
+    /// agree throughout, and the shared image must come out untouched.
+    #[test]
+    fn cow_overlay_is_transparent_across_dirty_patterns(
+        seed in 0u64..u64::MAX / 2,
+        vendor_idx in 0usize..3,
+        writes in 0u64..25,
+    ) {
+        let vendor = VendorPreset::all()[vendor_idx];
+        let platform = TestPlatform::new(warm_trial(vendor, 8));
+        let warm = platform.warm_image();
+        let mut a = warm.clone_cow();
+        a.reseed_for_trial(seed);
+        let mut b = warm.clone_cow();
+        b.reseed_for_trial(seed);
+        drive_pattern(&mut a, seed, writes);
+        drive_pattern(&mut b, seed, writes);
+        prop_assert_eq!(a.state_digest(), b.state_digest());
+        prop_assert_eq!(a.flash_overlay_blocks(), b.flash_overlay_blocks());
+        if writes == 0 {
+            prop_assert_eq!(a.flash_overlay_blocks(), 0, "zero-dirty trials copy nothing up");
+        }
+        // The image is immune to everything its clones did.
+        prop_assert_eq!(warm.clone_cow().state_digest(), warm.fingerprint());
+    }
+
+    /// Delta images are transparent: a trial cloned from
+    /// `full.delta_from(base)` classifies identically to one cloned
+    /// from the full image (and to cold replay, by transitivity).
+    #[test]
+    fn delta_images_classify_like_their_full_image(
+        seed in 0u64..u64::MAX / 2,
+        vendor_idx in 0usize..3,
+    ) {
+        let vendor = VendorPreset::all()[vendor_idx];
+        let platform = TestPlatform::new(warm_trial(vendor, 9));
+        let base = platform.warm_image();
+        let mut evolved = base.clone_cow();
+        drive_pattern(&mut evolved, seed ^ 0xA11CE, 12);
+        let digest = evolved.state_digest();
+        let full = evolved.capture(base.config_digest());
+        prop_assert_eq!(full.fingerprint(), digest);
+        let delta = full.delta_from(&base).expect("evolved from base");
+        prop_assert!(delta.shares_base_with(&base));
+        let mut a = full.clone_cow();
+        let mut b = delta.clone_cow();
+        a.reseed_for_trial(seed);
+        b.reseed_for_trial(seed);
+        drive_pattern(&mut a, seed, 16);
+        drive_pattern(&mut b, seed, 16);
+        prop_assert_eq!(a.state_digest(), b.state_digest());
     }
 }
 
