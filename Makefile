@@ -24,6 +24,13 @@
 #                  half-apply must poison strictly more than
 #                  discard-whole, and same-seed reports must be
 #                  byte-identical
+#   make serve-smoke — campaign-daemon gate (<30 s): the serve
+#                  experiment kills a daemon mid-campaign, restarts it
+#                  over the same spool, and exits non-zero unless the
+#                  resumed report is byte-identical to an uninterrupted
+#                  run, event delivery is exactly-once, the bounded
+#                  queue answered Busy, and drain left a resumable
+#                  checkpoint behind
 #   make bench   — campaign engine benchmark; rewrites BENCH_campaign.json
 #   make bench-smoke — CI-sized campaign bench: copy-on-write cloning
 #                  must be ≥2x replay-from-cold (both paths sped up
@@ -33,7 +40,7 @@
 
 CARGO ?= cargo
 
-.PHONY: all build test lint lint-core lint-workspace sweep-smoke obs-smoke recovery-smoke fleet-smoke kv-smoke bench bench-smoke check clean
+.PHONY: all build test lint lint-core lint-workspace sweep-smoke obs-smoke recovery-smoke fleet-smoke kv-smoke serve-smoke bench bench-smoke check clean
 
 all: check
 
@@ -55,8 +62,10 @@ sweep-smoke: build
 # in their libraries and binaries outright. The flash arena and the
 # device/image layer joined the gate with Snapshot v3: every campaign
 # trial clones through them, so a panic there kills whole campaigns.
+# The serve daemon joined with campaign-as-a-service: one panicking
+# connection or job thread must never take down the other jobs.
 lint-core:
-	$(CARGO) clippy -p pfault-platform -p pfault-fleet -p pfault-kv -p pfault-flash -p pfault-ssd --all-targets -- -D warnings -D clippy::unwrap_used
+	$(CARGO) clippy -p pfault-platform -p pfault-fleet -p pfault-kv -p pfault-flash -p pfault-ssd -p pfault-serve --all-targets -- -D warnings -D clippy::unwrap_used
 
 lint-workspace:
 	$(CARGO) clippy --workspace --all-targets -- -D warnings
@@ -123,7 +132,13 @@ bench: build
 bench-smoke: build
 	./target/release/campaignbench --smoke --out target/bench-smoke.json
 
-check: build lint test sweep-smoke obs-smoke recovery-smoke fleet-smoke kv-smoke bench-smoke
+# Self-checking: the serve experiment spins up real daemons on loopback
+# sockets and exits non-zero unless every durability and backpressure
+# property held (see crates/serve/src/selfcheck.rs).
+serve-smoke: build
+	./target/release/repro --exp serve --seed 11
+
+check: build lint test sweep-smoke obs-smoke recovery-smoke fleet-smoke kv-smoke serve-smoke bench-smoke
 
 clean:
 	$(CARGO) clean

@@ -9,6 +9,12 @@
 //!       [--watchdog-events N] [--threads N]
 //!       [--engine auto|serial|striped|stealing] [--warmup N]
 //!       [--snapshot-cache on|off]
+//! repro serve [--addr A] [--spool DIR] [--workers N] [--queue N]
+//!       [--heartbeat-ms N] [--io-timeout-ms N] [--checkpoint-every K]
+//! repro servectl ping|submit|attach|status|metrics|shutdown
+//!       [--addr A] [--job N] [--from-seq N] [--seed N] [--trials N]
+//!       [--requests N] [--warmup N] [--profile tiny|paper] [--exp NAME]
+//!       [--attempts N] [--backoff-ms N] [--io-timeout-ms N]
 //! ```
 //!
 //! Every experiment lives in the `pfault-platform` experiment registry
@@ -38,15 +44,25 @@ use std::process::ExitCode;
 
 use pfault_bench::{ScaleArg, DEFAULT_SEED};
 use pfault_platform::experiments::{all, find, EngineArg, ExperimentCtx, ExperimentOpts};
+use pfault_serve::{Client, Daemon, DaemonConfig, JobSpec, Request, Response};
 
 fn main() -> ExitCode {
+    let argv: Vec<String> = env::args().skip(1).collect();
+    // Subcommands: `repro serve` runs the campaign daemon in the
+    // foreground, `repro servectl` is its client. Everything else is
+    // the classic flag-driven experiment driver.
+    match argv.first().map(String::as_str) {
+        Some("serve") => return run_serve(&argv[1..]),
+        Some("servectl") => return run_servectl(&argv[1..]),
+        _ => {}
+    }
     let mut scale = ScaleArg::Quick;
     let mut seed = DEFAULT_SEED;
     let mut exp = String::from("all");
     let mut json_path: Option<String> = None;
     let mut list_exps = false;
     let mut opts = ExperimentOpts::default();
-    let mut args = env::args().skip(1);
+    let mut args = argv.into_iter();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--trials" => match num_flag(&mut args, "--trials") {
@@ -159,6 +175,17 @@ fn main() -> ExitCode {
                      recorded fault site and checks\n\
                      recovery invariants; --inject-crc-bug seeds the apply-before-\
                      verify bug, --minimize shrinks the repro\n\
+                     serve mode (--exp serve, not part of 'all') self-checks the \
+                     campaign daemon end to end:\n\
+                     kill/restart resume, exactly-once streams, backpressure, and \
+                     graceful drain\n\
+                     subcommands: 'repro serve' runs the daemon in the foreground \
+                     (--addr --spool --workers\n\
+                     --queue --heartbeat-ms --io-timeout-ms --checkpoint-every); \
+                     'repro servectl' drives it\n\
+                     (ping|submit|attach|status|metrics|shutdown, with --addr --job \
+                     --from-seq --seed --trials\n\
+                     --requests --warmup --profile --attempts --backoff-ms)\n\
                      --list-exps prints every registered experiment with a one-line \
                      description"
                 );
@@ -175,6 +202,14 @@ fn main() -> ExitCode {
             let suffix = if e.in_all() { "" } else { "  (not part of 'all')" };
             println!("{:<18} {}{suffix}", e.name(), e.describe());
         }
+        // Lives in pfault-serve (which depends on the platform, so it
+        // cannot register in the platform's static registry).
+        let serve = pfault_serve::experiment();
+        println!(
+            "{:<18} {}  (not part of 'all')",
+            serve.name(),
+            serve.describe()
+        );
         return ExitCode::SUCCESS;
     }
     let ctx = ExperimentCtx {
@@ -199,9 +234,13 @@ fn main() -> ExitCode {
             }
         }
     } else {
-        let Some(e) = find(&exp) else {
-            eprintln!("unknown experiment '{exp}'");
-            return ExitCode::FAILURE;
+        let e = match find(&exp) {
+            Some(e) => e,
+            None if exp == "serve" => pfault_serve::experiment(),
+            None => {
+                eprintln!("unknown experiment '{exp}'");
+                return ExitCode::FAILURE;
+            }
         };
         match e.run(&ctx) {
             Ok(report) => {
@@ -249,4 +288,204 @@ fn num_flag(args: &mut impl Iterator<Item = String>, name: &str) -> Result<u64, 
         eprintln!("bad {name} '{v}' (expected a number)");
         ExitCode::FAILURE
     })
+}
+
+/// `repro serve`: the campaign daemon in the foreground. Runs until a
+/// client sends `shutdown`, then drains (in-flight jobs checkpoint, the
+/// queue stays spooled, the socket closes last) and exits.
+fn run_serve(argv: &[String]) -> ExitCode {
+    let mut config = DaemonConfig::new("serve-spool");
+    config.addr = "127.0.0.1:7077".to_string();
+    let mut args = argv.iter().cloned();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => config.addr = args.next().unwrap_or_default(),
+            "--spool" => config.spool_dir = args.next().unwrap_or_default().into(),
+            "--workers" => match num_flag(&mut args, "--workers") {
+                Ok(n) => config.workers = n.max(1) as usize,
+                Err(code) => return code,
+            },
+            "--queue" => match num_flag(&mut args, "--queue") {
+                Ok(n) => config.queue_capacity = n.max(1) as usize,
+                Err(code) => return code,
+            },
+            "--heartbeat-ms" => match num_flag(&mut args, "--heartbeat-ms") {
+                Ok(n) => config.heartbeat_ms = n,
+                Err(code) => return code,
+            },
+            "--io-timeout-ms" => match num_flag(&mut args, "--io-timeout-ms") {
+                Ok(n) => config.io_timeout_ms = n,
+                Err(code) => return code,
+            },
+            "--checkpoint-every" => match num_flag(&mut args, "--checkpoint-every") {
+                Ok(n) => config.checkpoint_every = n.max(1),
+                Err(code) => return code,
+            },
+            other => {
+                eprintln!("unknown serve argument '{other}'");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let spool = config.spool_dir.display().to_string();
+    match Daemon::start(config) {
+        Ok(daemon) => {
+            println!(
+                "pfault-serve listening on {} (spool: {spool})",
+                daemon.local_addr()
+            );
+            daemon.join();
+            println!("drained; spool retained at {spool}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("daemon failed to start: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `repro servectl ACTION`: client for a running daemon, with
+/// exponential backoff + deterministic jitter on connect and on a
+/// `Busy` queue.
+fn run_servectl(argv: &[String]) -> ExitCode {
+    let Some(action) = argv.first().cloned() else {
+        eprintln!("servectl needs an action: ping|submit|attach|status|metrics|shutdown");
+        return ExitCode::FAILURE;
+    };
+    let mut addr = "127.0.0.1:7077".to_string();
+    let mut job = 0u64;
+    let mut from_seq = 0u64;
+    let mut attempts = 5u32;
+    let mut backoff_ms = 50u64;
+    let mut io_timeout_ms = 5_000u64;
+    let mut spec = JobSpec::tiny_campaign(DEFAULT_SEED);
+    let mut args = argv[1..].iter().cloned();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => addr = args.next().unwrap_or_default(),
+            "--job" => match num_flag(&mut args, "--job") {
+                Ok(n) => job = n,
+                Err(code) => return code,
+            },
+            "--from-seq" => match num_flag(&mut args, "--from-seq") {
+                Ok(n) => from_seq = n,
+                Err(code) => return code,
+            },
+            "--attempts" => match num_flag(&mut args, "--attempts") {
+                Ok(n) => attempts = n.max(1) as u32,
+                Err(code) => return code,
+            },
+            "--backoff-ms" => match num_flag(&mut args, "--backoff-ms") {
+                Ok(n) => backoff_ms = n.max(1),
+                Err(code) => return code,
+            },
+            "--io-timeout-ms" => match num_flag(&mut args, "--io-timeout-ms") {
+                Ok(n) => io_timeout_ms = n,
+                Err(code) => return code,
+            },
+            "--seed" => match num_flag(&mut args, "--seed") {
+                Ok(n) => spec.seed = n,
+                Err(code) => return code,
+            },
+            "--trials" => match num_flag(&mut args, "--trials") {
+                Ok(n) => spec.trials = n,
+                Err(code) => return code,
+            },
+            "--requests" => match num_flag(&mut args, "--requests") {
+                Ok(n) => spec.requests_per_trial = n,
+                Err(code) => return code,
+            },
+            "--warmup" => match num_flag(&mut args, "--warmup") {
+                Ok(n) => spec.warmup = n,
+                Err(code) => return code,
+            },
+            "--checkpoint-every" => match num_flag(&mut args, "--checkpoint-every") {
+                Ok(n) => spec.checkpoint_every = n,
+                Err(code) => return code,
+            },
+            "--profile" => spec.profile = args.next().unwrap_or_default(),
+            "--exp" => spec.exp = args.next().unwrap_or_default(),
+            other => {
+                eprintln!("unknown servectl argument '{other}'");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let client = Client::connect_backoff(&addr, io_timeout_ms, attempts, backoff_ms, spec.seed);
+    let mut client = match client {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match action.as_str() {
+        "ping" => client.call(&Request::Ping).map(|r| {
+            println!("{r:?}");
+        }),
+        "submit" => client
+            .submit_backoff(&spec, attempts, backoff_ms, spec.seed)
+            .map(|id| {
+                println!("accepted job {id}");
+            }),
+        "attach" => client.attach(job, from_seq).map(|stream| {
+            use std::io::Write as _;
+            let stdout = std::io::stdout();
+            let mut out = stdout.lock();
+            for event in stream {
+                match event {
+                    Ok(e) => match serde_json::to_string(&e) {
+                        Ok(line) => {
+                            // A closed downstream pipe (`| head`) ends
+                            // the stream, it doesn't crash the client.
+                            if writeln!(out, "{line}").is_err() {
+                                break;
+                            }
+                        }
+                        Err(err) => eprintln!("unserializable event: {err}"),
+                    },
+                    Err(e) => {
+                        eprintln!("stream broke: {e}");
+                        break;
+                    }
+                }
+            }
+        }),
+        "status" => client.call(&Request::Status).map(|r| {
+            if let Response::JobList { jobs } = r {
+                println!("job  state            completed/trials  events  cache hit/miss");
+                for j in jobs {
+                    println!(
+                        "{:<4} {:<16} {:>9}/{:<6} {:>6}  {}/{}",
+                        j.job, j.state, j.completed, j.trials, j.events, j.cache_hits,
+                        j.cache_misses
+                    );
+                }
+            } else {
+                println!("{r:?}");
+            }
+        }),
+        "metrics" => client.call(&Request::Metrics { job }).map(|r| {
+            if let Response::MetricsSnapshot { jsonl, .. } = r {
+                print!("{jsonl}");
+            } else {
+                println!("{r:?}");
+            }
+        }),
+        "shutdown" => client.call(&Request::Shutdown).map(|r| {
+            println!("{r:?}");
+        }),
+        other => {
+            eprintln!("unknown action '{other}' (ping|submit|attach|status|metrics|shutdown)");
+            return ExitCode::FAILURE;
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
 }

@@ -291,6 +291,46 @@ struct CampaignCheckpoint {
 // versions are rejected loudly instead.
 const CHECKPOINT_VERSION: u32 = 5;
 
+/// Per-trial progress handed to a [`Campaign::run_observed`] observer
+/// after the trial's result has been absorbed (and, at checkpoint
+/// boundaries, after the checkpoint hit disk — so an observer that
+/// persists progress can rely on the snapshot being durable first).
+#[derive(Debug)]
+pub struct CampaignProgress<'a> {
+    /// Trials absorbed so far (`1..=trials`).
+    pub completed: u64,
+    /// Total trials the campaign will run.
+    pub trials: u64,
+    /// Whether a boundary checkpoint was written just before this call.
+    pub checkpointed: bool,
+    /// The report as of `completed` trials.
+    pub report: &'a CampaignReport,
+}
+
+/// An observer's verdict after each trial.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProgressSignal {
+    /// Keep running trials.
+    Continue,
+    /// Stop after this trial. If the campaign has a checkpoint
+    /// configured, the current prefix is checkpointed first, so a later
+    /// [`Campaign::resume_from`] picks up exactly here.
+    Pause,
+}
+
+/// Outcome of an observed run: the report so far plus whether the
+/// observer paused the campaign before all trials ran.
+#[derive(Debug, Clone)]
+pub struct ObservedRun {
+    /// The (possibly partial) aggregated report.
+    pub report: CampaignReport,
+    /// Trials absorbed into `report`.
+    pub completed: u64,
+    /// `true` iff the observer returned [`ProgressSignal::Pause`]
+    /// before the final trial.
+    pub paused: bool,
+}
+
 /// A campaign runner. Construct via [`Campaign::builder`] (or the
 /// [`Campaign::new`] shorthand for a default single-threaded campaign).
 #[derive(Debug, Clone)]
@@ -516,23 +556,62 @@ impl Campaign {
     /// Runs trials `start..trials` serially, absorbing into `report`.
     fn run_range(
         &self,
-        mut report: CampaignReport,
+        report: CampaignReport,
         start: u64,
     ) -> Result<CampaignReport, PlatformError> {
+        let run = self.run_range_observed(report, start, &mut |_| ProgressSignal::Continue)?;
+        Ok(run.report)
+    }
+
+    /// The serial trial loop with an observer in it: after every trial
+    /// the observer sees the absorbed prefix and may pause the campaign.
+    /// Boundary checkpoints are written *before* the observer runs; a
+    /// pause mid-stride checkpoints the current prefix (when configured)
+    /// so nothing completed is ever lost.
+    fn run_range_observed(
+        &self,
+        mut report: CampaignReport,
+        start: u64,
+        observer: &mut dyn FnMut(CampaignProgress<'_>) -> ProgressSignal,
+    ) -> Result<ObservedRun, PlatformError> {
         let platform = TestPlatform::new(self.trial_config());
         let image = self.campaign_image(&platform);
         let trials = self.config.trials as u64;
         for i in start..trials {
             let (result, retries_used) = self.run_one(&platform, image.as_deref(), i);
             report.absorb_result(i, result, retries_used);
+            let completed = i + 1;
+            let mut checkpointed = false;
             if let Some(spec) = &self.checkpoint {
-                let completed = i + 1;
                 if completed % spec.every == 0 && completed < trials {
                     self.write_checkpoint(spec, completed, &report)?;
+                    checkpointed = true;
                 }
             }
+            let signal = observer(CampaignProgress {
+                completed,
+                trials,
+                checkpointed,
+                report: &report,
+            });
+            if signal == ProgressSignal::Pause && completed < trials {
+                if let Some(spec) = &self.checkpoint {
+                    if !checkpointed {
+                        self.write_checkpoint(spec, completed, &report)?;
+                    }
+                }
+                return Ok(ObservedRun {
+                    report,
+                    completed,
+                    paused: true,
+                });
+            }
         }
-        Ok(report)
+        Ok(ObservedRun {
+            report,
+            completed: trials,
+            paused: false,
+        })
     }
 
     fn write_checkpoint(
@@ -582,7 +661,13 @@ impl Campaign {
     /// normally, so the final report is identical to an uninterrupted
     /// [`Campaign::run_checked`].
     pub fn resume_from(&self, path: impl AsRef<Path>) -> Result<CampaignReport, PlatformError> {
-        let text = std::fs::read_to_string(path.as_ref()).map_err(CheckpointError::Io)?;
+        let snapshot = self.load_checkpoint(path.as_ref())?;
+        self.run_range(snapshot.report, snapshot.completed)
+    }
+
+    /// Reads and validates a checkpoint written by this campaign.
+    fn load_checkpoint(&self, path: &Path) -> Result<CampaignCheckpoint, PlatformError> {
+        let text = std::fs::read_to_string(path).map_err(CheckpointError::Io)?;
         let snapshot: CampaignCheckpoint =
             serde_json::from_str(&text).map_err(|e| CheckpointError::Corrupt(e.to_string()))?;
         check_match("version", snapshot.version, CHECKPOINT_VERSION)?;
@@ -600,7 +685,51 @@ impl Campaign {
             ))
             .into());
         }
-        self.run_range(snapshot.report, snapshot.completed)
+        Ok(snapshot)
+    }
+
+    /// [`Campaign::run_checked`] with a per-trial observer: after every
+    /// absorbed trial (and after any boundary checkpoint has been made
+    /// durable) the observer sees the prefix report and may pause the
+    /// run. A paused campaign checkpoints its prefix (when configured)
+    /// and reports `paused = true`; resuming it later via
+    /// [`Campaign::resume_from`] / [`Campaign::resume_observed`] yields
+    /// a final report byte-identical to an uninterrupted run.
+    pub fn run_observed(
+        &self,
+        observer: &mut dyn FnMut(CampaignProgress<'_>) -> ProgressSignal,
+    ) -> Result<ObservedRun, PlatformError> {
+        self.run_range_observed(CampaignReport::empty(), 0, observer)
+    }
+
+    /// [`Campaign::resume_from`] with a per-trial observer (see
+    /// [`Campaign::run_observed`]). Only the remaining trials run; the
+    /// observer's `completed` counts include the checkpointed prefix.
+    pub fn resume_observed(
+        &self,
+        path: impl AsRef<Path>,
+        observer: &mut dyn FnMut(CampaignProgress<'_>) -> ProgressSignal,
+    ) -> Result<ObservedRun, PlatformError> {
+        let snapshot = self.load_checkpoint(path.as_ref())?;
+        self.run_range_observed(snapshot.report, snapshot.completed, observer)
+    }
+
+    /// Trials already absorbed by the checkpoint at `path`, without
+    /// running anything — daemons use this to decide where a resumed
+    /// job's result stream picks up.
+    pub fn checkpoint_completed(&self, path: impl AsRef<Path>) -> Result<u64, PlatformError> {
+        Ok(self.load_checkpoint(path.as_ref())?.completed)
+    }
+
+    /// The checkpoint's `(completed, report)` pair, validated but not
+    /// run — daemons use the report to reconstruct the progress record
+    /// a crash may have kept out of their result journal.
+    pub fn checkpoint_snapshot(
+        &self,
+        path: impl AsRef<Path>,
+    ) -> Result<(u64, CampaignReport), PlatformError> {
+        let snapshot = self.load_checkpoint(path.as_ref())?;
+        Ok((snapshot.completed, snapshot.report))
     }
 
     /// Runs all trials across `threads` worker threads with static
@@ -1068,6 +1197,91 @@ mod tests {
             }
         }
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn observed_run_sees_every_trial_and_checkpoint_boundaries() {
+        let dir = std::env::temp_dir().join("pfault-checkpoint-test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("observed.json");
+        let _ = std::fs::remove_file(&path);
+
+        let campaign = Campaign::new(tiny_config(), 47).with_checkpoint(&path, 2);
+        let mut seen: Vec<(u64, bool)> = Vec::new();
+        let run = campaign
+            .run_observed(&mut |p| {
+                seen.push((p.completed, p.checkpointed));
+                assert_eq!(p.trials, 6);
+                assert_eq!(p.report.faults, p.completed);
+                ProgressSignal::Continue
+            })
+            .expect("observed run");
+        assert!(!run.paused);
+        assert_eq!(run.completed, 6);
+        assert_eq!(
+            seen,
+            vec![
+                (1, false),
+                (2, true),
+                (3, false),
+                (4, true),
+                (5, false),
+                (6, false) // final trial never checkpoints
+            ]
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn paused_run_checkpoints_and_resumes_byte_identically() {
+        let dir = std::env::temp_dir().join("pfault-checkpoint-test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("paused.json");
+        let _ = std::fs::remove_file(&path);
+
+        let plain = Campaign::new(tiny_config(), 53).run();
+        let campaign = Campaign::new(tiny_config(), 53).with_checkpoint(&path, 2);
+        // Pause after trial 3 — an off-boundary stride, so the pause
+        // itself must write the checkpoint.
+        let run = campaign
+            .run_observed(&mut |p| {
+                if p.completed == 3 {
+                    ProgressSignal::Pause
+                } else {
+                    ProgressSignal::Continue
+                }
+            })
+            .expect("paused run");
+        assert!(run.paused);
+        assert_eq!(run.completed, 3);
+        assert_eq!(campaign.checkpoint_completed(&path).expect("ckpt"), 3);
+
+        let resumed = campaign
+            .resume_observed(&path, &mut |p| {
+                assert!(p.completed > 3, "resume must not rerun the prefix");
+                ProgressSignal::Continue
+            })
+            .expect("resume");
+        assert!(!resumed.paused);
+        assert_eq!(
+            serde_json::to_string(&resumed.report).unwrap(),
+            serde_json::to_string(&plain).unwrap(),
+            "pause/resume must equal the uninterrupted run"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn pause_at_final_trial_is_a_completion() {
+        let campaign = Campaign::new(tiny_config(), 59);
+        let run = campaign
+            .run_observed(&mut |_| ProgressSignal::Pause)
+            .expect("run");
+        // No checkpoint configured: the pause after trial 1 ends the
+        // run with a partial report rather than erroring.
+        assert!(run.paused);
+        assert_eq!(run.completed, 1);
+        assert_eq!(run.report.faults, 1);
     }
 
     #[test]

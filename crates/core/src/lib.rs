@@ -66,13 +66,14 @@ pub mod sweep;
 
 pub use analyzer::{FailureKind, RequestVerdict};
 pub use campaign::{
-    Campaign, CampaignBuilder, CampaignConfig, CampaignReport, ObsAggregate, TrialFailures,
+    Campaign, CampaignBuilder, CampaignConfig, CampaignProgress, CampaignReport, ObsAggregate,
+    ObservedRun, ProgressSignal, TrialFailures,
 };
 pub use error::{CheckpointError, PlatformError, TrialError};
 pub use experiments::{EngineArg, Experiment, ExperimentCtx, ExperimentOpts, ExperimentReport};
 pub use platform::{TestPlatform, TrialConfig, TrialOutcome, Watchdog};
 pub use scheduler::{SchedulerStats, WorkerStats};
-pub use snapcache::{SnapshotCache, SnapshotCacheBuilder, SnapshotCacheStats};
+pub use snapcache::{SnapshotCache, SnapshotCacheBuilder, SnapshotCacheStats, StatsScope};
 pub use sweep::{
     IoOp, MinimalRepro, Phase, SweepConfig, SweepReport, Sweeper, Violation, ViolationKind,
 };

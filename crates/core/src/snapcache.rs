@@ -79,6 +79,46 @@ impl SnapshotCacheStats {
         }
         self.hits as f64 / total as f64
     }
+
+    /// The monotonic counters since `baseline` (saturating, so a
+    /// concurrent [`SnapshotCache::reset`] yields zeros rather than
+    /// wrapping). `entries` is instantaneous, not a delta.
+    pub fn delta_since(&self, baseline: &SnapshotCacheStats) -> SnapshotCacheStats {
+        SnapshotCacheStats {
+            hits: self.hits.saturating_sub(baseline.hits),
+            misses: self.misses.saturating_sub(baseline.misses),
+            entries: self.entries,
+            evictions: self.evictions.saturating_sub(baseline.evictions),
+            delta_images: self.delta_images.saturating_sub(baseline.delta_images),
+            poison_recoveries: self
+                .poison_recoveries
+                .saturating_sub(baseline.poison_recoveries),
+        }
+    }
+}
+
+/// A scoped view over one cache's counters: captures a baseline when
+/// opened and reports only what happened since. Daemon-hosted jobs each
+/// open a scope so their reports attribute hits/misses to *that* job
+/// instead of accumulating process-wide drift across every job the
+/// daemon ever ran.
+#[derive(Debug)]
+pub struct StatsScope<'a> {
+    cache: &'a SnapshotCache,
+    baseline: SnapshotCacheStats,
+}
+
+impl StatsScope<'_> {
+    /// Counter deltas since the scope opened (see
+    /// [`SnapshotCacheStats::delta_since`]).
+    pub fn delta(&self) -> SnapshotCacheStats {
+        self.cache.stats().delta_since(&self.baseline)
+    }
+
+    /// The baseline captured when the scope opened.
+    pub fn baseline(&self) -> SnapshotCacheStats {
+        self.baseline
+    }
 }
 
 /// Configures a [`SnapshotCache`]. Obtained from
@@ -248,6 +288,15 @@ impl SnapshotCache {
         }
     }
 
+    /// Opens a [`StatsScope`] over this cache: a handle whose
+    /// [`StatsScope::delta`] reports only activity after this call.
+    pub fn scope(&self) -> StatsScope<'_> {
+        StatsScope {
+            cache: self,
+            baseline: self.stats(),
+        }
+    }
+
     /// Drops every cached image and zeroes the counters (benchmark
     /// harnesses use this to isolate phases).
     pub fn reset(&self) {
@@ -283,6 +332,12 @@ pub fn stats() -> SnapshotCacheStats {
 /// [`SnapshotCache::reset`] on the [`global`] cache.
 pub fn reset() {
     global().reset()
+}
+
+/// [`SnapshotCache::scope`] on the [`global`] cache — the per-job
+/// attribution handle for daemon-hosted campaigns.
+pub fn scope() -> StatsScope<'static> {
+    global().scope()
 }
 
 #[cfg(test)]
@@ -434,6 +489,42 @@ mod tests {
             "campaign after a poisoned cache must still complete: {:?}",
             report.failures
         );
+    }
+
+    #[test]
+    fn scoped_stats_attribute_only_their_own_lookups() {
+        let cache = SnapshotCache::default();
+        // "Job A" warms two configurations.
+        let _ = cache.warm_image_for(&warm_platform(31));
+        let _ = cache.warm_image_for(&warm_platform(32));
+        assert_eq!(cache.stats().misses, 2, "job A cost two warm-ups");
+
+        // "Job B" opens a scope: its view starts at zero even though
+        // the cache already has history.
+        let scope = cache.scope();
+        assert_eq!(scope.delta().hits, 0);
+        assert_eq!(scope.delta().misses, 0);
+        let _ = cache.warm_image_for(&warm_platform(31)); // hit (A's entry)
+        let _ = cache.warm_image_for(&warm_platform(33)); // miss (new)
+        let d = scope.delta();
+        assert_eq!(d.hits, 1, "job B saw exactly one hit: {d:?}");
+        assert_eq!(d.misses, 1, "job B saw exactly one miss: {d:?}");
+        // The cumulative counters kept their drift.
+        assert_eq!(cache.stats().misses, 3);
+        assert_eq!(scope.baseline().misses, 2);
+    }
+
+    #[test]
+    fn scope_survives_a_concurrent_reset() {
+        let cache = SnapshotCache::default();
+        let _ = cache.warm_image_for(&warm_platform(34));
+        let scope = cache.scope();
+        cache.reset();
+        // Counters went backwards; the delta saturates at zero instead
+        // of wrapping to u64::MAX.
+        let d = scope.delta();
+        assert_eq!(d.hits, 0);
+        assert_eq!(d.misses, 0);
     }
 
     #[test]

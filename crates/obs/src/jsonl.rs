@@ -9,6 +9,7 @@
 use std::fmt::Write as _;
 
 use crate::event::ProbeEvent;
+use crate::metrics::Metrics;
 use crate::probe::ProbeRecord;
 
 /// Renders one record as a single JSON line (no trailing newline).
@@ -217,6 +218,66 @@ pub fn render_records(records: &[ProbeRecord]) -> String {
     out
 }
 
+/// Renders a metrics registry as JSONL for mid-run snapshots: one line
+/// per counter (`{"type":"counter","scope":…,"name":…,"value":…}`) and
+/// one per histogram (`…,"count":…,"buckets":[…]}`, trailing zero
+/// buckets trimmed). `scope` labels whose slice of a larger aggregate
+/// this is (`totals`, a failure class, …). Like [`render_record`], the
+/// layout is hand-rolled and byte-stable: a live `metrics` endpoint
+/// polled twice at the same progress point must serve identical bytes.
+pub fn render_metrics_jsonl(scope: &str, metrics: &Metrics) -> String {
+    let mut out = String::new();
+    for (name, value) in &metrics.counters {
+        let _ = write!(
+            out,
+            "{{\"type\":\"counter\",\"scope\":\"{}\",\"name\":\"{}\",\"value\":{value}}}",
+            escape_json(scope),
+            escape_json(name)
+        );
+        out.push('\n');
+    }
+    for (name, hist) in &metrics.histograms {
+        let _ = write!(
+            out,
+            "{{\"type\":\"histogram\",\"scope\":\"{}\",\"name\":\"{}\",\"count\":{},\"buckets\":[",
+            escape_json(scope),
+            escape_json(name),
+            hist.count()
+        );
+        let buckets = hist.buckets();
+        let trimmed = buckets
+            .iter()
+            .rposition(|&n| n > 0)
+            .map_or(0, |last| last + 1);
+        for (i, n) in buckets[..trimmed].iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{n}");
+        }
+        out.push_str("]}");
+        out.push('\n');
+    }
+    out
+}
+
+/// Minimal JSON string escaping for metric/scope names (dotted ASCII in
+/// practice, but the renderer must never emit malformed JSON).
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// The well-formedness view of one parsed JSONL line: the four header
 /// fields every record must carry.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -308,6 +369,36 @@ mod tests {
         let p = parse_jsonl_line(lines[1]).expect("well-formed");
         assert_eq!(p.layer, "power");
         assert_eq!(p.event, "power.volatile-lost");
+    }
+
+    #[test]
+    fn metrics_snapshot_is_stable_and_parseable() {
+        let mut m = Metrics::new();
+        m.incr("program.end", 3);
+        m.incr("power.cut", 1);
+        m.observe("program.us", 900);
+        m.observe("program.us", 120_000);
+        let text = render_metrics_jsonl("totals", &m);
+        assert_eq!(text, render_metrics_jsonl("totals", &m));
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3, "2 counters + 1 histogram: {text}");
+        // BTreeMap order: counters alphabetical, then histograms.
+        assert_eq!(
+            lines[0],
+            "{\"type\":\"counter\",\"scope\":\"totals\",\"name\":\"power.cut\",\"value\":1}"
+        );
+        for line in &lines {
+            let v = serde_json::parse_value_str(line).expect("valid JSON");
+            assert!(v.as_object().is_some());
+        }
+        let hist = lines[2];
+        assert!(hist.contains("\"count\":2"));
+        assert!(hist.contains("\"buckets\":["));
+        // Scope labels with quotes must stay well-formed JSON.
+        let odd = render_metrics_jsonl("we\"ird", &m);
+        for line in odd.lines() {
+            assert!(serde_json::parse_value_str(line).is_ok(), "line: {line}");
+        }
     }
 
     #[test]

@@ -32,6 +32,8 @@ pub mod metrics;
 pub mod probe;
 
 pub use event::{Layer, ProbeEvent, ProgramKind, RecoveryStepKind};
-pub use jsonl::{parse_jsonl_line, render_record, render_records, ParsedProbeLine};
+pub use jsonl::{
+    parse_jsonl_line, render_metrics_jsonl, render_record, render_records, ParsedProbeLine,
+};
 pub use metrics::{Log2Histogram, Metrics};
 pub use probe::{ProbeLog, ProbeRecord};

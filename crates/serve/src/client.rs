@@ -1,0 +1,210 @@
+//! A blocking client for the campaign daemon, built for flaky links:
+//! every connect can back off exponentially with deterministic jitter,
+//! every read honours a deadline, and a dropped stream is resumed by
+//! reattaching from the last acked sequence number — the daemon replays
+//! the journal, so nothing is lost and nothing is duplicated.
+
+use std::net::TcpStream;
+use std::time::Duration;
+
+use pfault_sim::rng::DetRng;
+
+use crate::frame::{read_frame, FrameError};
+use crate::proto::{decode_message, encode_message, JobEvent, JobSpec, Request, Response};
+
+/// Client-side failures, separating transport faults (worth a retry)
+/// from protocol surprises (a daemon answer that makes no sense here).
+#[derive(Debug)]
+pub enum ClientError {
+    /// Could not reach the daemon (after any configured backoff).
+    Connect(std::io::Error),
+    /// The transport tore mid-exchange.
+    Frame(FrameError),
+    /// The daemon's reply did not parse.
+    Malformed(String),
+    /// The daemon replied, but not with anything this call can use
+    /// (e.g. `Rejected` on submit, `Error` on attach).
+    Daemon(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Connect(e) => write!(f, "connect failed: {e}"),
+            ClientError::Frame(e) => write!(f, "transport error: {e}"),
+            ClientError::Malformed(m) => write!(f, "malformed reply: {m}"),
+            ClientError::Daemon(m) => write!(f, "daemon error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        ClientError::Frame(e)
+    }
+}
+
+/// One connection to the daemon. Request/response calls are strictly
+/// alternating frames; an attach turns the connection into an event
+/// stream until the job ends.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects once, with read/write deadlines.
+    pub fn connect(addr: &str, io_timeout_ms: u64) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr).map_err(ClientError::Connect)?;
+        let timeout = Duration::from_millis(io_timeout_ms.max(50));
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_read_timeout(Some(timeout));
+        let _ = stream.set_write_timeout(Some(timeout));
+        Ok(Client { stream })
+    }
+
+    /// Connects with exponential backoff and deterministic jitter:
+    /// attempt *k* sleeps `base_ms * 2^k` plus a seeded random slice of
+    /// the same, so a fleet of clients hammered by a daemon restart
+    /// does not reconnect in lockstep.
+    pub fn connect_backoff(
+        addr: &str,
+        io_timeout_ms: u64,
+        attempts: u32,
+        base_ms: u64,
+        seed: u64,
+    ) -> Result<Client, ClientError> {
+        let mut rng = DetRng::new(seed ^ 0x5e7e_c0de);
+        let mut last = None;
+        for attempt in 0..attempts.max(1) {
+            match Client::connect(addr, io_timeout_ms) {
+                Ok(client) => return Ok(client),
+                Err(e) => last = Some(e),
+            }
+            let step = base_ms.saturating_mul(1 << attempt.min(10));
+            let jitter = rng.below(step.max(1));
+            std::thread::sleep(Duration::from_millis(step + jitter));
+        }
+        Err(last.unwrap_or_else(|| {
+            ClientError::Connect(std::io::Error::other("no connection attempts made"))
+        }))
+    }
+
+    /// One request/response exchange.
+    pub fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
+        let frame = encode_message(request)?;
+        use std::io::Write as _;
+        self.stream
+            .write_all(&frame)
+            .map_err(|e| ClientError::Frame(FrameError::Io(e)))?;
+        self.stream
+            .flush()
+            .map_err(|e| ClientError::Frame(FrameError::Io(e)))?;
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> Result<Response, ClientError> {
+        let payload = read_frame(&mut self.stream)?;
+        decode_message(&payload).map_err(ClientError::Malformed)
+    }
+
+    /// Submits a job, translating the daemon's admission verdict:
+    /// `Ok(Some(id))` accepted, `Ok(None)` busy (retry with backoff),
+    /// `Err` rejected or broken.
+    pub fn submit(&mut self, spec: &JobSpec) -> Result<Option<u64>, ClientError> {
+        match self.call(&Request::Submit { spec: spec.clone() })? {
+            Response::Accepted { job } => Ok(Some(job)),
+            Response::Busy { .. } => Ok(None),
+            Response::Rejected { reason } | Response::Error { reason } => {
+                Err(ClientError::Daemon(reason))
+            }
+            other => Err(ClientError::Daemon(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Submits with bounded busy-retries (exponential backoff +
+    /// deterministic jitter between attempts).
+    pub fn submit_backoff(
+        &mut self,
+        spec: &JobSpec,
+        attempts: u32,
+        base_ms: u64,
+        seed: u64,
+    ) -> Result<u64, ClientError> {
+        let mut rng = DetRng::new(seed ^ 0xba_c0ff);
+        for attempt in 0..attempts.max(1) {
+            if let Some(job) = self.submit(spec)? {
+                return Ok(job);
+            }
+            let step = base_ms.saturating_mul(1 << attempt.min(10));
+            std::thread::sleep(Duration::from_millis(step + rng.below(step.max(1))));
+        }
+        Err(ClientError::Daemon("queue stayed busy".to_string()))
+    }
+
+    /// Attaches to a job's result stream from `from_seq` and returns an
+    /// iterator of events. Heartbeats are consumed silently; the stream
+    /// ends after a terminal (`done`/`failed`) event, on
+    /// `ShuttingDown`, or with the first transport error.
+    pub fn attach(&mut self, job: u64, from_seq: u64) -> Result<EventStream<'_>, ClientError> {
+        let frame = encode_message(&Request::Attach { job, from_seq })?;
+        use std::io::Write as _;
+        self.stream
+            .write_all(&frame)
+            .and_then(|()| self.stream.flush())
+            .map_err(|e| ClientError::Frame(FrameError::Io(e)))?;
+        Ok(EventStream {
+            client: self,
+            finished: false,
+        })
+    }
+}
+
+/// Iterator over a job's streamed [`JobEvent`]s (see
+/// [`Client::attach`]). `None` after a terminal event or
+/// `ShuttingDown`; transport and protocol failures surface as one final
+/// `Some(Err(..))`.
+pub struct EventStream<'a> {
+    client: &'a mut Client,
+    finished: bool,
+}
+
+impl Iterator for EventStream<'_> {
+    type Item = Result<JobEvent, ClientError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.finished {
+            return None;
+        }
+        loop {
+            match self.client.read_response() {
+                Ok(Response::Event { event }) => {
+                    if event.kind != "progress" {
+                        self.finished = true;
+                    }
+                    return Some(Ok(event));
+                }
+                Ok(Response::Heartbeat) => continue,
+                Ok(Response::ShuttingDown) => {
+                    self.finished = true;
+                    return None;
+                }
+                Ok(Response::Error { reason }) => {
+                    self.finished = true;
+                    return Some(Err(ClientError::Daemon(reason)));
+                }
+                Ok(other) => {
+                    self.finished = true;
+                    return Some(Err(ClientError::Daemon(format!(
+                        "unexpected reply {other:?}"
+                    ))));
+                }
+                Err(e) => {
+                    self.finished = true;
+                    return Some(Err(e));
+                }
+            }
+        }
+    }
+}

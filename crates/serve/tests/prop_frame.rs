@@ -1,0 +1,85 @@
+//! Property tests for the wire framing: whatever the network does to a
+//! frame — deliver it, tear it at any byte, or flip any bit — the
+//! decoder answers with the payload or a clean protocol error. It never
+//! panics, and it never hands back a payload that differs from what was
+//! sent.
+
+use proptest::prelude::*;
+
+use pfault_serve::frame::{decode_frame, encode_frame, read_frame, FrameError, HEADER_BYTES};
+
+proptest! {
+    /// Encode → decode is the identity, for payloads of any content and
+    /// size, and consumes exactly the frame.
+    #[test]
+    fn roundtrip_is_identity(payload in prop::collection::vec(any::<u8>(), 0..512)) {
+        let frame = encode_frame(&payload);
+        prop_assert_eq!(frame.len(), HEADER_BYTES + payload.len());
+        let (decoded, used) = decode_frame(&frame).expect("intact frame decodes");
+        prop_assert_eq!(decoded, payload);
+        prop_assert_eq!(used, frame.len());
+    }
+
+    /// A frame cut at any byte decodes to a clean error — `Closed` at
+    /// the exact boundary, `Truncated` anywhere inside — and never to a
+    /// payload.
+    #[test]
+    fn any_truncation_is_a_clean_error(
+        payload in prop::collection::vec(any::<u8>(), 0..256),
+        cut_sel: u64,
+    ) {
+        let frame = encode_frame(&payload);
+        let cut = (cut_sel % frame.len() as u64) as usize;
+        match decode_frame(&frame[..cut]) {
+            Err(FrameError::Closed) => prop_assert_eq!(cut, 0),
+            Err(FrameError::Truncated { missing }) => {
+                prop_assert!(missing > 0);
+                // Inside the header the decoder can only know the
+                // header's own shortfall; past it, the full tally.
+                if cut >= HEADER_BYTES {
+                    prop_assert_eq!(missing, frame.len() - cut);
+                }
+            }
+            other => prop_assert!(false, "cut at {} gave {:?}", cut, other),
+        }
+        // The streaming reader agrees (modulo Closed-at-zero).
+        let mut cursor = std::io::Cursor::new(frame[..cut].to_vec());
+        prop_assert!(read_frame(&mut cursor).is_err());
+    }
+
+    /// Flipping any single bit anywhere in the frame is detected: the
+    /// decode errors (bad magic, oversize, truncation, or CRC mismatch
+    /// depending on where the flip landed) — it never silently yields a
+    /// payload, let alone the original.
+    #[test]
+    fn any_bit_flip_is_detected(
+        payload in prop::collection::vec(any::<u8>(), 1..256),
+        flip_sel: u64,
+    ) {
+        let mut frame = encode_frame(&payload);
+        let bits = (frame.len() * 8) as u64;
+        let flip = flip_sel % bits;
+        frame[(flip / 8) as usize] ^= 1 << (flip % 8);
+        match decode_frame(&frame) {
+            Err(_) => {}
+            Ok((decoded, _)) => {
+                // A flip that somehow still decodes (e.g. a length bit
+                // flipped low with a colliding CRC) must at least never
+                // reproduce the original payload as if nothing happened.
+                prop_assert_ne!(decoded, payload, "flip at bit {} went unnoticed", flip);
+                prop_assert!(false, "flip at bit {} decoded successfully", flip);
+            }
+        }
+    }
+
+    /// Torn or corrupt streams never panic the reader: any byte soup is
+    /// either a valid first frame or a clean error.
+    #[test]
+    fn arbitrary_bytes_never_panic_the_reader(
+        soup in prop::collection::vec(any::<u8>(), 0..300),
+    ) {
+        let _ = decode_frame(&soup);
+        let mut cursor = std::io::Cursor::new(soup);
+        let _ = read_frame(&mut cursor);
+    }
+}
