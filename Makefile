@@ -31,6 +31,12 @@
 #                  run, event delivery is exactly-once, the bounded
 #                  queue answered Busy, and drain left a resumable
 #                  checkpoint behind
+#   make plan-smoke — adaptive-planner gate (<60 s): the plan
+#                  experiment exits non-zero unless the adaptive run
+#                  matches the fixed baseline's confidence bands at
+#                  ≥10x fewer trials, all engines reduce byte-equally,
+#                  and planned pause/resume is byte-identical; cmp
+#                  enforces deterministic same-seed reports
 #   make bench   — campaign engine benchmark; rewrites BENCH_campaign.json
 #   make bench-smoke — CI-sized campaign bench: copy-on-write cloning
 #                  must be ≥2x replay-from-cold (both paths sped up
@@ -40,7 +46,7 @@
 
 CARGO ?= cargo
 
-.PHONY: all build test lint lint-core lint-workspace sweep-smoke obs-smoke recovery-smoke fleet-smoke kv-smoke serve-smoke bench bench-smoke check clean
+.PHONY: all build test lint lint-core lint-workspace sweep-smoke obs-smoke recovery-smoke fleet-smoke kv-smoke serve-smoke plan-smoke bench bench-smoke check clean
 
 all: check
 
@@ -138,7 +144,17 @@ bench-smoke: build
 serve-smoke: build
 	./target/release/repro --exp serve --seed 11
 
-check: build lint test sweep-smoke obs-smoke recovery-smoke fleet-smoke kv-smoke serve-smoke bench-smoke
+# Self-checking: the plan experiment exits non-zero unless the ≥10x
+# trial-saving, engine byte-equality, splitting determinism, and
+# planned resume properties all held (see
+# crates/core/src/experiments/plan.rs); cmp enforces byte-identical
+# same-seed reports.
+plan-smoke: build
+	./target/release/repro --exp plan --json target/plan-a.json
+	./target/release/repro --exp plan --json target/plan-b.json
+	cmp target/plan-a.json target/plan-b.json
+
+check: build lint test sweep-smoke obs-smoke recovery-smoke fleet-smoke kv-smoke serve-smoke plan-smoke bench-smoke
 
 clean:
 	$(CARGO) clean

@@ -36,6 +36,7 @@ use std::time::Instant;
 
 use pfault_bench::DEFAULT_SEED;
 use pfault_platform::campaign::{Campaign, CampaignConfig, CampaignReport};
+use pfault_platform::plan::PlanSpec;
 use pfault_platform::snapcache::SnapshotCacheStats;
 use pfault_platform::{snapcache, SchedulerStats};
 
@@ -108,6 +109,7 @@ fn bench_config(trials: usize, warmup: usize) -> CampaignConfig {
 
 fn campaign(config: &CampaignConfig, seed: u64, threads: usize, cache: bool) -> Campaign {
     Campaign::builder(*config)
+        .plan(PlanSpec::fixed(config.trials as u64))
         .seed(seed)
         .threads(threads)
         .snapshot_cache(cache)

@@ -4,7 +4,8 @@
 //!
 //! ```text
 //! repro [--scale quick|paper] [--seed N] [--exp NAME] [--json FILE]
-//!       [--list-exps] [--trials N] [--retries N] [--checkpoint FILE]
+//!       [--list-exps] [--trials N] [--plan fixed:N|ci:EPS[:CONF]|split:LEVELS]
+//!       [--retries N] [--checkpoint FILE]
 //!       [--checkpoint-every K] [--resume] [--watchdog-ms N]
 //!       [--watchdog-events N] [--threads N]
 //!       [--engine auto|serial|striped|stealing] [--warmup N]
@@ -13,8 +14,8 @@
 //!       [--heartbeat-ms N] [--io-timeout-ms N] [--checkpoint-every K]
 //! repro servectl ping|submit|attach|status|metrics|shutdown
 //!       [--addr A] [--job N] [--from-seq N] [--seed N] [--trials N]
-//!       [--requests N] [--warmup N] [--profile tiny|paper] [--exp NAME]
-//!       [--attempts N] [--backoff-ms N] [--io-timeout-ms N]
+//!       [--plan SPEC] [--requests N] [--warmup N] [--profile tiny|paper]
+//!       [--exp NAME] [--attempts N] [--backoff-ms N] [--io-timeout-ms N]
 //! ```
 //!
 //! Every experiment lives in the `pfault-platform` experiment registry
@@ -37,13 +38,18 @@
 //! resilience controls: per-trial watchdog budgets, deterministic
 //! retries, checkpoint/resume, engine selection (`--engine`,
 //! `--threads`), and warm-snapshot cloning (`--warmup`,
-//! `--snapshot-cache`).
+//! `--snapshot-cache`). Campaigns are sized by a [`PlanSpec`]:
+//! `--trials N` is shorthand for `--plan fixed:N`, and
+//! `--plan ci:EPS[:CONF]` runs adaptively until the Wilson interval on
+//! the data-loss rate has half-width at most EPS. `--exp plan` is the
+//! planner's self-checking demonstration (Extension P).
 
 use std::env;
 use std::process::ExitCode;
 
 use pfault_bench::{ScaleArg, DEFAULT_SEED};
 use pfault_platform::experiments::{all, find, EngineArg, ExperimentCtx, ExperimentOpts};
+use pfault_platform::plan::PlanSpec;
 use pfault_serve::{Client, Daemon, DaemonConfig, JobSpec, Request, Response};
 
 fn main() -> ExitCode {
@@ -66,9 +72,19 @@ fn main() -> ExitCode {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--trials" => match num_flag(&mut args, "--trials") {
-                Ok(n) => opts.trials = Some(n as usize),
+                Ok(n) => opts.plan = Some(PlanSpec::fixed(n)),
                 Err(code) => return code,
             },
+            "--plan" => {
+                let v = args.next().unwrap_or_default();
+                match PlanSpec::parse(&v) {
+                    Ok(spec) => opts.plan = Some(spec),
+                    Err(why) => {
+                        eprintln!("bad --plan '{v}': {why}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             "--retries" => match num_flag(&mut args, "--retries") {
                 Ok(n) => opts.retries = n as u32,
                 Err(code) => return code,
@@ -147,8 +163,9 @@ fn main() -> ExitCode {
                 println!(
                     "repro [--scale quick|paper] [--seed N] [--exp NAME] [--json FILE] \
                      [--list-exps]\n\
-                     \x20     [--trials N] [--retries N] [--checkpoint FILE] \
-                     [--checkpoint-every K]\n\
+                     \x20     [--trials N] [--plan fixed:N|ci:EPS[:CONF]|split:LEVELS] \
+                     [--retries N]\n\
+                     \x20     [--checkpoint FILE] [--checkpoint-every K]\n\
                      \x20     [--resume] [--watchdog-ms N] [--watchdog-events N]\n\
                      \x20     [--minimize] [--inject-crc-bug] [--metrics FILE] [--trace FILE]\n\
                      \x20     [--threads N] [--engine auto|serial|striped|stealing] \
@@ -156,7 +173,7 @@ fn main() -> ExitCode {
                      experiments: fig4 interval interval-nocache fig5 fig6 pattern \
                      fig7 fig8 fig9 table1 ablation-injector ablation-cache \
                      brownout wear flush recovery repeated recovery-storm fleet kv \
-                     all campaign sweep\n\
+                     plan all campaign sweep\n\
                      fleet mode (--exp fleet, part of 'all') sweeps PSU-group size, \
                      parity depth, and outage\n\
                      correlation over an erasure-coded fleet, reporting availability, \
@@ -167,10 +184,17 @@ fn main() -> ExitCode {
                      pairing CRC-verifying and\n\
                      half-applying firmware at equal seeds; the run self-checks its \
                      own class coverage\n\
+                     plan mode (--exp plan, part of 'all') self-checks the adaptive \
+                     planner: confidence-driven\n\
+                     stopping must match a fixed-N campaign's band at >=10x fewer \
+                     trials, byte-identical across\n\
+                     engines and checkpoint/resume\n\
                      campaign mode (--exp campaign, not part of 'all') runs one raw \
                      campaign with watchdog budgets,\n\
                      deterministic retries, checkpoint/resume, --engine/--threads \
-                     selection, and --warmup snapshot cloning\n\
+                     selection, and --warmup snapshot cloning;\n\
+                     sized by --plan fixed:N|ci:EPS[:CONF] (--trials N = --plan \
+                     fixed:N)\n\
                      sweep mode (--exp sweep, not part of 'all') cuts power at every \
                      recorded fault site and checks\n\
                      recovery invariants; --inject-crc-bug seeds the apply-before-\
@@ -392,6 +416,16 @@ fn run_servectl(argv: &[String]) -> ExitCode {
                 Ok(n) => spec.trials = n,
                 Err(code) => return code,
             },
+            "--plan" => {
+                let v = args.next().unwrap_or_default();
+                match PlanSpec::parse(&v) {
+                    Ok(plan) => spec.plan = Some(plan),
+                    Err(why) => {
+                        eprintln!("bad --plan '{v}': {why}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             "--requests" => match num_flag(&mut args, "--requests") {
                 Ok(n) => spec.requests_per_trial = n,
                 Err(code) => return code,
@@ -457,9 +491,19 @@ fn run_servectl(argv: &[String]) -> ExitCode {
                 println!("job  state            completed/trials  events  cache hit/miss");
                 for j in jobs {
                     println!(
-                        "{:<4} {:<16} {:>9}/{:<6} {:>6}  {}/{}",
-                        j.job, j.state, j.completed, j.trials, j.events, j.cache_hits,
-                        j.cache_misses
+                        "{:<4} {:<16} {:>9}/{:<6} {:>6}  {}/{}{}",
+                        j.job,
+                        j.state,
+                        j.completed,
+                        j.trials,
+                        j.events,
+                        j.cache_hits,
+                        j.cache_misses,
+                        if j.convergence.is_empty() {
+                            String::new()
+                        } else {
+                            format!("  [{}]", j.convergence)
+                        }
                     );
                 }
             } else {

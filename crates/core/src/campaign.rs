@@ -33,6 +33,7 @@ use pfault_ssd::DeviceImage;
 
 use crate::analyzer::FailureCounts;
 use crate::error::{CheckpointError, PlatformError, TrialError};
+use crate::plan::{PlanReport, PlanSpec, PlanState};
 use crate::platform::{TestPlatform, TrialConfig, TrialOutcome};
 use crate::scheduler::{self, SchedulerStats};
 
@@ -179,6 +180,12 @@ pub struct CampaignReport {
     /// Probe-derived telemetry (empty unless trials ran with
     /// [`TrialConfig::obs`]).
     pub obs: ObsAggregate,
+    /// Planner state for plan-driven runs (`None` for plain fixed
+    /// loops): per-stratum tallies, round index, and current round
+    /// targets. Living inside the report means checkpoint v6 persists
+    /// it automatically, so adaptive campaigns pause/resume
+    /// byte-identically.
+    pub plan: Option<PlanState>,
 }
 
 impl CampaignReport {
@@ -196,6 +203,7 @@ impl CampaignReport {
             paired_corruptions: 0,
             failures: TrialFailures::default(),
             obs: ObsAggregate::default(),
+            plan: None,
         }
     }
 
@@ -263,6 +271,12 @@ impl CampaignReport {
         }
         self.counts.io_errors as f64 / self.faults as f64
     }
+
+    /// The planner's verdict for a plan-driven run: n, p̂, intervals,
+    /// and the strata breakdown. `None` for plain fixed loops.
+    pub fn plan_report(&self) -> Option<PlanReport> {
+        self.plan.as_ref().map(PlanState::report)
+    }
 }
 
 /// On-disk snapshot of a partially completed campaign: trials
@@ -289,7 +303,11 @@ struct CampaignCheckpoint {
 // (`app_surfaced`, `app_masked`, `app_silent_poison`); a v4 snapshot
 // resumed into a v5 campaign would silently zero-fill them, so stale
 // versions are rejected loudly instead.
-const CHECKPOINT_VERSION: u32 = 5;
+// v6: `CampaignReport` gained the embedded planner state (`plan`) for
+// adaptive campaigns, and the config digest now covers the campaign's
+// `PlanSpec` — a v5 snapshot would deserialize into a different report
+// shape and lose the planner's round/tally state.
+const CHECKPOINT_VERSION: u32 = 6;
 
 /// Per-trial progress handed to a [`Campaign::run_observed`] observer
 /// after the trial's result has been absorbed (and, at checkpoint
@@ -336,6 +354,7 @@ pub struct ObservedRun {
 #[derive(Debug, Clone)]
 pub struct Campaign {
     config: CampaignConfig,
+    plan: Option<PlanSpec>,
     seed: u64,
     retries: u32,
     checkpoint: Option<CheckpointSpec>,
@@ -368,6 +387,7 @@ struct CheckpointSpec {
 #[derive(Debug, Clone)]
 pub struct CampaignBuilder {
     config: CampaignConfig,
+    plan: Option<PlanSpec>,
     seed: u64,
     retries: u32,
     checkpoint: Option<CheckpointSpec>,
@@ -376,6 +396,29 @@ pub struct CampaignBuilder {
 }
 
 impl CampaignBuilder {
+    /// Sizes the campaign with a [`PlanSpec`] — the single sizing
+    /// surface across the workspace. `PlanSpec::fixed(n)` reproduces
+    /// the classic fixed-N loop; a confidence spec makes
+    /// [`Campaign::run_planned`] adaptive. The config's `trials` field
+    /// is set to the plan's budget so legacy readers keep a meaningful
+    /// denominator. Splitting specs are rejected at run time: whole
+    /// campaigns expose only pass/fail bits, not severities.
+    #[must_use]
+    pub fn plan(mut self, spec: PlanSpec) -> Self {
+        self.config.trials = spec.trial_budget() as usize;
+        self.plan = Some(spec);
+        self
+    }
+
+    /// Pre-plan sizing API, kept for one release of compatibility.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use .plan(PlanSpec::fixed(n)); the Plan API is the single way campaigns are sized"
+    )]
+    #[must_use]
+    pub fn trials(self, n: usize) -> Self {
+        self.plan(PlanSpec::fixed(n as u64))
+    }
     /// Seeds every trial (defaults to 0).
     #[must_use]
     pub fn seed(mut self, seed: u64) -> Self {
@@ -426,6 +469,7 @@ impl CampaignBuilder {
     pub fn build(self) -> Campaign {
         Campaign {
             config: self.config,
+            plan: self.plan,
             seed: self.seed,
             retries: self.retries,
             checkpoint: self.checkpoint,
@@ -441,6 +485,7 @@ impl Campaign {
     pub fn builder(config: CampaignConfig) -> CampaignBuilder {
         CampaignBuilder {
             config,
+            plan: None,
             seed: 0,
             retries: 0,
             checkpoint: None,
@@ -504,10 +549,20 @@ impl Campaign {
             .next_u64()
     }
 
-    /// Fingerprint of everything that shapes trial behaviour, used to pin
-    /// checkpoints to their campaign.
+    /// Fingerprint of everything that shapes trial behaviour — including
+    /// the plan spec, since the planner decides which trials run — used
+    /// to pin checkpoints to their campaign.
     fn config_digest(&self) -> u64 {
-        fnv64(format!("{:?}", self.config).as_bytes())
+        fnv64(format!("{:?}|plan={:?}", self.config, self.plan).as_bytes())
+    }
+
+    /// The effective sizing spec: the explicit plan, or fixed-N from
+    /// the config's trial count.
+    pub fn plan_spec(&self) -> PlanSpec {
+        self.plan
+            .unwrap_or(PlanSpec::Fixed {
+                trials: self.config.trials as u64,
+            })
     }
 
     /// The memoized warm image for this campaign, if image cloning
@@ -805,6 +860,191 @@ impl Campaign {
         } else {
             Ok(self.run_stealing(self.threads))
         }
+    }
+
+    /// Validates the plan spec for whole-campaign execution and builds
+    /// the initial single-stratum planner state.
+    fn planned_state(&self) -> Result<PlanState, PlatformError> {
+        let spec = self.plan_spec();
+        if matches!(spec, PlanSpec::Splitting { .. }) {
+            return Err(PlatformError::InvalidConfig(
+                "splitting plans need a severity source (plan::run_plan on a PlanPoint); \
+                 whole campaigns expose only pass/fail trials"
+                    .to_string(),
+            ));
+        }
+        PlanState::single(spec)
+    }
+
+    /// Runs the campaign under its [`PlanSpec`]: trials proceed in
+    /// planner-scheduled rounds and stop as soon as the spec is
+    /// satisfied (for `Fixed`, after exactly N trials; for
+    /// `Confidence`, once the interval on the data-loss rate is tight).
+    /// Honours [`CampaignBuilder::threads`]: rounds run serially or on
+    /// the work-stealing scheduler, byte-identically. The returned
+    /// report carries the planner state in [`CampaignReport::plan`].
+    pub fn run_planned(&self) -> Result<CampaignReport, PlatformError> {
+        if self.threads <= 1 {
+            return Ok(self
+                .run_planned_observed(&mut |_| ProgressSignal::Continue)?
+                .report);
+        }
+        let mut report = CampaignReport::empty();
+        report.plan = Some(self.planned_state()?);
+        let platform = TestPlatform::new(self.trial_config());
+        let image = self.campaign_image(&platform);
+        let mut completed = 0u64;
+        loop {
+            let Some(state) = &report.plan else {
+                unreachable!("planned run always seeds report.plan");
+            };
+            if state.done {
+                break;
+            }
+            let target = state.targets[0];
+            let batch = target.saturating_sub(completed);
+            let (results, _stats) = scheduler::run_work_stealing(
+                batch,
+                self.threads,
+                scheduler::DEFAULT_CHUNK,
+                |i| self.run_one(&platform, image.as_deref(), completed + i),
+                Vec::with_capacity(batch as usize),
+                |acc: &mut Vec<(Result<TrialOutcome, TrialError>, u64)>, _i, r| acc.push(r),
+            );
+            for (offset, (result, retries_used)) in results.into_iter().enumerate() {
+                let failed = trial_failed(&result);
+                report.absorb_result(completed + offset as u64, result, retries_used);
+                if let Some(state) = report.plan.as_mut() {
+                    state.absorb(0, failed);
+                }
+            }
+            completed = target;
+            if let Some(state) = report.plan.as_mut() {
+                state.advance()?;
+            }
+        }
+        Ok(report)
+    }
+
+    /// [`Campaign::run_planned`] with a per-trial observer — the serial
+    /// planned loop, honouring checkpoints exactly like
+    /// [`Campaign::run_observed`]. `CampaignProgress::trials` reports
+    /// the current round target, which grows as the planner extends the
+    /// run.
+    pub fn run_planned_observed(
+        &self,
+        observer: &mut dyn FnMut(CampaignProgress<'_>) -> ProgressSignal,
+    ) -> Result<ObservedRun, PlatformError> {
+        let mut report = CampaignReport::empty();
+        report.plan = Some(self.planned_state()?);
+        self.run_planned_range_observed(report, 0, observer)
+    }
+
+    /// Resumes a planned run from a v6 checkpoint: the planner state
+    /// (tallies, round index, current targets) comes back with the
+    /// report, so the remaining trials — and every future allocation
+    /// decision — replay exactly as the uninterrupted run would have.
+    pub fn resume_planned_observed(
+        &self,
+        path: impl AsRef<Path>,
+        observer: &mut dyn FnMut(CampaignProgress<'_>) -> ProgressSignal,
+    ) -> Result<ObservedRun, PlatformError> {
+        self.planned_state()?; // reject invalid specs before touching disk
+        let snapshot = self.load_checkpoint(path.as_ref())?;
+        if snapshot.report.plan.is_none() {
+            return Err(CheckpointError::Corrupt(
+                "checkpoint carries no planner state; resume with resume_observed".to_string(),
+            )
+            .into());
+        }
+        self.run_planned_range_observed(snapshot.report, snapshot.completed, observer)
+    }
+
+    /// The planned serial loop: run to the current round target, let
+    /// the planner extend or finish the run at each boundary. Both the
+    /// boundary decisions and the per-trial failure bits are pure
+    /// functions of the absorbed prefix, so pausing anywhere — even
+    /// mid-round — and resuming is byte-identical to never pausing.
+    fn run_planned_range_observed(
+        &self,
+        mut report: CampaignReport,
+        start: u64,
+        observer: &mut dyn FnMut(CampaignProgress<'_>) -> ProgressSignal,
+    ) -> Result<ObservedRun, PlatformError> {
+        let platform = TestPlatform::new(self.trial_config());
+        let image = self.campaign_image(&platform);
+        let mut completed = start;
+        loop {
+            let Some(state) = &report.plan else {
+                return Err(PlatformError::InvalidConfig(
+                    "planned loop requires report.plan".to_string(),
+                ));
+            };
+            if state.done {
+                break;
+            }
+            let target = state.targets[0];
+            if completed >= target {
+                if let Some(state) = report.plan.as_mut() {
+                    state.advance()?;
+                }
+                continue;
+            }
+            let (result, retries_used) = self.run_one(&platform, image.as_deref(), completed);
+            let failed = trial_failed(&result);
+            report.absorb_result(completed, result, retries_used);
+            if let Some(state) = report.plan.as_mut() {
+                state.absorb(0, failed);
+                if state.round_complete() {
+                    state.advance()?;
+                }
+            }
+            completed += 1;
+            let (done, trials_now) = match &report.plan {
+                Some(state) => (state.done, state.targets[0].max(completed)),
+                None => (true, completed),
+            };
+            let mut checkpointed = false;
+            if let Some(spec) = &self.checkpoint {
+                if completed.is_multiple_of(spec.every) && !done {
+                    self.write_checkpoint(spec, completed, &report)?;
+                    checkpointed = true;
+                }
+            }
+            let signal = observer(CampaignProgress {
+                completed,
+                trials: trials_now,
+                checkpointed,
+                report: &report,
+            });
+            if signal == ProgressSignal::Pause && !done {
+                if let Some(spec) = &self.checkpoint {
+                    if !checkpointed {
+                        self.write_checkpoint(spec, completed, &report)?;
+                    }
+                }
+                return Ok(ObservedRun {
+                    report,
+                    completed,
+                    paused: true,
+                });
+            }
+        }
+        Ok(ObservedRun {
+            report,
+            completed,
+            paused: false,
+        })
+    }
+}
+
+/// The binary failure bit the planner tallies per campaign trial: any
+/// data loss (data failures or FWA), or a trial that ended without an
+/// outcome at all (panic, watchdog, brick).
+fn trial_failed(result: &Result<TrialOutcome, TrialError>) -> bool {
+    match result {
+        Ok(outcome) => outcome.counts.total_data_loss() > 0,
+        Err(_) => true,
     }
 }
 
@@ -1174,9 +1414,9 @@ mod tests {
 
     #[test]
     fn resume_rejects_old_checkpoint_version() {
-        // Satellite: a v4-era snapshot (before the application-layer
-        // oracle tallies) must be refused loudly, not misread — and
-        // every older version likewise.
+        // Satellite: a v5-era snapshot (before the embedded planner
+        // state) must be refused loudly, not misread — and every older
+        // version likewise, down to v2.
         let dir = std::env::temp_dir().join("pfault-checkpoint-test");
         std::fs::create_dir_all(&dir).expect("temp dir");
         let path = dir.join("stale-version.json");
@@ -1185,10 +1425,15 @@ mod tests {
         let campaign = Campaign::new(tiny_config(), 43).with_checkpoint(&path, 2);
         campaign.run_checked().expect("run");
         let text = std::fs::read_to_string(&path).expect("checkpoint written");
-        assert!(text.contains("\"version\":5"), "snapshot carries v5");
+        assert!(text.contains("\"version\":6"), "snapshot carries v6");
 
-        for stale in ["\"version\":4", "\"version\":3", "\"version\":2"] {
-            std::fs::write(&path, text.replace("\"version\":5", stale)).expect("rewrite");
+        for stale in [
+            "\"version\":5",
+            "\"version\":4",
+            "\"version\":3",
+            "\"version\":2",
+        ] {
+            std::fs::write(&path, text.replace("\"version\":6", stale)).expect("rewrite");
             match campaign.resume_from(&path) {
                 Err(PlatformError::Checkpoint(CheckpointError::Mismatch { field, .. })) => {
                     assert_eq!(field, "version");
@@ -1295,5 +1540,177 @@ mod tests {
             other => panic!("expected corrupt checkpoint, got {other:?}"),
         }
         let _ = std::fs::remove_file(&path);
+    }
+
+    // ------------------------- Plan API -------------------------
+
+    /// A confidence spec loose enough to stop at its floor on the tiny
+    /// config (whose data-loss rate is high), but with a round stride
+    /// that forces several planner boundaries first.
+    fn loose_ci_spec() -> PlanSpec {
+        PlanSpec::Confidence {
+            half_width: 0.45,
+            confidence: 0.9,
+            exact: false,
+            min_trials: 9,
+            max_trials: 24,
+            round: 3,
+        }
+    }
+
+    #[test]
+    fn fixed_plan_matches_classic_run_modulo_plan_state() {
+        let classic = Campaign::builder(tiny_config()).seed(11).build().run();
+        let planned = Campaign::builder(tiny_config())
+            .seed(11)
+            .plan(PlanSpec::fixed(6))
+            .build()
+            .run_planned()
+            .expect("planned run");
+        assert_eq!(planned.faults, classic.faults);
+        assert_eq!(planned.counts, classic.counts);
+        let state = planned.plan.clone().expect("planned run records state");
+        assert!(state.done);
+        assert_eq!(state.total_trials(), 6);
+        assert_eq!(state.round, 1, "fixed plans are a single round");
+        // Every tallied failure is a trial with data loss or no outcome,
+        // so the tally can never exceed the trial count and must be at
+        // least the terminal-failure count.
+        assert!(state.total_failures() <= 6);
+        assert!(state.total_failures() >= planned.failures.total_failed() as u64);
+        let pr = planned.plan_report().expect("plan report");
+        assert_eq!(pr.trials, 6);
+        assert!(pr.wilson.covers(pr.p_hat));
+    }
+
+    #[test]
+    fn planned_engines_agree_byte_for_byte() {
+        let serial = Campaign::builder(tiny_config())
+            .seed(13)
+            .plan(loose_ci_spec())
+            .build()
+            .run_planned()
+            .expect("serial planned");
+        let stealing = Campaign::builder(tiny_config())
+            .seed(13)
+            .plan(loose_ci_spec())
+            .threads(3)
+            .build()
+            .run_planned()
+            .expect("stealing planned");
+        assert_eq!(report_bytes(&serial), report_bytes(&stealing));
+        let state = serial.plan.expect("plan state");
+        assert!(state.done);
+        assert_eq!(state.total_trials(), 9, "loose spec stops at its floor");
+        assert_eq!(state.round, 3, "three rounds of three trials");
+    }
+
+    #[test]
+    fn planned_pause_resumes_byte_identically_even_mid_round() {
+        let dir = std::env::temp_dir().join("pfault-checkpoint-test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("planned-pause.json");
+        let _ = std::fs::remove_file(&path);
+
+        let plain = Campaign::builder(tiny_config())
+            .seed(17)
+            .plan(loose_ci_spec())
+            .build()
+            .run_planned()
+            .expect("uninterrupted planned run");
+
+        // Pause after trial 4 — inside round 2 (rounds are 3 trials
+        // wide), so resuming must pick the round back up mid-stride.
+        let campaign = Campaign::builder(tiny_config())
+            .seed(17)
+            .plan(loose_ci_spec())
+            .checkpoint(&path, 2)
+            .build();
+        let run = campaign
+            .run_planned_observed(&mut |p| {
+                if p.completed == 4 {
+                    ProgressSignal::Pause
+                } else {
+                    ProgressSignal::Continue
+                }
+            })
+            .expect("paused planned run");
+        assert!(run.paused);
+        assert_eq!(run.completed, 4);
+
+        let resumed = campaign
+            .resume_planned_observed(&path, &mut |p| {
+                assert!(p.completed > 4, "resume must not rerun the prefix");
+                ProgressSignal::Continue
+            })
+            .expect("resume planned");
+        assert!(!resumed.paused);
+        assert_eq!(
+            report_bytes(&resumed.report),
+            report_bytes(&plain),
+            "planned pause/resume must equal the uninterrupted run"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn splitting_plans_are_rejected_for_whole_campaigns() {
+        let campaign = Campaign::builder(tiny_config())
+            .seed(19)
+            .plan(PlanSpec::split(3))
+            .build();
+        match campaign.run_planned() {
+            Err(PlatformError::InvalidConfig(why)) => {
+                assert!(why.contains("severity"), "{why}");
+            }
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn resume_planned_rejects_plan_less_checkpoints() {
+        let dir = std::env::temp_dir().join("pfault-checkpoint-test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("plain-ckpt-for-planned.json");
+        let _ = std::fs::remove_file(&path);
+
+        // A plain (non-planned) paused run writes a checkpoint with no
+        // planner state…
+        let campaign = Campaign::new(tiny_config(), 23).with_checkpoint(&path, 2);
+        let run = campaign
+            .run_observed(&mut |p| {
+                if p.completed == 2 {
+                    ProgressSignal::Pause
+                } else {
+                    ProgressSignal::Continue
+                }
+            })
+            .expect("paused plain run");
+        assert!(run.paused);
+
+        // …which the planned resume path must refuse rather than
+        // invent planner state for.
+        match campaign.resume_planned_observed(&path, &mut |_| ProgressSignal::Continue) {
+            Err(PlatformError::Checkpoint(CheckpointError::Corrupt(why))) => {
+                assert!(why.contains("planner state"), "{why}");
+            }
+            other => panic!("expected corrupt checkpoint, got {other:?}"),
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_trials_delegates_to_fixed_plan() {
+        let via_trials = Campaign::builder(tiny_config()).seed(29).trials(4).build();
+        let via_plan = Campaign::builder(tiny_config())
+            .seed(29)
+            .plan(PlanSpec::fixed(4))
+            .build();
+        assert_eq!(via_trials.plan_spec(), via_plan.plan_spec());
+        let a = via_trials.run_planned().expect("trials run");
+        let b = via_plan.run_planned().expect("plan run");
+        assert_eq!(report_bytes(&a), report_bytes(&b));
+        assert_eq!(a.faults, 4);
     }
 }

@@ -27,6 +27,7 @@
 //! | [`storm`] | ours — cuts during recovery; read-only degradation |
 //! | [`fleet`] | ours — correlated outages vs erasure-coded fleets |
 //! | [`kv`] | ours — app-level masking vs silent poison above the device |
+//! | [`plan`] | ours — adaptive planner: CI stopping at ≥10x fewer trials |
 
 pub mod access_pattern;
 pub mod brownout;
@@ -37,6 +38,7 @@ pub mod injector_ablation;
 pub mod interval;
 pub mod iops;
 pub mod kv;
+pub mod plan;
 pub mod psu;
 pub mod recovery;
 pub mod registry;

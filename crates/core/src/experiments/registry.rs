@@ -19,15 +19,16 @@ use std::path::PathBuf;
 
 use serde_json::Value;
 
-use crate::campaign::{Campaign, CampaignConfig};
+use crate::campaign::{Campaign, CampaignConfig, ProgressSignal};
 use crate::error::PlatformError;
+use crate::plan::PlanSpec;
 use crate::platform::{TestPlatform, Watchdog};
 use crate::sweep::{SweepConfig, Sweeper, ViolationKind};
 
 use super::{
     access_pattern, brownout, cache_ablation, fleet, flush, injector_ablation, interval, iops,
-    kv, psu, recovery, repeated, request_size, request_type, sequence, storm, vendors, wear, wss,
-    ExperimentScale,
+    kv, plan, psu, recovery, repeated, request_size, request_type, sequence, storm, vendors,
+    wear, wss, ExperimentScale,
 };
 
 /// Which campaign engine `--exp campaign` drives.
@@ -73,8 +74,11 @@ impl EngineArg {
 /// (`campaign`, `sweep`); figure experiments ignore them.
 #[derive(Debug, Clone)]
 pub struct ExperimentOpts {
-    /// Overrides the campaign trial count.
-    pub trials: Option<usize>,
+    /// Overrides how the campaign is sized: a fixed trial count
+    /// (`fixed:N`, the classic `--trials` spelling) or an adaptive
+    /// confidence-driven plan (`ci:EPS[:CONF]`). `None` falls back to
+    /// [`ExperimentScale::faults_per_point`].
+    pub plan: Option<PlanSpec>,
     /// Extra attempts per failing trial.
     pub retries: u32,
     /// Checkpoint file for campaign mode.
@@ -109,7 +113,7 @@ pub struct ExperimentOpts {
 impl Default for ExperimentOpts {
     fn default() -> Self {
         ExperimentOpts {
-            trials: None,
+            plan: None,
             retries: 0,
             checkpoint: None,
             checkpoint_every: 25,
@@ -487,6 +491,34 @@ impl Experiment for KvExperiment {
     }
 }
 
+/// The ROADMAP item 3 deliverable with its self-checks: an explicit run
+/// must prove that confidence-driven stopping matches a fixed-N
+/// campaign's interval half-width at ≥10x fewer trials on a
+/// low-failure-rate point, that same-seed PlanReports are byte-equal
+/// across the serial/striped/stealing engines and across
+/// checkpoint/resume, and that splitting levels are deterministic and
+/// strictly ascending.
+struct PlanExperiment;
+
+impl Experiment for PlanExperiment {
+    fn name(&self) -> &'static str {
+        "plan"
+    }
+    fn describe(&self) -> &'static str {
+        "Extension P — adaptive planner: CI stopping at ≥10x fewer trials (self-checking)"
+    }
+    fn run(&self, ctx: &ExperimentCtx) -> Result<ExperimentReport, PlatformError> {
+        let report = plan::run(ctx.scale, ctx.seed)?;
+        let checks = plan::check(&report);
+        Ok(ExperimentReport {
+            text: plan::render(&report),
+            json_key: "plan",
+            json: json_of(&report),
+            check_failures: checks,
+        })
+    }
+}
+
 /// One raw fault-injection campaign with the resilience controls:
 /// watchdog budgets, deterministic retries, checkpoint/resume, engine
 /// selection, warm-up snapshots, and obs export.
@@ -504,8 +536,11 @@ impl Experiment for CampaignExperiment {
     }
     fn run(&self, ctx: &ExperimentCtx) -> Result<ExperimentReport, PlatformError> {
         let o = &ctx.opts;
+        let spec = o
+            .plan
+            .unwrap_or_else(|| PlanSpec::fixed(ctx.scale.faults_per_point as u64));
+        spec.validate()?;
         let mut config = CampaignConfig::paper_default();
-        config.trials = o.trials.unwrap_or(ctx.scale.faults_per_point);
         config.requests_per_trial = ctx.scale.requests_per_trial;
         if let Some(warmup) = o.warmup {
             config.trial.warmup_requests = warmup;
@@ -526,6 +561,7 @@ impl Experiment for CampaignExperiment {
         }
         let threads = o.threads.unwrap_or(1);
         let mut builder = Campaign::builder(config)
+            .plan(spec)
             .seed(ctx.seed)
             .retries(o.retries)
             .threads(threads)
@@ -534,11 +570,22 @@ impl Experiment for CampaignExperiment {
             builder = builder.checkpoint(path, o.checkpoint_every);
         }
         let campaign = builder.build();
+        let adaptive = !matches!(spec, PlanSpec::Fixed { .. });
         let report = if o.resume {
             match &o.checkpoint {
+                Some(path) if adaptive => {
+                    campaign
+                        .resume_planned_observed(path, &mut |_| ProgressSignal::Continue)?
+                        .report
+                }
                 Some(path) => campaign.resume_from(path)?,
                 None => unreachable!("checked above"),
             }
+        } else if adaptive {
+            // Adaptive plans size themselves round by round; the planned
+            // runner honours `threads` and is byte-identical either way,
+            // so the engine flag only picks serial vs scheduled rounds.
+            campaign.run_planned()?
         } else {
             match o.engine {
                 EngineArg::Auto => campaign.run_auto()?,
@@ -550,6 +597,10 @@ impl Experiment for CampaignExperiment {
         let mut text = String::new();
         let mut checks = Vec::new();
         let _ = writeln!(text, "== Campaign: {} fault injections ==", report.faults);
+        let _ = writeln!(text, "plan {}", spec.render());
+        if let Some(state) = &report.plan {
+            let _ = writeln!(text, "planner: {}", state.progress_line());
+        }
         let _ = writeln!(
             text,
             "engine {} with {} thread(s); warm-up {} request(s), snapshot cache {}",
@@ -871,6 +922,7 @@ static REGISTRY: &[&dyn Experiment] = &[
     &StormExperiment,
     &FleetExperiment,
     &KvExperiment,
+    &PlanExperiment,
     &CampaignExperiment,
     &SweepExperiment,
 ];
@@ -928,7 +980,7 @@ mod tests {
     #[test]
     fn campaign_experiment_runs_with_engine_and_warmup() {
         let mut ctx = tiny_ctx();
-        ctx.opts.trials = Some(3);
+        ctx.opts.plan = Some(PlanSpec::fixed(3));
         ctx.opts.threads = Some(2);
         ctx.opts.engine = EngineArg::Stealing;
         ctx.opts.warmup = Some(8);
@@ -952,7 +1004,7 @@ mod tests {
     fn campaign_engines_agree_through_the_registry() {
         let exp = find("campaign").expect("registered");
         let mut serial_ctx = tiny_ctx();
-        serial_ctx.opts.trials = Some(4);
+        serial_ctx.opts.plan = Some(PlanSpec::fixed(4));
         serial_ctx.opts.engine = EngineArg::Serial;
         let mut stealing_ctx = serial_ctx.clone();
         stealing_ctx.opts.engine = EngineArg::Stealing;

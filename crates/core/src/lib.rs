@@ -36,11 +36,15 @@
 //!
 //! ```
 //! use pfault_platform::campaign::{Campaign, CampaignConfig};
+//! use pfault_platform::plan::PlanSpec;
 //!
 //! let mut config = CampaignConfig::paper_default();
-//! config.trials = 3;            // 3 fault injections
 //! config.requests_per_trial = 20;
-//! let report = Campaign::builder(config).seed(42).build().run();
+//! let report = Campaign::builder(config)
+//!     .plan(PlanSpec::fixed(3)) // 3 fault injections
+//!     .seed(42)
+//!     .build()
+//!     .run();
 //! assert_eq!(report.faults, 3);
 //! assert!(report.requests_issued > 0);
 //! ```
@@ -57,6 +61,7 @@ pub mod chart;
 pub mod error;
 pub mod experiments;
 pub mod oracle;
+pub mod plan;
 pub mod platform;
 pub mod record;
 pub mod report;
@@ -71,6 +76,7 @@ pub use campaign::{
 };
 pub use error::{CheckpointError, PlatformError, TrialError};
 pub use experiments::{EngineArg, Experiment, ExperimentCtx, ExperimentOpts, ExperimentReport};
+pub use plan::{Interval, PlanEngine, PlanPoint, PlanReport, PlanSpec, PlanState, Planner};
 pub use platform::{TestPlatform, TrialConfig, TrialOutcome, Watchdog};
 pub use scheduler::{SchedulerStats, WorkerStats};
 pub use snapcache::{SnapshotCache, SnapshotCacheBuilder, SnapshotCacheStats, StatsScope};

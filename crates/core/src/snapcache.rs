@@ -102,22 +102,60 @@ impl SnapshotCacheStats {
 /// open a scope so their reports attribute hits/misses to *that* job
 /// instead of accumulating process-wide drift across every job the
 /// daemon ever ran.
+///
+/// Scoped hit/miss attribution is *digest-deduplicated*: while a scope
+/// is open the cache journals each lookup's digest, and the scope
+/// counts a miss only the **first** time it sees a digest. A
+/// planner-driven multi-round job whose warm image gets evicted between
+/// rounds (capacity pressure from concurrent jobs) re-warms a
+/// configuration it already paid for — from the job's point of view
+/// that is a hit on its own working set, not a fresh miss, and before
+/// this dedup such jobs over-reported misses round after round. The
+/// cumulative [`SnapshotCache::stats`] counters are unaffected.
 #[derive(Debug)]
 pub struct StatsScope<'a> {
     cache: &'a SnapshotCache,
     baseline: SnapshotCacheStats,
+    journal_start: usize,
 }
 
 impl StatsScope<'_> {
     /// Counter deltas since the scope opened (see
-    /// [`SnapshotCacheStats::delta_since`]).
+    /// [`SnapshotCacheStats::delta_since`]), with hits/misses taken
+    /// from the scope's deduplicated lookup journal.
     pub fn delta(&self) -> SnapshotCacheStats {
-        self.cache.stats().delta_since(&self.baseline)
+        let mut delta = self.cache.stats().delta_since(&self.baseline);
+        let state = self.cache.lock();
+        let slice = state.journal.get(self.journal_start..).unwrap_or(&[]);
+        let mut seen: std::collections::HashSet<u64> = std::collections::HashSet::new();
+        let mut hits = 0u64;
+        let mut misses = 0u64;
+        for &(digest, was_hit) in slice {
+            let repeat = !seen.insert(digest);
+            if was_hit || repeat {
+                hits += 1;
+            } else {
+                misses += 1;
+            }
+        }
+        delta.hits = hits;
+        delta.misses = misses;
+        delta
     }
 
     /// The baseline captured when the scope opened.
     pub fn baseline(&self) -> SnapshotCacheStats {
         self.baseline
+    }
+}
+
+impl Drop for StatsScope<'_> {
+    fn drop(&mut self) {
+        // Last scope out clears the journal so an idle cache holds no
+        // lookup history.
+        if self.cache.active_scopes.fetch_sub(1, Ordering::SeqCst) == 1 {
+            self.cache.lock().journal.clear();
+        }
     }
 }
 
@@ -160,6 +198,7 @@ impl SnapshotCacheBuilder {
             evictions: AtomicU64::new(0),
             delta_images: AtomicU64::new(0),
             poison_recoveries: AtomicU64::new(0),
+            active_scopes: AtomicU64::new(0),
         }
     }
 }
@@ -169,6 +208,10 @@ struct CacheState {
     entries: HashMap<u64, Arc<DeviceImage>>,
     /// Insertion order: FIFO eviction victims and delta-base candidates.
     order: Vec<u64>,
+    /// `(digest, was_hit)` per lookup, recorded only while at least one
+    /// [`StatsScope`] is open (and cleared when the last one closes) —
+    /// the raw material for deduplicated scoped attribution.
+    journal: Vec<(u64, bool)>,
 }
 
 /// A digest-keyed memo of warm [`DeviceImage`]s. See the module docs.
@@ -181,6 +224,8 @@ pub struct SnapshotCache {
     evictions: AtomicU64,
     delta_images: AtomicU64,
     poison_recoveries: AtomicU64,
+    /// Open [`StatsScope`]s; lookups are journalled only while > 0.
+    active_scopes: AtomicU64,
 }
 
 impl std::fmt::Debug for SnapshotCache {
@@ -226,11 +271,18 @@ impl SnapshotCache {
     /// sweep extending one warm prefix).
     pub fn image_for(&self, digest: u64, build: impl FnOnce() -> DeviceImage) -> Arc<DeviceImage> {
         let mut state = self.lock();
-        if let Some(image) = state.entries.get(&digest) {
+        let journalling = self.active_scopes.load(Ordering::SeqCst) > 0;
+        if let Some(image) = state.entries.get(&digest).map(Arc::clone) {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return Arc::clone(image);
+            if journalling {
+                state.journal.push((digest, true));
+            }
+            return image;
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        if journalling {
+            state.journal.push((digest, false));
+        }
         let image = build();
         let stored = match self.delta_base_for(&state, &image) {
             Some(delta) => {
@@ -289,11 +341,15 @@ impl SnapshotCache {
     }
 
     /// Opens a [`StatsScope`] over this cache: a handle whose
-    /// [`StatsScope::delta`] reports only activity after this call.
+    /// [`StatsScope::delta`] reports only activity after this call,
+    /// with repeat lookups of the same digest attributed as hits.
     pub fn scope(&self) -> StatsScope<'_> {
+        self.active_scopes.fetch_add(1, Ordering::SeqCst);
+        let journal_start = self.lock().journal.len();
         StatsScope {
             cache: self,
             baseline: self.stats(),
+            journal_start,
         }
     }
 
@@ -303,6 +359,7 @@ impl SnapshotCache {
         let mut state = self.lock();
         state.entries.clear();
         state.order.clear();
+        state.journal.clear();
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
         self.evictions.store(0, Ordering::Relaxed);
@@ -512,6 +569,43 @@ mod tests {
         // The cumulative counters kept their drift.
         assert_eq!(cache.stats().misses, 3);
         assert_eq!(scope.baseline().misses, 2);
+    }
+
+    #[test]
+    fn scoped_rounds_do_not_recount_rewarmed_configs_as_misses() {
+        // Regression: a planner-driven multi-round job re-looks-up its
+        // warm image every round. If capacity pressure evicted it
+        // between rounds, the re-warm is a *global* miss — but within
+        // the job's scope it is a repeat of a digest the job already
+        // paid for, and must be attributed as a hit.
+        let cache = SnapshotCache::builder().capacity(1).build();
+        let round_cfg = warm_platform(41);
+        let rival_cfg = warm_platform(42);
+
+        let scope = cache.scope();
+        let _ = cache.warm_image_for(&round_cfg); // round 1: fresh miss
+        let _ = cache.warm_image_for(&rival_cfg); // rival job evicts it
+        let _ = cache.warm_image_for(&round_cfg); // round 2: re-warm
+        let _ = cache.warm_image_for(&round_cfg); // round 3: true hit
+
+        let d = scope.delta();
+        assert_eq!(
+            d.misses, 2,
+            "one fresh miss per distinct config, not per round: {d:?}"
+        );
+        assert_eq!(
+            d.hits, 2,
+            "the round-2 re-warm counts as a hit in the scope: {d:?}"
+        );
+        // The cumulative counters still tell the global truth.
+        let s = cache.stats();
+        assert_eq!(s.misses, 3, "globally the re-warm was a real miss");
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.evictions, 2);
+        drop(scope);
+
+        // With every scope closed the journal is discarded.
+        assert!(cache.lock().journal.is_empty());
     }
 
     #[test]

@@ -35,6 +35,7 @@ use std::time::{Duration, Instant};
 
 use pfault_platform::campaign::{Campaign, CampaignConfig, CampaignProgress, ProgressSignal};
 use pfault_platform::experiments::{self, ExperimentCtx, ExperimentOpts, ExperimentScale};
+use pfault_platform::plan::PlanSpec;
 use pfault_platform::{snapcache, ObsAggregate};
 use pfault_sim::checksum::fnv64;
 
@@ -88,6 +89,7 @@ struct JobStatus {
     cache_hits: u64,
     cache_misses: u64,
     metrics_jsonl: String,
+    convergence: String,
 }
 
 impl JobStatus {
@@ -100,6 +102,7 @@ impl JobStatus {
             cache_hits: 0,
             cache_misses: 0,
             metrics_jsonl: String::new(),
+            convergence: String::new(),
         }
     }
 }
@@ -271,12 +274,13 @@ fn recover_spool(shared: &Arc<Shared>) -> std::io::Result<()> {
         let Ok(spec) = shared.spool.read_spec(id) else {
             continue;
         };
-        if shared.spool.read_done(id).is_some() {
-            let events = shared.spool.reconcile_events(id, spec.trials, None)?;
+        if let Some(done_json) = shared.spool.read_done(id) {
+            let total = done_totals(&spec, &done_json);
+            let events = shared.spool.reconcile_events(id, total, None)?;
             shared.update_job(id, |j| {
                 j.state = "done".to_string();
-                j.trials = spec.trials;
-                j.completed = spec.trials;
+                j.trials = total;
+                j.completed = total;
                 j.events = events;
             });
             continue;
@@ -378,7 +382,25 @@ pub fn campaign_for(spec: &JobSpec) -> Result<Campaign, String> {
         }
         other => return Err(format!("unknown profile '{other}' (tiny|paper)")),
     }
-    if spec.trials == 0 || spec.requests_per_trial == 0 {
+    match &spec.plan {
+        // The plan is the sizing surface; `trials` is only the classic
+        // fallback denominator.
+        Some(plan) => {
+            plan.validate().map_err(|e| e.to_string())?;
+            if matches!(plan, PlanSpec::Splitting { .. }) {
+                return Err(
+                    "splitting plans need a severity source (plan::run_plan on a PlanPoint); \
+                     campaign jobs expose only pass/fail trials"
+                        .to_string(),
+                );
+            }
+        }
+        None if spec.trials == 0 => {
+            return Err("campaign jobs need trials >= 1 and requests_per_trial >= 1".to_string())
+        }
+        None => {}
+    }
+    if spec.requests_per_trial == 0 {
         return Err("campaign jobs need trials >= 1 and requests_per_trial >= 1".to_string());
     }
     config.trials = spec.trials as usize;
@@ -387,7 +409,11 @@ pub fn campaign_for(spec: &JobSpec) -> Result<Campaign, String> {
     if spec.warmup > 0 {
         config.trial = config.trial.with_warmup_requests(spec.warmup as usize);
     }
-    Ok(Campaign::builder(config).seed(spec.seed).build())
+    let mut builder = Campaign::builder(config).seed(spec.seed);
+    if let Some(plan) = &spec.plan {
+        builder = builder.plan(*plan);
+    }
+    Ok(builder.build())
 }
 
 /// The daemon-side campaign: `campaign_for` plus the spool checkpoint.
@@ -398,6 +424,20 @@ fn spooled_campaign(shared: &Shared, id: u64, spec: &JobSpec) -> Result<Campaign
         shared.config.checkpoint_every
     };
     Ok(campaign_for(spec)?.with_checkpoint(shared.spool.checkpoint_path(id), every))
+}
+
+/// Trial totals of a finished job: the spec's count for classic jobs,
+/// the report's absorbed-fault count for adaptive ones — the planner,
+/// not the spec, decided when the run was done.
+fn done_totals(spec: &JobSpec, report_json: &str) -> u64 {
+    if spec.plan.is_none() {
+        return spec.trials;
+    }
+    serde_json::from_str::<serde_json::Value>(report_json)
+        .ok()
+        .and_then(|v| v.as_object().and_then(|o| o.get("faults").cloned()))
+        .and_then(|f| f.as_u64())
+        .unwrap_or(spec.trials)
 }
 
 /// Renders a live [`ObsAggregate`] snapshot as metrics JSONL: totals
@@ -415,12 +455,14 @@ fn render_aggregate(agg: &ObsAggregate) -> String {
 fn run_campaign_job(shared: &Arc<Shared>, id: u64, spec: &JobSpec) -> Result<bool, String> {
     let spool = &shared.spool;
     // Finished before a restart: just make sure the journal agrees.
-    if spool.read_done(id).is_some() {
+    if let Some(done_json) = spool.read_done(id) {
+        let total = done_totals(spec, &done_json);
         let events = spool
-            .reconcile_events(id, spec.trials, None)
+            .reconcile_events(id, total, None)
             .map_err(|e| e.to_string())?;
         shared.update_job(id, |j| {
-            j.completed = spec.trials;
+            j.completed = total;
+            j.trials = total;
             j.events = events;
         });
         return Ok(true);
@@ -464,12 +506,18 @@ fn run_campaign_job(shared: &Arc<Shared>, id: u64, spec: &JobSpec) -> Result<boo
         }
         let metrics = (p.checkpointed && !p.report.obs.is_empty())
             .then(|| render_aggregate(&p.report.obs));
+        let convergence = p.report.plan.as_ref().map(|s| s.progress_line());
         let seq_now = next_seq;
+        let trials_now = p.trials;
         shared.update_job(id, |j| {
             j.completed = p.completed;
+            j.trials = trials_now;
             j.events = seq_now;
             if let Some(m) = metrics {
                 j.metrics_jsonl = m;
+            }
+            if let Some(c) = convergence {
+                j.convergence = c;
             }
         });
         if shared.stopping() {
@@ -478,7 +526,16 @@ fn run_campaign_job(shared: &Arc<Shared>, id: u64, spec: &JobSpec) -> Result<boo
             ProgressSignal::Continue
         }
     };
-    let run = if resume {
+    // The plan field picks the engine: planned jobs run (and resume)
+    // through the planner so round extension and convergence stopping
+    // replay byte-identically across daemon restarts.
+    let run = if spec.plan.is_some() {
+        if resume {
+            campaign.resume_planned_observed(&ckpt_path, &mut observer)
+        } else {
+            campaign.run_planned_observed(&mut observer)
+        }
+    } else if resume {
         campaign.resume_observed(&ckpt_path, &mut observer)
     } else {
         campaign.run_observed(&mut observer)
@@ -490,23 +547,33 @@ fn run_campaign_job(shared: &Arc<Shared>, id: u64, spec: &JobSpec) -> Result<boo
     }
     let report_json = serde_json::to_string(&run.report).map_err(|e| e.to_string())?;
     spool.write_done(id, &report_json).map_err(|e| e.to_string())?;
+    let total = if spec.plan.is_some() {
+        run.completed
+    } else {
+        spec.trials
+    };
     spool
         .append_event(&JobEvent {
             job: id,
             seq: next_seq,
             kind: "done".to_string(),
             completed: run.completed,
-            trials: spec.trials,
+            trials: total,
             digest: fnv64(report_json.as_bytes()),
             body: report_json,
         })
         .map_err(|e| e.to_string())?;
     let metrics = (!run.report.obs.is_empty()).then(|| render_aggregate(&run.report.obs));
+    let convergence = run.report.plan.as_ref().map(|s| s.progress_line());
     shared.update_job(id, |j| {
         j.completed = run.completed;
+        j.trials = total;
         j.events = next_seq + 1;
         if let Some(m) = metrics {
             j.metrics_jsonl = m;
+        }
+        if let Some(c) = convergence {
+            j.convergence = c;
         }
     });
     Ok(true)
@@ -731,6 +798,7 @@ fn status_rows(shared: &Arc<Shared>) -> Vec<JobInfo> {
             events: s.events,
             cache_hits: s.cache_hits,
             cache_misses: s.cache_misses,
+            convergence: s.convergence.clone(),
         })
         .collect()
 }

@@ -8,6 +8,7 @@
 //! reattach trivial: a client that reconnects replays the journal from
 //! its last acked sequence number and the bytes are the same.
 
+use pfault_platform::plan::PlanSpec;
 use serde::{Deserialize, Serialize};
 
 use crate::frame::FrameError;
@@ -38,6 +39,16 @@ pub struct JobSpec {
     pub obs: bool,
     /// Trials between durable checkpoints (0 = daemon default).
     pub checkpoint_every: u64,
+    /// Adaptive sizing: when set, campaign jobs run under the planner
+    /// ([`Campaign::run_planned_observed`]) — rounds extend or stop the
+    /// run by interval convergence, planner state checkpoints and
+    /// resumes with the report, and `status` rows carry the convergence
+    /// line. `None` keeps the classic fixed-`trials` loop. Splitting
+    /// specs are rejected at submit time: whole campaigns expose only
+    /// pass/fail bits, not severities.
+    ///
+    /// [`Campaign::run_planned_observed`]: pfault_platform::campaign::Campaign::run_planned_observed
+    pub plan: Option<PlanSpec>,
 }
 
 impl JobSpec {
@@ -52,7 +63,26 @@ impl JobSpec {
             warmup: 8,
             obs: true,
             checkpoint_every: 2,
+            plan: None,
         }
+    }
+
+    /// [`JobSpec::tiny_campaign`] sized by a loose adaptive confidence
+    /// plan instead of a fixed trial count — converges in a handful of
+    /// trials, which keeps planner smoke tests fast while still
+    /// exercising round extension, convergence stopping, and planned
+    /// checkpoint/resume.
+    pub fn tiny_adaptive(seed: u64) -> JobSpec {
+        let mut spec = JobSpec::tiny_campaign(seed);
+        spec.plan = Some(PlanSpec::Confidence {
+            half_width: 0.45,
+            confidence: 0.9,
+            exact: false,
+            min_trials: 9,
+            max_trials: 24,
+            round: 3,
+        });
+        spec
     }
 }
 
@@ -97,6 +127,9 @@ pub struct JobInfo {
     pub cache_hits: u64,
     /// Snapshot-cache misses attributed to this job.
     pub cache_misses: u64,
+    /// Planner convergence line (round, n, p̂, interval) for jobs
+    /// running under an adaptive plan; empty for classic fixed jobs.
+    pub convergence: String,
 }
 
 /// Client → daemon messages.
@@ -215,6 +248,9 @@ mod tests {
             Request::Submit {
                 spec: JobSpec::tiny_campaign(7),
             },
+            Request::Submit {
+                spec: JobSpec::tiny_adaptive(7),
+            },
             Request::Attach { job: 3, from_seq: 9 },
             Request::Status,
             Request::Metrics { job: 3 },
@@ -248,6 +284,7 @@ mod tests {
                     events: 1,
                     cache_hits: 2,
                     cache_misses: 1,
+                    convergence: "round 3 n=9 done".to_string(),
                 }],
             },
             Response::MetricsSnapshot {

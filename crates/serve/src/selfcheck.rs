@@ -88,6 +88,8 @@ struct ServeSummary {
     rejected_while_draining: bool,
     garbage_rejected_cleanly: bool,
     drain_left_resumable_checkpoint: bool,
+    adaptive_report_matches_local_plan: bool,
+    adaptive_convergence_reported: bool,
 }
 
 struct Outcome {
@@ -133,6 +135,8 @@ fn run_selfcheck(seed: u64) -> Outcome {
                     rejected_while_draining: false,
                     garbage_rejected_cleanly: false,
                     drain_left_resumable_checkpoint: false,
+                    adaptive_report_matches_local_plan: false,
+                    adaptive_convergence_reported: false,
                 },
                 log,
                 failures,
@@ -411,8 +415,75 @@ fn run_selfcheck(seed: u64) -> Outcome {
         "drain: busy = {busy_observed}, rejected-during-drain = {rejected_while_draining}, resumable ckpt = {drain_left_resumable_checkpoint}"
     ));
 
+    // -- Phase 4: an adaptive (planned) job end-to-end. ---------------
+    // Same spec, two runners: the daemon's planned path must land on
+    // the same bytes as a local `run_planned`, and the status row must
+    // surface the planner's convergence line.
+    let spool_p = scratch_dir("plan", seed);
+    let mut adaptive_matches = false;
+    let mut adaptive_convergence = false;
+    let adaptive_spec = JobSpec::tiny_adaptive(seed ^ 7);
+    let adaptive_reference = campaign_for(&adaptive_spec)
+        .and_then(|c| c.run_planned().map_err(|e| e.to_string()))
+        .and_then(|r| serde_json::to_string(&r).map_err(|e| e.to_string()));
+    match (adaptive_reference, Daemon::start(DaemonConfig::new(&spool_p))) {
+        (Ok(reference), Ok(daemon)) => {
+            let addr = daemon.local_addr().to_string();
+            if let Ok(mut client) = Client::connect(&addr, 5_000) {
+                match client.submit(&adaptive_spec) {
+                    Ok(Some(id)) => match client.attach(id, 0) {
+                        Ok(stream) => {
+                            let mut done_body = None;
+                            for event in stream.flatten() {
+                                if event.kind == "done" {
+                                    done_body = Some(event.body);
+                                } else if event.kind == "failed" {
+                                    fail(
+                                        &mut failures,
+                                        format!("adaptive job failed: {}", event.body),
+                                    );
+                                }
+                            }
+                            adaptive_matches = done_body.as_deref() == Some(reference.as_str());
+                            if !adaptive_matches {
+                                fail(
+                                    &mut failures,
+                                    "adaptive report differs from local run_planned".to_string(),
+                                );
+                            }
+                        }
+                        Err(e) => fail(&mut failures, format!("adaptive attach failed: {e}")),
+                    },
+                    Ok(None) => fail(&mut failures, "adaptive submit answered Busy".to_string()),
+                    Err(e) => fail(&mut failures, format!("adaptive submit failed: {e}")),
+                }
+                match client.call(&Request::Status) {
+                    Ok(Response::JobList { jobs }) => {
+                        adaptive_convergence = jobs
+                            .iter()
+                            .any(|j| j.state == "done" && j.convergence.ends_with("done"));
+                        if !adaptive_convergence {
+                            fail(
+                                &mut failures,
+                                "adaptive status row carried no convergence line".to_string(),
+                            );
+                        }
+                    }
+                    other => fail(&mut failures, format!("adaptive status reply wrong: {other:?}")),
+                }
+            }
+            daemon.kill();
+        }
+        (Err(e), _) => fail(&mut failures, format!("local run_planned failed: {e}")),
+        (_, Err(e)) => fail(&mut failures, format!("daemon D failed to start: {e}")),
+    }
+    log.push(format!(
+        "adaptive: matched local run_planned = {adaptive_matches}, convergence line = {adaptive_convergence}"
+    ));
+
     let _ = std::fs::remove_dir_all(&spool);
     let _ = std::fs::remove_dir_all(&spool_c);
+    let _ = std::fs::remove_dir_all(&spool_p);
 
     Outcome {
         summary: ServeSummary {
@@ -427,6 +498,8 @@ fn run_selfcheck(seed: u64) -> Outcome {
                 .iter()
                 .all(|f| !f.contains("garbage connection")),
             drain_left_resumable_checkpoint,
+            adaptive_report_matches_local_plan: adaptive_matches,
+            adaptive_convergence_reported: adaptive_convergence,
         },
         log,
         failures,
@@ -448,5 +521,7 @@ mod tests {
         assert!(outcome.summary.resumed_report_matches_reference);
         assert!(outcome.summary.exactly_once);
         assert!(outcome.summary.busy_observed);
+        assert!(outcome.summary.adaptive_report_matches_local_plan);
+        assert!(outcome.summary.adaptive_convergence_reported);
     }
 }
